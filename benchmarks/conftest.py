@@ -1,0 +1,27 @@
+"""Benchmark harness configuration.
+
+Every benchmark regenerates one of the paper's figure panels and prints
+the resulting table (rows = combining schemes, columns = transfer sizes),
+so running ``pytest benchmarks/ --benchmark-only -s`` reproduces the whole
+evaluation section on stdout.  Simulations are deterministic, so each
+table is generated once per benchmark (``rounds=1``) and the benchmark
+value is the wall-clock cost of regenerating that panel.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def regenerate(benchmark, capsys):
+    """Run a table factory once under the benchmark clock and print it."""
+
+    def run(factory, precision: int = 2):
+        table = benchmark.pedantic(factory, rounds=1, iterations=1)
+        with capsys.disabled():
+            print()
+            print(table.render(precision=precision))
+        return table
+
+    return run

@@ -1,0 +1,51 @@
+"""Ablation benches for the CSB design choices called out in DESIGN.md.
+
+Each bench regenerates one ablation table (paper §3.2's design
+alternatives: second line buffer, multiple burst sizes, address check) and
+asserts the qualitative conclusion the design section draws.
+"""
+
+from repro.evaluation.ablations import (
+    address_check_table,
+    buffer_depth_table,
+    burst_padding_table,
+    flush_latency_table,
+    line_buffer_table,
+)
+
+
+def test_second_line_buffer_recovers_fast_bus_peak(regenerate):
+    table = regenerate(line_buffer_table)
+    one = table.lookup("line_buffers", "1", "1024")
+    two = table.lookup("line_buffers", "2", "1024")
+    assert two >= one
+
+
+def test_multi_size_bursts_remove_small_transfer_penalty(regenerate):
+    table = regenerate(burst_padding_table)
+    assert table.lookup("flush_policy", "multi_size", "16") > table.lookup(
+        "flush_policy", "full_line", "16"
+    )
+    # Identical at and above one line.
+    assert table.lookup("flush_policy", "multi_size", "1024") == table.lookup(
+        "flush_policy", "full_line", "1024"
+    )
+
+
+def test_address_check_catches_same_pid_thread_conflicts(regenerate):
+    table = regenerate(address_check_table)
+    assert table.lookup("address_check", "on", "thread_A_flush") == "conflict"
+    assert table.lookup("address_check", "off", "commits_wrong_line") == "yes"
+
+
+def test_buffer_depth_decouples_the_core(regenerate):
+    table = regenerate(buffer_depth_table)
+    spans = table.column("cpu_cycles_to_retire_stores")
+    assert spans[-1] < spans[0]
+
+
+def test_flush_latency_shifts_access_time_linearly(regenerate):
+    table = regenerate(flush_latency_table)
+    two_dw = table.column("2dw")
+    # Raising the flush latency from 1 to 10 raises latency accordingly.
+    assert two_dw[-1] - two_dw[0] >= 5

@@ -1,0 +1,19 @@
+"""Figure 3 — uncached store bandwidth on a multiplexed bus (9 panels).
+
+Each benchmark regenerates one panel: bytes per bus cycle for every
+combining scheme over transfer sizes 16 B .. 1 KB.  Panel parameters are
+recorded in DESIGN.md §6; the shape checks live in
+tests/integration/test_paper_anchors.py.
+"""
+
+import pytest
+
+from repro.evaluation.bandwidth import panel_table
+from repro.evaluation.panels import FIG3_PANELS
+
+
+@pytest.mark.parametrize("panel", sorted(FIG3_PANELS), ids=lambda p: f"fig3{p}")
+def test_fig3_panel(regenerate, panel):
+    spec = FIG3_PANELS[panel]
+    table = regenerate(lambda: panel_table(spec))
+    assert len(table.rows) >= 3

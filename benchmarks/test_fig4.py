@@ -1,0 +1,14 @@
+"""Figure 4 — uncached store bandwidth on a split address/data bus
+(5 panels: 128/256-bit widths, turnaround, min-delay 4 and 8)."""
+
+import pytest
+
+from repro.evaluation.bandwidth import panel_table
+from repro.evaluation.panels import FIG4_PANELS
+
+
+@pytest.mark.parametrize("panel", sorted(FIG4_PANELS), ids=lambda p: f"fig4{p}")
+def test_fig4_panel(regenerate, panel):
+    spec = FIG4_PANELS[panel]
+    table = regenerate(lambda: panel_table(spec))
+    assert len(table.rows) >= 3

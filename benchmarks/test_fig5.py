@@ -1,0 +1,15 @@
+"""Figure 5 — atomic I/O access: lock/store/unlock vs the CSB, in CPU
+cycles, for 2..8 doubleword transfers, with the lock variable hitting (a)
+or missing (b) in the L1 cache."""
+
+import pytest
+
+from repro.evaluation.latency import fig5_table
+
+
+@pytest.mark.parametrize("lock_hits_l1", [True, False], ids=["hit", "miss"])
+def test_fig5_panel(regenerate, lock_hits_l1):
+    table = regenerate(lambda: fig5_table(lock_hits_l1), precision=0)
+    csb = [r for r in table.rows if r[0] == "csb"][0]
+    none = [r for r in table.rows if r[0] == "none"][0]
+    assert all(c < n for c, n in zip(csb[1:], none[1:]))

@@ -1,0 +1,27 @@
+"""Extension study — two-node ping-pong round-trip time (paper §5).
+
+The per-message overhead the paper argues limits fine-grain parallel
+scalability, measured end to end across a two-node cluster: locked PIO vs
+the CSB send path vs the CSB with the §3.2 multiple-burst-size relaxation.
+"""
+
+from repro.evaluation.rtt import rtt_table
+
+
+def test_pingpong_rtt(regenerate):
+    table = regenerate(lambda: rtt_table(), precision=0)
+    # The always-full-line CSB wins at a full line, loses at tiny payloads
+    # (the Figure 3 small-transfer penalty, end to end)...
+    assert table.lookup("method", "csb", "64B") < table.lookup(
+        "method", "pio", "64B"
+    )
+    assert table.lookup("method", "pio", "8B") < table.lookup(
+        "method", "csb", "8B"
+    )
+    # ...while the multi-size relaxation wins everywhere.
+    for column in ("8B", "16B", "32B", "64B"):
+        best = min(
+            table.lookup("method", "pio", column),
+            table.lookup("method", "csb", column),
+        )
+        assert table.lookup("method", "csb_multisize", column) <= best

@@ -1,0 +1,35 @@
+"""§5 extension study — PIO vs DMA message-send crossover.
+
+Regenerates the break-even analysis the paper argues qualitatively: DMA's
+setup cost loses to programmed I/O for short messages, and the CSB moves
+the PIO/DMA break-even point towards bigger messages, "potentially
+completely eliminating the need for DMA on the send side".
+"""
+
+from repro.evaluation.crossover import (
+    MESSAGE_SIZES,
+    break_even,
+    crossover_table,
+)
+
+
+def test_crossover_table(regenerate):
+    table = regenerate(lambda: crossover_table(), precision=0)
+    sizes = [str(s) for s in MESSAGE_SIZES]
+    pio = {s: table.lookup("method", "pio_locked", s) for s in sizes}
+    csb = {s: table.lookup("method", "csb", s) for s in sizes}
+    dma = {s: table.lookup("method", "dma", s) for s in sizes}
+    # Short messages: PIO paths beat DMA; long messages: DMA wins over PIO.
+    assert pio["16"] < dma["16"] and csb["16"] < dma["16"]
+    assert dma["2048"] < pio["2048"]
+
+
+def test_csb_moves_break_even_towards_bigger_messages(benchmark, capsys):
+    def compute():
+        return break_even("pio_locked"), break_even("csb")
+
+    pio_cross, csb_cross = benchmark.pedantic(compute, rounds=1, iterations=1)
+    with capsys.disabled():
+        print(f"\nbreak-even vs DMA: locked PIO at {pio_cross} B, "
+              f"CSB at {csb_cross} B\n")
+    assert csb_cross > pio_cross

@@ -1,0 +1,27 @@
+"""Sensitivity studies (paper §4.3.2 discussion).
+
+Superscalar width barely moves the lock overhead (short dependence
+chains), while the CPU/bus frequency ratio sets the locking path's
+per-doubleword slope exactly (2 bus cycles per doubleword) and leaves the
+CSB slope at 1 CPU cycle per doubleword.
+"""
+
+from repro.evaluation.sensitivity import (
+    ratio_sensitivity_table,
+    width_sensitivity_table,
+)
+
+
+def test_width_sensitivity(regenerate):
+    table = regenerate(width_sensitivity_table, precision=0)
+    lock = table.column("lock_cycles")
+    # "did not change the lock overhead at all" — within ~15% here.
+    assert max(lock) - min(lock) <= 0.15 * max(lock)
+
+
+def test_ratio_sensitivity(regenerate):
+    table = regenerate(ratio_sensitivity_table, precision=1)
+    for row in table.rows:
+        ratio, lock_slope, csb_slope = row
+        assert lock_slope == 2 * ratio  # one 2-cycle bus txn per doubleword
+        assert csb_slope == 1           # one uncached-port cycle per doubleword

@@ -1,0 +1,47 @@
+"""Simulator performance benchmarks (not a paper figure).
+
+These measure the host cost of the simulator itself — simulated
+instructions per second through the full out-of-order pipeline, and raw
+bus-model throughput — so regressions in simulation speed are visible in
+benchmark history.
+"""
+
+from repro import System, assemble
+from tests.conftest import make_config
+
+
+def test_core_instruction_throughput(benchmark):
+    source = (
+        "set 2000, %o1\n"
+        "set 0, %o2\n"
+        "loop: add %o2, 1, %o2\n"
+        "xor %o2, %o1, %o3\n"
+        "sub %o1, 1, %o1\n"
+        "brnz %o1, loop\n"
+        "halt"
+    )
+    program = assemble(source)
+
+    def run():
+        system = System(make_config())
+        system.add_process(program)
+        system.run()
+        return system.scheduler.processes[0].retired_instructions
+
+    retired = benchmark(run)
+    assert retired == 2000 * 4 + 3
+
+
+def test_uncached_store_stream_throughput(benchmark):
+    from repro.workloads.storebw import store_kernel_uncached
+
+    program = assemble(store_kernel_uncached(1024))
+
+    def run():
+        system = System(make_config(combine_block=64))
+        system.add_process(program)
+        system.run()
+        return system.stats.get("bus.transactions")
+
+    transactions = benchmark(run)
+    assert transactions > 0

@@ -1,0 +1,20 @@
+"""Extension study — synchronization mechanisms (paper §4.3.2 discussion).
+
+swap spin lock vs LL/SC (store-conditional local or broadcasting on the
+bus) vs the lock-free CSB, for the Figure 5 atomic device access.
+"""
+
+from repro.evaluation.sync_mechanisms import sync_mechanism_table
+
+
+def test_sync_mechanisms(regenerate):
+    table = regenerate(lambda: sync_mechanism_table(), precision=0)
+    swap = table.lookup("mechanism", "swap_lock", "32B")
+    local = table.lookup("mechanism", "llsc_local", "32B")
+    bus = table.lookup("mechanism", "llsc_bus", "32B")
+    csb = table.lookup("mechanism", "csb", "32B")
+    # "the store-conditional instruction results in a bus transaction even
+    # for a cache hit, which would further increase the locking overhead."
+    assert bus > swap
+    assert abs(local - swap) <= 4   # a local SC costs about what swap does
+    assert csb < swap               # and the CSB needs no lock at all

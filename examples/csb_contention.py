@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Two processes sharing the CSB: optimistic non-blocking synchronization.
+
+Recreates the paper's §3.2 interleaving.  Two processes run under a
+preemptive round-robin scheduler, each repeatedly filling the conditional
+store buffer and committing with a conditional flush.  When a timer
+interrupt lands between a process's combining stores and its flush, the
+competitor's first store clears the buffer; the interrupted process's
+flush returns zero and its software retry loop re-issues the sequence.
+No locks, no blocking — and every committed line reaches the device
+exactly once and un-torn.
+
+Run:  python examples/csb_contention.py
+"""
+
+from repro import System, assemble
+from repro.devices.sink import BurstSink
+from repro.memory.layout import IO_COMBINING_BASE, PageAttr, Region
+from repro.workloads.contention import contending_csb_kernel
+
+ITERATIONS = 50
+QUANTUM = 180
+
+
+def main() -> None:
+    print(__doc__)
+    system = System(quantum=QUANTUM, switch_penalty=40)
+    sink = system.attach_device(
+        BurstSink(
+            Region(IO_COMBINING_BASE, 8192, PageAttr.UNCACHED_COMBINING, "dev")
+        )
+    )
+    system.add_process(
+        assemble(contending_csb_kernel(ITERATIONS, IO_COMBINING_BASE,
+                                       signature=0x1_0000)),
+        name="A",
+    )
+    system.add_process(
+        assemble(contending_csb_kernel(ITERATIONS, IO_COMBINING_BASE + 64,
+                                       signature=0x2_0000)),
+        name="B",
+    )
+    system.run(max_cycles=50_000_000)
+
+    stats = system.stats
+    print(f"iterations per process : {ITERATIONS}")
+    print(f"context switches       : {system.scheduler.context_switches}")
+    print(f"squashed instructions  : {stats.get('core.squashed')}")
+    print(f"flush conflicts        : {stats.get('csb.flush_conflicts')}")
+    print(f"successful flushes     : {stats.get('csb.flushes')}")
+    print(f"lines at the device    : {len(sink.log)}")
+
+    torn = 0
+    per_process = {1: set(), 2: set()}
+    for _, data in sink.log:
+        words = {data[i : i + 8] for i in range(0, 64, 8)}
+        if len(words) != 1:
+            torn += 1
+            continue
+        value = int.from_bytes(data[:8], "big")
+        per_process[value >> 16].add(value & 0xFFFF)
+    print(f"torn lines             : {torn}")
+    print(f"A iterations delivered : {len(per_process[1])}/{ITERATIONS}")
+    print(f"B iterations delivered : {len(per_process[2])}/{ITERATIONS}")
+    assert torn == 0
+    assert per_process[1] == set(range(ITERATIONS))
+    assert per_process[2] == set(range(ITERATIONS))
+    print("\nEvery sequence committed atomically, exactly once, despite "
+          "preemption —\nwithout a single lock acquisition.")
+
+
+if __name__ == "__main__":
+    main()

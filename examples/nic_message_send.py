@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""User-level message send: locked PIO vs one atomic CSB burst.
+
+Recreates the scenario from the paper's motivation (§2) and qualitative
+evaluation (§5): a user-level process pushes a short message into a
+Medusa/Atoll-style network interface.  The conventional path takes a spin
+lock, assembles the payload in NIC packet memory with uncached stores,
+pushes a descriptor, and releases the lock.  The CSB path combines the
+payload stores in the conditional store buffer and commits them with a
+single conditional flush — one atomic bus burst straight into the NIC's
+TX FIFO, no lock at all.
+
+Run:  python examples/nic_message_send.py
+"""
+
+from repro import System, assemble
+from repro.common.tables import Table
+from repro.devices.nic import NetworkInterface
+from repro.memory.layout import (
+    IO_COMBINING_BASE,
+    IO_UNCACHED_BASE,
+    PageAttr,
+    Region,
+)
+from repro.workloads.lockbench import DEFAULT_LOCK_ADDR, MARK_DONE, MARK_START
+from repro.workloads.messaging import csb_send_kernel, pio_send_kernel
+
+MESSAGE_SIZES = (16, 32, 64)
+
+
+def locked_pio_send(payload_bytes: int):
+    system = System()
+    nic = system.attach_device(
+        NetworkInterface(
+            Region(IO_UNCACHED_BASE, 64 * 1024, PageAttr.UNCACHED, "nic")
+        )
+    )
+    process = system.add_process(
+        assemble(pio_send_kernel(payload_bytes, IO_UNCACHED_BASE))
+    )
+    process.set_register("%l0", 0xDEAD).set_register("%l1", 0xBEEF)
+    system.hierarchy.warm(DEFAULT_LOCK_ADDR)  # lock hits in the L1
+    system.run()
+    return system.span(MARK_START, MARK_DONE), nic
+
+
+def csb_send(payload_bytes: int):
+    system = System()
+    nic = system.attach_device(
+        NetworkInterface(
+            Region(
+                IO_COMBINING_BASE, 64 * 1024, PageAttr.UNCACHED_COMBINING, "nic"
+            )
+        )
+    )
+    process = system.add_process(
+        assemble(csb_send_kernel(payload_bytes, IO_COMBINING_BASE))
+    )
+    process.set_register("%l0", 0xDEAD).set_register("%l1", 0xBEEF)
+    system.run()
+    return system.span(MARK_START, MARK_DONE), nic
+
+
+def main() -> None:
+    print(__doc__)
+    table = Table(
+        ["payload", "locked PIO [cycles]", "CSB [cycles]", "speedup"],
+        title="Per-message send overhead (CPU cycles, lock hits in L1)",
+    )
+    for size in MESSAGE_SIZES:
+        pio_cycles, pio_nic = locked_pio_send(size)
+        csb_cycles, csb_nic = csb_send(size)
+        assert pio_nic.sent and csb_nic.sent, "both sends must reach the NIC"
+        table.add_row(
+            f"{size}B", pio_cycles, csb_cycles, round(pio_cycles / csb_cycles, 1)
+        )
+    print(table.render(1))
+    _, nic = csb_send(32)
+    packet = nic.sent[0]
+    print(
+        f"The CSB message arrived as one {'inline' if packet.inline else ''} "
+        f"burst of {len(packet.payload)} bytes;\nfirst payload word: "
+        f"{packet.payload[:8].hex()} (the 0xDEAD the program stored)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Quickstart: measure uncached store bandwidth with and without the CSB.
+
+Builds three systems — non-combining uncached buffer, R10000-style
+full-line hardware combining, and the conditional store buffer — runs the
+paper's store-bandwidth microbenchmark on each, and prints the comparison.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    BusConfig,
+    CSBConfig,
+    MemoryHierarchyConfig,
+    System,
+    SystemConfig,
+    UncachedBufferConfig,
+    assemble,
+)
+from repro.common.tables import Table
+from repro.workloads import store_kernel_csb, store_kernel_uncached
+
+LINE_SIZE = 64
+TRANSFERS = (16, 64, 256, 1024)
+
+
+def make_system(combine_block: int) -> System:
+    """A 600 MHz-class 4-wide core over a 100 MHz 8-byte multiplexed bus."""
+    return System(
+        SystemConfig(
+            memory=MemoryHierarchyConfig.with_line_size(LINE_SIZE),
+            bus=BusConfig(kind="multiplexed", width_bytes=8, cpu_ratio=6),
+            uncached=UncachedBufferConfig(combine_block=combine_block),
+            csb=CSBConfig(line_size=LINE_SIZE),
+        )
+    )
+
+
+def measure(scheme: str, transfer_bytes: int) -> float:
+    if scheme == "csb":
+        system = make_system(combine_block=8)
+        source = store_kernel_csb(transfer_bytes, LINE_SIZE)
+    else:
+        block = 8 if scheme == "none" else LINE_SIZE
+        system = make_system(combine_block=block)
+        source = store_kernel_uncached(transfer_bytes)
+    system.add_process(assemble(source))
+    system.run()
+    return system.store_bandwidth
+
+
+def main() -> None:
+    print(__doc__)
+    table = Table(
+        ["scheme"] + [f"{s}B" for s in TRANSFERS],
+        title="Uncached store bandwidth [bytes per bus cycle]",
+    )
+    for scheme in ("none", "combine64", "csb"):
+        table.add_row(scheme, *[measure(scheme, s) for s in TRANSFERS])
+    print(table.render())
+    print(
+        "The non-combining buffer is pinned at half the peak (every\n"
+        "doubleword store pays an address cycle), hardware combining only\n"
+        "helps once the buffer backs up, and the CSB reaches one full\n"
+        f"cache-line burst per flush — {LINE_SIZE / 9:.2f} bytes/cycle on "
+        "this bus —\nat every transfer size of a line or more."
+    )
+
+
+if __name__ == "__main__":
+    main()

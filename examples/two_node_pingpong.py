@@ -1,0 +1,37 @@
+#!/usr/bin/env python
+"""Two simulated nodes exchanging messages over a link.
+
+Builds the paper's motivating scenario end to end: two complete systems
+(out-of-order core, caches, uncached unit + CSB, bus, NIC) joined by a
+point-to-point link.  Node A sends a short message; node B polls its NIC,
+consumes the message, and echoes the first payload word back; node A
+measures the round trip.  Three send paths are compared: conventional
+locked PIO, the CSB (always a full-line burst), and the CSB with the
+paper's §3.2 multiple-burst-size relaxation.
+
+Run:  python examples/two_node_pingpong.py
+"""
+
+from repro.evaluation.rtt import pingpong_rtt, rtt_table
+
+
+def main() -> None:
+    print(__doc__)
+    table = rtt_table(link_latency=10)
+    print(table.render(0))
+    base = pingpong_rtt("csb", 4, link_latency=10)
+    slow = pingpong_rtt("csb", 4, link_latency=50)
+    print(
+        "RTT scales with the wire exactly twice per exchange: a "
+        f"{50 - 10}-bus-cycle\nlonger link adds {slow - base} CPU cycles "
+        f"(= 2 x 40 x ratio 6).\n"
+    )
+    print(
+        "The always-full-line CSB pays the Figure 3 small-transfer penalty\n"
+        "end to end (PIO wins below ~32 B), while the multi-burst-size\n"
+        "relaxation makes the CSB the fastest send path at every size."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Legacy shim so `pip install -e .` works without the wheel package
+(offline environment); all real metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

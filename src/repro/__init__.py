@@ -1,0 +1,58 @@
+"""repro — an execution-driven simulation study of the Conditional Store
+Buffer (Schaelicke & Davis, *Improving I/O Performance with a Conditional
+Store Buffer*, MICRO 1998).
+
+Quick start::
+
+    from repro import System, SystemConfig, assemble
+    from repro.workloads import store_kernel_csb
+
+    system = System(SystemConfig())
+    system.add_process(assemble(store_kernel_csb(256, line_size=64)))
+    system.run()
+    print(f"{system.store_bandwidth:.2f} bytes/bus-cycle")
+
+Package layout:
+
+* :mod:`repro.common` — configuration, statistics, tables, errors
+* :mod:`repro.isa` — the SPARC-flavoured instruction set and assembler
+* :mod:`repro.memory` — address space, page attributes, caches
+* :mod:`repro.bus` — multiplexed and split system-bus models
+* :mod:`repro.uncached` — the uncached buffer and the CSB
+* :mod:`repro.cpu` — the out-of-order core
+* :mod:`repro.devices` — burst sink, NIC, DMA engine
+* :mod:`repro.sim` — system assembly and scheduling
+* :mod:`repro.workloads` — microbenchmark kernel generators
+* :mod:`repro.evaluation` — figure-reproduction harness
+"""
+
+from repro.common.config import (
+    BusConfig,
+    CacheConfig,
+    CoreConfig,
+    CSBConfig,
+    MemoryHierarchyConfig,
+    SystemConfig,
+    UncachedBufferConfig,
+)
+from repro.common.errors import ReproError
+from repro.isa.assembler import assemble
+from repro.isa.program import Program
+from repro.sim.system import System
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BusConfig",
+    "CSBConfig",
+    "CacheConfig",
+    "CoreConfig",
+    "MemoryHierarchyConfig",
+    "Program",
+    "ReproError",
+    "System",
+    "SystemConfig",
+    "UncachedBufferConfig",
+    "assemble",
+    "__version__",
+]

@@ -1,0 +1,38 @@
+"""System bus models.
+
+Two bus organizations from the paper's evaluation (§4.1):
+
+* :class:`MultiplexedBus` — address and data share one path; every
+  transaction pays one address cycle before its data beats.
+* :class:`SplitBus` — separate address and data paths; a transaction's cost
+  is its data beats only.
+
+Both are fully pipelined with arbitration overlapped, support naturally
+aligned power-of-two transfer sizes up to a cache line, and model two kinds
+of transaction overhead: a mandatory *turnaround* idle cycle between
+transactions, and a *minimum address-to-address delay* approximating
+acknowledgment-based selective flow control under strong ordering.
+"""
+
+from repro.bus.transaction import (
+    BusTransaction,
+    KIND_CSB_FLUSH,
+    KIND_UNCACHED_LOAD,
+    KIND_UNCACHED_STORE,
+)
+from repro.bus.base import SystemBus, TargetRegistry
+from repro.bus.multiplexed import MultiplexedBus
+from repro.bus.split import SplitBus
+from repro.bus.factory import make_bus
+
+__all__ = [
+    "BusTransaction",
+    "KIND_CSB_FLUSH",
+    "KIND_UNCACHED_LOAD",
+    "KIND_UNCACHED_STORE",
+    "MultiplexedBus",
+    "SplitBus",
+    "SystemBus",
+    "TargetRegistry",
+    "make_bus",
+]

@@ -1,0 +1,176 @@
+"""Shared bus machinery: issue/complete scheduling, flow control, targets.
+
+Timing contract (all in bus cycles):
+
+* A transaction is *accepted* at its address cycle ``start``.
+* The concrete bus computes ``end``, the transaction's last data cycle.
+* The next transaction's address cycle must satisfy both
+  ``next_start >= end + 1 + turnaround`` (the bus path must be free, plus
+  any mandatory idle cycle) and ``next_start >= start + min_addr_delay``
+  (acknowledgment flow control under strong ordering: the next uncached
+  transaction may not issue until the previous one was positively
+  acknowledged, paper §4.3.1).
+
+Because timing is deterministic once a transaction is accepted, completion
+is scheduled at accept time and callbacks fire from :meth:`SystemBus.tick`.
+"""
+
+from __future__ import annotations
+
+import abc
+import heapq
+from typing import List, Optional, Protocol, Tuple
+
+from repro.common.config import BusConfig
+from repro.common.errors import SimulationError
+from repro.common.stats import StatsCollector, TransactionRecord
+from repro.bus.transaction import BusTransaction
+from repro.memory.backing import BackingStore
+from repro.memory.layout import Region
+
+
+class BusTarget(Protocol):
+    """Anything that can terminate a bus transaction (a device)."""
+
+    def bus_write(self, address: int, data: bytes) -> None: ...
+
+    def bus_read(self, address: int, size: int) -> bytes: ...
+
+
+class TargetRegistry:
+    """Routes completed transactions to devices by address range.
+
+    Addresses not claimed by any device fall through to the backing store,
+    which models plain bufferable device memory (e.g. a frame buffer or a
+    NI's exported packet memory).
+    """
+
+    def __init__(self, backing: BackingStore) -> None:
+        self._backing = backing
+        self._targets: List[Tuple[Region, BusTarget]] = []
+
+    def register(self, region: Region, device: BusTarget) -> None:
+        for existing, _ in self._targets:
+            if region.overlaps(existing):
+                raise SimulationError(
+                    f"device region {region.name!r} overlaps {existing.name!r}"
+                )
+        self._targets.append((region, device))
+
+    def write(self, address: int, data: bytes) -> None:
+        device = self._device_at(address)
+        if device is not None:
+            device.bus_write(address, data)
+        else:
+            self._backing.write_bytes(address, data)
+
+    def read(self, address: int, size: int) -> bytes:
+        device = self._device_at(address)
+        if device is not None:
+            return device.bus_read(address, size)
+        return self._backing.read_bytes(address, size)
+
+    def _device_at(self, address: int) -> Optional[BusTarget]:
+        for region, device in self._targets:
+            if region.contains(address):
+                return device
+        return None
+
+
+class SystemBus(abc.ABC):
+    """Base class for the multiplexed and split bus models."""
+
+    def __init__(
+        self,
+        config: BusConfig,
+        stats: StatsCollector,
+        targets: TargetRegistry,
+        read_latency: int = 3,
+    ) -> None:
+        if read_latency < 0:
+            raise SimulationError("read_latency must be >= 0")
+        self.config = config
+        self.stats = stats
+        self.targets = targets
+        self.read_latency = read_latency
+        self._next_start_allowed = 0
+        self._busy_until = -1
+        # Min-heap of (end_cycle, sequence, transaction) pending completion.
+        self._pending: List[Tuple[int, int, BusTransaction]] = []
+        self._sequence = 0
+
+    # -- concrete buses implement the cost model -----------------------------
+
+    @abc.abstractmethod
+    def transaction_end(self, txn: BusTransaction, start: int) -> int:
+        """Bus cycle of the transaction's last data beat."""
+
+    # -- issue / progress -----------------------------------------------------
+
+    def can_issue(self, bus_cycle: int) -> bool:
+        return bus_cycle >= self._next_start_allowed
+
+    def try_issue(self, txn: BusTransaction, bus_cycle: int) -> bool:
+        """Accept ``txn`` at ``bus_cycle`` if flow control allows.
+
+        Returns False (and changes nothing) when the bus cannot take the
+        transaction this cycle.
+        """
+        if txn.size > self.config.max_burst_bytes:
+            raise SimulationError(
+                f"transaction size {txn.size} exceeds bus max burst "
+                f"{self.config.max_burst_bytes}"
+            )
+        if not self.can_issue(bus_cycle):
+            return False
+        start = bus_cycle
+        end = self.transaction_end(txn, start)
+        txn.start_cycle = start
+        txn.end_cycle = end
+        self._busy_until = end
+        self._next_start_allowed = max(
+            end + 1 + self.config.turnaround,
+            start + self.config.min_addr_delay,
+        )
+        heapq.heappush(self._pending, (end, self._sequence, txn))
+        self._sequence += 1
+        self.stats.bump("bus.transactions")
+        self.stats.bump("bus.bytes_wire", txn.size)
+        if txn.is_burst:
+            self.stats.bump("bus.bursts")
+        self.stats.record_transaction(
+            TransactionRecord(
+                start_cycle=start,
+                end_cycle=end,
+                address=txn.address,
+                size=txn.size,
+                useful_bytes=txn.useful_bytes or 0,
+                kind=txn.kind,
+                burst=txn.is_burst,
+            )
+        )
+        return True
+
+    def tick(self, bus_cycle: int) -> None:
+        """Complete every transaction whose last data beat has passed."""
+        while self._pending and self._pending[0][0] <= bus_cycle:
+            _, _, txn = heapq.heappop(self._pending)
+            self._complete(txn)
+
+    def drain_complete(self) -> bool:
+        """True when no transaction is in flight."""
+        return not self._pending
+
+    @property
+    def next_start_allowed(self) -> int:
+        return self._next_start_allowed
+
+    def _complete(self, txn: BusTransaction) -> None:
+        if txn.is_write:
+            assert txn.data is not None
+            self.targets.write(txn.address, txn.data)
+        else:
+            txn.result_data = self.targets.read(txn.address, txn.size)
+        if txn.on_complete is not None:
+            assert txn.end_cycle is not None
+            txn.on_complete(txn.end_cycle)

@@ -1,0 +1,24 @@
+"""Bus construction from configuration."""
+
+from __future__ import annotations
+
+from repro.common.config import BusConfig
+from repro.common.errors import ConfigError
+from repro.common.stats import StatsCollector
+from repro.bus.base import SystemBus, TargetRegistry
+from repro.bus.multiplexed import MultiplexedBus
+from repro.bus.split import SplitBus
+
+
+def make_bus(
+    config: BusConfig,
+    stats: StatsCollector,
+    targets: TargetRegistry,
+    read_latency: int = 3,
+) -> SystemBus:
+    """Build the bus model named by ``config.kind``."""
+    if config.kind == "multiplexed":
+        return MultiplexedBus(config, stats, targets, read_latency)
+    if config.kind == "split":
+        return SplitBus(config, stats, targets, read_latency)
+    raise ConfigError(f"unknown bus kind {config.kind!r}")

@@ -1,0 +1,31 @@
+"""Multiplexed address/data bus.
+
+Address and data share one set of wires, so every transaction pays one
+address cycle before its data beats (paper §4.1: "On the multiplexed bus, an
+address transfer takes one extra cycle").  A doubleword store on an 8-byte
+bus therefore occupies two cycles — which is exactly why the non-combining
+scheme tops out at half the peak bandwidth (§4.3.1).
+
+Read timing: the address cycle is followed by ``read_latency`` target-access
+cycles before the data beats return on the same wires.
+"""
+
+from __future__ import annotations
+
+from repro.bus.base import SystemBus
+from repro.bus.transaction import BusTransaction, KIND_REFILL
+
+
+class MultiplexedBus(SystemBus):
+    """Shared address/data path; 1 address cycle + N data beats."""
+
+    def transaction_end(self, txn: BusTransaction, start: int) -> int:
+        beats = self.config.data_beats(txn.size)
+        if txn.kind == KIND_REFILL:
+            # Split-transaction refill: the memory access time overlaps
+            # other traffic; the bus pays only address + data beats.
+            return start + beats
+        if txn.is_read:
+            return start + 1 + self.read_latency + beats - 1
+        # Address cycle at `start`, data beats immediately after.
+        return start + beats

@@ -1,0 +1,28 @@
+"""Split address/data bus (Sun UPA / PowerPC 60x style).
+
+Separate address and data paths: the address transfer overlaps the previous
+transaction's data, so a transaction's cost on the data path is just its
+data beats.  The data path is typically wider than a processor word (128 or
+256 bits), which introduces the *wasted width* overhead the paper highlights:
+a doubleword store still occupies a full beat, using only half (or a quarter)
+of the wires (§4.3.1, Figure 4).
+"""
+
+from __future__ import annotations
+
+from repro.bus.base import SystemBus
+from repro.bus.transaction import BusTransaction, KIND_REFILL
+
+
+class SplitBus(SystemBus):
+    """Separate address path; transactions cost data beats only."""
+
+    def transaction_end(self, txn: BusTransaction, start: int) -> int:
+        beats = self.config.data_beats(txn.size)
+        if txn.kind == KIND_REFILL:
+            # Split-transaction refill: data beats only.
+            return start + beats - 1
+        if txn.is_read:
+            # Address at `start`, target access, then data beats.
+            return start + self.read_latency + beats - 1
+        return start + beats - 1

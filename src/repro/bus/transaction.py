@@ -1,0 +1,88 @@
+"""Bus transaction descriptor.
+
+A transaction carries its payload functionally (``data`` bytes for writes)
+and its accounting metadata (``useful_bytes`` vs. wire ``size``: a CSB flush
+always moves a full line, but only the combined stores count as payload).
+The issuing unit may attach a completion callback, invoked with the bus cycle
+in which the transaction's last data beat finished.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.common.bitops import is_aligned, is_power_of_two
+from repro.common.errors import AlignmentError
+
+KIND_UNCACHED_STORE = "uncached_store"
+KIND_UNCACHED_LOAD = "uncached_load"
+KIND_CSB_FLUSH = "csb_flush"
+#: A cache-line refill from main memory (only present when the memory
+#: hierarchy is configured to occupy the bus with its misses).
+KIND_REFILL = "refill"
+#: A synchronization broadcast (e.g. a store-conditional's bus transaction).
+KIND_SYNC = "sync"
+
+_KINDS = (
+    KIND_UNCACHED_STORE,
+    KIND_UNCACHED_LOAD,
+    KIND_CSB_FLUSH,
+    KIND_REFILL,
+    KIND_SYNC,
+)
+
+CompletionCallback = Callable[[int], None]
+
+
+@dataclass
+class BusTransaction:
+    """One naturally aligned power-of-two bus transaction."""
+
+    address: int
+    size: int
+    kind: str
+    data: Optional[bytes] = None
+    useful_bytes: Optional[int] = None
+    on_complete: Optional[CompletionCallback] = field(default=None, repr=False)
+    # Filled in by the bus when the transaction is accepted:
+    start_cycle: Optional[int] = None
+    end_cycle: Optional[int] = None
+    # Filled in at completion for reads:
+    result_data: Optional[bytes] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(f"unknown transaction kind {self.kind!r}")
+        if not is_power_of_two(self.size):
+            raise AlignmentError(f"transaction size {self.size} not a power of two")
+        if not is_aligned(self.address, self.size):
+            raise AlignmentError(
+                f"transaction at {self.address:#x} not aligned to its size {self.size}"
+            )
+        if self.useful_bytes is None:
+            self.useful_bytes = self.size
+        if self.useful_bytes < 0 or self.useful_bytes > self.size:
+            raise ValueError(
+                f"useful_bytes {self.useful_bytes} outside [0, {self.size}]"
+            )
+        if self.is_write:
+            if self.data is None:
+                raise ValueError(f"{self.kind} transaction needs data")
+            if len(self.data) != self.size:
+                raise ValueError(
+                    f"data length {len(self.data)} != transaction size {self.size}"
+                )
+
+    @property
+    def is_write(self) -> bool:
+        return self.kind in (KIND_UNCACHED_STORE, KIND_CSB_FLUSH)
+
+    @property
+    def is_read(self) -> bool:
+        return self.kind in (KIND_UNCACHED_LOAD, KIND_REFILL, KIND_SYNC)
+
+    @property
+    def is_burst(self) -> bool:
+        """A burst moves more than one processor doubleword."""
+        return self.size > 8

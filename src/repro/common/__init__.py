@@ -1,0 +1,44 @@
+"""Shared infrastructure for the CSB reproduction: errors, bit helpers,
+configuration dataclasses, statistics, and table rendering."""
+
+from repro.common.errors import (
+    AlignmentError,
+    ConfigError,
+    ReproError,
+    SimulationError,
+    AssemblyError,
+    MemoryError_,
+    DeadlockError,
+)
+from repro.common.bitops import (
+    align_down,
+    align_up,
+    is_aligned,
+    is_power_of_two,
+    block_base,
+    block_offset,
+    decompose_aligned,
+)
+from repro.common.stats import Counter, StatsCollector, BandwidthWindow
+from repro.common.tables import Table
+
+__all__ = [
+    "AlignmentError",
+    "AssemblyError",
+    "BandwidthWindow",
+    "ConfigError",
+    "Counter",
+    "DeadlockError",
+    "MemoryError_",
+    "ReproError",
+    "SimulationError",
+    "StatsCollector",
+    "Table",
+    "align_down",
+    "align_up",
+    "block_base",
+    "block_offset",
+    "decompose_aligned",
+    "is_aligned",
+    "is_power_of_two",
+]

@@ -1,0 +1,299 @@
+"""Configuration dataclasses for every simulated component.
+
+All knobs the paper sweeps live here: bus kind/width/frequency ratio,
+turnaround and minimum-delay flow control (§4.1), cache line size, uncached
+buffer combining block size, and the processor's dispatch/retire widths and
+functional-unit mix.  Each dataclass validates itself in ``__post_init__`` so a
+bad sweep fails loudly at construction rather than producing quietly wrong
+bandwidth numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Tuple
+
+from repro.common.bitops import is_power_of_two
+from repro.common.errors import ConfigError
+
+#: Doubleword size in bytes — the unit the microbenchmarks store in.
+DOUBLEWORD = 8
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ConfigError(message)
+
+
+@dataclass(frozen=True)
+class CoreConfig:
+    """Out-of-order core parameters (paper §4.1).
+
+    The modeled core dispatches and retires up to four instructions per
+    cycle, issues to two integer and two floating-point units, and handles
+    memory operations in a separate queue.  Uncached operations issue
+    non-speculatively at or after retirement.
+    """
+
+    dispatch_width: int = 4
+    retire_width: int = 4
+    int_units: int = 2
+    fp_units: int = 2
+    rob_entries: int = 64
+    memq_entries: int = 16
+    int_latency: int = 1
+    fp_latency: int = 3
+    branch_mispredict_penalty: int = 4
+    perfect_branch_prediction: bool = True
+    #: A successful store-conditional performs a bus transaction even on a
+    #: cache hit ("in many implementations", paper §4.3.2 discussion).
+    sc_bus_transaction: bool = True
+
+    def __post_init__(self) -> None:
+        _require(self.dispatch_width >= 1, "dispatch_width must be >= 1")
+        _require(self.retire_width >= 1, "retire_width must be >= 1")
+        _require(self.int_units >= 1, "need at least one integer unit")
+        _require(self.fp_units >= 0, "fp_units must be >= 0")
+        _require(self.rob_entries >= 4, "rob_entries must be >= 4")
+        _require(self.memq_entries >= 1, "memq_entries must be >= 1")
+        _require(self.int_latency >= 1, "int_latency must be >= 1")
+        _require(self.fp_latency >= 1, "fp_latency must be >= 1")
+        _require(
+            self.branch_mispredict_penalty >= 0,
+            "branch_mispredict_penalty must be >= 0",
+        )
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """One cache level (set-associative, write-back, write-allocate, LRU)."""
+
+    size_bytes: int
+    line_size: int
+    associativity: int
+    hit_latency: int
+
+    def __post_init__(self) -> None:
+        _require(is_power_of_two(self.size_bytes), "cache size must be a power of two")
+        _require(is_power_of_two(self.line_size), "line size must be a power of two")
+        _require(self.associativity >= 1, "associativity must be >= 1")
+        _require(self.hit_latency >= 1, "hit_latency must be >= 1")
+        sets = self.size_bytes // (self.line_size * self.associativity)
+        _require(sets >= 1, "cache has no sets; check size/line/assoc")
+        _require(
+            is_power_of_two(sets),
+            "number of sets must be a power of two (size / line / assoc)",
+        )
+
+    @property
+    def num_sets(self) -> int:
+        return self.size_bytes // (self.line_size * self.associativity)
+
+
+@dataclass(frozen=True)
+class MemoryHierarchyConfig:
+    """Two-level cache hierarchy over a fixed-latency main memory.
+
+    ``miss_latency`` is the total CPU-cycle latency of an access that misses
+    everywhere; the paper's Figure 5 experiment fixes it at 100 cycles.
+    """
+
+    line_size: int = 64
+    l1: CacheConfig = field(
+        default_factory=lambda: CacheConfig(
+            size_bytes=16 * 1024, line_size=64, associativity=2, hit_latency=1
+        )
+    )
+    l2: CacheConfig = field(
+        default_factory=lambda: CacheConfig(
+            size_bytes=256 * 1024, line_size=64, associativity=4, hit_latency=8
+        )
+    )
+    miss_latency: int = 100
+    #: When True, every main-memory miss also occupies the system bus with
+    #: a line-sized refill transaction (see repro.memory.refill).
+    refills_use_bus: bool = False
+
+    def __post_init__(self) -> None:
+        _require(self.l1.line_size == self.line_size, "L1 line size != hierarchy line")
+        _require(self.l2.line_size == self.line_size, "L2 line size != hierarchy line")
+        _require(self.miss_latency >= 1, "miss_latency must be >= 1")
+
+    @staticmethod
+    def with_line_size(
+        line_size: int, miss_latency: int = 100, refills_use_bus: bool = False
+    ) -> "MemoryHierarchyConfig":
+        """Build a hierarchy with a given line size, keeping default shapes."""
+        return MemoryHierarchyConfig(
+            line_size=line_size,
+            l1=CacheConfig(16 * 1024, line_size, 2, 1),
+            l2=CacheConfig(256 * 1024, line_size, 4, 8),
+            miss_latency=miss_latency,
+            refills_use_bus=refills_use_bus,
+        )
+
+
+#: Legal bus kinds.  ``multiplexed`` shares one path for address and data
+#: (the address transfer costs one extra cycle); ``split`` has separate
+#: address and data paths.
+BUS_KINDS: Tuple[str, ...] = ("multiplexed", "split")
+
+
+@dataclass(frozen=True)
+class BusConfig:
+    """System bus timing model (paper §4.1).
+
+    ``cpu_ratio`` is the processor-to-bus clock frequency ratio.
+    ``turnaround`` is the number of idle cycles required between consecutive
+    transactions even from the same master.  ``min_addr_delay`` models
+    selective flow control: the address cycles of consecutive strongly-ordered
+    transactions must be at least this many bus cycles apart because the next
+    uncached store may not issue until the previous one has been positively
+    acknowledged.
+    """
+
+    kind: str = "multiplexed"
+    width_bytes: int = 8
+    cpu_ratio: int = 6
+    turnaround: int = 0
+    min_addr_delay: int = 0
+    max_burst_bytes: int = 64
+
+    def __post_init__(self) -> None:
+        _require(self.kind in BUS_KINDS, f"unknown bus kind {self.kind!r}")
+        _require(is_power_of_two(self.width_bytes), "bus width must be a power of two")
+        _require(self.cpu_ratio >= 1, "cpu_ratio must be >= 1")
+        _require(self.turnaround >= 0, "turnaround must be >= 0")
+        _require(self.min_addr_delay >= 0, "min_addr_delay must be >= 0")
+        _require(
+            is_power_of_two(self.max_burst_bytes),
+            "max_burst_bytes must be a power of two",
+        )
+        _require(
+            self.max_burst_bytes >= self.width_bytes,
+            "max burst must be at least one bus beat",
+        )
+
+    def data_beats(self, size: int) -> int:
+        """Number of data cycles a ``size``-byte transaction occupies."""
+        _require(size >= 1, "transaction size must be >= 1")
+        return max(1, (size + self.width_bytes - 1) // self.width_bytes)
+
+
+#: Combining block size that means "no combining": each store is its own entry.
+NO_COMBINING = DOUBLEWORD
+
+
+#: Legal combining policies: the paper's generic block model, the MIPS
+#: R10000 uncached-accelerated pattern buffer, and PowerPC 620 pairing.
+COMBINING_POLICIES: Tuple[str, ...] = ("block", "r10000", "ppc620")
+
+
+@dataclass(frozen=True)
+class UncachedBufferConfig:
+    """The conventional uncached buffer with optional hardware combining.
+
+    ``combine_block`` is the size of one buffer entry and therefore the
+    maximum number of bytes a single bus transaction can carry; 8 bytes (one
+    doubleword) disables combining entirely.  Entries drain in FIFO order and
+    a store may only coalesce into an existing entry if it falls in the same
+    block and does not bypass an earlier load or barrier (paper §4.1).
+
+    ``policy`` selects how stores combine within an entry: ``block`` is the
+    paper's generic model; ``r10000`` and ``ppc620`` are the faithful models
+    of the processors the paper cites (see :mod:`repro.uncached.policies`).
+    """
+
+    combine_block: int = NO_COMBINING
+    depth: int = 8
+    policy: str = "block"
+
+    def __post_init__(self) -> None:
+        _require(
+            is_power_of_two(self.combine_block), "combine_block must be a power of two"
+        )
+        _require(
+            self.combine_block >= DOUBLEWORD,
+            "combine_block must hold at least a doubleword",
+        )
+        _require(self.depth >= 1, "uncached buffer depth must be >= 1")
+        _require(
+            self.policy in COMBINING_POLICIES,
+            f"policy must be one of {COMBINING_POLICIES}",
+        )
+        if self.policy == "ppc620":
+            _require(
+                self.combine_block == 2 * DOUBLEWORD,
+                "ppc620 pairs doublewords: combine_block must be 16",
+            )
+
+    @property
+    def combining(self) -> bool:
+        return self.combine_block > NO_COMBINING
+
+
+@dataclass(frozen=True)
+class CSBConfig:
+    """The conditional store buffer (paper §3.2).
+
+    ``line_size`` is the data-register size (one cache line).  The base
+    design always issues a full-line burst regardless of how many stores were
+    combined; ``pad_to_full_line=False`` models the relaxed variant the paper
+    mentions for buses that allow multiple burst sizes.  ``num_line_buffers``
+    models the optional second line buffer used to overlap a flush with the
+    next store sequence.  ``check_address`` disables the address comparison in
+    the conflict check (the paper notes it is not strictly necessary but
+    catches conflicts between threads sharing a process ID).
+    """
+
+    line_size: int = 64
+    pad_to_full_line: bool = True
+    num_line_buffers: int = 1
+    check_address: bool = True
+    flush_latency: int = 3
+
+    def __post_init__(self) -> None:
+        _require(is_power_of_two(self.line_size), "CSB line size must be a power of two")
+        _require(self.line_size >= DOUBLEWORD, "CSB line must hold a doubleword")
+        _require(self.num_line_buffers in (1, 2), "1 or 2 line buffers supported")
+        _require(self.flush_latency >= 1, "flush_latency must be >= 1")
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Everything needed to build one simulated system."""
+
+    core: CoreConfig = field(default_factory=CoreConfig)
+    memory: MemoryHierarchyConfig = field(default_factory=MemoryHierarchyConfig)
+    bus: BusConfig = field(default_factory=BusConfig)
+    uncached: UncachedBufferConfig = field(default_factory=UncachedBufferConfig)
+    csb: CSBConfig = field(default_factory=CSBConfig)
+
+    def __post_init__(self) -> None:
+        _require(
+            self.csb.line_size == self.memory.line_size,
+            "CSB line size must match the cache line size",
+        )
+        _require(
+            self.bus.max_burst_bytes >= self.memory.line_size,
+            "bus must support cache-line bursts",
+        )
+        _require(
+            self.uncached.combine_block <= self.memory.line_size,
+            "uncached combining block cannot exceed the cache line",
+        )
+
+    def with_line_size(self, line_size: int) -> "SystemConfig":
+        """Derive a config with a different cache-line size everywhere."""
+        return replace(
+            self,
+            memory=MemoryHierarchyConfig.with_line_size(
+                line_size, self.memory.miss_latency
+            ),
+            csb=replace(self.csb, line_size=line_size),
+            bus=replace(self.bus, max_burst_bytes=max(self.bus.max_burst_bytes, line_size)),
+            uncached=replace(
+                self.uncached,
+                combine_block=min(self.uncached.combine_block, line_size),
+            ),
+        )

@@ -1,0 +1,55 @@
+"""Exception hierarchy for the CSB reproduction.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without also swallowing programming errors
+such as ``TypeError``.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigError(ReproError):
+    """An invalid or inconsistent configuration value was supplied."""
+
+
+class AlignmentError(ReproError):
+    """An address or size violated an alignment requirement."""
+
+
+class AssemblyError(ReproError):
+    """The assembler rejected a source program.
+
+    Carries the offending source line number when available.
+    """
+
+    def __init__(self, message: str, line: int | None = None) -> None:
+        self.line = line
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class SimulationError(ReproError):
+    """The simulator reached an inconsistent state at runtime."""
+
+
+class MemoryError_(ReproError):
+    """An access fell outside any mapped region or crossed a boundary.
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    :class:`MemoryError`, which means something entirely different.
+    """
+
+
+class DeadlockError(SimulationError):
+    """The simulation made no forward progress within its watchdog window."""
+
+    def __init__(self, message: str, cycle: int | None = None) -> None:
+        self.cycle = cycle
+        if cycle is not None:
+            message = f"{message} (cycle {cycle})"
+        super().__init__(message)

@@ -1,0 +1,79 @@
+"""Config serialization: SystemConfig <-> plain dictionaries.
+
+Experiment manifests (and the CSVs in ``expected_results/``) are only
+reproducible if the exact configuration travels with them;
+:func:`config_to_dict` / :func:`config_from_dict` round-trip every knob
+through JSON-compatible dictionaries, validating on the way back in.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Any, Dict
+
+from repro.common.config import (
+    BusConfig,
+    CacheConfig,
+    CoreConfig,
+    CSBConfig,
+    MemoryHierarchyConfig,
+    SystemConfig,
+    UncachedBufferConfig,
+)
+from repro.common.errors import ConfigError
+
+_SECTION_TYPES = {
+    "core": CoreConfig,
+    "memory": MemoryHierarchyConfig,
+    "bus": BusConfig,
+    "uncached": UncachedBufferConfig,
+    "csb": CSBConfig,
+}
+
+
+def config_to_dict(config: SystemConfig) -> Dict[str, Any]:
+    """Flatten a SystemConfig into nested plain dictionaries."""
+    return dataclasses.asdict(config)
+
+
+def config_from_dict(data: Dict[str, Any]) -> SystemConfig:
+    """Rebuild a SystemConfig; unknown sections or fields are errors."""
+    if not isinstance(data, dict):
+        raise ConfigError("config document must be a mapping")
+    unknown = set(data) - set(_SECTION_TYPES)
+    if unknown:
+        raise ConfigError(f"unknown config sections: {sorted(unknown)}")
+    sections: Dict[str, Any] = {}
+    for name, cls in _SECTION_TYPES.items():
+        if name not in data:
+            continue
+        sections[name] = _build(cls, data[name], where=name)
+    return SystemConfig(**sections)
+
+
+def _build(cls, values: Dict[str, Any], where: str):
+    if not isinstance(values, dict):
+        raise ConfigError(f"section {where!r} must be a mapping")
+    field_types = {f.name: f.type for f in dataclasses.fields(cls)}
+    unknown = set(values) - set(field_types)
+    if unknown:
+        raise ConfigError(f"section {where!r}: unknown fields {sorted(unknown)}")
+    kwargs = {}
+    for key, value in values.items():
+        if key in ("l1", "l2") and isinstance(value, dict):
+            value = _build(CacheConfig, value, where=f"{where}.{key}")
+        kwargs[key] = value
+    return cls(**kwargs)
+
+
+def config_to_json(config: SystemConfig, indent: int = 2) -> str:
+    return json.dumps(config_to_dict(config), indent=indent, sort_keys=True)
+
+
+def config_from_json(text: str) -> SystemConfig:
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ConfigError(f"invalid config JSON: {exc}") from exc
+    return config_from_dict(data)

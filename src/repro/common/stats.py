@@ -1,0 +1,191 @@
+"""Run statistics: named counters, per-event records, and the bandwidth
+window used to report "bytes per bus cycle" the way the paper does.
+
+The paper's bandwidth metric (§4.3.1) counts bytes transferred divided by bus
+cycles from the start of the first transaction to the *end of the last
+transaction*; a turnaround cycle following the final transaction is explicitly
+excluded ("the transfer is considered complete at the end of the last
+transaction").  :class:`BandwidthWindow` implements exactly that accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+
+class Counter:
+    """A named monotonically increasing counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def add(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name}: negative increment {amount}")
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self.value})"
+
+
+@dataclass
+class BandwidthWindow:
+    """Tracks the bus-cycle window covering a stream of transactions.
+
+    ``open(cycle)`` is called at a transaction's first address cycle and
+    ``close(cycle)`` at its last data cycle.  ``bytes_per_cycle`` divides the
+    bytes recorded by the inclusive cycle span first-open .. last-close.
+    """
+
+    first_cycle: Optional[int] = None
+    last_cycle: Optional[int] = None
+    total_bytes: int = 0
+    transactions: int = 0
+
+    def open(self, cycle: int) -> None:
+        if self.first_cycle is None:
+            self.first_cycle = cycle
+
+    def close(self, cycle: int, nbytes: int) -> None:
+        if self.first_cycle is None:
+            raise ValueError("close() before any open()")
+        self.last_cycle = cycle
+        self.total_bytes += nbytes
+        self.transactions += 1
+
+    @property
+    def cycles(self) -> int:
+        """Inclusive bus-cycle span of the window (0 if nothing happened)."""
+        if self.first_cycle is None or self.last_cycle is None:
+            return 0
+        return self.last_cycle - self.first_cycle + 1
+
+    @property
+    def bytes_per_cycle(self) -> float:
+        cycles = self.cycles
+        if cycles == 0:
+            return 0.0
+        return self.total_bytes / cycles
+
+
+@dataclass
+class TransactionRecord:
+    """One bus transaction as observed by the stats collector.
+
+    ``size`` is the wire size (bytes moved across the bus, including any
+    zero padding of a CSB burst); ``useful_bytes`` is the payload the
+    program actually stored.  The paper's bandwidth metric counts useful
+    bytes — that is what penalizes the CSB's always-full-line bursts on
+    small transfers.
+    """
+
+    start_cycle: int
+    end_cycle: int
+    address: int
+    size: int
+    useful_bytes: int
+    kind: str
+    burst: bool
+
+
+class StatsCollector:
+    """Aggregates counters, retire-cycle marks, and bus activity for a run."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self.marks: Dict[str, int] = {}
+        self.transactions: List[TransactionRecord] = []
+        self.uncached_store_window = BandwidthWindow()
+
+    def counter(self, name: str) -> Counter:
+        """Return (creating if needed) the counter called ``name``."""
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = Counter(name)
+            self._counters[name] = counter
+        return counter
+
+    def bump(self, name: str, amount: int = 1) -> None:
+        self.counter(name).add(amount)
+
+    def get(self, name: str) -> int:
+        counter = self._counters.get(name)
+        return counter.value if counter is not None else 0
+
+    def mark(self, label: str, cycle: int) -> None:
+        """Record the retire cycle of a ``mark`` pseudo-instruction.
+
+        Repeated marks with the same label keep the latest cycle; benchmark
+        kernels use distinct labels when they need several measurement points.
+        """
+        self.marks[label] = cycle
+
+    def record_transaction(self, record: TransactionRecord) -> None:
+        self.transactions.append(record)
+        if record.kind in ("uncached_store", "csb_flush"):
+            self.uncached_store_window.open(record.start_cycle)
+            self.uncached_store_window.close(record.end_cycle, record.useful_bytes)
+
+    def span(self, start_label: str, end_label: str) -> int:
+        """CPU cycles between two marks (end - start)."""
+        try:
+            return self.marks[end_label] - self.marks[start_label]
+        except KeyError as exc:
+            raise KeyError(
+                f"mark {exc.args[0]!r} was never recorded; "
+                f"have {sorted(self.marks)}"
+            ) from None
+
+    def as_dict(self) -> Dict[str, int]:
+        """Snapshot of all counters, for reporting and assertions."""
+        return {name: c.value for name, c in sorted(self._counters.items())}
+
+    # -- bus activity analysis -------------------------------------------------
+
+    def size_histogram(self, kind: Optional[str] = None) -> Dict[int, int]:
+        """Wire-size -> count over recorded transactions (optionally one
+        kind).  The shape of this histogram is the whole story of a
+        combining policy: all-8s means no combining, a spike at the line
+        size means full bursts."""
+        histogram: Dict[int, int] = {}
+        for record in self.transactions:
+            if kind is not None and record.kind != kind:
+                continue
+            histogram[record.size] = histogram.get(record.size, 0) + 1
+        return dict(sorted(histogram.items()))
+
+    def bytes_by_kind(self) -> Dict[str, int]:
+        """Total wire bytes per transaction kind."""
+        totals: Dict[str, int] = {}
+        for record in self.transactions:
+            totals[record.kind] = totals.get(record.kind, 0) + record.size
+        return dict(sorted(totals.items()))
+
+    def bus_busy_cycles(self) -> int:
+        """Bus cycles occupied by any transaction (transactions never
+        overlap on a single bus, so the per-record spans simply add)."""
+        return sum(r.end_cycle - r.start_cycle + 1 for r in self.transactions)
+
+    def bus_utilization(self) -> float:
+        """Busy fraction of the bus over the observed activity span."""
+        if not self.transactions:
+            return 0.0
+        first = min(r.start_cycle for r in self.transactions)
+        last = max(r.end_cycle for r in self.transactions)
+        span = last - first + 1
+        return self.bus_busy_cycles() / span
+
+    def efficiency(self) -> float:
+        """Useful payload bytes over wire bytes (padding overhead)."""
+        wire = sum(r.size for r in self.transactions)
+        if wire == 0:
+            return 0.0
+        useful = sum(r.useful_bytes for r in self.transactions)
+        return useful / wire
+
+    def __repr__(self) -> str:
+        return f"StatsCollector({self.as_dict()!r})"

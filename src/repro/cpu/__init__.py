@@ -1,0 +1,15 @@
+"""Dynamically scheduled processor model (paper §4.1).
+
+An RSIM-like out-of-order core: four-wide dispatch and retire, a unified
+dispatch queue tracking true data dependencies, two integer and two
+floating-point units, a separate memory queue that speculatively performs
+address calculation and executes cached loads, and in-order non-speculative
+issue of uncached operations at or after retirement.
+"""
+
+from repro.cpu.inflight import InFlight, MemState
+from repro.cpu.context import ProcessContext
+from repro.cpu.units import FunctionalUnitPool
+from repro.cpu.core import Core
+
+__all__ = ["Core", "FunctionalUnitPool", "InFlight", "MemState", "ProcessContext"]

@@ -1,0 +1,46 @@
+"""Process context: architectural state the OS would save and restore.
+
+The CSB's non-blocking synchronization hinges on the hardware knowing the
+*current process ID* (paper §3.1 — analogous to the MIPS ASID or the Alpha
+21164's privileged process ID register).  Each context carries that ID; the
+scheduler installs it in the core on a context switch, and the CSB compares
+it against the ID saved with the buffered stores.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.isa.program import Program
+from repro.isa.registers import RegisterFile
+
+
+class ProcessContext:
+    """One runnable simulated process."""
+
+    def __init__(self, pid: int, program: Program, name: str = "") -> None:
+        if pid < 0:
+            raise ValueError("pid must be non-negative")
+        if not program.finalized:
+            program.finalize()
+        self.pid = pid
+        self.program = program
+        self.name = name or f"proc{pid}"
+        self.registers = RegisterFile()
+        self.pc = 0
+        self.halted = False
+        #: retire-cycle marks recorded by this process (label -> cycle)
+        self.marks: Dict[str, int] = {}
+        self.retired_instructions = 0
+
+    def set_register(self, name: str, value: int) -> "ProcessContext":
+        """Pre-set an architectural register (builder-style, chainable)."""
+        self.registers.write(name, value)
+        return self
+
+    def mark_cycle(self, label: str) -> Optional[int]:
+        return self.marks.get(label)
+
+    def __repr__(self) -> str:
+        state = "halted" if self.halted else f"pc={self.pc}"
+        return f"ProcessContext({self.name}, pid={self.pid}, {state})"

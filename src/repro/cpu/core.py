@@ -1,0 +1,814 @@
+"""The dynamically scheduled core.
+
+Model summary (paper §4.1):
+
+* Four-wide in-order dispatch into a unified dispatch queue / reorder buffer;
+  four-wide in-order retirement.
+* Out-of-order issue to two integer and two FP units as operands become
+  ready; results feed dependents through producer sequence numbers (true
+  data dependencies only — renaming removes false dependencies).
+* A separate memory queue performs address calculation speculatively and
+  executes cached loads out of order (with exact disambiguation against
+  older stores and store-to-load forwarding).
+* Cached stores commit at retirement; atomic swaps on cached space perform
+  their read-modify-write non-speculatively at the head of the ROB.
+* Uncached operations issue strictly in program order, non-speculatively,
+  at the head of the ROB, through a single uncached port (one per cycle);
+  no value is ever forwarded from an uncached store to a load.
+* A membar may not graduate until the uncached buffer has emptied.
+
+The model is *functional-first*: results computable from architecturally
+known values are computed at dispatch, so branches resolve with oracle
+accuracy (the configured default models the well-predicted steady state the
+paper measures; the mispredict penalty knob exists for sensitivity studies).
+Results that depend on the timed world — uncached loads and the CSB
+conditional flush — stay unknown until the timing model delivers them, and
+anything that needs such a value (a dependent branch, a memory operand)
+stalls dispatch until it resolves, which is exactly the data-dependent
+stall the paper's retry-check sequences pay.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.common.config import CoreConfig
+from repro.common.errors import DeadlockError, SimulationError
+from repro.common.stats import StatsCollector
+from repro.cpu.context import ProcessContext
+from repro.cpu.inflight import InFlight, MemState
+from repro.cpu.trace import PipelineTrace
+from repro.cpu.units import FunctionalUnitPool
+from repro.isa import semantics
+from repro.isa.instructions import (
+    AluInstruction,
+    BLOCK_STORE_REGS,
+    BlockStoreInstruction,
+    BranchInstruction,
+    CompareInstruction,
+    FU_FP,
+    Instruction,
+    LoadInstruction,
+    LoadLinkedInstruction,
+    SetInstruction,
+    StoreConditionalInstruction,
+    StoreInstruction,
+    SwapInstruction,
+)
+from repro.isa.registers import is_fp_register
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.memory.layout import PageAttr
+from repro.memory.tlb import AttributeTLB
+from repro.uncached.unit import UncachedUnit
+
+
+class Core:
+    """One out-of-order processor executing one context at a time."""
+
+    def __init__(
+        self,
+        config: CoreConfig,
+        hierarchy: MemoryHierarchy,
+        tlb: AttributeTLB,
+        uncached_unit: UncachedUnit,
+        stats: StatsCollector,
+        trace: Optional[PipelineTrace] = None,
+    ) -> None:
+        self.config = config
+        self.trace = trace
+        self.hierarchy = hierarchy
+        self.tlb = tlb
+        self.unit = uncached_unit
+        self.stats = stats
+        self.fus = FunctionalUnitPool(config)
+        self.context: Optional[ProcessContext] = None
+        self._rob: Deque[InFlight] = deque()
+        self._memq: List[InFlight] = []
+        self._spec_map: Dict[str, int] = {}
+        self._values: Dict[int, int] = {}
+        self._ready: Dict[int, int] = {}
+        self._seq = 0
+        self._spec_pc = 0
+        self._fetch_stopped = False
+        self._drain_requested = False
+        self._interrupt_pending = False
+        # Undo log for dispatch-time functional writes of unretired cached
+        # stores/swaps: (seq, address, previous bytes).  Replayed newest
+        # first on a precise-interrupt squash.
+        self._undo: List[Tuple[int, int, bytes]] = []
+        # Load-linked link register: the linked line address, or None.
+        self._link: Optional[int] = None
+        self._last_progress = 0
+        self.now = 0
+
+    # -- context management ------------------------------------------------------
+
+    def install_context(self, context: ProcessContext) -> None:
+        """Begin executing ``context`` (pipeline must be empty)."""
+        if self._rob:
+            raise SimulationError("cannot switch context with instructions in flight")
+        self.context = context
+        self._spec_pc = context.pc
+        self._fetch_stopped = context.halted
+        self._drain_requested = False
+        self._interrupt_pending = False
+        self._spec_map.clear()
+        self._values.clear()
+        self._ready.clear()
+        self._memq.clear()
+        self._undo.clear()
+        self._link = None  # a context switch breaks any load link
+        self._last_progress = self.now
+
+    def request_drain(self) -> None:
+        """Stop dispatching; the pipeline empties through retirement."""
+        self._drain_requested = True
+
+    def interrupt(self) -> None:
+        """Deliver a precise timer interrupt.
+
+        Dispatch stops immediately; instructions that have not retired are
+        squashed (their dispatch-time functional effects undone) and will
+        re-execute when the process is rescheduled.  An uncached operation
+        already issued to the device cannot be squashed (exactly-once), so
+        the squash waits until it completes.
+
+        This is what exposes the paper's §3.2 interleaving: combining
+        stores that retired before the interrupt have reached the CSB, the
+        squashed conditional flush re-executes after the competitor ran,
+        and the flush then fails and triggers the software retry.
+        """
+        self._drain_requested = True
+        self._interrupt_pending = True
+
+    @property
+    def drained(self) -> bool:
+        return not self._rob
+
+    @property
+    def halted(self) -> bool:
+        return self.context is None or self.context.halted
+
+    # -- main clock ----------------------------------------------------------------
+
+    def tick(self, now: int) -> None:
+        self.now = now
+        if self.context is None or self.context.halted:
+            return
+        self.fus.new_cycle()
+        self._retire(now)
+        if self._interrupt_pending and self._try_squash():
+            return
+        self._issue(now)
+        self._memq_issue(now)
+        if not self._drain_requested and not self._fetch_stopped:
+            self._dispatch(now)
+        if not self._rob:
+            self._last_progress = now  # idle, not stuck
+        if now - self._last_progress > 50_000:
+            raise DeadlockError(
+                f"no retirement progress; ROB head "
+                f"{self._rob[0].describe() if self._rob else 'empty'}",
+                cycle=now,
+            )
+
+    # -- dispatch stage ---------------------------------------------------------------
+
+    def _dispatch(self, now: int) -> None:
+        assert self.context is not None
+        budget = self.config.dispatch_width
+        while budget > 0:
+            if len(self._rob) >= self.config.rob_entries:
+                self.stats.bump("core.rob_full_stalls")
+                return
+            instr = self.context.program.fetch(self._spec_pc)
+            if instr is None:
+                raise SimulationError(
+                    f"fetch ran past the program end at pc={self._spec_pc}"
+                )
+            if instr.is_mem and not instr.is_membar:
+                if len(self._memq) >= self.config.memq_entries:
+                    self.stats.bump("core.memq_full_stalls")
+                    return
+            flight = InFlight(self._next_seq(), instr, self._spec_pc, now)
+            if not self._capture_operands(flight):
+                self._seq -= 1  # instruction was not actually dispatched
+                self.stats.bump("core.frontend_value_stalls")
+                return
+            self._apply_dispatch_effects(flight)
+            if self.trace is not None:
+                self.trace.record(now, "dispatch", flight.seq, flight.pc, instr)
+            if not instr.is_branch:
+                self._spec_pc = flight.pc + 1
+            self._rob.append(flight)
+            if instr.is_mem and not instr.is_membar:
+                self._memq.append(flight)
+            if instr.is_halt:
+                self._fetch_stopped = True
+                return
+            if not instr.is_mark:
+                budget -= 1
+            self.stats.bump("core.dispatched")
+
+    def _capture_operands(self, flight: InFlight) -> bool:
+        """Record source operands: known values into ``src_vals``, in-flight
+        producers into ``dep_seqs``.  Returns False when the instruction
+        needs a functional value that is not yet known (branch condition or
+        memory operand) — the frontend stalls."""
+        instr = flight.instr
+        needs_values_now = instr.is_branch or (instr.is_mem and not instr.is_membar)
+        for reg in instr.sources():
+            if reg == "r0":
+                flight.src_vals[reg] = 0  # %g0 is hardwired to zero
+                continue
+            producer = self._spec_map.get(reg)
+            if producer is not None:
+                flight.dep_seqs[reg] = producer
+                if producer in self._values:
+                    flight.src_vals[reg] = self._values[producer]
+                elif needs_values_now:
+                    return False
+            else:
+                assert self.context is not None
+                flight.src_vals[reg] = self.context.registers.read(reg)
+        return True
+
+    def _apply_dispatch_effects(self, flight: InFlight) -> None:
+        """Functional-first execution at dispatch, where possible."""
+        instr = flight.instr
+        if isinstance(instr, BranchInstruction):
+            self._resolve_branch(flight)
+            return
+        if instr.is_mem and not instr.is_membar:
+            self._prepare_memop(flight)
+            return
+        if isinstance(instr, (AluInstruction, SetInstruction, CompareInstruction)):
+            if flight.operands_known(self._values):
+                self._compute_value(flight)
+        dest = instr.destination()
+        if dest is not None and dest != "r0":
+            self._spec_map[dest] = flight.seq
+        if instr.is_mark or instr.is_halt or instr.is_membar:
+            # No result, no functional unit: timing-ready immediately.
+            self._ready[flight.seq] = flight.dispatch_cycle
+            flight.ready_at = flight.dispatch_cycle
+
+    def _resolve_branch(self, flight: InFlight) -> None:
+        assert self.context is not None
+        instr = flight.instr
+        assert isinstance(instr, BranchInstruction)
+        if instr.op in ("brz", "brnz"):
+            assert instr.rs1 is not None
+            taken = semantics.branch_taken(
+                instr.op, reg_value=flight.operand(instr.rs1, self._values)
+            )
+        elif instr.op == "ba":
+            taken = True
+        else:
+            taken = semantics.branch_taken(
+                instr.op, cc=flight.operand("icc", self._values)
+            )
+        flight.taken = taken
+        if taken:
+            self._spec_pc = self.context.program.target_of(instr)
+        else:
+            self._spec_pc = flight.pc + 1
+        if not self.config.perfect_branch_prediction:
+            # Sensitivity knob: charge a flat redirect penalty per taken
+            # branch by delaying the branch's readiness.
+            flight.ready_at = None
+        self.stats.bump("core.branches")
+
+    def _prepare_memop(self, flight: InFlight) -> None:
+        """Compute the address, classify by page attribute, and apply
+        functional effects for cached operations."""
+        assert self.context is not None
+        instr = flight.instr
+        base = flight.operand(instr.base, self._values)  # type: ignore[attr-defined]
+        offset = instr.offset  # type: ignore[attr-defined]
+        if isinstance(offset, str):
+            offset_value = flight.operand(offset, self._values)
+        else:
+            offset_value = offset
+        address = (base + offset_value) & ((1 << 64) - 1)
+        size = instr.size  # type: ignore[attr-defined]
+        if address % size:
+            raise SimulationError(
+                f"unaligned {size}-byte access at {address:#x} (pc={flight.pc})"
+            )
+        flight.address = address
+        flight.attr = self.tlb.attribute_of(address)
+        if isinstance(instr, SwapInstruction):
+            flight.swap_expected = flight.operand(instr.rd, self._values)
+            if flight.attr is PageAttr.CACHED:
+                self._log_undo(flight.seq, address, 8)
+                old = self.hierarchy.read(address, 8)
+                self.hierarchy.write(address, flight.swap_expected, 8)
+                self._set_value(flight, old, ready=None)
+                self._clear_link_if_written(address)
+            # Uncached swap results resolve through the uncached unit.
+        elif isinstance(instr, LoadLinkedInstruction):
+            if flight.attr is not PageAttr.CACHED:
+                raise SimulationError(
+                    f"load-linked requires cached space, not {address:#x}"
+                )
+            self._set_value(flight, self.hierarchy.read(address, 8), ready=None)
+            self._link = address - (address % self.hierarchy.config.line_size)
+        elif isinstance(instr, StoreConditionalInstruction):
+            if flight.attr is not PageAttr.CACHED:
+                raise SimulationError(
+                    f"store-conditional requires cached space, not {address:#x}"
+                )
+            line = address - (address % self.hierarchy.config.line_size)
+            if self._link == line:
+                flight.store_data = flight.operand(instr.rs, self._values)
+                self._log_undo(flight.seq, address, 8)
+                self.hierarchy.write(address, flight.store_data, 8)
+                self._set_value(flight, 1, ready=None)
+            else:
+                self._set_value(flight, 0, ready=None)
+            self._link = None  # an SC always consumes the link
+        elif isinstance(instr, LoadInstruction):
+            if flight.attr is PageAttr.CACHED:
+                self._set_value(flight, self.hierarchy.read(address, size), ready=None)
+        elif isinstance(instr, BlockStoreInstruction):
+            if flight.attr is PageAttr.CACHED:
+                raise SimulationError(
+                    "block stores bypass the cache hierarchy; target "
+                    f"uncached space, not {address:#x}"
+                )
+            packed = 0
+            for reg in BLOCK_STORE_REGS:
+                packed = (packed << 64) | flight.operand(reg, self._values)
+            flight.store_data = packed
+        elif isinstance(instr, StoreInstruction):
+            flight.store_data = flight.operand(instr.rs, self._values)
+            if flight.attr is PageAttr.CACHED:
+                self._log_undo(flight.seq, address, size)
+                self.hierarchy.write(address, flight.store_data, size)
+                self._clear_link_if_written(address)
+        dest = instr.destination()
+        if dest is not None and dest != "r0":
+            self._spec_map[dest] = flight.seq
+
+    def _compute_value(self, flight: InFlight) -> None:
+        """Functional execution of ALU-class instructions."""
+        instr = flight.instr
+        if isinstance(instr, SetInstruction):
+            value = instr.value & ((1 << 64) - 1)
+        elif isinstance(instr, CompareInstruction):
+            op2 = (
+                flight.operand(instr.operand2, self._values)
+                if isinstance(instr.operand2, str)
+                else instr.operand2
+            )
+            value = semantics.compare(flight.operand(instr.rs1, self._values), op2)
+        elif isinstance(instr, AluInstruction):
+            op2 = (
+                flight.operand(instr.operand2, self._values)
+                if isinstance(instr.operand2, str)
+                else instr.operand2
+            )
+            rs1 = flight.operand(instr.rs1, self._values)
+            if instr.fu == FU_FP:
+                value = semantics.fp_alu(instr.op, rs1, op2)
+            else:
+                value = semantics.alu(instr.op, rs1, op2)
+        else:
+            raise SimulationError(f"cannot compute value for {instr!r}")
+        self._set_value(flight, value, ready=None)
+
+    def _set_value(
+        self, flight: InFlight, value: int, ready: Optional[int]
+    ) -> None:
+        flight.value = value
+        flight.value_known = True
+        self._values[flight.seq] = value
+        if ready is not None:
+            flight.ready_at = ready
+            self._ready[flight.seq] = ready
+
+    # -- issue stage -----------------------------------------------------------------
+
+    def _issue(self, now: int) -> None:
+        """Issue ALU/FP/branch instructions to functional units, oldest first."""
+        for flight in self._rob:
+            instr = flight.instr
+            if flight.issued or instr.is_mem or instr.is_mark or instr.is_halt:
+                continue
+            fu = instr.fu
+            if fu == "none":
+                flight.issued = True
+                continue
+            if not flight.timing_ready(self._ready, now):
+                continue
+            if not self.fus.acquire(fu):
+                continue
+            flight.issued = True
+            latency = (
+                self.config.fp_latency if fu == FU_FP else self.config.int_latency
+            )
+            if instr.is_branch and not self.config.perfect_branch_prediction:
+                latency += self.config.branch_mispredict_penalty
+            if not flight.value_known and instr.destination() is not None:
+                if not flight.operands_known(self._values):
+                    raise SimulationError(
+                        f"issued {instr!r} with unknown operand values"
+                    )
+                self._compute_value(flight)
+            ready = now + latency
+            flight.ready_at = ready
+            self._ready[flight.seq] = ready
+            if self.trace is not None:
+                self.trace.record(now, "issue", flight.seq, flight.pc, instr)
+            self.stats.bump("core.issued")
+
+    # -- memory queue -----------------------------------------------------------------
+
+    def _memq_issue(self, now: int) -> None:
+        """Execute cached loads speculatively, out of order."""
+        for flight in self._memq:
+            instr = flight.instr
+            if flight.mem_state is not MemState.WAITING:
+                continue
+            if flight.attr is not PageAttr.CACHED:
+                continue  # uncached ops wait for the head of the ROB
+            if isinstance(instr, (SwapInstruction, StoreConditionalInstruction)):
+                continue  # atomics execute at the head of the ROB
+            if isinstance(instr, StoreInstruction):
+                # Stores are ready to commit once operands are timing-ready.
+                if flight.timing_ready(self._ready, now):
+                    self._mem_done(flight, now)
+                continue
+            # Cached load.
+            if not flight.timing_ready(self._ready, now):
+                continue
+            forward_from = self._forwarding_store(flight)
+            if forward_from is not None:
+                if forward_from.timing_ready(self._ready, now):
+                    self._mem_done(flight, now + 1)
+                continue
+            if self._older_store_blocks(flight):
+                continue
+            if not self.fus.acquire("cache"):
+                continue
+            assert flight.address is not None
+            latency = self.hierarchy.access_latency(flight.address, is_write=False)
+            flight.mem_state = MemState.ACCESSING
+            ready = now + latency
+            flight.ready_at = ready
+            self._ready[flight.seq] = ready
+            if self.trace is not None:
+                self.trace.record(now, "cache", flight.seq, flight.pc, instr)
+            self.stats.bump("core.cached_loads")
+        self._complete_cache_accesses(now)
+
+    def _complete_cache_accesses(self, now: int) -> None:
+        for flight in self._memq:
+            if (
+                flight.mem_state is MemState.ACCESSING
+                and flight.ready_at is not None
+                and flight.ready_at <= now
+            ):
+                flight.mem_state = MemState.DONE
+
+    def _forwarding_store(self, load: InFlight) -> Optional[InFlight]:
+        """Youngest older cached store whose bytes fully cover the load."""
+        assert load.address is not None
+        result: Optional[InFlight] = None
+        for other in self._memq:
+            if other.seq >= load.seq:
+                break
+            if not isinstance(other.instr, StoreInstruction):
+                continue
+            if other.attr is not PageAttr.CACHED:
+                continue
+            assert other.address is not None
+            load_size = load.instr.size  # type: ignore[attr-defined]
+            store_size = other.instr.size
+            if (
+                other.address <= load.address
+                and load.address + load_size <= other.address + store_size
+            ):
+                result = other
+        return result
+
+    def _older_store_blocks(self, load: InFlight) -> bool:
+        """Partial overlap with an older store: wait for it to commit."""
+        assert load.address is not None
+        load_size = load.instr.size  # type: ignore[attr-defined]
+        for other in self._memq:
+            if other.seq >= load.seq:
+                break
+            if not other.instr.is_store:
+                continue
+            assert other.address is not None
+            other_size = other.instr.size  # type: ignore[attr-defined]
+            if (
+                other.address < load.address + load_size
+                and load.address < other.address + other_size
+            ):
+                covered = (
+                    other.address <= load.address
+                    and load.address + load_size <= other.address + other_size
+                )
+                if not covered or other.attr is not PageAttr.CACHED:
+                    return True
+        return False
+
+    def _mem_done(self, flight: InFlight, ready: int) -> None:
+        flight.mem_state = MemState.DONE
+        flight.ready_at = ready
+        self._ready[flight.seq] = ready
+
+    # -- retire stage --------------------------------------------------------------------
+
+    def _retire(self, now: int) -> None:
+        assert self.context is not None
+        budget = self.config.retire_width
+        while self._rob and budget > 0:
+            head = self._rob[0]
+            instr = head.instr
+            if instr.is_mark:
+                self.context.marks[instr.label] = now  # type: ignore[attr-defined]
+                self.stats.mark(instr.label, now)  # type: ignore[attr-defined]
+                self._commit(head, now)
+                continue  # marks are free
+            if instr.is_halt:
+                self.context.halted = True
+                self.context.pc = head.pc
+                self._commit(head, now)
+                return
+            if instr.is_membar:
+                if not self.unit.barrier_clear():
+                    return
+                self._commit(head, now)
+                budget -= 1
+                continue
+            if instr.is_mem:
+                if not self._retire_memop(head, now):
+                    return
+                budget -= 1
+                continue
+            if head.ready_at is None or head.ready_at > now:
+                return
+            self._commit(head, now)
+            budget -= 1
+
+    def _retire_memop(self, head: InFlight, now: int) -> bool:
+        """Handle a memory operation at the head of the ROB.  Returns True
+        when it retired this cycle."""
+        instr = head.instr
+        if head.attr is PageAttr.CACHED:
+            if isinstance(instr, SwapInstruction):
+                return self._retire_cached_swap(head, now)
+            if isinstance(instr, StoreConditionalInstruction):
+                return self._retire_store_conditional(head, now)
+            if isinstance(instr, StoreInstruction):
+                if head.mem_state is not MemState.DONE:
+                    return False
+                assert head.address is not None
+                # Commit: the timing-plane cache access happens now; the
+                # functional write already happened at dispatch.
+                self.hierarchy.access_latency(head.address, is_write=True)
+                self._commit(head, now)
+                return True
+            # Cached load: retires once its access completed.
+            if head.mem_state is not MemState.DONE or (
+                head.ready_at is not None and head.ready_at > now
+            ):
+                return False
+            self._commit(head, now)
+            return True
+        return self._retire_uncached(head, now)
+
+    def _retire_cached_swap(self, head: InFlight, now: int) -> bool:
+        if head.mem_state is MemState.WAITING:
+            if not head.timing_ready(self._ready, now):
+                return False
+            if not self.fus.acquire("cache"):
+                return False
+            assert head.address is not None
+            latency = self.hierarchy.access_latency(head.address, is_write=True)
+            head.mem_state = MemState.ACCESSING
+            head.ready_at = now + latency
+            self._ready[head.seq] = now + latency
+            self.stats.bump("core.cached_swaps")
+            return False
+        if head.mem_state is MemState.ACCESSING:
+            assert head.ready_at is not None
+            if head.ready_at > now:
+                return False
+            head.mem_state = MemState.DONE
+        self._commit(head, now)
+        return True
+
+    def _retire_store_conditional(self, head: InFlight, now: int) -> bool:
+        """Store-conditional at the head of the ROB.
+
+        A failed SC (stale link) completes locally and immediately.  A
+        successful one pays a cache access and — when the implementation
+        broadcasts it (``sc_bus_transaction``) — a full bus round trip even
+        on a hit, the extra locking overhead the paper's §4.3.2 discussion
+        predicts for this mechanism.
+        """
+        if head.mem_state is MemState.WAITING:
+            if not head.timing_ready(self._ready, now):
+                return False
+            assert head.value is not None
+            if head.value == 0:
+                head.mem_state = MemState.DONE
+                head.ready_at = now
+                self._ready[head.seq] = now
+                self._commit(head, now)
+                self.stats.bump("core.sc_failures")
+                return True
+            if not self.fus.acquire("cache"):
+                return False
+            assert head.address is not None
+            latency = self.hierarchy.access_latency(head.address, is_write=True)
+            head.mem_state = MemState.ACCESSING
+            head.ready_at = now + latency
+            self._ready[head.seq] = now + latency
+            return False
+        if head.mem_state is MemState.ACCESSING:
+            assert head.ready_at is not None
+            if head.ready_at > now:
+                return False
+            if self.config.sc_bus_transaction:
+                if not self.fus.acquire("uncached"):
+                    return False
+                assert head.address is not None
+                accepted = self.unit.issue_sync(
+                    head.address, self._sync_resolver(head)
+                )
+                if accepted:
+                    head.mem_state = MemState.ISSUED_UNCACHED
+                return False
+            head.mem_state = MemState.DONE
+            self._commit(head, now)
+            return True
+        if head.mem_state is MemState.ISSUED_UNCACHED:
+            return False
+        self._commit(head, now)
+        return True
+
+    def _sync_resolver(self, head: InFlight):
+        def resolve(_value: int, cycle: int) -> None:
+            # The functional result (1) was known at dispatch; the bus
+            # round trip only gates timing.
+            head.ready_at = cycle
+            self._ready[head.seq] = cycle
+            head.mem_state = MemState.DONE
+
+        return resolve
+
+    def _clear_link_if_written(self, address: int) -> None:
+        if self._link is None:
+            return
+        line = address - (address % self.hierarchy.config.line_size)
+        if line == self._link:
+            self._link = None
+
+    def _retire_uncached(self, head: InFlight, now: int) -> bool:
+        """Uncached operations issue here: in order, non-speculatively, one
+        per cycle through the uncached port."""
+        assert self.context is not None
+        instr = head.instr
+        if head.mem_state is MemState.WAITING:
+            if not head.timing_ready(self._ready, now):
+                return False
+            if not self.fus.acquire("uncached"):
+                return False
+            if isinstance(instr, SwapInstruction):
+                assert head.address is not None and head.swap_expected is not None
+                accepted = self.unit.issue_swap(
+                    head.address,
+                    self.context.pid,
+                    head.swap_expected,
+                    self._uncached_resolver(head),
+                )
+                if accepted:
+                    head.mem_state = MemState.ISSUED_UNCACHED
+                return False
+            if isinstance(instr, (StoreInstruction, BlockStoreInstruction)):
+                assert head.address is not None and head.store_data is not None
+                accepted = self.unit.issue_store(
+                    head.address,
+                    instr.size,
+                    head.store_data,
+                    self.context.pid,
+                )
+                if not accepted:
+                    self.stats.bump("core.uncached_store_stalls")
+                    return False
+                head.mem_state = MemState.DONE
+                if self.trace is not None:
+                    self.trace.record(now, "uncached", head.seq, head.pc, instr)
+                self._commit(head, now)
+                self.stats.bump("core.uncached_stores")
+                return True
+            # Uncached load.
+            assert head.address is not None
+            accepted = self.unit.issue_load(
+                head.address,
+                instr.size,  # type: ignore[attr-defined]
+                self._uncached_resolver(head),
+            )
+            if accepted:
+                head.mem_state = MemState.ISSUED_UNCACHED
+            return False
+        if head.mem_state is MemState.ISSUED_UNCACHED:
+            return False  # waiting for the value to come back
+        # DONE: the value resolved; retire it.
+        self._commit(head, now)
+        return True
+
+    def _uncached_resolver(self, head: InFlight):
+        def resolve(value: int, cycle: int) -> None:
+            self._set_value(head, value, ready=cycle)
+            head.mem_state = MemState.DONE
+
+        return resolve
+
+    def _commit(self, head: InFlight, now: int) -> None:
+        assert self.context is not None
+        popped = self._rob.popleft()
+        if popped is not head:
+            raise SimulationError("retired an instruction out of order")
+        if self.trace is not None:
+            self.trace.record(now, "retire", head.seq, head.pc, head.instr)
+        dest = head.instr.destination()
+        if dest is not None:
+            if not head.value_known:
+                raise SimulationError(
+                    f"retiring {head!r} without a result value"
+                )
+            assert head.value is not None
+            self.context.registers.write(dest, head.value)
+            if self._spec_map.get(dest) == head.seq:
+                del self._spec_map[dest]
+        if head in self._memq:
+            self._memq.remove(head)
+        if self._undo and any(entry[0] == head.seq for entry in self._undo):
+            self._undo = [entry for entry in self._undo if entry[0] != head.seq]
+        if isinstance(head.instr, BranchInstruction) and head.taken:
+            self.context.pc = self.context.program.target_of(head.instr)
+        else:
+            self.context.pc = head.pc + 1
+        self.context.retired_instructions += 1
+        self._last_progress = now
+        self.stats.bump("core.retired")
+
+    # -- precise interrupts ---------------------------------------------------------------
+
+    def _log_undo(self, seq: int, address: int, size: int) -> None:
+        old = self.hierarchy.backing.read_bytes(address, size)
+        self._undo.append((seq, address, old))
+
+    def _try_squash(self) -> bool:
+        """Complete a pending interrupt by squashing unretired work.
+
+        Returns True once the squash happened.  Waits (returns False) while
+        the ROB head holds an uncached operation that already reached the
+        device — that one must retire to preserve exactly-once semantics.
+        """
+        assert self.context is not None
+        for flight in self._rob:
+            if flight.mem_state is MemState.ISSUED_UNCACHED:
+                return False
+        if self._rob:
+            # Resume at the oldest unretired instruction; undo the
+            # dispatch-time functional writes of everything squashed.
+            self.context.pc = self._rob[0].pc
+            for _, address, old in reversed(self._undo):
+                self.hierarchy.backing.write_bytes(address, old)
+            if self.trace is not None:
+                for flight in self._rob:
+                    self.trace.record(
+                        self.now, "squash", flight.seq, flight.pc, flight.instr
+                    )
+            self.stats.bump("core.squashed", len(self._rob))
+        self._rob.clear()
+        self._memq.clear()
+        self._spec_map.clear()
+        self._values.clear()
+        self._ready.clear()
+        self._undo.clear()
+        self._link = None
+        self._interrupt_pending = False
+        self._last_progress = self.now
+        return True
+
+    # -- misc --------------------------------------------------------------------------
+
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    def rob_occupancy(self) -> int:
+        return len(self._rob)
+
+    def pending_description(self) -> List[Tuple[int, str]]:
+        return [flight.describe() for flight in self._rob]

@@ -1,0 +1,97 @@
+"""The dynamic (in-flight) instruction record.
+
+The core runs a *functional-first* model: results that can be computed from
+architecturally known values are computed at dispatch (this is what gives
+the frontend oracle-quality branch resolution), while results that depend on
+the timed world — uncached loads, the CSB conditional flush — stay unknown
+until the timing model delivers them.  ``value_known`` tracks the functional
+plane; ``ready_at`` tracks the timing plane (the cycle dependents may issue).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Optional, Tuple
+
+from repro.isa.instructions import Instruction
+from repro.memory.layout import PageAttr
+
+
+class MemState(enum.Enum):
+    """Progress of a memory operation through the memory queue."""
+
+    WAITING = "waiting"          # operands not timing-ready yet
+    ACCESSING = "accessing"      # cache access in progress
+    ISSUED_UNCACHED = "issued"   # handed to the uncached unit, awaiting data
+    DONE = "done"
+
+
+class InFlight:
+    """One dynamic instruction from dispatch to retirement."""
+
+    __slots__ = (
+        "seq",
+        "instr",
+        "pc",
+        "dispatch_cycle",
+        "dep_seqs",
+        "src_vals",
+        "value",
+        "value_known",
+        "issued",
+        "ready_at",
+        "taken",
+        "address",
+        "attr",
+        "store_data",
+        "mem_state",
+        "swap_expected",
+    )
+
+    def __init__(
+        self, seq: int, instr: Instruction, pc: int, dispatch_cycle: int
+    ) -> None:
+        self.seq = seq
+        self.instr = instr
+        self.pc = pc
+        self.dispatch_cycle = dispatch_cycle
+        #: register name -> producer sequence number (unresolved at dispatch)
+        self.dep_seqs: Dict[str, int] = {}
+        #: register name -> value captured at dispatch (resolved operands)
+        self.src_vals: Dict[str, int] = {}
+        self.value: Optional[int] = None
+        self.value_known = False
+        self.issued = False
+        #: cycle the result is available to dependents (timing plane)
+        self.ready_at: Optional[int] = None
+        self.taken: Optional[bool] = None
+        self.address: Optional[int] = None
+        self.attr: Optional[PageAttr] = None
+        self.store_data: Optional[int] = None
+        self.mem_state = MemState.WAITING
+        #: for swaps: the expected value carried in the source register
+        self.swap_expected: Optional[int] = None
+
+    def timing_ready(self, ready: Dict[int, int], now: int) -> bool:
+        """True when every producer's result is timing-available by ``now``."""
+        for producer in self.dep_seqs.values():
+            cycle = ready.get(producer)
+            if cycle is None or cycle > now:
+                return False
+        return True
+
+    def operand(self, name: str, values: Dict[int, int]) -> int:
+        """Fetch a source operand's functional value (producers must have
+        resolved; callers check :meth:`operands_known` first)."""
+        if name in self.src_vals:
+            return self.src_vals[name]
+        return values[self.dep_seqs[name]]
+
+    def operands_known(self, values: Dict[int, int]) -> bool:
+        return all(seq in values for seq in self.dep_seqs.values())
+
+    def describe(self) -> Tuple[int, str]:
+        return (self.seq, type(self.instr).__name__)
+
+    def __repr__(self) -> str:
+        return f"InFlight(seq={self.seq}, pc={self.pc}, {type(self.instr).__name__})"

@@ -1,0 +1,74 @@
+"""Pipeline trace: a per-cycle event log of instruction progress.
+
+Attach a :class:`PipelineTrace` to a core (or pass ``trace=True`` to
+:class:`repro.sim.System`) and every dynamic instruction logs its dispatch,
+issue, memory access, uncached issue, retirement, and squash events.  The
+rendered trace is the primary debugging view of the out-of-order engine::
+
+    cycle     stage     seq  pc  instruction
+        5  dispatch       3   2  stx %r16, [%r9]
+        6    retire       2   1  set 8, %r20
+
+Tracing is off by default and costs nothing when disabled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.common.tables import Table
+from repro.isa.disassembler import disassemble_instruction
+from repro.isa.instructions import BranchInstruction
+
+STAGES = ("dispatch", "issue", "cache", "uncached", "retire", "squash")
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One pipeline event for one dynamic instruction."""
+
+    cycle: int
+    stage: str
+    seq: int
+    pc: int
+    text: str
+
+
+class PipelineTrace:
+    """Collects :class:`TraceEvent` records in simulation order."""
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        self.events: List[TraceEvent] = []
+        self.capacity = capacity
+        self.dropped = 0
+
+    def record(self, cycle: int, stage: str, seq: int, pc: int, instruction) -> None:
+        if stage not in STAGES:
+            raise ValueError(f"unknown trace stage {stage!r}")
+        if self.capacity is not None and len(self.events) >= self.capacity:
+            self.dropped += 1
+            return
+        if isinstance(instruction, BranchInstruction):
+            text = f"{instruction.op} -> {instruction.target}"
+        else:
+            text = disassemble_instruction(instruction)
+        self.events.append(TraceEvent(cycle, stage, seq, pc, text))
+
+    def events_for(self, seq: int) -> List[TraceEvent]:
+        return [event for event in self.events if event.seq == seq]
+
+    def stage_cycles(self, seq: int) -> Dict[str, int]:
+        """stage -> cycle map for one dynamic instruction (last occurrence
+        wins, which matters for re-executed squashed instructions)."""
+        return {e.stage: e.cycle for e in self.events_for(seq)}
+
+    def render(self, limit: Optional[int] = None) -> str:
+        table = Table(["cycle", "stage", "seq", "pc", "instruction"])
+        events = self.events if limit is None else self.events[:limit]
+        for event in events:
+            table.add_row(event.cycle, event.stage, event.seq, event.pc, event.text)
+        return table.render()
+
+    def __len__(self) -> int:
+        return len(self.events)

@@ -1,0 +1,15 @@
+"""Memory-mapped I/O device models.
+
+The paper's §3.3 notes that the CSB's benefit requires the target device to
+accept burst writes; these models do.  The NIC follows the HP Medusa / Atoll
+pattern the paper cites: hardware descriptor FIFOs written directly by
+user-level stores, with an optional DMA engine for large transfers (used by
+the §5 PIO-vs-DMA crossover study).
+"""
+
+from repro.devices.base import Device
+from repro.devices.sink import BurstSink
+from repro.devices.nic import NetworkInterface, Packet
+from repro.devices.dma import DmaEngine
+
+__all__ = ["BurstSink", "Device", "DmaEngine", "NetworkInterface", "Packet"]

@@ -1,0 +1,77 @@
+"""Device framework: a memory-mapped device occupies a region of uncached
+(or uncached-combining) address space and terminates bus transactions."""
+
+from __future__ import annotations
+
+import abc
+
+from repro.common.errors import MemoryError_
+from repro.memory.layout import Region
+
+
+class Device(abc.ABC):
+    """Base class for bus targets with register decode helpers."""
+
+    def __init__(self, region: Region, name: str = "") -> None:
+        self.region = region
+        self.name = name or type(self).__name__
+        self.writes = 0
+        self.reads = 0
+        self.bytes_written = 0
+
+    def bus_write(self, address: int, data: bytes) -> None:
+        self._check(address, len(data))
+        self.writes += 1
+        self.bytes_written += len(data)
+        self.handle_write(address - self.region.base, data)
+
+    def bus_read(self, address: int, size: int) -> bytes:
+        self._check(address, size)
+        self.reads += 1
+        return self.handle_read(address - self.region.base, size)
+
+    def tick(self, bus_cycle: int) -> None:
+        """Optional per-bus-cycle device activity (DMA progress etc.)."""
+
+    @abc.abstractmethod
+    def handle_write(self, offset: int, data: bytes) -> None:
+        """Process a write at ``offset`` within the device's region."""
+
+    @abc.abstractmethod
+    def handle_read(self, offset: int, size: int) -> bytes:
+        """Produce ``size`` bytes for a read at ``offset``."""
+
+    def _check(self, address: int, size: int) -> None:
+        if not self.region.contains(address) or address + size > self.region.end:
+            raise MemoryError_(
+                f"{self.name}: access [{address:#x}, +{size}] outside region"
+            )
+
+
+class DeviceAlias(Device):
+    """A second mapping of an existing device at another address range.
+
+    Real systems map one device into several address spaces with different
+    attributes — e.g. a NIC's TX FIFO window in uncached-*combining* space
+    (so CSB bursts land in it) while its control/status registers stay in
+    plain uncached space for ordinary loads and stores.  An alias forwards
+    accesses at matching offsets to the primary device; only the primary
+    ticks.
+    """
+
+    def __init__(self, region: Region, target: Device, name: str = "") -> None:
+        if region.size > target.region.size:
+            raise MemoryError_(
+                f"alias region larger than {target.name}'s register map"
+            )
+        super().__init__(region, name or f"{target.name}-alias")
+        self.target = target
+
+    def handle_write(self, offset: int, data: bytes) -> None:
+        self.target.handle_write(offset, data)
+        self.target.writes += 1
+        self.target.bytes_written += len(data)
+
+    def handle_read(self, offset: int, size: int) -> bytes:
+        self.target.reads += 1
+        return self.target.handle_read(offset, size)

@@ -1,0 +1,60 @@
+"""A point-to-point link between two network interfaces.
+
+Models the cluster interconnect the paper's motivation assumes: packets
+leaving one node's NIC arrive in the peer's RX queue after a fixed wire
+latency (in bus cycles).  The link is full-duplex and lossless; NIC RX
+backpressure (a full RX queue) drops at the receiver and is counted there.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.common.errors import ConfigError
+from repro.devices.nic import NetworkInterface, Packet
+
+
+class Link:
+    """Full-duplex wire between two NICs."""
+
+    def __init__(
+        self,
+        nic_a: NetworkInterface,
+        nic_b: NetworkInterface,
+        latency: int = 10,
+    ) -> None:
+        if latency < 0:
+            raise ConfigError("link latency must be >= 0")
+        if nic_a is nic_b:
+            raise ConfigError("a link needs two distinct NICs")
+        self.latency = latency
+        self._ends = (nic_a, nic_b)
+        # (arrival_cycle, destination_index, payload), kept sorted by time.
+        self._in_flight: List[Tuple[int, int, bytes]] = []
+        self._now = 0
+        self.delivered = 0
+        nic_a.egress = lambda packet: self._inject(packet, destination=1)
+        nic_b.egress = lambda packet: self._inject(packet, destination=0)
+
+    def _inject(self, packet: Packet, destination: int) -> None:
+        self._in_flight.append(
+            (self._now + self.latency, destination, packet.payload)
+        )
+
+    def tick(self, bus_cycle: int) -> None:
+        """Deliver every packet whose wire time has elapsed."""
+        self._now = bus_cycle
+        if not self._in_flight:
+            return
+        remaining: List[Tuple[int, int, bytes]] = []
+        for arrival, destination, payload in self._in_flight:
+            if arrival <= bus_cycle:
+                self._ends[destination].receive_packet(payload)
+                self.delivered += 1
+            else:
+                remaining.append((arrival, destination, payload))
+        self._in_flight = remaining
+
+    @property
+    def in_flight(self) -> int:
+        return len(self._in_flight)

@@ -1,0 +1,35 @@
+"""A burst-capable write sink: the simplest possible I/O target.
+
+Used by the bandwidth microbenchmarks: it accepts writes of any supported
+size (single-beat or burst), stores the bytes, and keeps an ordered log so
+tests can verify that every store reached the device exactly once and in
+order — the *exactly-once* property the paper's I/O semantics demand.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.devices.base import Device
+from repro.memory.layout import Region
+
+
+class BurstSink(Device):
+    """Accepts and records all writes; reads return what was written."""
+
+    def __init__(self, region: Region, name: str = "sink") -> None:
+        super().__init__(region, name)
+        self._memory = bytearray(region.size)
+        #: ordered log of (offset, data) writes, for exactly-once checks
+        self.log: List[Tuple[int, bytes]] = []
+
+    def handle_write(self, offset: int, data: bytes) -> None:
+        self._memory[offset : offset + len(data)] = data
+        self.log.append((offset, bytes(data)))
+
+    def handle_read(self, offset: int, size: int) -> bytes:
+        return bytes(self._memory[offset : offset + size])
+
+    def contents(self, offset: int, size: int) -> bytes:
+        """Inspect device memory without counting a bus read."""
+        return bytes(self._memory[offset : offset + size])

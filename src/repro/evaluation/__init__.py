@@ -1,0 +1,49 @@
+"""Figure-reproduction harness.
+
+One module per figure, a panel-specification table mapping every panel of
+Figures 3 and 4 to its bus/line/overhead parameters (DESIGN.md §6), an
+analytic steady-state bandwidth model used to cross-check the simulator,
+and a CLI (``csb-figures``) that regenerates everything the paper's
+evaluation section reports.
+"""
+
+from repro.evaluation.schemes import (
+    SCHEME_CSB,
+    SCHEME_NONE,
+    all_schemes,
+    hw_schemes,
+    scheme_block,
+)
+from repro.evaluation.panels import (
+    FIG3_PANELS,
+    FIG4_PANELS,
+    PanelSpec,
+    panel_by_id,
+)
+from repro.evaluation.bandwidth import bandwidth_point, panel_table, system_for
+from repro.evaluation.latency import fig5_table, latency_point
+from repro.evaluation.analytic import (
+    csb_steady_bandwidth,
+    noncombining_bandwidth,
+    transaction_cycles,
+)
+
+__all__ = [
+    "FIG3_PANELS",
+    "FIG4_PANELS",
+    "PanelSpec",
+    "SCHEME_CSB",
+    "SCHEME_NONE",
+    "all_schemes",
+    "bandwidth_point",
+    "csb_steady_bandwidth",
+    "fig5_table",
+    "hw_schemes",
+    "latency_point",
+    "noncombining_bandwidth",
+    "panel_by_id",
+    "panel_table",
+    "scheme_block",
+    "system_for",
+    "transaction_cycles",
+]

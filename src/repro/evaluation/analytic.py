@@ -1,0 +1,72 @@
+"""Closed-form bandwidth model used to cross-check the simulator.
+
+For a bus whose transactions occupy ``c`` cycles, separated by a mandatory
+turnaround ``t`` and a minimum address-to-address delay ``d``, consecutive
+transaction starts are ``p = max(c + t, d)`` cycles apart, and the paper's
+bandwidth window for ``n`` back-to-back transactions spans
+``(n - 1) * p + c`` cycles (the turnaround after the last transaction is
+not counted).  These formulas pin the simulator at both ends: the
+non-combining stream (every doubleword its own transaction) and the CSB
+stream (every line a full burst) must match them *exactly*, because in both
+cases the processor at ratio >= 2 keeps the bus saturated.
+"""
+
+from __future__ import annotations
+
+from repro.common.config import BusConfig
+from repro.common.errors import ConfigError
+
+
+def transaction_cycles(bus: BusConfig, size: int) -> int:
+    """Bus cycles one write transaction of ``size`` bytes occupies."""
+    beats = bus.data_beats(size)
+    if bus.kind == "multiplexed":
+        return 1 + beats
+    return beats
+
+
+def start_period(bus: BusConfig, size: int) -> int:
+    """Cycles between consecutive transaction starts in a saturated stream."""
+    return max(transaction_cycles(bus, size) + bus.turnaround, bus.min_addr_delay)
+
+
+def window_cycles(bus: BusConfig, size: int, count: int) -> int:
+    """Paper-style bandwidth window for ``count`` back-to-back transactions."""
+    if count < 1:
+        raise ConfigError("need at least one transaction")
+    return (count - 1) * start_period(bus, size) + transaction_cycles(bus, size)
+
+
+def noncombining_bandwidth(bus: BusConfig, total_bytes: int, dword: int = 8) -> float:
+    """Exact bandwidth of the non-combining doubleword stream."""
+    if total_bytes % dword:
+        raise ConfigError("total_bytes must be a doubleword multiple")
+    count = total_bytes // dword
+    return total_bytes / window_cycles(bus, dword, count)
+
+
+def csb_bandwidth(bus: BusConfig, line_size: int, total_bytes: int) -> float:
+    """Exact bandwidth of the CSB stream for a given transfer size.
+
+    Every flush issues a full ``line_size`` burst; only the stored payload
+    counts as useful bytes, which is the small-transfer penalty.
+    """
+    if total_bytes < 1:
+        raise ConfigError("empty transfer")
+    bursts = (total_bytes + line_size - 1) // line_size
+    return total_bytes / window_cycles(bus, line_size, bursts)
+
+
+def csb_steady_bandwidth(bus: BusConfig, line_size: int) -> float:
+    """Asymptotic CSB bandwidth: one full line per burst period."""
+    return line_size / start_period(bus, line_size)
+
+
+def combining_steady_bandwidth(bus: BusConfig, block_size: int) -> float:
+    """Upper bound for hardware combining: every transaction a full block.
+
+    The simulator approaches (never exceeds) this from below, because the
+    first transactions of a transfer leave the buffer before combining can
+    take effect (paper §4.3.1).
+    """
+    return block_size / start_period(bus, block_size)

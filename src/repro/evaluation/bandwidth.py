@@ -1,0 +1,90 @@
+"""Store-bandwidth measurement (Figures 3 and 4).
+
+``bandwidth_point`` runs one (panel, scheme, transfer-size) simulation and
+returns bytes per bus cycle over the uncached-store window, exactly as the
+paper measures it.  ``panel_table`` sweeps a whole panel into a
+:class:`~repro.common.tables.Table` whose rows are combining schemes and
+whose columns are transfer sizes — one bar group per column of the paper's
+chart.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.common.config import (
+    BusConfig,
+    CSBConfig,
+    MemoryHierarchyConfig,
+    SystemConfig,
+    UncachedBufferConfig,
+)
+from repro.common.tables import Table
+from repro.isa.assembler import assemble
+from repro.sim.system import System
+from repro.evaluation.panels import PanelSpec
+from repro.evaluation.schemes import SCHEME_CSB, all_schemes, scheme_block
+from repro.workloads.storebw import (
+    TRANSFER_SIZES,
+    store_kernel_csb,
+    store_kernel_uncached,
+)
+
+
+def config_for(panel: PanelSpec, scheme: str) -> SystemConfig:
+    """System configuration for one panel/scheme combination."""
+    bus = BusConfig(
+        kind=panel.bus_kind,
+        width_bytes=panel.bus_width,
+        cpu_ratio=panel.cpu_ratio,
+        turnaround=panel.turnaround,
+        min_addr_delay=panel.min_addr_delay,
+        max_burst_bytes=max(panel.line_size, panel.bus_width),
+    )
+    block = 8 if scheme == SCHEME_CSB else scheme_block(scheme)
+    return SystemConfig(
+        memory=MemoryHierarchyConfig.with_line_size(panel.line_size),
+        bus=bus,
+        uncached=UncachedBufferConfig(combine_block=min(block, panel.line_size)),
+        csb=CSBConfig(line_size=panel.line_size),
+    )
+
+
+def system_for(panel: PanelSpec, scheme: str) -> System:
+    return System(config_for(panel, scheme))
+
+
+def bandwidth_point(panel: PanelSpec, scheme: str, transfer_bytes: int) -> float:
+    """Simulate one data point; returns bytes per bus cycle."""
+    system = system_for(panel, scheme)
+    if scheme == SCHEME_CSB:
+        source = store_kernel_csb(transfer_bytes, panel.line_size)
+    else:
+        source = store_kernel_uncached(transfer_bytes)
+    system.add_process(assemble(source, name=f"{panel.panel_id}-{scheme}"))
+    system.run()
+    return system.store_bandwidth
+
+
+def panel_table(
+    panel: PanelSpec,
+    sizes: Iterable[int] = TRANSFER_SIZES,
+    schemes: Optional[List[str]] = None,
+) -> Table:
+    """Sweep one panel: rows = schemes, columns = transfer sizes."""
+    sizes = list(sizes)
+    if schemes is None:
+        schemes = all_schemes(panel.line_size)
+    table = Table(
+        ["scheme"] + [str(s) for s in sizes],
+        title=(
+            f"Figure {panel.figure}({panel.panel}) — {panel.caption} "
+            f"[bytes per bus cycle]"
+        ),
+    )
+    for scheme in schemes:
+        row: List[object] = [scheme]
+        for size in sizes:
+            row.append(bandwidth_point(panel, scheme, size))
+        table.add_row(*row)
+    return table

@@ -1,0 +1,121 @@
+"""``csb-figures`` — regenerate the paper's evaluation from the command line.
+
+Examples::
+
+    csb-figures --list
+    csb-figures fig3c fig5a
+    csb-figures --all --out results/
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from repro.evaluation.experiments import experiment_ids, run_experiment
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="csb-figures",
+        description=(
+            "Regenerate the tables behind every figure panel of "
+            "'Improving I/O Performance with a Conditional Store Buffer' "
+            "(MICRO 1998)."
+        ),
+    )
+    parser.add_argument("experiments", nargs="*", help="experiment ids (e.g. fig3c)")
+    parser.add_argument("--all", action="store_true", help="run every experiment")
+    parser.add_argument("--list", action="store_true", help="list experiment ids")
+    parser.add_argument(
+        "--out", metavar="DIR", help="also write each table as CSV into DIR"
+    )
+    parser.add_argument(
+        "--precision", type=int, default=2, help="decimal places (default 2)"
+    )
+    parser.add_argument(
+        "--markdown",
+        action="store_true",
+        help="print tables as GitHub-flavoured markdown",
+    )
+    parser.add_argument(
+        "--check",
+        metavar="DIR",
+        help=(
+            "regression mode: regenerate each experiment and diff its CSV "
+            "against DIR/<id>.csv; exit 1 on any mismatch"
+        ),
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _parser().parse_args(argv)
+    if args.list:
+        for experiment_id in experiment_ids():
+            print(experiment_id)
+        return 0
+    chosen = experiment_ids() if args.all else args.experiments
+    if not chosen:
+        _parser().print_usage()
+        print("error: give experiment ids, --all, or --list", file=sys.stderr)
+        return 2
+    if args.out:
+        os.makedirs(args.out, exist_ok=True)
+    unknown = [e for e in chosen if e not in experiment_ids()]
+    if unknown:
+        print(
+            f"error: unknown experiment(s) {', '.join(unknown)}; "
+            "see --list",
+            file=sys.stderr,
+        )
+        return 2
+    if args.check:
+        return _check_against(chosen, args.check)
+    for experiment_id in chosen:
+        table = run_experiment(experiment_id)
+        if args.markdown:
+            print(table.to_markdown(precision=args.precision))
+        else:
+            print(table.render(precision=args.precision))
+        if args.out:
+            path = os.path.join(args.out, f"{experiment_id}.csv")
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(table.to_csv())
+            print(f"[wrote {path}]\n")
+    return 0
+
+
+def _check_against(chosen: List[str], golden_dir: str) -> int:
+    """Golden-file regression: simulations are deterministic, so every
+    regenerated table must match its stored CSV byte for byte."""
+    failures = 0
+    for experiment_id in chosen:
+        path = os.path.join(golden_dir, f"{experiment_id}.csv")
+        if not os.path.exists(path):
+            print(f"{experiment_id}: MISSING golden file {path}")
+            failures += 1
+            continue
+        with open(path, "r", encoding="utf-8") as handle:
+            expected = handle.read()
+        actual = run_experiment(experiment_id).to_csv()
+        if actual == expected:
+            print(f"{experiment_id}: OK")
+        else:
+            print(f"{experiment_id}: MISMATCH against {path}")
+            for got, want in zip(actual.splitlines(), expected.splitlines()):
+                if got != want:
+                    print(f"  expected: {want}")
+                    print(f"  actual:   {got}")
+                    break
+            failures += 1
+    if failures:
+        print(f"{failures} experiment(s) diverged", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,99 @@
+"""Experiment registry: every table/figure the harness can regenerate.
+
+Each entry maps an experiment id (``fig3a`` .. ``fig5b``, plus extension
+studies) to a zero-argument callable returning a rendered
+:class:`~repro.common.tables.Table`.  The CLI and EXPERIMENTS.md both draw
+from this registry, so the documented inventory can never drift from the
+code.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.common.errors import ConfigError
+from repro.common.tables import Table
+from repro.evaluation.bandwidth import panel_table
+from repro.evaluation.latency import fig5_table
+from repro.evaluation.panels import FIG3_PANELS, FIG4_PANELS
+
+TableFactory = Callable[[], Table]
+
+
+def _bandwidth_factory(figure: int, panel: str) -> TableFactory:
+    panels = FIG3_PANELS if figure == 3 else FIG4_PANELS
+    spec = panels[panel]
+
+    def build() -> Table:
+        return panel_table(spec)
+
+    build.__name__ = f"fig{figure}{panel}"
+    return build
+
+
+def _registry() -> Dict[str, TableFactory]:
+    registry: Dict[str, TableFactory] = {}
+    for panel in FIG3_PANELS:
+        registry[f"fig3{panel}"] = _bandwidth_factory(3, panel)
+    for panel in FIG4_PANELS:
+        registry[f"fig4{panel}"] = _bandwidth_factory(4, panel)
+    registry["fig5a"] = lambda: fig5_table(lock_hits_l1=True)
+    registry["fig5b"] = lambda: fig5_table(lock_hits_l1=False)
+    registry.update(_extension_registry())
+    return registry
+
+
+def _extension_registry() -> Dict[str, TableFactory]:
+    """Studies beyond the paper's figures (§5/§6 claims, ablations)."""
+    from repro.evaluation.ablations import (
+        address_check_table,
+        buffer_depth_table,
+        burst_padding_table,
+        flush_latency_table,
+        line_buffer_table,
+    )
+    from repro.evaluation.blockstore import blockstore_table
+    from repro.evaluation.crossover import crossover_table
+    from repro.evaluation.policy_comparison import policy_table
+    from repro.evaluation.loaded_bus import loaded_bus_table, miss_interleaved_table
+    from repro.evaluation.rtt import rtt_table
+    from repro.evaluation.sync_mechanisms import sync_mechanism_table
+    from repro.evaluation.sensitivity import (
+        ratio_sensitivity_table,
+        width_sensitivity_table,
+    )
+
+    return {
+        "pingpong": rtt_table,
+        "loaded-bus": loaded_bus_table,
+        "loaded-bus-misses": miss_interleaved_table,
+        "crossover": crossover_table,
+        "policies-sequential": lambda: policy_table(interleaved=False),
+        "policies-shuffled": lambda: policy_table(interleaved=True),
+        "blockstore": blockstore_table,
+        "ablation-linebuffers": line_buffer_table,
+        "ablation-padding": burst_padding_table,
+        "ablation-addrcheck": address_check_table,
+        "ablation-depth": buffer_depth_table,
+        "ablation-flushlatency": flush_latency_table,
+        "sensitivity-width": width_sensitivity_table,
+        "sync-mechanisms": sync_mechanism_table,
+        "sensitivity-ratio": ratio_sensitivity_table,
+    }
+
+
+EXPERIMENTS: Dict[str, TableFactory] = _registry()
+
+
+def experiment_ids() -> List[str]:
+    return sorted(EXPERIMENTS)
+
+
+def run_experiment(experiment_id: str) -> Table:
+    try:
+        factory = EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise ConfigError(
+            f"unknown experiment {experiment_id!r}; have {experiment_ids()}"
+        ) from None
+    return factory()

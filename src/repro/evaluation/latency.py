@@ -1,0 +1,93 @@
+"""Atomic I/O access latency (Figure 5).
+
+Compares the conventional lock / uncached-store / unlock sequence against
+the CSB's store-and-conditionally-flush sequence, in CPU cycles from the
+start of the access to its architectural completion (lock released, or
+flush confirmed).  Panel (a) warms the lock variable into the L1; panel (b)
+leaves it cold so the acquire takes the full 100-cycle miss.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.common.config import (
+    BusConfig,
+    CSBConfig,
+    MemoryHierarchyConfig,
+    SystemConfig,
+    UncachedBufferConfig,
+)
+from repro.common.errors import ConfigError
+from repro.common.tables import Table
+from repro.isa.assembler import assemble
+from repro.sim.system import System
+from repro.evaluation.schemes import SCHEME_CSB, all_schemes, scheme_block
+from repro.workloads.lockbench import (
+    DEFAULT_LOCK_ADDR,
+    MARK_DONE,
+    MARK_START,
+    csb_access_kernel,
+    locked_access_kernel,
+)
+
+#: Doubleword counts the paper sweeps (2..8 => 16..64 bytes).
+DOUBLEWORD_COUNTS = tuple(range(2, 9))
+
+
+def _fig5_config(scheme: str, line_size: int = 64, cpu_ratio: int = 6) -> SystemConfig:
+    block = 8 if scheme == SCHEME_CSB else scheme_block(scheme)
+    return SystemConfig(
+        memory=MemoryHierarchyConfig.with_line_size(line_size),
+        bus=BusConfig(cpu_ratio=cpu_ratio, max_burst_bytes=line_size),
+        uncached=UncachedBufferConfig(combine_block=min(block, line_size)),
+        csb=CSBConfig(line_size=line_size),
+    )
+
+
+def latency_point(
+    scheme: str,
+    n_doublewords: int,
+    lock_hits_l1: bool,
+    line_size: int = 64,
+    cpu_ratio: int = 6,
+) -> int:
+    """CPU cycles for one atomic access of ``n_doublewords`` stores."""
+    if n_doublewords < 1 or n_doublewords * 8 > line_size:
+        raise ConfigError(
+            f"{n_doublewords} doublewords do not fit a {line_size}-byte line"
+        )
+    system = System(_fig5_config(scheme, line_size, cpu_ratio))
+    if scheme == SCHEME_CSB:
+        source = csb_access_kernel(n_doublewords)
+    else:
+        source = locked_access_kernel(n_doublewords)
+    system.add_process(assemble(source, name=f"fig5-{scheme}-{n_doublewords}"))
+    if lock_hits_l1:
+        system.hierarchy.warm(DEFAULT_LOCK_ADDR)
+    system.run()
+    return system.span(MARK_START, MARK_DONE)
+
+
+def fig5_table(
+    lock_hits_l1: bool,
+    counts: Iterable[int] = DOUBLEWORD_COUNTS,
+    schemes: Optional[List[str]] = None,
+    line_size: int = 64,
+) -> Table:
+    """One Figure 5 panel: rows = schemes, columns = transfer sizes."""
+    counts = list(counts)
+    if schemes is None:
+        schemes = all_schemes(line_size)
+    panel = "a" if lock_hits_l1 else "b"
+    state = "hits L1" if lock_hits_l1 else "misses (100-cycle miss)"
+    table = Table(
+        ["scheme"] + [f"{n * 8}B" for n in counts],
+        title=f"Figure 5({panel}) — lock {state} [CPU cycles]",
+    )
+    for scheme in schemes:
+        row: List[object] = [scheme]
+        for n in counts:
+            row.append(latency_point(scheme, n, lock_hits_l1, line_size))
+        table.add_row(*row)
+    return table

@@ -1,0 +1,87 @@
+"""Panel specifications for Figures 3 and 4.
+
+The paper's bar charts are unlabeled in the surviving text, so the exact
+per-panel parameter assignment follows the prose (see DESIGN.md §2 and §6):
+
+* Figure 3 a–c vary the processor/bus frequency ratio over {2, 4, 6} at a
+  32-byte line — consistent with "approaching the peak bandwidth of one
+  cache line per 5 cycles" on an 8-byte multiplexed bus (1 address + 4 data
+  cycles).
+* Figure 3 d–f vary the line size over {32, 64, 128} at ratio 6.
+* Figure 3 g–i vary transaction overhead at a 64-byte line: a turnaround
+  cycle after every transaction, then minimum address-to-address delays of
+  4 and 8 cycles.
+* Figure 4 a–b vary the split-bus data width over 128/256 bits; c–e add
+  the same overhead sweep on the 128-bit split bus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.common.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class PanelSpec:
+    """Everything needed to regenerate one figure panel."""
+
+    figure: int
+    panel: str
+    bus_kind: str
+    bus_width: int
+    cpu_ratio: int
+    line_size: int
+    turnaround: int
+    min_addr_delay: int
+    caption: str
+
+    @property
+    def panel_id(self) -> str:
+        return f"fig{self.figure}{self.panel}"
+
+
+def _p3(panel: str, ratio: int, line: int, turn: int, delay: int, caption: str) -> PanelSpec:
+    return PanelSpec(3, panel, "multiplexed", 8, ratio, line, turn, delay, caption)
+
+
+def _p4(panel: str, width: int, turn: int, delay: int, caption: str) -> PanelSpec:
+    return PanelSpec(4, panel, "split", width, 6, 64, turn, delay, caption)
+
+
+FIG3_PANELS: Dict[str, PanelSpec] = {
+    spec.panel: spec
+    for spec in (
+        _p3("a", 2, 32, 0, 0, "ratio 2, 32 B line, 8 B mux bus"),
+        _p3("b", 4, 32, 0, 0, "ratio 4, 32 B line, 8 B mux bus"),
+        _p3("c", 6, 32, 0, 0, "ratio 6, 32 B line, 8 B mux bus"),
+        _p3("d", 6, 32, 0, 0, "ratio 6, 32 B line, 8 B mux bus"),
+        _p3("e", 6, 64, 0, 0, "ratio 6, 64 B line, 8 B mux bus"),
+        _p3("f", 6, 128, 0, 0, "ratio 6, 128 B line, 8 B mux bus"),
+        _p3("g", 6, 64, 1, 0, "ratio 6, 64 B line, turnaround cycle"),
+        _p3("h", 6, 64, 0, 4, "ratio 6, 64 B line, min addr delay 4"),
+        _p3("i", 6, 64, 0, 8, "ratio 6, 64 B line, min addr delay 8"),
+    )
+}
+
+FIG4_PANELS: Dict[str, PanelSpec] = {
+    spec.panel: spec
+    for spec in (
+        _p4("a", 16, 0, 0, "128-bit split bus, no turnaround"),
+        _p4("b", 32, 0, 0, "256-bit split bus, no turnaround"),
+        _p4("c", 16, 1, 0, "128-bit split bus, turnaround cycle"),
+        _p4("d", 16, 0, 4, "128-bit split bus, min addr delay 4"),
+        _p4("e", 16, 0, 8, "128-bit split bus, min addr delay 8"),
+    )
+}
+
+
+def panel_by_id(panel_id: str) -> PanelSpec:
+    """Look up e.g. ``fig3c`` or ``fig4a``."""
+    name = panel_id.lower().strip()
+    if name.startswith("fig3") and name[4:] in FIG3_PANELS:
+        return FIG3_PANELS[name[4:]]
+    if name.startswith("fig4") and name[4:] in FIG4_PANELS:
+        return FIG4_PANELS[name[4:]]
+    raise ConfigError(f"unknown panel id {panel_id!r}")

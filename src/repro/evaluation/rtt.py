@@ -1,0 +1,117 @@
+"""Two-node round-trip time study (the paper's §5 scalability argument).
+
+Builds a two-node cluster — each node a full system with its NIC mapped
+twice (control registers in plain uncached space, TX windows aliased into
+uncached-combining space) — and measures ping-pong RTT for the
+conventional locked-PIO send path versus the CSB send path.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+from repro.common.errors import ConfigError
+from repro.common.tables import Table
+from repro.devices.base import DeviceAlias
+from repro.devices.link import Link
+from repro.devices.nic import NetworkInterface
+from repro.isa.assembler import assemble
+from repro.memory.layout import (
+    IO_COMBINING_BASE,
+    IO_UNCACHED_BASE,
+    PageAttr,
+    Region,
+)
+from repro.sim.cluster import Cluster
+from repro.sim.system import System
+from repro.workloads.lockbench import DEFAULT_LOCK_ADDR
+from repro.workloads.pingpong import (
+    MARK_RTT_DONE,
+    MARK_RTT_START,
+    ping_kernel,
+    pong_kernel,
+)
+
+NIC_REGION_SIZE = 16 * 1024
+
+#: Methods measured: the kernel-level send paths plus the relaxed-CSB
+#: hardware variant (multi-size flush bursts, paper §3.2's relaxation).
+RTT_METHODS = ("pio", "csb", "csb_multisize")
+
+
+def _build_node(pad_to_full_line: bool = True) -> Tuple[System, NetworkInterface]:
+    from dataclasses import replace
+
+    from repro.common.config import SystemConfig
+
+    config = SystemConfig()
+    config = replace(config, csb=replace(config.csb, pad_to_full_line=pad_to_full_line))
+    system = System(config)
+    nic = NetworkInterface(
+        Region(IO_UNCACHED_BASE, NIC_REGION_SIZE, PageAttr.UNCACHED, "nic")
+    )
+    system.attach_device(nic)
+    alias = DeviceAlias(
+        Region(
+            IO_COMBINING_BASE,
+            NIC_REGION_SIZE,
+            PageAttr.UNCACHED_COMBINING,
+            "nic-tx",
+        ),
+        nic,
+    )
+    system.attach_device(alias)
+    system.hierarchy.warm(DEFAULT_LOCK_ADDR)
+    return system, nic
+
+
+def pingpong_rtt(
+    method: str, payload_dwords: int, link_latency: int = 10
+) -> int:
+    """Round-trip time in CPU cycles for one echo exchange."""
+    if method not in RTT_METHODS:
+        raise ConfigError(f"unknown send method {method!r}")
+    pad = method != "csb_multisize"
+    kernel_method = "pio" if method == "pio" else "csb"
+    node_a, nic_a = _build_node(pad_to_full_line=pad)
+    node_b, nic_b = _build_node(pad_to_full_line=pad)
+    cluster = Cluster([node_a, node_b])
+    cluster.connect(Link(nic_a, nic_b, latency=link_latency))
+    node_a.add_process(
+        assemble(
+            ping_kernel(
+                kernel_method, payload_dwords, IO_UNCACHED_BASE, IO_COMBINING_BASE
+            ),
+            name=f"ping-{method}",
+        )
+    )
+    node_b.add_process(
+        assemble(
+            pong_kernel(
+                kernel_method, payload_dwords, IO_UNCACHED_BASE, IO_COMBINING_BASE
+            ),
+            name=f"pong-{method}",
+        )
+    )
+    cluster.run()
+    if nic_b.received_total != 1 or nic_a.received_total != 1:
+        raise ConfigError("ping-pong did not complete one exchange per side")
+    return node_a.span(MARK_RTT_START, MARK_RTT_DONE)
+
+
+def rtt_table(
+    payload_dwords: Iterable[int] = (1, 2, 4, 8), link_latency: int = 10
+) -> Table:
+    """Rows = send methods, columns = payload sizes, cells = RTT cycles."""
+    payload_dwords = list(payload_dwords)
+    table = Table(
+        ["method"] + [f"{n * 8}B" for n in payload_dwords],
+        title=f"Two-node ping-pong RTT, {link_latency}-bus-cycle wire "
+        "[CPU cycles]",
+    )
+    for method in RTT_METHODS:
+        table.add_row(
+            method,
+            *[pingpong_rtt(method, n, link_latency) for n in payload_dwords],
+        )
+    return table

@@ -1,0 +1,47 @@
+"""Combining-scheme names used throughout the harness.
+
+Each Figure 3/4 panel compares a family of uncached store policies
+(paper §4.1): ``none`` (every doubleword store is its own transaction),
+hardware combining with block sizes from 16 bytes up to a full cache line,
+and the conditional store buffer (``csb``).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.common.config import NO_COMBINING
+from repro.common.errors import ConfigError
+
+SCHEME_NONE = "none"
+SCHEME_CSB = "csb"
+
+
+def hw_schemes(line_size: int) -> List[str]:
+    """Hardware uncached-buffer schemes for a given cache-line size."""
+    schemes = [SCHEME_NONE]
+    block = 16
+    while block <= line_size:
+        schemes.append(f"combine{block}")
+        block *= 2
+    return schemes
+
+
+def all_schemes(line_size: int) -> List[str]:
+    """Hardware schemes plus the CSB, in the paper's bar-chart order."""
+    return hw_schemes(line_size) + [SCHEME_CSB]
+
+
+def scheme_block(scheme: str) -> int:
+    """Uncached-buffer combining block size implied by a scheme name."""
+    if scheme == SCHEME_NONE:
+        return NO_COMBINING
+    if scheme.startswith("combine"):
+        try:
+            block = int(scheme[len("combine"):])
+        except ValueError:
+            raise ConfigError(f"bad scheme name {scheme!r}") from None
+        return block
+    if scheme == SCHEME_CSB:
+        raise ConfigError("the CSB is not an uncached-buffer scheme")
+    raise ConfigError(f"unknown scheme {scheme!r}")

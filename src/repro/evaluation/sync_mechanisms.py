@@ -1,0 +1,114 @@
+"""Synchronization mechanism comparison (paper §4.3.2 discussion).
+
+"Other synchronization mechanisms, like the load-linked/store-conditional
+instruction pair, also affect the locking overhead.  In many
+implementations, the store-conditional instruction results in a bus
+transaction even for a cache hit, which would further increase the
+locking overhead."
+
+This study measures the same 2–8 doubleword atomic device access as
+Figure 5, with the lock built four ways: the SPARC ``swap`` spin lock, an
+LL/SC lock whose store-conditional completes locally on a hit, an LL/SC
+lock whose store-conditional broadcasts on the bus, and the lock-free CSB.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Iterable, List
+
+from repro.common.config import (
+    BusConfig,
+    CoreConfig,
+    CSBConfig,
+    MemoryHierarchyConfig,
+    SystemConfig,
+)
+from repro.common.errors import ConfigError
+from repro.common.tables import Table
+from repro.isa.assembler import assemble
+from repro.sim.system import System
+from repro.workloads.lockbench import (
+    DEFAULT_LOCK_ADDR,
+    MARK_DONE,
+    MARK_START,
+    csb_access_kernel,
+    locked_access_kernel,
+)
+from repro.memory.layout import IO_UNCACHED_BASE
+
+MECHANISMS = ("swap_lock", "llsc_local", "llsc_bus", "csb")
+
+
+def llsc_access_kernel(
+    n_doublewords: int,
+    lock_addr: int = DEFAULT_LOCK_ADDR,
+    data_base: int = IO_UNCACHED_BASE,
+) -> str:
+    """The Figure 5 locked access with an LL/SC lock instead of swap."""
+    from repro.common.config import DOUBLEWORD
+
+    lines: List[str] = [
+        f"mark {MARK_START}",
+        f"set {lock_addr}, %o0",
+        f"set {data_base}, %o1",
+        ".ACQ:",
+        "ll [%o0], %l6",
+        "brnz %l6, .ACQ",          # lock held: spin
+        "set 1, %l5",
+        "sc %l5, [%o0], %l5",      # attempt to claim
+        "brz %l5, .ACQ",           # lost the link: retry
+        "membar",
+    ]
+    for i in range(n_doublewords):
+        lines.append(f"stx %l{i % 4}, [%o1+{i * DOUBLEWORD}]")
+    lines += [
+        "membar",
+        "stx %g0, [%o0]",          # release
+        f"mark {MARK_DONE}",
+        "halt",
+    ]
+    return "\n".join(lines)
+
+
+def sync_access_cycles(
+    mechanism: str, n_doublewords: int, lock_hits_l1: bool = True
+) -> int:
+    if mechanism not in MECHANISMS:
+        raise ConfigError(f"unknown mechanism {mechanism!r}")
+    config = SystemConfig(
+        core=CoreConfig(sc_bus_transaction=(mechanism == "llsc_bus")),
+        memory=MemoryHierarchyConfig.with_line_size(64),
+        bus=BusConfig(cpu_ratio=6, max_burst_bytes=64),
+        csb=CSBConfig(line_size=64),
+    )
+    system = System(config)
+    if mechanism == "swap_lock":
+        source = locked_access_kernel(n_doublewords)
+    elif mechanism in ("llsc_local", "llsc_bus"):
+        source = llsc_access_kernel(n_doublewords)
+    else:
+        source = csb_access_kernel(n_doublewords)
+    system.add_process(assemble(source, name=mechanism))
+    if lock_hits_l1:
+        system.hierarchy.warm(DEFAULT_LOCK_ADDR)
+    system.run()
+    return system.span(MARK_START, MARK_DONE)
+
+
+def sync_mechanism_table(
+    counts: Iterable[int] = (2, 4, 8), lock_hits_l1: bool = True
+) -> Table:
+    counts = list(counts)
+    state = "hits L1" if lock_hits_l1 else "misses"
+    table = Table(
+        ["mechanism"] + [f"{n * 8}B" for n in counts],
+        title=f"Atomic device access by synchronization mechanism, "
+        f"lock {state} [CPU cycles]",
+    )
+    for mechanism in MECHANISMS:
+        table.add_row(
+            mechanism,
+            *[sync_access_cycles(mechanism, n, lock_hits_l1) for n in counts],
+        )
+    return table

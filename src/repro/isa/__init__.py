@@ -1,0 +1,58 @@
+"""A small SPARC-flavoured instruction set, assembler, and register model.
+
+The paper's microbenchmarks are hand-written SPARC V9 kernels (doubleword
+stores, ``swap`` for lock acquisition and the CSB conditional flush,
+``membar`` for ordering).  This package provides just enough of that ISA to
+express those kernels, plus a two-pass textual assembler so benchmark sources
+read like the paper's listing in §3.2.
+"""
+
+from repro.isa.registers import (
+    GPR_COUNT,
+    FPR_COUNT,
+    ICC,
+    RegisterFile,
+    canonical_register,
+    register_names,
+)
+from repro.isa.instructions import (
+    AluInstruction,
+    BranchInstruction,
+    CompareInstruction,
+    HaltInstruction,
+    Instruction,
+    LoadInstruction,
+    MarkInstruction,
+    MembarInstruction,
+    NopInstruction,
+    SetInstruction,
+    StoreInstruction,
+    SwapInstruction,
+)
+from repro.isa.program import Program
+from repro.isa.assembler import assemble
+from repro.isa import semantics
+
+__all__ = [
+    "AluInstruction",
+    "BranchInstruction",
+    "CompareInstruction",
+    "FPR_COUNT",
+    "GPR_COUNT",
+    "HaltInstruction",
+    "ICC",
+    "Instruction",
+    "LoadInstruction",
+    "MarkInstruction",
+    "MembarInstruction",
+    "NopInstruction",
+    "Program",
+    "RegisterFile",
+    "SetInstruction",
+    "StoreInstruction",
+    "SwapInstruction",
+    "assemble",
+    "canonical_register",
+    "register_names",
+    "semantics",
+]

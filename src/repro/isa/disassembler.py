@@ -1,0 +1,145 @@
+"""Disassembler: turn instructions and programs back into assembly text.
+
+The inverse of :mod:`repro.isa.assembler` — used by the pipeline trace to
+label dynamic instructions and by tests to check assemble/disassemble
+round-trips.  The output re-assembles to a structurally identical program
+(labels are regenerated as ``L<index>``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.common.errors import ReproError
+from repro.isa.instructions import (
+    AluInstruction,
+    BlockStoreInstruction,
+    LoadLinkedInstruction,
+    StoreConditionalInstruction,
+    BranchInstruction,
+    CompareInstruction,
+    HaltInstruction,
+    Instruction,
+    LoadInstruction,
+    MarkInstruction,
+    MembarInstruction,
+    NopInstruction,
+    SetInstruction,
+    StoreInstruction,
+    SwapInstruction,
+)
+from repro.isa.program import Program
+
+_LOAD_MNEMONICS = {1: "ldub", 2: "lduh", 4: "ld", 8: "ldx"}
+_STORE_MNEMONICS = {1: "stb", 2: "sth", 4: "st", 8: "stx"}
+
+
+def _reg(name: str) -> str:
+    return f"%{name}"
+
+
+def _operand(value) -> str:
+    if isinstance(value, str):
+        return _reg(value)
+    return str(value)
+
+
+def _memref(base: str, offset) -> str:
+    if isinstance(offset, str):
+        return f"[{_reg(base)}+{_reg(offset)}]"
+    if offset == 0:
+        return f"[{_reg(base)}]"
+    sign = "+" if offset >= 0 else "-"
+    return f"[{_reg(base)}{sign}{abs(offset)}]"
+
+
+def disassemble_instruction(
+    instruction: Instruction, labels: Dict[int, str] = None, target: int = None
+) -> str:
+    """Render one instruction.  Branches need their resolved ``target``
+    index and the ``labels`` map to name it."""
+    if isinstance(instruction, SetInstruction):
+        return f"set {instruction.value}, {_reg(instruction.rd)}"
+    if isinstance(instruction, CompareInstruction):
+        return f"cmp {_reg(instruction.rs1)}, {_operand(instruction.operand2)}"
+    if isinstance(instruction, AluInstruction):
+        return (
+            f"{instruction.op} {_reg(instruction.rs1)}, "
+            f"{_operand(instruction.operand2)}, {_reg(instruction.rd)}"
+        )
+    if isinstance(instruction, BranchInstruction):
+        if labels is None or target is None:
+            name = instruction.target
+        else:
+            name = labels[target]
+        if instruction.op in ("brz", "brnz"):
+            return f"{instruction.op} {_reg(instruction.rs1)}, {name}"
+        return f"{instruction.op} {name}"
+    if isinstance(instruction, SwapInstruction):
+        return (
+            f"swap {_memref(instruction.base, instruction.offset)}, "
+            f"{_reg(instruction.rd)}"
+        )
+    if isinstance(instruction, LoadLinkedInstruction):
+        return (
+            f"ll {_memref(instruction.base, instruction.offset)}, "
+            f"{_reg(instruction.rd)}"
+        )
+    if isinstance(instruction, StoreConditionalInstruction):
+        return (
+            f"sc {_reg(instruction.rs)}, "
+            f"{_memref(instruction.base, instruction.offset)}, "
+            f"{_reg(instruction.rd)}"
+        )
+    if isinstance(instruction, BlockStoreInstruction):
+        return f"stblk {_memref(instruction.base, instruction.offset)}"
+    if isinstance(instruction, LoadInstruction):
+        mnemonic = "ldd" if instruction.rd.startswith("f") else _LOAD_MNEMONICS[
+            instruction.size
+        ]
+        return (
+            f"{mnemonic} {_memref(instruction.base, instruction.offset)}, "
+            f"{_reg(instruction.rd)}"
+        )
+    if isinstance(instruction, StoreInstruction):
+        mnemonic = "std" if instruction.rs.startswith("f") else _STORE_MNEMONICS[
+            instruction.size
+        ]
+        return (
+            f"{mnemonic} {_reg(instruction.rs)}, "
+            f"{_memref(instruction.base, instruction.offset)}"
+        )
+    if isinstance(instruction, MembarInstruction):
+        return "membar"
+    if isinstance(instruction, MarkInstruction):
+        return f"mark {instruction.label}"
+    if isinstance(instruction, NopInstruction):
+        return "nop"
+    if isinstance(instruction, HaltInstruction):
+        return "halt"
+    raise ReproError(f"cannot disassemble {type(instruction).__name__}")
+
+
+def disassemble(program: Program) -> str:
+    """Render a whole program as re-assemblable text."""
+    # Collect every branch-target index and give it a label.
+    targets = sorted(
+        {
+            program.target_of(instruction)
+            for instruction in program
+            if isinstance(instruction, BranchInstruction)
+        }
+    )
+    labels = {index: f"L{index}" for index in targets}
+    lines: List[str] = []
+    for index, instruction in enumerate(program):
+        if index in labels:
+            lines.append(f"{labels[index]}:")
+        if isinstance(instruction, BranchInstruction):
+            text = disassemble_instruction(
+                instruction, labels, program.target_of(instruction)
+            )
+        else:
+            text = disassemble_instruction(instruction)
+        lines.append(text)
+    return "\n".join(lines)

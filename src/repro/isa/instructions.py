@@ -1,0 +1,464 @@
+"""Instruction set definition.
+
+Each instruction is an immutable dataclass exposing the interface the
+out-of-order core needs: source registers (:meth:`Instruction.sources`),
+destination register (:meth:`Instruction.destination`), a functional-unit
+class, and classification flags (branch / memory / store / barrier...).
+
+Operands that may be either a register or an immediate are represented as a
+``str`` (canonical register name) or an ``int`` (immediate value) — explicit
+and cheap to test with ``isinstance``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple, Union
+
+from repro.common.errors import ReproError
+from repro.isa.registers import ICC, canonical_register, is_fp_register
+
+Operand = Union[str, int]
+
+#: Functional unit classes.
+FU_INT = "int"
+FU_FP = "fp"
+FU_MEM = "mem"
+FU_NONE = "none"
+
+ALU_OPS = ("add", "sub", "and", "or", "xor", "sll", "srl", "sra", "mulx")
+FP_OPS = ("fadd", "fsub", "fmul", "fmov")
+BRANCH_OPS = ("ba", "be", "bne", "bg", "bge", "bl", "ble", "bgu", "bleu", "brz", "brnz")
+LOAD_SIZES = (1, 2, 4, 8)
+
+
+class InstructionError(ReproError):
+    """An instruction was constructed with invalid operands."""
+
+
+def _canon_operand(operand: Operand) -> Operand:
+    if isinstance(operand, str):
+        return canonical_register(operand)
+    return operand
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """Base class; concrete instructions override the classification API."""
+
+    @property
+    def fu(self) -> str:
+        return FU_NONE
+
+    @property
+    def is_branch(self) -> bool:
+        return False
+
+    @property
+    def is_mem(self) -> bool:
+        return False
+
+    @property
+    def is_load(self) -> bool:
+        return False
+
+    @property
+    def is_store(self) -> bool:
+        return False
+
+    @property
+    def is_swap(self) -> bool:
+        return False
+
+    @property
+    def is_membar(self) -> bool:
+        return False
+
+    @property
+    def is_mark(self) -> bool:
+        return False
+
+    @property
+    def is_halt(self) -> bool:
+        return False
+
+    def sources(self) -> Tuple[str, ...]:
+        """Canonical names of registers this instruction reads."""
+        return ()
+
+    def destination(self) -> Optional[str]:
+        """Canonical name of the register this instruction writes, if any."""
+        return None
+
+
+@dataclass(frozen=True)
+class AluInstruction(Instruction):
+    """``op rs1, operand2, rd`` — integer or floating-point arithmetic."""
+
+    op: str
+    rs1: str
+    operand2: Operand
+    rd: str
+
+    def __post_init__(self) -> None:
+        if self.op not in ALU_OPS and self.op not in FP_OPS:
+            raise InstructionError(f"unknown ALU op {self.op!r}")
+        object.__setattr__(self, "rs1", canonical_register(self.rs1))
+        object.__setattr__(self, "operand2", _canon_operand(self.operand2))
+        object.__setattr__(self, "rd", canonical_register(self.rd))
+        if self.op in FP_OPS:
+            operands = [self.rs1, self.rd]
+            if isinstance(self.operand2, str):
+                operands.append(self.operand2)
+            if not all(is_fp_register(r) for r in operands):
+                raise InstructionError(f"{self.op} requires FP registers")
+
+    @property
+    def fu(self) -> str:
+        return FU_FP if self.op in FP_OPS else FU_INT
+
+    def sources(self) -> Tuple[str, ...]:
+        if isinstance(self.operand2, str):
+            return (self.rs1, self.operand2)
+        return (self.rs1,)
+
+    def destination(self) -> Optional[str]:
+        return self.rd
+
+
+@dataclass(frozen=True)
+class SetInstruction(Instruction):
+    """``set imm, rd`` — load an immediate into a register."""
+
+    value: int
+    rd: str
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "rd", canonical_register(self.rd))
+
+    @property
+    def fu(self) -> str:
+        return FU_INT
+
+    def destination(self) -> Optional[str]:
+        return self.rd
+
+
+@dataclass(frozen=True)
+class CompareInstruction(Instruction):
+    """``cmp rs1, operand2`` — set the integer condition codes from rs1 - op2."""
+
+    rs1: str
+    operand2: Operand
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "rs1", canonical_register(self.rs1))
+        object.__setattr__(self, "operand2", _canon_operand(self.operand2))
+
+    @property
+    def fu(self) -> str:
+        return FU_INT
+
+    def sources(self) -> Tuple[str, ...]:
+        if isinstance(self.operand2, str):
+            return (self.rs1, self.operand2)
+        return (self.rs1,)
+
+    def destination(self) -> Optional[str]:
+        return ICC
+
+
+@dataclass(frozen=True)
+class BranchInstruction(Instruction):
+    """Conditional or unconditional branch to a label.
+
+    Condition-code branches (``be``/``bne``/``bg``...) read ``icc``;
+    register branches (``brz``/``brnz``) read their register operand.
+    """
+
+    op: str
+    target: str
+    rs1: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.op not in BRANCH_OPS:
+            raise InstructionError(f"unknown branch op {self.op!r}")
+        if self.op in ("brz", "brnz"):
+            if self.rs1 is None:
+                raise InstructionError(f"{self.op} requires a register operand")
+            object.__setattr__(self, "rs1", canonical_register(self.rs1))
+        elif self.rs1 is not None:
+            raise InstructionError(f"{self.op} takes no register operand")
+
+    @property
+    def fu(self) -> str:
+        return FU_INT
+
+    @property
+    def is_branch(self) -> bool:
+        return True
+
+    def sources(self) -> Tuple[str, ...]:
+        if self.op == "ba":
+            return ()
+        if self.op in ("brz", "brnz"):
+            assert self.rs1 is not None
+            return (self.rs1,)
+        return (ICC,)
+
+
+@dataclass(frozen=True)
+class _MemoryInstruction(Instruction):
+    """Shared shape of loads, stores, and swaps: ``[base + offset]``.
+
+    ``offset`` may be an immediate or an index register.
+    """
+
+    base: str
+    offset: Operand = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "base", canonical_register(self.base))
+        object.__setattr__(self, "offset", _canon_operand(self.offset))
+
+    @property
+    def fu(self) -> str:
+        return FU_MEM
+
+    @property
+    def is_mem(self) -> bool:
+        return True
+
+    def address_sources(self) -> Tuple[str, ...]:
+        if isinstance(self.offset, str):
+            return (self.base, self.offset)
+        return (self.base,)
+
+
+@dataclass(frozen=True)
+class LoadInstruction(_MemoryInstruction):
+    """``ld/ldd/ldx [base+offset], rd``."""
+
+    rd: str = "r0"
+    size: int = 4
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.size not in LOAD_SIZES:
+            raise InstructionError(f"bad load size {self.size}")
+        object.__setattr__(self, "rd", canonical_register(self.rd))
+        if is_fp_register(self.rd) and self.size != 8:
+            raise InstructionError("FP loads must be doubleword (ldd)")
+
+    @property
+    def is_load(self) -> bool:
+        return True
+
+    def sources(self) -> Tuple[str, ...]:
+        return self.address_sources()
+
+    def destination(self) -> Optional[str]:
+        return self.rd
+
+
+@dataclass(frozen=True)
+class StoreInstruction(_MemoryInstruction):
+    """``st/std/stx rs, [base+offset]``."""
+
+    rs: str = "r0"
+    size: int = 4
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.size not in LOAD_SIZES:
+            raise InstructionError(f"bad store size {self.size}")
+        object.__setattr__(self, "rs", canonical_register(self.rs))
+        if is_fp_register(self.rs) and self.size != 8:
+            raise InstructionError("FP stores must be doubleword (std)")
+
+    @property
+    def is_store(self) -> bool:
+        return True
+
+    def sources(self) -> Tuple[str, ...]:
+        return self.address_sources() + (self.rs,)
+
+
+#: FP registers a block store reads, in order (VIS block move semantics).
+BLOCK_STORE_REGS = tuple(f"f{i * 2}" for i in range(8))
+
+
+@dataclass(frozen=True)
+class BlockStoreInstruction(_MemoryInstruction):
+    """``stblk [base+offset]`` — SPARC V9 VIS-style block store (§6).
+
+    Transfers a full 64-byte line from the even FP registers
+    (%f0, %f2 ... %f14) to a line-aligned address in one atomic burst,
+    bypassing the cache hierarchy.  Atomicity comes for free (registers
+    are saved/restored on context switch), but the data must first be
+    marshalled into FP registers — the cost the paper's related-work
+    section holds against this mechanism.
+    """
+
+    @property
+    def size(self) -> int:
+        return 64
+
+    @property
+    def is_store(self) -> bool:
+        return True
+
+    def sources(self) -> Tuple[str, ...]:
+        return self.address_sources() + BLOCK_STORE_REGS
+
+
+@dataclass(frozen=True)
+class SwapInstruction(_MemoryInstruction):
+    """``swap [base+offset], rd`` — atomic exchange of rd with memory.
+
+    On cached space this is the classic SPARC atomic used to build spin
+    locks.  On uncached *combining* space it is the CSB conditional flush
+    (paper §3.1): rd supplies the expected hit-counter value and receives
+    either that same value (flush succeeded) or zero (conflict).
+    """
+
+    rd: str = "r0"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        object.__setattr__(self, "rd", canonical_register(self.rd))
+
+    @property
+    def is_swap(self) -> bool:
+        return True
+
+    @property
+    def is_load(self) -> bool:
+        return True
+
+    @property
+    def is_store(self) -> bool:
+        return True
+
+    @property
+    def size(self) -> int:
+        return 8
+
+    def sources(self) -> Tuple[str, ...]:
+        return self.address_sources() + (self.rd,)
+
+    def destination(self) -> Optional[str]:
+        return self.rd
+
+
+@dataclass(frozen=True)
+class LoadLinkedInstruction(_MemoryInstruction):
+    """``ll [base+offset], rd`` — load-linked (MIPS-style, paper §4.3.2).
+
+    A doubleword cached load that also arms the core's link register on
+    the loaded line.  Any store to that line, a squash, or a context
+    switch breaks the link.
+    """
+
+    rd: str = "r0"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        object.__setattr__(self, "rd", canonical_register(self.rd))
+
+    @property
+    def is_load(self) -> bool:
+        return True
+
+    @property
+    def size(self) -> int:
+        return 8
+
+    def sources(self) -> Tuple[str, ...]:
+        return self.address_sources()
+
+    def destination(self) -> Optional[str]:
+        return self.rd
+
+
+@dataclass(frozen=True)
+class StoreConditionalInstruction(_MemoryInstruction):
+    """``sc rs, [base+offset], rd`` — store-conditional.
+
+    Stores ``rs`` to the linked line iff the link is still intact; ``rd``
+    receives 1 on success, 0 on failure.  Depending on the implementation
+    (``CoreConfig.sc_bus_transaction``), a successful store-conditional
+    also performs a bus transaction even when the line hits in the cache —
+    the cost the paper's discussion holds against this mechanism.
+    """
+
+    rs: str = "r0"
+    rd: str = "r0"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        object.__setattr__(self, "rs", canonical_register(self.rs))
+        object.__setattr__(self, "rd", canonical_register(self.rd))
+
+    @property
+    def is_store(self) -> bool:
+        return True
+
+    @property
+    def size(self) -> int:
+        return 8
+
+    def sources(self) -> Tuple[str, ...]:
+        return self.address_sources() + (self.rs,)
+
+    def destination(self) -> Optional[str]:
+        return self.rd
+
+
+@dataclass(frozen=True)
+class MembarInstruction(Instruction):
+    """Memory barrier: may not graduate until the uncached buffer is empty
+    and all earlier memory operations have completed (paper §4.1)."""
+
+    @property
+    def fu(self) -> str:
+        return FU_MEM
+
+    @property
+    def is_mem(self) -> bool:
+        return True
+
+    @property
+    def is_membar(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class MarkInstruction(Instruction):
+    """Measurement pseudo-instruction: records its retire cycle under
+    ``label``.  Costs nothing and uses no functional unit; benchmark kernels
+    bracket regions of interest with marks."""
+
+    label: str = field(default="mark")
+
+    @property
+    def is_mark(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class NopInstruction(Instruction):
+    """Does nothing; occupies a dispatch slot like a real nop."""
+
+    @property
+    def fu(self) -> str:
+        return FU_INT
+
+
+@dataclass(frozen=True)
+class HaltInstruction(Instruction):
+    """Stops the simulated program when it retires."""
+
+    @property
+    def is_halt(self) -> bool:
+        return True

@@ -1,0 +1,114 @@
+"""Register model: 32 integer registers, 32 floating-point registers, and the
+integer condition-code register.
+
+Registers are identified throughout the simulator by canonical string names:
+``r0`` .. ``r31`` for the integer file, ``f0`` .. ``f31`` for the FP file, and
+``icc`` for the condition codes.  SPARC windowed aliases (``%g0``-``%g7``,
+``%o0``-``%o7``, ``%l0``-``%l7``, ``%i0``-``%i7``) map onto a flat file —
+register windows are not modeled, which is irrelevant for leaf microbenchmark
+kernels.  ``r0`` (``%g0``) is hardwired to zero, as on SPARC.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.common.errors import ReproError
+
+GPR_COUNT = 32
+FPR_COUNT = 32
+
+#: Canonical name of the integer condition-code register.
+ICC = "icc"
+
+MASK64 = (1 << 64) - 1
+
+_SPARC_GROUPS = {"g": 0, "o": 8, "l": 16, "i": 24}
+
+
+class RegisterError(ReproError):
+    """An unknown or malformed register name was used."""
+
+
+def _build_alias_map() -> Dict[str, str]:
+    aliases: Dict[str, str] = {}
+    for group, base in _SPARC_GROUPS.items():
+        for i in range(8):
+            aliases[f"{group}{i}"] = f"r{base + i}"
+    for i in range(GPR_COUNT):
+        aliases[f"r{i}"] = f"r{i}"
+    for i in range(FPR_COUNT):
+        aliases[f"f{i}"] = f"f{i}"
+    aliases[ICC] = ICC
+    # Conventional special names map onto their window slots.
+    aliases["sp"] = "r14"
+    aliases["fp"] = "r30"
+    return aliases
+
+
+_ALIASES = _build_alias_map()
+
+
+def canonical_register(name: str) -> str:
+    """Normalize a register name (``%o1``, ``o1``, ``r9`` ...) to canonical form.
+
+    Raises :class:`RegisterError` for unknown names.
+    """
+    stripped = name.strip().lstrip("%").lower()
+    try:
+        return _ALIASES[stripped]
+    except KeyError:
+        raise RegisterError(f"unknown register {name!r}") from None
+
+
+def register_names() -> List[str]:
+    """All canonical register names, integer file first."""
+    return (
+        [f"r{i}" for i in range(GPR_COUNT)]
+        + [f"f{i}" for i in range(FPR_COUNT)]
+        + [ICC]
+    )
+
+
+def is_fp_register(name: str) -> bool:
+    return name.startswith("f") and name != "fp"
+
+
+class RegisterFile:
+    """Architectural register state for one process context.
+
+    Values are stored as unsigned 64-bit integers; FP registers hold raw
+    64-bit bit patterns (the microbenchmarks use them only as store sources,
+    exactly as the paper's kernel does with ``std %f0``).
+    """
+
+    def __init__(self) -> None:
+        self._values: Dict[str, int] = {name: 0 for name in register_names()}
+
+    def read(self, name: str) -> int:
+        name = canonical_register(name)
+        if name == "r0":
+            return 0
+        return self._values[name]
+
+    def write(self, name: str, value: int) -> None:
+        name = canonical_register(name)
+        if name == "r0":
+            return  # %g0 is hardwired to zero; writes are discarded.
+        self._values[name] = value & MASK64
+
+    def snapshot(self) -> Dict[str, int]:
+        """Copy of the full register state (for context switches and tests)."""
+        return dict(self._values)
+
+    def restore(self, snapshot: Dict[str, int]) -> None:
+        missing = set(self._values) - set(snapshot)
+        if missing:
+            raise RegisterError(f"snapshot missing registers: {sorted(missing)}")
+        for name in self._values:
+            self._values[name] = snapshot[name] & MASK64
+        self._values["r0"] = 0
+
+    def __repr__(self) -> str:
+        nonzero = {k: v for k, v in self._values.items() if v}
+        return f"RegisterFile({nonzero!r})"

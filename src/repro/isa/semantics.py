@@ -1,0 +1,124 @@
+"""Functional semantics: pure helpers the core uses to compute results.
+
+All integer arithmetic is modulo 2**64 (values are stored unsigned); the
+condition codes follow the SPARC icc definition (negative, zero, overflow,
+carry of the 64-bit result, which is sufficient for the ``cmp``/branch idioms
+the kernels use).
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import SimulationError
+
+MASK64 = (1 << 64) - 1
+SIGN64 = 1 << 63
+
+#: Condition-code bit positions.
+CC_N = 8
+CC_Z = 4
+CC_V = 2
+CC_C = 1
+
+
+def to_signed(value: int) -> int:
+    """Interpret a 64-bit unsigned value as signed."""
+    value &= MASK64
+    return value - (1 << 64) if value & SIGN64 else value
+
+
+def to_unsigned(value: int) -> int:
+    """Wrap a Python int into unsigned 64-bit representation."""
+    return value & MASK64
+
+
+def alu(op: str, a: int, b: int) -> int:
+    """Compute an integer ALU operation on unsigned 64-bit operands."""
+    a &= MASK64
+    b &= MASK64
+    if op == "add":
+        return (a + b) & MASK64
+    if op == "sub":
+        return (a - b) & MASK64
+    if op == "and":
+        return a & b
+    if op == "or":
+        return a | b
+    if op == "xor":
+        return a ^ b
+    if op == "sll":
+        return (a << (b & 63)) & MASK64
+    if op == "srl":
+        return a >> (b & 63)
+    if op == "sra":
+        return to_unsigned(to_signed(a) >> (b & 63))
+    if op == "mulx":
+        return (a * b) & MASK64
+    raise SimulationError(f"unknown ALU op {op!r}")
+
+
+def fp_alu(op: str, a: int, b: int) -> int:
+    """FP operations on raw 64-bit patterns.
+
+    The microbenchmarks only move FP data around (the paper's kernel stores
+    ``%f`` registers it never computes with), so FP arithmetic is modeled on
+    the bit patterns as integers — latency is what matters, not IEEE results.
+    """
+    if op == "fmov":
+        return a & MASK64
+    if op == "fadd":
+        return (a + b) & MASK64
+    if op == "fsub":
+        return (a - b) & MASK64
+    if op == "fmul":
+        return (a * b) & MASK64
+    raise SimulationError(f"unknown FP op {op!r}")
+
+
+def compare(a: int, b: int) -> int:
+    """Compute icc flags for ``a - b`` (as SPARC ``cmp`` does via subcc)."""
+    a &= MASK64
+    b &= MASK64
+    result = (a - b) & MASK64
+    flags = 0
+    if result & SIGN64:
+        flags |= CC_N
+    if result == 0:
+        flags |= CC_Z
+    # Signed overflow: operands have different signs and the result's sign
+    # differs from the minuend's.
+    if ((a ^ b) & SIGN64) and ((a ^ result) & SIGN64):
+        flags |= CC_V
+    if b > a:  # borrow
+        flags |= CC_C
+    return flags
+
+
+def branch_taken(op: str, cc: int = 0, reg_value: int = 0) -> bool:
+    """Evaluate a branch condition against condition codes or a register."""
+    n = bool(cc & CC_N)
+    z = bool(cc & CC_Z)
+    v = bool(cc & CC_V)
+    c = bool(cc & CC_C)
+    if op == "ba":
+        return True
+    if op == "be":
+        return z
+    if op == "bne":
+        return not z
+    if op == "bg":
+        return not (z or (n != v))
+    if op == "ble":
+        return z or (n != v)
+    if op == "bge":
+        return n == v
+    if op == "bl":
+        return n != v
+    if op == "bgu":
+        return not (c or z)
+    if op == "bleu":
+        return c or z
+    if op == "brz":
+        return (reg_value & MASK64) == 0
+    if op == "brnz":
+        return (reg_value & MASK64) != 0
+    raise SimulationError(f"unknown branch op {op!r}")

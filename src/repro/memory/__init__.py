@@ -1,0 +1,46 @@
+"""Memory system: byte-addressable backing store, address-space layout with
+per-page attributes (cached / uncached / uncached-combining), a TLB-like
+attribute cache, and a two-level write-back cache hierarchy.
+
+The CSB is enabled purely through the memory map (paper §3.1): stores whose
+page attribute is ``UNCACHED_COMBINING`` are routed to the conditional store
+buffer, ordinary ``UNCACHED`` accesses go to the conventional uncached buffer,
+and ``CACHED`` accesses go through the cache hierarchy.
+"""
+
+from repro.memory.backing import BackingStore
+from repro.memory.layout import (
+    AddressSpace,
+    PageAttr,
+    Region,
+    DEFAULT_PAGE_SIZE,
+    DRAM_BASE,
+    DRAM_SIZE,
+    IO_UNCACHED_BASE,
+    IO_UNCACHED_SIZE,
+    IO_COMBINING_BASE,
+    IO_COMBINING_SIZE,
+    default_address_space,
+)
+from repro.memory.tlb import AttributeTLB
+from repro.memory.cache import CacheLevel, LineState
+from repro.memory.hierarchy import MemoryHierarchy
+
+__all__ = [
+    "AddressSpace",
+    "AttributeTLB",
+    "BackingStore",
+    "CacheLevel",
+    "DEFAULT_PAGE_SIZE",
+    "DRAM_BASE",
+    "DRAM_SIZE",
+    "IO_COMBINING_BASE",
+    "IO_COMBINING_SIZE",
+    "IO_UNCACHED_BASE",
+    "IO_UNCACHED_SIZE",
+    "LineState",
+    "MemoryHierarchy",
+    "PageAttr",
+    "Region",
+    "default_address_space",
+]

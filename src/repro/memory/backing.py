@@ -1,0 +1,77 @@
+"""Sparse byte-addressable backing store.
+
+Holds the functional contents of the simulated physical address space.  The
+store is sparse (page-granular ``bytearray`` chunks allocated on first touch)
+so device apertures at high addresses cost nothing.  Integers are stored
+big-endian, matching SPARC.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.common.errors import MemoryError_
+
+_CHUNK_BITS = 12
+_CHUNK_SIZE = 1 << _CHUNK_BITS
+_CHUNK_MASK = _CHUNK_SIZE - 1
+
+
+class BackingStore:
+    """Functional memory contents, independent of any timing model."""
+
+    def __init__(self) -> None:
+        self._chunks: Dict[int, bytearray] = {}
+
+    def _chunk(self, address: int) -> bytearray:
+        key = address >> _CHUNK_BITS
+        chunk = self._chunks.get(key)
+        if chunk is None:
+            chunk = bytearray(_CHUNK_SIZE)
+            self._chunks[key] = chunk
+        return chunk
+
+    def read_bytes(self, address: int, length: int) -> bytes:
+        if address < 0 or length < 0:
+            raise MemoryError_(f"bad read [{address:#x}, +{length}]")
+        out = bytearray(length)
+        cursor = 0
+        while cursor < length:
+            addr = address + cursor
+            offset = addr & _CHUNK_MASK
+            take = min(length - cursor, _CHUNK_SIZE - offset)
+            chunk = self._chunks.get(addr >> _CHUNK_BITS)
+            if chunk is not None:
+                out[cursor : cursor + take] = chunk[offset : offset + take]
+            cursor += take
+        return bytes(out)
+
+    def write_bytes(self, address: int, data: bytes) -> None:
+        if address < 0:
+            raise MemoryError_(f"bad write at {address:#x}")
+        cursor = 0
+        length = len(data)
+        while cursor < length:
+            addr = address + cursor
+            offset = addr & _CHUNK_MASK
+            take = min(length - cursor, _CHUNK_SIZE - offset)
+            self._chunk(addr)[offset : offset + take] = data[cursor : cursor + take]
+            cursor += take
+
+    def read_int(self, address: int, size: int) -> int:
+        """Read a ``size``-byte big-endian unsigned integer."""
+        return int.from_bytes(self.read_bytes(address, size), "big")
+
+    def write_int(self, address: int, value: int, size: int) -> None:
+        """Write a ``size``-byte big-endian unsigned integer (value wraps)."""
+        value &= (1 << (8 * size)) - 1
+        self.write_bytes(address, value.to_bytes(size, "big"))
+
+    def fill(self, address: int, length: int, byte: int = 0) -> None:
+        """Set a byte range to a constant value."""
+        self.write_bytes(address, bytes([byte & 0xFF]) * length)
+
+    @property
+    def touched_bytes(self) -> int:
+        """Bytes of host memory allocated so far (for tests/diagnostics)."""
+        return len(self._chunks) * _CHUNK_SIZE

@@ -1,0 +1,105 @@
+"""Set-associative write-back cache model.
+
+This is a presence/latency model: the functional data lives in the
+:class:`~repro.memory.backing.BackingStore`, while the cache tracks which
+lines are resident and dirty so that hit/miss latencies (and therefore the
+paper's Figure 5 lock-overhead numbers) come out right.  Replacement is LRU
+within a set; the write policy is write-back, write-allocate.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import OrderedDict
+from typing import List, Optional
+
+from repro.common.bitops import block_base
+from repro.common.config import CacheConfig
+
+
+class LineState(enum.Enum):
+    """State of a resident line; absent lines are implicitly invalid."""
+
+    CLEAN = "clean"
+    DIRTY = "dirty"
+
+
+class CacheLevel:
+    """One level of the hierarchy."""
+
+    def __init__(self, config: CacheConfig, name: str = "cache") -> None:
+        self.config = config
+        self.name = name
+        self._sets: List["OrderedDict[int, LineState]"] = [
+            OrderedDict() for _ in range(config.num_sets)
+        ]
+        self.hits = 0
+        self.misses = 0
+        self.writebacks = 0
+
+    def _set_for(self, address: int) -> "OrderedDict[int, LineState]":
+        line = address // self.config.line_size
+        return self._sets[line % self.config.num_sets]
+
+    def _tag(self, address: int) -> int:
+        return block_base(address, self.config.line_size)
+
+    def probe(self, address: int) -> bool:
+        """Non-destructive presence check (no LRU update, no counters)."""
+        return self._tag(address) in self._set_for(address)
+
+    def lookup(self, address: int, is_write: bool) -> bool:
+        """Access the line: returns True on hit, updating LRU and counters.
+
+        A write hit marks the line dirty (write-back policy).
+        """
+        cache_set = self._set_for(address)
+        tag = self._tag(address)
+        if tag in cache_set:
+            self.hits += 1
+            cache_set.move_to_end(tag)
+            if is_write:
+                cache_set[tag] = LineState.DIRTY
+            return True
+        self.misses += 1
+        return False
+
+    def fill(self, address: int, dirty: bool = False) -> Optional[int]:
+        """Bring the line in (write-allocate); returns the address of an
+        evicted dirty line, or None."""
+        cache_set = self._set_for(address)
+        tag = self._tag(address)
+        evicted: Optional[int] = None
+        if tag not in cache_set and len(cache_set) >= self.config.associativity:
+            victim_tag, victim_state = cache_set.popitem(last=False)
+            if victim_state is LineState.DIRTY:
+                self.writebacks += 1
+                evicted = victim_tag
+        state = LineState.DIRTY if dirty else cache_set.get(tag, LineState.CLEAN)
+        if dirty:
+            state = LineState.DIRTY
+        cache_set[tag] = state
+        cache_set.move_to_end(tag)
+        return evicted
+
+    def invalidate(self, address: int) -> None:
+        """Drop the line if resident (used to create cold-miss scenarios)."""
+        cache_set = self._set_for(address)
+        cache_set.pop(self._tag(address), None)
+
+    def invalidate_all(self) -> None:
+        for cache_set in self._sets:
+            cache_set.clear()
+
+    def dirty_lines(self) -> List[int]:
+        """Addresses of all dirty lines (diagnostics and invariant tests)."""
+        return [
+            tag
+            for cache_set in self._sets
+            for tag, state in cache_set.items()
+            if state is LineState.DIRTY
+        ]
+
+    @property
+    def resident_lines(self) -> int:
+        return sum(len(s) for s in self._sets)

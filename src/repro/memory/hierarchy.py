@@ -1,0 +1,90 @@
+"""Two-level cache hierarchy with a fixed main-memory miss latency.
+
+Latency model (all in CPU cycles):
+
+* L1 hit: ``l1.hit_latency``
+* L1 miss, L2 hit: ``l1.hit_latency + l2.hit_latency``
+* miss everywhere: ``miss_latency`` total (the paper's Figure 5 experiment
+  fixes this at 100 cycles, "166 ns on a 600 MHz processor")
+
+Cached refills do not occupy the modeled system bus.  The paper's
+microbenchmarks are constructed so that cached traffic (the lock variable)
+and the uncached store stream barely overlap, and the fixed 100-cycle miss
+cost is exactly how the paper itself characterizes the miss; modeling refill
+occupancy would change nothing the figures measure.  This substitution is
+recorded in DESIGN.md.
+
+Atomic ``swap`` on cached space is a read-modify-write of one line: it costs
+one access latency and leaves the line dirty, matching the paper's statement
+that a lock acquire whose line is resident adds ~8 cycles total overhead.
+"""
+
+from __future__ import annotations
+
+from repro.common.config import MemoryHierarchyConfig
+from repro.common.errors import MemoryError_
+from repro.memory.backing import BackingStore
+from repro.memory.cache import CacheLevel
+
+
+class MemoryHierarchy:
+    """L1 + L2 over main memory; functional data lives in ``backing``."""
+
+    def __init__(self, config: MemoryHierarchyConfig, backing: BackingStore) -> None:
+        self.config = config
+        self.backing = backing
+        self.l1 = CacheLevel(config.l1, "L1")
+        self.l2 = CacheLevel(config.l2, "L2")
+        self.memory_accesses = 0
+        #: Called with the missing address on every main-memory access
+        #: (wired to a RefillEngine when refills occupy the bus).
+        self.refill_hook = None
+
+    def access_latency(self, address: int, is_write: bool) -> int:
+        """Perform the timing side of one cached access; returns CPU cycles.
+
+        Updates cache state (LRU, dirty bits, fills on miss).
+        """
+        if self.l1.lookup(address, is_write):
+            return self.config.l1.hit_latency
+        if self.l2.lookup(address, is_write=False):
+            # Allocate into L1; the dirty bit lives at the level written.
+            self.l1.fill(address, dirty=is_write)
+            return self.config.l1.hit_latency + self.config.l2.hit_latency
+        self.memory_accesses += 1
+        if self.refill_hook is not None:
+            self.refill_hook(address)
+        self.l2.fill(address)
+        self.l1.fill(address, dirty=is_write)
+        return self.config.miss_latency
+
+    # -- functional access ---------------------------------------------------
+
+    def read(self, address: int, size: int) -> int:
+        self._check(address, size)
+        return self.backing.read_int(address, size)
+
+    def write(self, address: int, value: int, size: int) -> None:
+        self._check(address, size)
+        self.backing.write_int(address, value, size)
+
+    def _check(self, address: int, size: int) -> None:
+        if size <= 0:
+            raise MemoryError_(f"bad access size {size}")
+        line = self.config.line_size
+        if address // line != (address + size - 1) // line:
+            raise MemoryError_(
+                f"cached access [{address:#x}, +{size}] crosses a line boundary"
+            )
+
+    # -- test/benchmark helpers ----------------------------------------------
+
+    def warm(self, address: int) -> None:
+        """Install a line in both levels (clean), e.g. a warm lock variable."""
+        self.l2.fill(address)
+        self.l1.fill(address)
+
+    def evict(self, address: int) -> None:
+        """Remove a line everywhere, forcing the next access to miss fully."""
+        self.l1.invalidate(address)
+        self.l2.invalidate(address)

@@ -1,0 +1,150 @@
+"""Address-space layout and per-page memory attributes.
+
+The paper enables the CSB through "existing memory mapping hardware" (§3.1):
+a page-table attribute marks an address range as *uncached combining*, the
+same way the R10000 marks uncached-accelerated pages.  This module models the
+physical memory map as a set of regions, each carrying one of three
+attributes:
+
+``CACHED``
+    Ordinary memory, goes through the cache hierarchy.
+``UNCACHED``
+    Device space with in-order exactly-once semantics; every access is routed
+    to the conventional uncached buffer.
+``UNCACHED_COMBINING``
+    Device space whose stores are combined in the conditional store buffer;
+    a ``swap`` to this space is the conditional flush.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.common.bitops import is_aligned
+from repro.common.errors import ConfigError, MemoryError_
+
+#: Page size used for attribute granularity (8 KB, like early SPARC MMUs).
+DEFAULT_PAGE_SIZE = 8 * 1024
+
+# Default physical map used by the system builder.
+DRAM_BASE = 0x0000_0000
+DRAM_SIZE = 256 * 1024 * 1024
+IO_UNCACHED_BASE = 0x2000_0000
+IO_UNCACHED_SIZE = 16 * 1024 * 1024
+IO_COMBINING_BASE = 0x3000_0000
+IO_COMBINING_SIZE = 16 * 1024 * 1024
+
+
+class PageAttr(enum.Enum):
+    """Memory attribute of a page, as encoded in its page-table entry."""
+
+    CACHED = "cached"
+    UNCACHED = "uncached"
+    UNCACHED_COMBINING = "uncached_combining"
+
+    @property
+    def is_uncached(self) -> bool:
+        return self is not PageAttr.CACHED
+
+
+@dataclass(frozen=True)
+class Region:
+    """A contiguous physical range with a single attribute."""
+
+    base: int
+    size: int
+    attr: PageAttr
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ConfigError(f"region {self.name!r}: size must be positive")
+        if self.base < 0:
+            raise ConfigError(f"region {self.name!r}: negative base")
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+    def contains(self, address: int) -> bool:
+        return self.base <= address < self.end
+
+    def overlaps(self, other: "Region") -> bool:
+        return self.base < other.end and other.base < self.end
+
+
+class AddressSpace:
+    """The physical memory map: an ordered set of non-overlapping regions."""
+
+    def __init__(self, page_size: int = DEFAULT_PAGE_SIZE) -> None:
+        if page_size <= 0 or page_size & (page_size - 1):
+            raise ConfigError("page size must be a positive power of two")
+        self.page_size = page_size
+        self._regions: List[Region] = []
+
+    def map_region(
+        self, base: int, size: int, attr: PageAttr, name: str = ""
+    ) -> Region:
+        """Add a region; base and size must be page-aligned and disjoint."""
+        if not is_aligned(base, self.page_size) or not is_aligned(size, self.page_size):
+            raise ConfigError(
+                f"region {name!r} [{base:#x}, +{size:#x}] not page-aligned"
+            )
+        region = Region(base, size, attr, name)
+        for existing in self._regions:
+            if region.overlaps(existing):
+                raise ConfigError(
+                    f"region {name!r} overlaps {existing.name!r} at {existing.base:#x}"
+                )
+        self._regions.append(region)
+        self._regions.sort(key=lambda r: r.base)
+        return region
+
+    def region_at(self, address: int) -> Optional[Region]:
+        for region in self._regions:
+            if region.contains(address):
+                return region
+        return None
+
+    def attribute_of(self, address: int) -> PageAttr:
+        """Attribute of the page holding ``address``.
+
+        Raises :class:`MemoryError_` for unmapped addresses — the simulated
+        kernels should never touch unmapped space, and a silent default would
+        mask workload bugs.
+        """
+        region = self.region_at(address)
+        if region is None:
+            raise MemoryError_(f"access to unmapped address {address:#x}")
+        return region.attr
+
+    def check_span(self, address: int, size: int) -> Region:
+        """Verify ``[address, address+size)`` lies inside one region."""
+        region = self.region_at(address)
+        if region is None or address + size > region.end:
+            raise MemoryError_(
+                f"access [{address:#x}, +{size}] crosses a region boundary"
+            )
+        return region
+
+    @property
+    def regions(self) -> List[Region]:
+        return list(self._regions)
+
+
+def default_address_space(page_size: int = DEFAULT_PAGE_SIZE) -> AddressSpace:
+    """The memory map every built system uses unless overridden:
+    cached DRAM, an uncached I/O aperture, and an uncached-combining
+    I/O aperture."""
+    space = AddressSpace(page_size)
+    space.map_region(DRAM_BASE, DRAM_SIZE, PageAttr.CACHED, "dram")
+    space.map_region(IO_UNCACHED_BASE, IO_UNCACHED_SIZE, PageAttr.UNCACHED, "io")
+    space.map_region(
+        IO_COMBINING_BASE,
+        IO_COMBINING_SIZE,
+        PageAttr.UNCACHED_COMBINING,
+        "io_combining",
+    )
+    return space

@@ -1,0 +1,57 @@
+"""Optional cache-refill bus occupancy.
+
+The paper's bandwidth experiments assume "the bus is ... completely idle,
+except for the uncached data transfers" (§4.3.1), and the hierarchy's
+fixed 100-cycle miss charge matches that.  Enabling
+``MemoryHierarchyConfig.refills_use_bus`` adds the *occupancy* side of
+misses: each main-memory miss also queues a line-sized read transaction
+that competes with the uncached stream for the bus (memory traffic gets
+priority, as cache refills do on real buses).  The miss *latency* model is
+unchanged — this knob quantifies how a non-idle bus squeezes uncached
+store bandwidth.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque
+
+from repro.common.stats import StatsCollector
+from repro.bus.base import SystemBus
+from repro.bus.transaction import BusTransaction, KIND_REFILL
+
+
+class RefillEngine:
+    """Queues line refills and drives them onto the bus."""
+
+    def __init__(self, bus: SystemBus, line_size: int, stats: StatsCollector) -> None:
+        self.bus = bus
+        self.line_size = line_size
+        self.stats = stats
+        self._pending: Deque[int] = deque()
+
+    def request(self, address: int) -> None:
+        """Queue a refill for the line containing ``address``."""
+        line = address - (address % self.line_size)
+        self._pending.append(line)
+        self.stats.bump("refill.requests")
+
+    def tick_bus(self, bus_cycle: int) -> bool:
+        """Issue the oldest pending refill if the bus allows.  Returns True
+        when a transaction started (the uncached path then yields)."""
+        if not self._pending:
+            return False
+        txn = BusTransaction(
+            address=self._pending[0],
+            size=self.line_size,
+            kind=KIND_REFILL,
+        )
+        if not self.bus.try_issue(txn, bus_cycle):
+            return False
+        self._pending.popleft()
+        self.stats.bump("refill.issued")
+        return True
+
+    @property
+    def pending(self) -> int:
+        return len(self._pending)

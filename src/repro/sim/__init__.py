@@ -1,0 +1,7 @@
+"""System assembly: wires core, caches, uncached unit, bus, memory, and
+devices to a single clock, plus the process scheduler and run loop."""
+
+from repro.sim.scheduler import Scheduler
+from repro.sim.system import System
+
+__all__ = ["Scheduler", "System"]

@@ -1,0 +1,113 @@
+"""Round-robin process scheduler with drain-based context switches.
+
+Context switches model a timer interrupt: dispatch stops, the pipeline
+drains (in-flight instructions complete architecturally — this is an
+interrupt, not a misprediction), a fixed switch penalty elapses (register
+save/restore, kernel entry/exit), and the next runnable context is
+installed.  Draining between contexts is what makes the CSB conflict story
+observable: a process interrupted between its combining stores and its
+conditional flush leaves its partial line in the CSB, and the *next*
+process's first combining store clears it (paper §3.2's interleaving
+example).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.common.errors import ConfigError
+from repro.cpu.context import ProcessContext
+from repro.cpu.core import Core
+
+
+class Scheduler:
+    """Owns the run queue and drives the core's context."""
+
+    def __init__(
+        self,
+        core: Core,
+        quantum: Optional[int] = None,
+        switch_penalty: int = 100,
+    ) -> None:
+        if quantum is not None and quantum < 1:
+            raise ConfigError("quantum must be >= 1 cycle")
+        if switch_penalty < 0:
+            raise ConfigError("switch_penalty must be >= 0")
+        self.core = core
+        self.quantum = quantum
+        self.switch_penalty = switch_penalty
+        self._processes: List[ProcessContext] = []
+        self._current_index = -1
+        self._quantum_start = 0
+        self._switch_at: Optional[int] = None
+        self._draining = False
+        self.context_switches = 0
+
+    def add(self, context: ProcessContext) -> None:
+        self._processes.append(context)
+
+    @property
+    def processes(self) -> List[ProcessContext]:
+        return list(self._processes)
+
+    @property
+    def all_halted(self) -> bool:
+        return all(p.halted for p in self._processes)
+
+    def runnable(self) -> List[ProcessContext]:
+        return [p for p in self._processes if not p.halted]
+
+    def tick(self, now: int) -> None:
+        if not self._processes:
+            return
+        # Waiting out the switch penalty?
+        if self._switch_at is not None:
+            if now >= self._switch_at:
+                self._install_next(now)
+            return
+        current = self.core.context
+        if current is None:
+            self._begin_switch(now, immediate=True)
+            return
+        if current.halted:
+            if self.runnable():
+                self._begin_switch(now, immediate=True)
+            return
+        if self._draining:
+            if self.core.drained:
+                self._draining = False
+                self._switch_at = now + self.switch_penalty
+            return
+        if (
+            self.quantum is not None
+            and len(self.runnable()) > 1
+            and now - self._quantum_start >= self.quantum
+        ):
+            # Precise timer interrupt: unretired work is squashed and will
+            # re-execute when this process is rescheduled.
+            self.core.interrupt()
+            self._draining = True
+
+    def _begin_switch(self, now: int, immediate: bool) -> None:
+        if immediate:
+            self._install_next(now)
+        else:
+            self._switch_at = now + self.switch_penalty
+
+    def _install_next(self, now: int) -> None:
+        self._switch_at = None
+        self._draining = False  # a halt during a drain ends the drain
+        candidates = self.runnable()
+        if not candidates:
+            return
+        # Round-robin: next index after the current one.
+        for step in range(1, len(self._processes) + 1):
+            index = (self._current_index + step) % len(self._processes)
+            if not self._processes[index].halted:
+                self._current_index = index
+                break
+        chosen = self._processes[self._current_index]
+        if self.core.context is not chosen:
+            self.core.install_context(chosen)
+            self.context_switches += 1
+        self._quantum_start = now

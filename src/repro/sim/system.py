@@ -1,0 +1,163 @@
+"""The simulated system: one core, a two-level cache hierarchy, the
+uncached unit (conventional buffer + CSB), a system bus, main memory, and
+any number of memory-mapped devices — all advanced by a single CPU clock,
+with the bus ticking once every ``cpu_ratio`` CPU cycles.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.common.config import SystemConfig
+from repro.common.errors import ConfigError, DeadlockError
+from repro.common.stats import StatsCollector
+from repro.bus.base import TargetRegistry
+from repro.bus.factory import make_bus
+from repro.cpu.context import ProcessContext
+from repro.cpu.core import Core
+from repro.cpu.trace import PipelineTrace
+from repro.devices.base import Device
+from repro.isa.program import Program
+from repro.memory.backing import BackingStore
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.memory.layout import AddressSpace, default_address_space
+from repro.memory.tlb import AttributeTLB
+from repro.sim.scheduler import Scheduler
+from repro.uncached.buffer import UncachedBuffer
+from repro.uncached.csb import ConditionalStoreBuffer
+from repro.uncached.unit import UncachedUnit
+
+
+class System:
+    """A complete simulated machine.
+
+    Typical use::
+
+        system = System(SystemConfig())
+        system.add_process(assemble(KERNEL_SOURCE)).set_register("o1", DST)
+        stats = system.run()
+        print(stats.uncached_store_window.bytes_per_cycle)
+    """
+
+    def __init__(
+        self,
+        config: Optional[SystemConfig] = None,
+        space: Optional[AddressSpace] = None,
+        quantum: Optional[int] = None,
+        switch_penalty: int = 100,
+        bus_read_latency: int = 3,
+        trace: bool = False,
+    ) -> None:
+        self.config = config or SystemConfig()
+        self.stats = StatsCollector()
+        self.backing = BackingStore()
+        self.space = space or default_address_space()
+        self.tlb = AttributeTLB(self.space)
+        self.targets = TargetRegistry(self.backing)
+        self.bus = make_bus(self.config.bus, self.stats, self.targets, bus_read_latency)
+        self.csb = ConditionalStoreBuffer(self.config.csb, self.stats)
+        self.buffer = UncachedBuffer(self.config.uncached, self.bus, self.stats)
+        self.unit = UncachedUnit(
+            self.buffer,
+            self.csb,
+            self.bus,
+            self.tlb,
+            self.stats,
+            self.config.bus.cpu_ratio,
+            self.config.csb,
+        )
+        self.hierarchy = MemoryHierarchy(self.config.memory, self.backing)
+        self.refill_engine = None
+        if self.config.memory.refills_use_bus:
+            from repro.memory.refill import RefillEngine
+
+            self.refill_engine = RefillEngine(
+                self.bus, self.config.memory.line_size, self.stats
+            )
+            self.hierarchy.refill_hook = self.refill_engine.request
+            self.unit.refill_engine = self.refill_engine
+        self.trace = PipelineTrace() if trace else None
+        self.core = Core(
+            self.config.core,
+            self.hierarchy,
+            self.tlb,
+            self.unit,
+            self.stats,
+            trace=self.trace,
+        )
+        self.scheduler = Scheduler(self.core, quantum, switch_penalty)
+        self.devices: List[Device] = []
+        self.cycle = 0
+        self._next_pid = 1
+
+    # -- construction -----------------------------------------------------------
+
+    def add_process(
+        self, program: Program, pid: Optional[int] = None, name: str = ""
+    ) -> ProcessContext:
+        """Create a process running ``program`` and add it to the run queue."""
+        if pid is None:
+            pid = self._next_pid
+            self._next_pid += 1
+        context = ProcessContext(pid, program, name)
+        self.scheduler.add(context)
+        return context
+
+    def attach_device(self, device: Device) -> Device:
+        """Register a device: its region must lie within uncached space."""
+        region = device.region
+        covering = self.space.region_at(region.base)
+        if covering is None or region.end > covering.end:
+            raise ConfigError(
+                f"device {device.name!r} region not inside a mapped region"
+            )
+        if not covering.attr.is_uncached:
+            raise ConfigError(f"device {device.name!r} must live in uncached space")
+        self.targets.register(region, device)
+        self.devices.append(device)
+        return device
+
+    # -- clocking ---------------------------------------------------------------
+
+    def step(self) -> None:
+        """Advance one CPU cycle."""
+        now = self.cycle
+        self.unit.tick(now)
+        if now % self.config.bus.cpu_ratio == 0:
+            bus_cycle = now // self.config.bus.cpu_ratio
+            for device in self.devices:
+                device.tick(bus_cycle)
+        self.core.tick(now)
+        self.scheduler.tick(now)
+        self.cycle += 1
+
+    def run(self, max_cycles: int = 5_000_000) -> StatsCollector:
+        """Run until every process has halted and all I/O has drained."""
+        while not self.finished:
+            if self.cycle >= max_cycles:
+                raise DeadlockError(
+                    f"exceeded max_cycles={max_cycles}", cycle=self.cycle
+                )
+            self.step()
+        return self.stats
+
+    def run_cycles(self, count: int) -> None:
+        """Advance exactly ``count`` CPU cycles (for incremental tests)."""
+        for _ in range(count):
+            self.step()
+
+    @property
+    def finished(self) -> bool:
+        return self.scheduler.all_halted and self.unit.quiescent()
+
+    # -- measurement shortcuts -----------------------------------------------------
+
+    @property
+    def store_bandwidth(self) -> float:
+        """Bytes per bus cycle over the uncached-store window (the paper's
+        Figure 3/4 metric)."""
+        return self.stats.uncached_store_window.bytes_per_cycle
+
+    def span(self, start_label: str, end_label: str) -> int:
+        """CPU cycles between two ``mark`` instructions (Figure 5 metric)."""
+        return self.stats.span(start_label, end_label)

@@ -1,0 +1,19 @@
+"""Uncached access machinery: the conventional uncached buffer with optional
+hardware combining (the paper's baselines), the conditional store buffer
+(the paper's contribution), and the unit that routes uncached operations to
+one or the other by page attribute.
+"""
+
+from repro.uncached.entry import LoadEntry, StoreEntry
+from repro.uncached.buffer import UncachedBuffer
+from repro.uncached.csb import ConditionalStoreBuffer, FlushResult
+from repro.uncached.unit import UncachedUnit
+
+__all__ = [
+    "ConditionalStoreBuffer",
+    "FlushResult",
+    "LoadEntry",
+    "StoreEntry",
+    "UncachedBuffer",
+    "UncachedUnit",
+]

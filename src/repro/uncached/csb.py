@@ -1,0 +1,211 @@
+"""The Conditional Store Buffer (paper §3.2) — the core contribution.
+
+State: one cache line of data with per-byte validity, the line-aligned
+address and process ID of the most recent combining store, and a *hit
+counter* counting consecutive conflict-free stores.
+
+Protocol:
+
+* A **combining store** whose line address and process ID match the saved
+  values is merged and increments the hit counter.  Any mismatch clears the
+  buffer, installs the new store, and resets the counter to 1.  Stores may
+  arrive in any order within the line — only the count matters for conflict
+  detection.
+* A **conditional flush** (the ``swap`` variant) supplies the expected
+  counter value.  If the counter, address (optional check), and process ID
+  all match, the buffered line is issued as a single atomic burst
+  transaction and the swap returns the expected value; otherwise the buffer
+  is cleared, the counter resets to zero, and the swap returns 0 so software
+  can branch back and retry.
+
+The buffer is always cleared before a new sequence starts filling it, so
+unused words of the full-line burst are zero — the paper's defense against
+leaking a previous process's data.
+
+Line-buffer occupancy: after a successful flush, the line's contents are
+handed to the system interface.  With one line buffer, further combining
+stores stall until the burst has been accepted by the bus; a second line
+buffer (``num_line_buffers=2``) lets the next sequence start filling while
+the previous burst is still queued (paper §3.2's pipelining extension).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Deque, Optional
+from collections import deque
+
+from repro.common.bitops import block_base
+from repro.common.config import CSBConfig
+from repro.common.errors import SimulationError
+from repro.common.stats import StatsCollector
+
+
+class FlushResult(enum.Enum):
+    """Outcome of a conditional flush attempt."""
+
+    SUCCESS = "success"
+    CONFLICT = "conflict"
+
+
+class PendingBurst:
+    """A flushed line awaiting hand-off to the bus."""
+
+    __slots__ = ("address", "data", "useful_bytes", "sequence")
+
+    def __init__(self, address: int, data: bytes, useful_bytes: int, sequence: int):
+        self.address = address
+        self.data = data
+        self.useful_bytes = useful_bytes
+        self.sequence = sequence
+
+
+class ConditionalStoreBuffer:
+    """Architectural model of the CSB (timing lives in the uncached unit)."""
+
+    def __init__(self, config: CSBConfig, stats: StatsCollector) -> None:
+        self.config = config
+        self.stats = stats
+        self._line_addr: Optional[int] = None
+        self._pid: Optional[int] = None
+        self._data = bytearray(config.line_size)
+        self._valid = [False] * config.line_size
+        self._hit_counter = 0
+        self._pending: Deque[PendingBurst] = deque()
+
+    # -- occupancy ---------------------------------------------------------
+
+    @property
+    def line_buffer_free(self) -> bool:
+        """True when a line buffer is available for combining stores.
+
+        The active buffer is free as long as fewer than ``num_line_buffers``
+        flushed lines are still waiting for the bus.
+        """
+        return len(self._pending) < self.config.num_line_buffers
+
+    @property
+    def pending_bursts(self) -> int:
+        return len(self._pending)
+
+    # -- combining store -----------------------------------------------------
+
+    def store(self, address: int, data: bytes, pid: int) -> None:
+        """Accept one combining store (caller must check
+        :attr:`line_buffer_free` first — hardware would simply stall)."""
+        if not self.line_buffer_free:
+            raise SimulationError("combining store while line buffer busy")
+        size = len(data)
+        line = block_base(address, self.config.line_size)
+        if address + size > line + self.config.line_size:
+            raise SimulationError(
+                f"combining store [{address:#x}, +{size}] crosses a line boundary"
+            )
+        if line != self._line_addr or pid != self._pid:
+            # Conflict (or first store of a sequence): clear and restart.
+            self._clear_data()
+            self._line_addr = line
+            self._pid = pid
+            self._hit_counter = 0
+            self.stats.bump("csb.sequences_started")
+        offset = address - line
+        self._data[offset : offset + size] = data
+        for i in range(offset, offset + size):
+            self._valid[i] = True
+        self._hit_counter += 1
+        self.stats.bump("csb.stores")
+
+    # -- conditional flush ----------------------------------------------------
+
+    def conditional_flush(self, address: int, pid: int, expected: int) -> FlushResult:
+        """Attempt to commit the combined sequence atomically."""
+        if not self.line_buffer_free:
+            raise SimulationError("conditional flush while line buffer busy")
+        line = block_base(address, self.config.line_size)
+        matches = (
+            self._hit_counter == expected
+            and self._hit_counter > 0
+            and pid == self._pid
+            and (not self.config.check_address or line == self._line_addr)
+        )
+        if not matches:
+            self._clear_data()
+            self._line_addr = None
+            self._pid = None
+            self._hit_counter = 0
+            self.stats.bump("csb.flush_conflicts")
+            return FlushResult.CONFLICT
+        assert self._line_addr is not None
+        useful = sum(self._valid)
+        if self.config.pad_to_full_line:
+            burst = PendingBurst(
+                self._line_addr,
+                bytes(self._data),
+                useful,
+                sequence=-1,
+            )
+        else:
+            # Relaxed variant: issue only the covering aligned power-of-two
+            # prefix that contains all valid bytes (for buses with multiple
+            # burst sizes).  Data outside valid bytes is still zero.
+            span = self._covering_span()
+            burst = PendingBurst(
+                self._line_addr + span[0],
+                bytes(self._data[span[0] : span[0] + span[1]]),
+                useful,
+                sequence=-1,
+            )
+        self._pending.append(burst)
+        self._clear_data()
+        self._line_addr = None
+        self._pid = None
+        self._hit_counter = 0
+        self.stats.bump("csb.flushes")
+        return FlushResult.SUCCESS
+
+    def _covering_span(self) -> tuple:
+        """Smallest aligned power-of-two (offset, size) covering valid bytes."""
+        first = self._valid.index(True)
+        last = len(self._valid) - 1 - self._valid[::-1].index(True)
+        size = 1
+        while True:
+            offset = (first // size) * size
+            if offset + size > last:
+                return (offset, size)
+            size *= 2
+            if size >= self.config.line_size:
+                return (0, self.config.line_size)
+
+    # -- hand-off to the system interface --------------------------------------
+
+    def peek_burst(self) -> Optional[PendingBurst]:
+        return self._pending[0] if self._pending else None
+
+    def pop_burst(self) -> PendingBurst:
+        if not self._pending:
+            raise SimulationError("no pending CSB burst")
+        return self._pending.popleft()
+
+    # -- introspection (tests, diagnostics) -------------------------------------
+
+    @property
+    def hit_counter(self) -> int:
+        return self._hit_counter
+
+    @property
+    def line_addr(self) -> Optional[int]:
+        return self._line_addr
+
+    @property
+    def pid(self) -> Optional[int]:
+        return self._pid
+
+    @property
+    def valid_bytes(self) -> int:
+        return sum(self._valid)
+
+    def _clear_data(self) -> None:
+        for i in range(len(self._data)):
+            self._data[i] = 0
+        for i in range(len(self._valid)):
+            self._valid[i] = False

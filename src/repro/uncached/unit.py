@@ -1,0 +1,226 @@
+"""The uncached unit: the processor-side interface to uncached space.
+
+Routes every uncached operation the core issues (strictly in program order,
+at or after retirement) by page attribute:
+
+* ``UNCACHED`` stores and loads go to the conventional uncached buffer.
+* ``UNCACHED_COMBINING`` stores go to the conditional store buffer; a
+  ``swap`` to this space is the conditional flush.
+* Uncached **loads always bypass the CSB** (paper §3.2: combined stores have
+  not been committed yet, so loads are routed like ordinary uncached loads).
+
+The unit also owns the CPU-cycle/bus-cycle boundary: the bus ticks once
+every ``cpu_ratio`` CPU cycles, and issue arbitration between the uncached
+buffer and a pending CSB burst is strictly by program order (sequence
+numbers), preserving strong ordering across the two paths.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from repro.common.config import CSBConfig
+from repro.common.errors import SimulationError
+from repro.common.stats import StatsCollector
+from repro.bus.base import SystemBus
+from repro.bus.transaction import BusTransaction, KIND_CSB_FLUSH, KIND_SYNC
+from repro.memory.layout import PageAttr
+from repro.memory.tlb import AttributeTLB
+from repro.uncached.buffer import UncachedBuffer
+from repro.uncached.csb import ConditionalStoreBuffer, FlushResult
+
+ValueCallback = Callable[[int, int], None]  # (value, cpu_cycle)
+
+
+class UncachedUnit:
+    """Glue between the core's retire stage and the uncached hardware."""
+
+    def __init__(
+        self,
+        buffer: UncachedBuffer,
+        csb: ConditionalStoreBuffer,
+        bus: SystemBus,
+        tlb: AttributeTLB,
+        stats: StatsCollector,
+        cpu_ratio: int,
+        csb_config: CSBConfig,
+    ) -> None:
+        self.buffer = buffer
+        self.csb = csb
+        self.bus = bus
+        self.tlb = tlb
+        self.stats = stats
+        self.cpu_ratio = cpu_ratio
+        self.csb_config = csb_config
+        self._sequence = 0
+        self._now = 0
+        #: Optional RefillEngine with bus priority over the uncached path.
+        self.refill_engine = None
+        # (due_cpu_cycle, callback, value) for CSB flush results.
+        self._scheduled: List[Tuple[int, ValueCallback, int]] = []
+        # Sequence number attached to the oldest pending CSB burst.
+        self._csb_burst_seqs: List[int] = []
+
+    # -- issue API (called by the core at retirement, program order) -----------
+
+    def issue_store(self, address: int, size: int, value: int, pid: int) -> bool:
+        """Route an uncached store; False means the core must stall/retry."""
+        attr = self.tlb.attribute_of(address)
+        data = (value & ((1 << (8 * size)) - 1)).to_bytes(size, "big")
+        if size > 8:
+            # A VIS-style block store: a pre-combined atomic burst that
+            # bypasses both the CSB and the combining machinery.
+            if not attr.is_uncached:
+                raise SimulationError(
+                    f"block store to cached address {address:#x}"
+                )
+            return self.buffer.accept_block_store(address, data, self._next_seq())
+        if attr is PageAttr.UNCACHED_COMBINING:
+            if not self.csb.line_buffer_free:
+                self.stats.bump("csb.store_stalls")
+                return False
+            self.csb.store(address, data, pid)
+            return True
+        if attr is PageAttr.UNCACHED:
+            return self.buffer.accept_store(address, data, self._next_seq())
+        raise SimulationError(
+            f"uncached unit received a cached store at {address:#x}"
+        )
+
+    def issue_load(
+        self, address: int, size: int, callback: ValueCallback
+    ) -> bool:
+        """Route an uncached load; data returns through ``callback``."""
+        attr = self.tlb.attribute_of(address)
+        if not attr.is_uncached:
+            raise SimulationError(f"uncached unit received a cached load at {address:#x}")
+
+        def deliver(data: bytes, _bus_end: int) -> None:
+            callback(int.from_bytes(data, "big"), self._now)
+
+        return self.buffer.accept_load(address, size, self._next_seq(), deliver)
+
+    def issue_swap(
+        self,
+        address: int,
+        pid: int,
+        expected: int,
+        callback: ValueCallback,
+    ) -> bool:
+        """Route an uncached swap.
+
+        In combining space this is the conditional flush: the result
+        (``expected`` on success, 0 on conflict) is delivered after the CSB's
+        flush latency.  In plain uncached space it is an atomic exchange at
+        the device: a read transaction followed by a write of the register
+        value (the device serializes, so the pair is atomic on a single bus).
+        """
+        attr = self.tlb.attribute_of(address)
+        if attr is PageAttr.UNCACHED_COMBINING:
+            if not self.csb.line_buffer_free:
+                self.stats.bump("csb.flush_stalls")
+                return False
+            result = self.csb.conditional_flush(address, pid, expected)
+            if result is FlushResult.SUCCESS:
+                self._csb_burst_seqs.append(self._next_seq())
+                value = expected
+            else:
+                value = 0
+            due = self._now + self.csb_config.flush_latency
+            self._scheduled.append((due, callback, value))
+            return True
+        if attr is PageAttr.UNCACHED:
+            return self._issue_uncached_swap(address, expected, callback)
+        raise SimulationError(f"uncached unit received a cached swap at {address:#x}")
+
+    def _issue_uncached_swap(
+        self, address: int, new_value: int, callback: ValueCallback
+    ) -> bool:
+        sequence = self._next_seq()
+
+        def on_read(data: bytes, _bus_end: int) -> None:
+            old = int.from_bytes(data, "big")
+            payload = (new_value & ((1 << 64) - 1)).to_bytes(8, "big")
+            if not self.buffer.accept_store(address, payload, self._next_seq()):
+                raise SimulationError("uncached swap write overflowed the buffer")
+            callback(old, self._now)
+
+        return self.buffer.accept_load(address, 8, sequence, on_read)
+
+    def issue_sync(self, address: int, callback: ValueCallback) -> bool:
+        """A synchronization broadcast (a store-conditional's bus
+        transaction): a doubleword round trip ordered with the uncached
+        stream; the callback fires when the transaction completes."""
+
+        def deliver(_data: bytes, _bus_end: int) -> None:
+            callback(0, self._now)
+
+        aligned = address - (address % 8)
+        return self.buffer.accept_load(
+            aligned, 8, self._next_seq(), deliver, kind=KIND_SYNC
+        )
+
+    def barrier_clear(self) -> bool:
+        """True when a membar may graduate: the uncached buffer is empty
+        (every earlier uncached transaction has left the buffer)."""
+        return self.buffer.empty
+
+    # -- clocking ---------------------------------------------------------------
+
+    def tick(self, cpu_cycle: int) -> None:
+        """Advance one CPU cycle: deliver due flush results; on bus-cycle
+        boundaries, complete bus transactions and issue new ones."""
+        self._now = cpu_cycle
+        if self._scheduled:
+            due_now = [item for item in self._scheduled if item[0] <= cpu_cycle]
+            if due_now:
+                self._scheduled = [i for i in self._scheduled if i[0] > cpu_cycle]
+                for _, callback, value in due_now:
+                    callback(value, cpu_cycle)
+        if cpu_cycle % self.cpu_ratio == 0:
+            bus_cycle = cpu_cycle // self.cpu_ratio
+            self.bus.tick(bus_cycle)
+            if self.refill_engine is not None and self.refill_engine.tick_bus(
+                bus_cycle
+            ):
+                return  # memory traffic won the bus this cycle
+            self._arbitrate(bus_cycle)
+
+    def _arbitrate(self, bus_cycle: int) -> None:
+        """Program-order arbitration between the buffer and a CSB burst."""
+        buffer_seq = self.buffer.head_sequence
+        csb_seq = self._csb_burst_seqs[0] if self._csb_burst_seqs else None
+        if buffer_seq is None and csb_seq is None:
+            return
+        if csb_seq is None or (buffer_seq is not None and buffer_seq < csb_seq):
+            self.buffer.tick_bus(bus_cycle)
+        else:
+            self._try_issue_csb_burst(bus_cycle)
+
+    def _try_issue_csb_burst(self, bus_cycle: int) -> None:
+        burst = self.csb.peek_burst()
+        if burst is None:
+            raise SimulationError("CSB burst sequence recorded but no burst pending")
+        txn = BusTransaction(
+            address=burst.address,
+            size=len(burst.data),
+            kind=KIND_CSB_FLUSH,
+            data=burst.data,
+            useful_bytes=burst.useful_bytes,
+        )
+        if self.bus.try_issue(txn, bus_cycle):
+            self.csb.pop_burst()
+            self._csb_burst_seqs.pop(0)
+
+    def quiescent(self) -> bool:
+        """No pending work anywhere (used by the system run loop)."""
+        return (
+            self.buffer.empty
+            and self.csb.pending_bursts == 0
+            and not self._scheduled
+            and self.bus.drain_complete()
+        )
+
+    def _next_seq(self) -> int:
+        self._sequence += 1
+        return self._sequence

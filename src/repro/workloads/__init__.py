@@ -1,0 +1,34 @@
+"""Microbenchmark kernel generators (paper §4.2).
+
+Each generator emits SPARC-flavoured assembly text (assembled with
+:func:`repro.isa.assemble`), so the benchmark sources remain as readable as
+the paper's own listing.
+"""
+
+from repro.workloads.storebw import (
+    store_kernel_csb,
+    store_kernel_uncached,
+    TRANSFER_SIZES,
+)
+from repro.workloads.lockbench import (
+    csb_access_kernel,
+    locked_access_kernel,
+)
+from repro.workloads.messaging import (
+    pio_send_kernel,
+    csb_send_kernel,
+    dma_send_kernel,
+)
+from repro.workloads.contention import contending_csb_kernel
+
+__all__ = [
+    "TRANSFER_SIZES",
+    "contending_csb_kernel",
+    "csb_access_kernel",
+    "csb_send_kernel",
+    "dma_send_kernel",
+    "locked_access_kernel",
+    "pio_send_kernel",
+    "store_kernel_csb",
+    "store_kernel_uncached",
+]

@@ -1,0 +1,60 @@
+"""VIS block-store kernels (paper §6, related work).
+
+SPARC V9 VIS block moves transfer a whole cache line between the FP
+registers and memory, bypassing the cache — atomic for free, but "floating
+point registers are not very well suited as a source for general I/O
+operations".  Two kernels quantify that:
+
+* :func:`blockstore_kernel` — best case: the payload already sits in the
+  FP registers (e.g. the result of an FP computation).
+* :func:`blockstore_marshalled_kernel` — the realistic case the paper's
+  critique targets: integer payload must be marshalled through memory
+  into the FP registers before the block store can issue.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.common.config import DOUBLEWORD
+from repro.memory.layout import DRAM_BASE, IO_UNCACHED_BASE
+from repro.workloads.lockbench import MARK_DONE, MARK_START
+
+#: Cached scratch line used for the int->FP marshalling path.
+SCRATCH_ADDR = DRAM_BASE + 0xC000
+
+
+def blockstore_kernel(data_base: int = IO_UNCACHED_BASE) -> str:
+    """One atomic 64-byte block store, payload preloaded in %f0..%f14."""
+    return "\n".join(
+        [
+            f"mark {MARK_START}",
+            f"set {data_base}, %o1",
+            "stblk [%o1]",
+            f"mark {MARK_DONE}",
+            "halt",
+        ]
+    )
+
+
+def blockstore_marshalled_kernel(
+    data_base: int = IO_UNCACHED_BASE,
+    scratch: int = SCRATCH_ADDR,
+) -> str:
+    """Marshal 8 integer doublewords through memory into the FP file,
+    then block-store them."""
+    lines: List[str] = [
+        f"mark {MARK_START}",
+        f"set {data_base}, %o1",
+        f"set {scratch}, %o2",
+    ]
+    for i in range(8):
+        lines.append(f"stx %l{i % 4}, [%o2+{i * DOUBLEWORD}]")
+    for i in range(8):
+        lines.append(f"ldd [%o2+{i * DOUBLEWORD}], %f{i * 2}")
+    lines += [
+        "stblk [%o1]",
+        f"mark {MARK_DONE}",
+        "halt",
+    ]
+    return "\n".join(lines)

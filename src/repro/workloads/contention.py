@@ -1,0 +1,83 @@
+"""Multi-process CSB contention workload (paper §3.2's interleaving).
+
+Each process repeatedly performs a combining-store sequence plus
+conditional flush.  When the scheduler preempts a process between its
+stores and its flush, the competitor's first combining store clears the
+buffer, the interrupted process's flush returns zero, and its software
+retry loop re-issues the sequence — the optimistic non-blocking protocol.
+Conflicts are visible in the ``csb.flush_conflicts`` counter, and every
+successfully flushed line is visible at the device exactly once.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.common.config import DOUBLEWORD
+from repro.common.errors import ConfigError
+
+
+def contending_csb_kernel(
+    iterations: int,
+    base: int,
+    n_doublewords: int = 8,
+    signature: int = 0,
+    backoff: bool = False,
+    backoff_cap: int = 256,
+) -> str:
+    """``iterations`` flush sequences of ``n_doublewords`` stores to ``base``.
+
+    ``signature`` seeds the stored values so tests can attribute every
+    flushed line to the process that produced it.
+
+    ``backoff`` enables the paper's livelock mitigation (§3.2: "use an
+    exponential backoff algorithm to reduce the likelihood of a
+    conflict"): after a failed flush the process spins for a delay that
+    doubles on every consecutive failure (capped at ``backoff_cap`` loop
+    iterations) before retrying, and resets on success.
+    """
+    if iterations < 1:
+        raise ConfigError("iterations must be >= 1")
+    if n_doublewords < 1:
+        raise ConfigError("need at least one store per sequence")
+    lines: List[str] = [
+        f"set {base}, %o1",
+        f"set {iterations}, %l7",
+        f"set {signature}, %l0",
+        "set 1, %l5",                # current backoff (spin iterations)
+        ".LOOP:",
+        ".RETRY:",
+        f"set {n_doublewords}, %l4",
+    ]
+    for i in range(n_doublewords):
+        lines.append(f"stx %l0, [%o1+{i * DOUBLEWORD}]")
+    lines += [
+        "swap [%o1], %l4",
+        f"cmp %l4, {n_doublewords}",
+    ]
+    if backoff:
+        lines += [
+            "be .OK",
+            # Failed flush: double the backoff (capped) and spin it down.
+            "add %l5, %l5, %l5",
+            f"cmp %l5, {backoff_cap}",
+            "ble .SPIN_SETUP",
+            f"set {backoff_cap}, %l5",
+            ".SPIN_SETUP:",
+            "or %l5, 0, %l6",
+            ".SPIN:",
+            "sub %l6, 1, %l6",
+            "brnz %l6, .SPIN",
+            "ba .RETRY",
+            ".OK:",
+            "set 1, %l5",            # success resets the backoff
+        ]
+    else:
+        lines.append("bnz .RETRY")
+    lines += [
+        "add %l0, 1, %l0",           # vary the payload per iteration
+        "sub %l7, 1, %l7",
+        "brnz %l7, .LOOP",
+        "halt",
+    ]
+    return "\n".join(lines)

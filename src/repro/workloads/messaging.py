@@ -1,0 +1,114 @@
+"""Message-send kernels over the NIC (paper §2 and §5).
+
+Three ways to push a short message out of a user-level process:
+
+* :func:`pio_send_kernel` — the conventional path: take the device lock,
+  assemble the payload in NIC packet memory with programmed I/O, push a
+  descriptor, release the lock.
+* :func:`csb_send_kernel` — the CSB path: combine payload stores in the
+  CSB and commit them with one conditional flush, which lands in the NIC's
+  TX FIFO window as a single atomic burst (an inline packet).  No lock.
+* :func:`dma_send_kernel` — program the DMA engine (source, length,
+  doorbell) and poll for completion; the setup overhead dominates for
+  short messages.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.common.config import DOUBLEWORD
+from repro.common.errors import ConfigError
+from repro.devices.nic import PACKET_MEMORY_OFFSET
+from repro.devices import dma as dma_regs
+from repro.workloads.lockbench import DEFAULT_LOCK_ADDR, MARK_DONE, MARK_START
+
+
+def _check_payload(payload_bytes: int) -> None:
+    if payload_bytes < DOUBLEWORD or payload_bytes % DOUBLEWORD:
+        raise ConfigError(
+            f"payload must be a positive multiple of {DOUBLEWORD} bytes"
+        )
+
+
+def pio_send_kernel(
+    payload_bytes: int,
+    nic_base: int,
+    lock_addr: int = DEFAULT_LOCK_ADDR,
+    packet_slot: int = 0,
+) -> str:
+    """Locked PIO send: assemble in packet memory, push a descriptor."""
+    _check_payload(payload_bytes)
+    slot_offset = PACKET_MEMORY_OFFSET + packet_slot
+    descriptor = (packet_slot << 16) | payload_bytes
+    lines: List[str] = [
+        f"mark {MARK_START}",
+        f"set {lock_addr}, %o0",
+        f"set {nic_base + slot_offset}, %o1",
+        f"set {nic_base}, %o2",
+        ".ACQ:",
+        "set 1, %l6",
+        "swap [%o0], %l6",
+        "brnz %l6, .ACQ",
+        "membar",
+    ]
+    for i in range(payload_bytes // DOUBLEWORD):
+        lines.append(f"stx %l{i % 4}, [%o1+{i * DOUBLEWORD}]")
+    lines += [
+        f"set {descriptor}, %l5",
+        "stx %l5, [%o2]",            # descriptor push initiates transmit
+        "membar",
+        "stx %g0, [%o0]",            # release
+        f"mark {MARK_DONE}",
+        "halt",
+    ]
+    return "\n".join(lines)
+
+
+def csb_send_kernel(payload_bytes: int, nic_fifo_base: int) -> str:
+    """Lock-free CSB send: the flushed line IS the packet (inline send).
+
+    ``nic_fifo_base`` must be the (line-aligned) TX FIFO window of a NIC
+    mapped in uncached-combining space.
+    """
+    _check_payload(payload_bytes)
+    n = payload_bytes // DOUBLEWORD
+    lines: List[str] = [
+        f"mark {MARK_START}",
+        f"set {nic_fifo_base}, %o1",
+        ".RETRY:",
+        f"set {n}, %l4",
+    ]
+    for i in range(n):
+        lines.append(f"stx %l{i % 4}, [%o1+{i * DOUBLEWORD}]")
+    lines += [
+        "swap [%o1], %l4",
+        f"cmp %l4, {n}",
+        "bnz .RETRY",
+        f"mark {MARK_DONE}",
+        "halt",
+    ]
+    return "\n".join(lines)
+
+
+def dma_send_kernel(src_addr: int, payload_bytes: int, dma_base: int) -> str:
+    """DMA send: program SRC/LEN, ring the doorbell, poll STATUS."""
+    if payload_bytes < 1:
+        raise ConfigError("payload must be non-empty")
+    lines: List[str] = [
+        f"mark {MARK_START}",
+        f"set {dma_base}, %o2",
+        f"set {src_addr}, %l5",
+        f"stx %l5, [%o2+{dma_regs.SRC_OFFSET}]",
+        f"set {payload_bytes}, %l5",
+        f"stx %l5, [%o2+{dma_regs.LEN_OFFSET}]",
+        "membar",
+        f"stx %g0, [%o2+{dma_regs.DOORBELL_OFFSET}]",
+        "membar",
+        ".POLL:",
+        f"ldx [%o2+{dma_regs.STATUS_OFFSET}], %l6",
+        "brz %l6, .POLL",
+        f"mark {MARK_DONE}",
+        "halt",
+    ]
+    return "\n".join(lines)

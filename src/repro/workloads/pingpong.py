@@ -1,0 +1,118 @@
+"""Two-node ping-pong kernels (the paper's motivating workload).
+
+Node A sends a short message, then polls its NIC's RX status until the
+reply lands; node B polls, consumes the message, and echoes it back.  The
+round-trip time is the per-message latency the paper's §5 argues dominates
+fine-grain parallel scalability.
+
+Two send paths per node:
+
+* ``csb`` — payload combined in the CSB and committed with one conditional
+  flush straight into the NIC's TX FIFO window (inline packet, no lock).
+* ``pio`` — the conventional driver path: take the device lock, assemble
+  the payload in NIC packet memory with uncached stores, push a
+  descriptor, release the lock.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.common.config import DOUBLEWORD
+from repro.common.errors import ConfigError
+from repro.devices import nic as nic_regs
+from repro.workloads.lockbench import DEFAULT_LOCK_ADDR
+
+MARK_RTT_START = "rtt_start"
+MARK_RTT_DONE = "rtt_done"
+SEND_METHODS = ("csb", "pio")
+
+
+def _send_lines(
+    method: str,
+    payload_dwords: int,
+    nic_uncached: int,
+    nic_combining: int,
+    label_prefix: str,
+) -> List[str]:
+    if method == "csb":
+        lines = [
+            f"set {nic_combining}, %o1",
+            f"{label_prefix}RETRY:",
+            f"set {payload_dwords}, %l4",
+        ]
+        for i in range(payload_dwords):
+            lines.append(f"stx %l0, [%o1+{i * DOUBLEWORD}]")
+        lines += [
+            "swap [%o1], %l4",
+            f"cmp %l4, {payload_dwords}",
+            f"bnz {label_prefix}RETRY",
+        ]
+        return lines
+    if method == "pio":
+        slot = nic_regs.PACKET_MEMORY_OFFSET
+        descriptor = (0 << 16) | (payload_dwords * DOUBLEWORD)
+        lines = [
+            f"set {DEFAULT_LOCK_ADDR}, %o0",
+            f"set {nic_uncached + slot}, %o1",
+            f"set {nic_uncached}, %o2",
+            f"{label_prefix}ACQ:",
+            "set 1, %l6",
+            "swap [%o0], %l6",
+            f"brnz %l6, {label_prefix}ACQ",
+            "membar",
+        ]
+        for i in range(payload_dwords):
+            lines.append(f"stx %l0, [%o1+{i * DOUBLEWORD}]")
+        lines += [
+            f"set {descriptor}, %l5",
+            "stx %l5, [%o2]",
+            "membar",
+            "stx %g0, [%o0]",
+        ]
+        return lines
+    raise ConfigError(f"unknown send method {method!r}")
+
+
+def _poll_and_consume_lines(nic_uncached: int, label: str) -> List[str]:
+    return [
+        f"set {nic_uncached + nic_regs.RX_STATUS_OFFSET}, %o4",
+        f"set {nic_uncached + nic_regs.RX_WINDOW_OFFSET}, %o5",
+        f"{label}:",
+        "ldx [%o4], %l6",
+        f"brz %l6, {label}",
+        "ldx [%o5], %l0",     # first payload doubleword (echoed back)
+        f"stx %g0, [%o4+{nic_regs.RX_CONSUME_OFFSET - nic_regs.RX_STATUS_OFFSET}]",
+    ]
+
+
+def ping_kernel(
+    method: str,
+    payload_dwords: int,
+    nic_uncached: int,
+    nic_combining: int,
+) -> str:
+    """Node A: send, await the echo, consume it."""
+    if payload_dwords < 1 or payload_dwords > 8:
+        raise ConfigError("inline ping payload is 1..8 doublewords")
+    lines = [
+        "set 0x1234000000000000, %l0",   # payload signature
+        f"mark {MARK_RTT_START}",
+    ]
+    lines += _send_lines(method, payload_dwords, nic_uncached, nic_combining, ".S")
+    lines += _poll_and_consume_lines(nic_uncached, ".POLL")
+    lines += [f"mark {MARK_RTT_DONE}", "halt"]
+    return "\n".join(lines)
+
+
+def pong_kernel(
+    method: str,
+    payload_dwords: int,
+    nic_uncached: int,
+    nic_combining: int,
+) -> str:
+    """Node B: await the message, echo its first doubleword back."""
+    lines = _poll_and_consume_lines(nic_uncached, ".WAIT")
+    lines += _send_lines(method, payload_dwords, nic_uncached, nic_combining, ".R")
+    lines += ["halt"]
+    return "\n".join(lines)

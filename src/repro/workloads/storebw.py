@@ -1,0 +1,115 @@
+"""Store-bandwidth microbenchmark (paper §4.2, first benchmark).
+
+"Uncached store bandwidth is measured using a tight loop of doubleword
+stores.  The loop is unrolled so that in each iteration a complete cache
+line worth of data is stored."  We emit the fully unrolled store sequence
+(the largest transfer is 1 KB = 128 doubleword stores), which is the same
+instruction stream the unrolled loop produces without the loop-control
+noise.
+
+Two variants:
+
+* :func:`store_kernel_uncached` — plain doubleword stores to uncached
+  space; the hardware uncached buffer (non-combining or combining,
+  depending on system configuration) turns them into bus transactions.
+* :func:`store_kernel_csb` — stores to uncached-combining space in
+  line-sized groups, each committed with a conditional flush and the
+  paper's retry idiom.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.common.config import DOUBLEWORD
+from repro.common.errors import ConfigError
+from repro.memory.layout import IO_COMBINING_BASE, IO_UNCACHED_BASE
+
+#: Transfer sizes swept in Figures 3 and 4 (bytes).
+TRANSFER_SIZES = (16, 32, 64, 128, 256, 512, 1024)
+
+#: Registers cycled through as store sources, so consecutive stores do not
+#: share a data dependency.
+_DATA_REGS = ("%l0", "%l1", "%l2", "%l3")
+
+
+def _check_args(total_bytes: int) -> None:
+    if total_bytes < DOUBLEWORD or total_bytes % DOUBLEWORD:
+        raise ConfigError(
+            f"transfer size must be a positive multiple of {DOUBLEWORD} bytes, "
+            f"got {total_bytes}"
+        )
+
+
+def store_kernel_uncached(total_bytes: int, base: int = IO_UNCACHED_BASE) -> str:
+    """Doubleword-store stream to plain uncached space."""
+    _check_args(total_bytes)
+    lines: List[str] = [
+        f"set {base}, %o1",
+        "set 0x1111111111111111, %l0",
+        "set 0x2222222222222222, %l1",
+        "set 0x3333333333333333, %l2",
+        "set 0x4444444444444444, %l3",
+    ]
+    for i in range(total_bytes // DOUBLEWORD):
+        reg = _DATA_REGS[i % len(_DATA_REGS)]
+        lines.append(f"stx {reg}, [%o1+{i * DOUBLEWORD}]")
+    lines.append("membar")
+    lines.append("halt")
+    return "\n".join(lines)
+
+
+def store_kernel_csb(
+    total_bytes: int,
+    line_size: int,
+    base: int = IO_COMBINING_BASE,
+    interleave: bool = False,
+) -> str:
+    """Doubleword-store stream through the conditional store buffer.
+
+    Stores are grouped per cache line; each group ends with the paper's
+    flush-check-retry idiom (§3.2)::
+
+        set <n>, %l4
+        stx ..., [%o1 + ...]     ! n stores, any order
+        swap [%o1 + group], %l4  ! conditional flush
+        cmp %l4, <n>
+        bnz .RETRY_g             ! retry on failure
+
+    ``interleave`` issues each group's stores out of order (even slots
+    first, then odd) — the CSB accepts any order within a line (§3.2),
+    so this must not change the result.
+    """
+    _check_args(total_bytes)
+    if line_size % DOUBLEWORD or line_size < DOUBLEWORD:
+        raise ConfigError(f"bad line size {line_size}")
+    lines: List[str] = [
+        f"set {base}, %o1",
+        "set 0x1111111111111111, %l0",
+        "set 0x2222222222222222, %l1",
+        "set 0x3333333333333333, %l2",
+        "set 0x4444444444444444, %l3",
+    ]
+    dwords_total = total_bytes // DOUBLEWORD
+    dwords_per_line = line_size // DOUBLEWORD
+    group = 0
+    emitted = 0
+    while emitted < dwords_total:
+        in_group = min(dwords_per_line, dwords_total - emitted)
+        group_base = emitted * DOUBLEWORD
+        lines.append(f".RETRY{group}:")
+        lines.append(f"set {in_group}, %l4")
+        slots = list(range(in_group))
+        if interleave:
+            slots = slots[::2] + slots[1::2]
+        for i in slots:
+            reg = _DATA_REGS[(emitted + i) % len(_DATA_REGS)]
+            offset = group_base + i * DOUBLEWORD
+            lines.append(f"stx {reg}, [%o1+{offset}]")
+        lines.append(f"swap [%o1+{group_base}], %l4    ! conditional flush")
+        lines.append(f"cmp %l4, {in_group}")
+        lines.append(f"bnz .RETRY{group}")
+        emitted += in_group
+        group += 1
+    lines.append("halt")
+    return "\n".join(lines)

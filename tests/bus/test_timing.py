@@ -1,0 +1,215 @@
+"""Bus timing: the paper's cycle-count anchors, flow control, pipelining.
+
+Key anchors from §4.3.1:
+
+* multiplexed 8-byte bus: a doubleword transaction takes 2 cycles;
+* with a turnaround cycle: 1 txn = 2 cycles, 2 txns = 5, 3 txns = 8;
+* a 64-byte burst takes 9 cycles (1 address + 8 data);
+* min-addr-delay 8 completely overlaps an 8-data-cycle burst;
+* split 128-bit bus: a 64-byte burst takes 4 data cycles; a doubleword
+  still takes 1 (wasted width).
+"""
+
+import pytest
+
+from repro.common.config import BusConfig
+from repro.common.stats import StatsCollector
+from repro.bus.base import TargetRegistry
+from repro.bus.multiplexed import MultiplexedBus
+from repro.bus.split import SplitBus
+from repro.bus.transaction import (
+    BusTransaction,
+    KIND_UNCACHED_LOAD,
+    KIND_UNCACHED_STORE,
+)
+from repro.memory.backing import BackingStore
+
+
+def make_mux(**kwargs) -> MultiplexedBus:
+    config = BusConfig(kind="multiplexed", width_bytes=8, **kwargs)
+    stats = StatsCollector()
+    return MultiplexedBus(config, stats, TargetRegistry(BackingStore()))
+
+
+def make_split(width: int = 16, **kwargs) -> SplitBus:
+    config = BusConfig(kind="split", width_bytes=width, **kwargs)
+    stats = StatsCollector()
+    return SplitBus(config, stats, TargetRegistry(BackingStore()))
+
+
+def store(address: int, size: int) -> BusTransaction:
+    return BusTransaction(address, size, KIND_UNCACHED_STORE, data=bytes(size))
+
+
+class TestMultiplexedTiming:
+    def test_doubleword_takes_two_cycles(self):
+        bus = make_mux()
+        txn = store(0x100, 8)
+        assert bus.try_issue(txn, 0)
+        assert (txn.start_cycle, txn.end_cycle) == (0, 1)
+
+    def test_line_burst_takes_nine_cycles(self):
+        bus = make_mux()
+        txn = store(0x100, 64)
+        bus.try_issue(txn, 0)
+        assert txn.end_cycle == 8  # cycles 0..8 inclusive = 9 cycles
+
+    def test_back_to_back_without_turnaround(self):
+        bus = make_mux()
+        first, second = store(0x100, 8), store(0x108, 8)
+        assert bus.try_issue(first, 0)
+        assert not bus.try_issue(second, 1)  # bus busy
+        assert bus.try_issue(second, 2)
+        assert second.end_cycle == 3  # paper: two txns complete in 4 cycles
+
+    def test_turnaround_spacing(self):
+        # Paper: 1 txn = 2 cycles, 2 = 5, 3 = 8.
+        bus = make_mux(turnaround=1)
+        ends = []
+        cycle = 0
+        for i in range(3):
+            txn = store(0x100 + 8 * i, 8)
+            while not bus.try_issue(txn, cycle):
+                cycle += 1
+            ends.append(txn.end_cycle)
+        assert ends == [1, 4, 7]  # completes at end of cycles 2, 5, 8
+
+    def test_min_addr_delay_spaces_short_transactions(self):
+        bus = make_mux(min_addr_delay=4)
+        first, second = store(0x100, 8), store(0x108, 8)
+        bus.try_issue(first, 0)
+        assert not bus.try_issue(second, 2)
+        assert bus.try_issue(second, 4)
+
+    def test_min_addr_delay_overlapped_by_burst(self):
+        # An 8-data-cycle burst completely overlaps a delay of 8.
+        bus = make_mux(min_addr_delay=8)
+        first, second = store(0x100, 64), store(0x140, 64)
+        bus.try_issue(first, 0)
+        assert bus.try_issue(second, 9)  # immediately after the burst
+
+    def test_read_latency(self):
+        bus = make_mux()
+        bus.read_latency = 3
+        txn = BusTransaction(0x100, 8, KIND_UNCACHED_LOAD)
+        bus.try_issue(txn, 0)
+        assert txn.end_cycle == 0 + 1 + 3 + 1 - 1
+
+
+class TestSplitTiming:
+    def test_doubleword_takes_one_data_cycle(self):
+        bus = make_split(16)
+        txn = store(0x100, 8)
+        bus.try_issue(txn, 0)
+        assert txn.end_cycle == 0
+
+    def test_line_burst_128bit_takes_four_cycles(self):
+        bus = make_split(16)
+        txn = store(0x100, 64)
+        bus.try_issue(txn, 0)
+        assert txn.end_cycle == 3
+
+    def test_line_burst_256bit_takes_two_cycles(self):
+        bus = make_split(32)
+        txn = store(0x100, 64)
+        bus.try_issue(txn, 0)
+        assert txn.end_cycle == 1
+
+    def test_back_to_back_data_cycles(self):
+        bus = make_split(16)
+        bus.try_issue(store(0x100, 8), 0)
+        assert bus.try_issue(store(0x108, 8), 1)
+
+
+class TestCompletionAndDelivery:
+    def test_store_data_reaches_backing(self):
+        backing = BackingStore()
+        bus = MultiplexedBus(
+            BusConfig(), StatsCollector(), TargetRegistry(backing)
+        )
+        txn = BusTransaction(
+            0x100, 8, KIND_UNCACHED_STORE, data=b"\x01\x02\x03\x04\x05\x06\x07\x08"
+        )
+        bus.try_issue(txn, 0)
+        bus.tick(5)
+        assert backing.read_bytes(0x100, 8) == b"\x01\x02\x03\x04\x05\x06\x07\x08"
+
+    def test_completion_callback_fires_once_with_end_cycle(self):
+        bus = make_mux()
+        seen = []
+        txn = store(0x100, 8)
+        txn.on_complete = seen.append
+        bus.try_issue(txn, 0)
+        bus.tick(0)  # not yet complete
+        assert seen == []
+        bus.tick(1)
+        bus.tick(2)
+        assert seen == [1]
+
+    def test_load_result_data(self):
+        backing = BackingStore()
+        backing.write_bytes(0x100, b"ABCDEFGH")
+        bus = MultiplexedBus(
+            BusConfig(), StatsCollector(), TargetRegistry(backing)
+        )
+        txn = BusTransaction(0x100, 8, KIND_UNCACHED_LOAD)
+        bus.try_issue(txn, 0)
+        bus.tick(20)
+        assert txn.result_data == b"ABCDEFGH"
+
+    def test_drain_complete(self):
+        bus = make_mux()
+        assert bus.drain_complete()
+        bus.try_issue(store(0x100, 8), 0)
+        assert not bus.drain_complete()
+        bus.tick(1)
+        assert bus.drain_complete()
+
+    def test_oversized_transaction_rejected(self):
+        from repro.common.errors import SimulationError
+
+        bus = make_mux()
+        with pytest.raises(SimulationError):
+            bus.try_issue(store(0x0, 128), 0)
+
+    def test_stats_recorded(self):
+        bus = make_mux()
+        bus.try_issue(store(0x100, 64), 0)
+        assert bus.stats.get("bus.transactions") == 1
+        assert bus.stats.get("bus.bursts") == 1
+        assert bus.stats.get("bus.bytes_wire") == 64
+
+
+class TestTargetRegistry:
+    def test_unclaimed_addresses_hit_backing(self):
+        backing = BackingStore()
+        registry = TargetRegistry(backing)
+        registry.write(0x50, b"xy")
+        assert backing.read_bytes(0x50, 2) == b"xy"
+        assert registry.read(0x50, 2) == b"xy"
+
+    def test_device_routing(self):
+        from repro.devices.sink import BurstSink
+        from repro.memory.layout import PageAttr, Region
+
+        backing = BackingStore()
+        registry = TargetRegistry(backing)
+        region = Region(0x1000, 0x1000, PageAttr.UNCACHED, "dev")
+        sink = BurstSink(region)
+        registry.register(region, sink)
+        registry.write(0x1008, b"hi")
+        assert sink.log == [(8, b"hi")]
+        assert backing.read_bytes(0x1008, 2) == b"\x00\x00"  # not in backing
+        assert registry.read(0x1008, 2) == b"hi"
+
+    def test_overlapping_device_rejected(self):
+        from repro.common.errors import SimulationError
+        from repro.devices.sink import BurstSink
+        from repro.memory.layout import PageAttr, Region
+
+        registry = TargetRegistry(BackingStore())
+        r1 = Region(0x1000, 0x1000, PageAttr.UNCACHED, "a")
+        r2 = Region(0x1800, 0x1000, PageAttr.UNCACHED, "b")
+        registry.register(r1, BurstSink(r1))
+        with pytest.raises(SimulationError):
+            registry.register(r2, BurstSink(r2))

@@ -1,0 +1,58 @@
+"""Bus transaction validation."""
+
+import pytest
+
+from repro.common.errors import AlignmentError
+from repro.bus.transaction import (
+    BusTransaction,
+    KIND_CSB_FLUSH,
+    KIND_UNCACHED_LOAD,
+    KIND_UNCACHED_STORE,
+)
+
+
+class TestValidation:
+    def test_store_needs_data(self):
+        with pytest.raises(ValueError):
+            BusTransaction(0x100, 8, KIND_UNCACHED_STORE)
+
+    def test_data_length_must_match(self):
+        with pytest.raises(ValueError):
+            BusTransaction(0x100, 8, KIND_UNCACHED_STORE, data=b"abc")
+
+    def test_load_needs_no_data(self):
+        txn = BusTransaction(0x100, 8, KIND_UNCACHED_LOAD)
+        assert txn.is_read and not txn.is_write
+
+    def test_size_must_be_power_of_two(self):
+        with pytest.raises(AlignmentError):
+            BusTransaction(0x100, 24, KIND_UNCACHED_LOAD)
+
+    def test_natural_alignment_enforced(self):
+        with pytest.raises(AlignmentError):
+            BusTransaction(0x104, 8, KIND_UNCACHED_LOAD)
+        BusTransaction(0x104, 4, KIND_UNCACHED_LOAD)  # aligned to its size
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            BusTransaction(0x100, 8, "dma")
+
+    def test_useful_bytes_defaults_to_size(self):
+        txn = BusTransaction(0x100, 8, KIND_UNCACHED_STORE, data=bytes(8))
+        assert txn.useful_bytes == 8
+
+    def test_useful_bytes_bounded(self):
+        with pytest.raises(ValueError):
+            BusTransaction(
+                0x100, 8, KIND_UNCACHED_STORE, data=bytes(8), useful_bytes=16
+            )
+
+    def test_csb_flush_is_write_burst(self):
+        txn = BusTransaction(
+            0x100, 64, KIND_CSB_FLUSH, data=bytes(64), useful_bytes=16
+        )
+        assert txn.is_write and txn.is_burst
+
+    def test_doubleword_is_not_burst(self):
+        txn = BusTransaction(0x100, 8, KIND_UNCACHED_STORE, data=bytes(8))
+        assert not txn.is_burst

@@ -1,0 +1,105 @@
+"""Alignment and block arithmetic."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.bitops import (
+    align_down,
+    align_up,
+    block_base,
+    block_offset,
+    decompose_aligned,
+    is_aligned,
+    is_power_of_two,
+)
+from repro.common.errors import AlignmentError
+
+
+class TestPowerOfTwo:
+    def test_accepts_powers(self):
+        for exp in range(20):
+            assert is_power_of_two(1 << exp)
+
+    def test_rejects_non_powers(self):
+        for value in (0, -1, -8, 3, 6, 12, 100):
+            assert not is_power_of_two(value)
+
+
+class TestAlign:
+    def test_align_down(self):
+        assert align_down(0x47, 16) == 0x40
+        assert align_down(0x40, 16) == 0x40
+        assert align_down(7, 8) == 0
+
+    def test_align_up(self):
+        assert align_up(0x41, 16) == 0x50
+        assert align_up(0x40, 16) == 0x40
+        assert align_up(0, 8) == 0
+
+    def test_is_aligned(self):
+        assert is_aligned(64, 64)
+        assert not is_aligned(65, 64)
+
+    def test_rejects_non_power_alignment(self):
+        with pytest.raises(AlignmentError):
+            align_down(10, 3)
+        with pytest.raises(AlignmentError):
+            is_aligned(10, 0)
+
+    def test_block_helpers(self):
+        assert block_base(0x1234, 64) == 0x1200
+        assert block_offset(0x1234, 64) == 0x34
+
+
+class TestDecompose:
+    def test_aligned_run_single_piece(self):
+        assert decompose_aligned(0, 64, 64) == [(0, 64)]
+
+    def test_paper_style_fragmentation(self):
+        # 3 doublewords at offset 0: one 16-byte and one 8-byte transaction.
+        assert decompose_aligned(0, 24, 64) == [(0, 16), (16, 8)]
+
+    def test_misaligned_start(self):
+        assert decompose_aligned(8, 24, 64) == [(8, 8), (16, 16)]
+
+    def test_respects_max_size(self):
+        assert decompose_aligned(0, 64, 16) == [(0, 16), (16, 16), (32, 16), (48, 16)]
+
+    def test_seven_doublewords_needs_three_transactions(self):
+        # The fig5 effect: 7 dw = 32+16+8, 8 dw = one burst.
+        assert decompose_aligned(0, 56, 64) == [(0, 32), (32, 16), (48, 8)]
+        assert decompose_aligned(0, 64, 64) == [(0, 64)]
+
+    def test_empty_run(self):
+        assert decompose_aligned(128, 0, 64) == []
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(AlignmentError):
+            decompose_aligned(0, -8, 64)
+
+    @given(
+        address=st.integers(min_value=0, max_value=1 << 20),
+        length=st.integers(min_value=0, max_value=512),
+        max_exp=st.integers(min_value=0, max_value=8),
+    )
+    def test_property_exact_cover(self, address, length, max_exp):
+        max_size = 1 << max_exp
+        pieces = decompose_aligned(address, length, max_size)
+        # Pieces tile [address, address+length) exactly, in order.
+        cursor = address
+        for piece_addr, piece_size in pieces:
+            assert piece_addr == cursor
+            assert is_power_of_two(piece_size)
+            assert piece_size <= max_size
+            assert piece_addr % piece_size == 0  # natural alignment
+            cursor += piece_size
+        assert cursor == address + length
+
+    @given(
+        address=st.integers(min_value=0, max_value=1 << 20),
+        length=st.integers(min_value=1, max_value=512),
+    )
+    def test_property_greedy_is_minimal_for_pow2_runs(self, address, length):
+        # An aligned power-of-two run always becomes one transaction.
+        if is_power_of_two(length) and address % length == 0:
+            assert decompose_aligned(address, length, length) == [(address, length)]

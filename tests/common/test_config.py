@@ -1,0 +1,115 @@
+"""Configuration validation and derivation."""
+
+import pytest
+
+from repro.common.config import (
+    BusConfig,
+    CacheConfig,
+    CoreConfig,
+    CSBConfig,
+    MemoryHierarchyConfig,
+    SystemConfig,
+    UncachedBufferConfig,
+)
+from repro.common.errors import ConfigError
+
+
+class TestCoreConfig:
+    def test_defaults_match_paper(self):
+        core = CoreConfig()
+        assert core.dispatch_width == 4
+        assert core.retire_width == 4
+        assert core.int_units == 2
+        assert core.fp_units == 2
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"dispatch_width": 0},
+            {"retire_width": 0},
+            {"int_units": 0},
+            {"rob_entries": 2},
+            {"int_latency": 0},
+            {"branch_mispredict_penalty": -1},
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ConfigError):
+            CoreConfig(**kwargs)
+
+
+class TestCacheConfig:
+    def test_num_sets(self):
+        cache = CacheConfig(16 * 1024, 64, 2, 1)
+        assert cache.num_sets == 128
+
+    def test_rejects_non_pow2_size(self):
+        with pytest.raises(ConfigError):
+            CacheConfig(10_000, 64, 2, 1)
+
+    def test_rejects_non_pow2_sets(self):
+        with pytest.raises(ConfigError):
+            CacheConfig(16 * 1024, 64, 3, 1)
+
+
+class TestBusConfig:
+    def test_data_beats(self):
+        bus = BusConfig(width_bytes=8)
+        assert bus.data_beats(8) == 1
+        assert bus.data_beats(64) == 8
+        assert bus.data_beats(1) == 1
+        wide = BusConfig(kind="split", width_bytes=16)
+        assert wide.data_beats(8) == 1  # wasted width still costs a beat
+        assert wide.data_beats(64) == 4
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ConfigError):
+            BusConfig(kind="token-ring")
+
+    def test_rejects_burst_below_width(self):
+        with pytest.raises(ConfigError):
+            BusConfig(width_bytes=16, max_burst_bytes=8)
+
+
+class TestUncachedBufferConfig:
+    def test_no_combining_flag(self):
+        assert not UncachedBufferConfig(combine_block=8).combining
+        assert UncachedBufferConfig(combine_block=16).combining
+
+    def test_rejects_sub_doubleword_block(self):
+        with pytest.raises(ConfigError):
+            UncachedBufferConfig(combine_block=4)
+
+
+class TestCSBConfig:
+    def test_rejects_three_line_buffers(self):
+        with pytest.raises(ConfigError):
+            CSBConfig(num_line_buffers=3)
+
+
+class TestSystemConfig:
+    def test_default_is_consistent(self):
+        config = SystemConfig()
+        assert config.csb.line_size == config.memory.line_size
+
+    def test_rejects_csb_line_mismatch(self):
+        with pytest.raises(ConfigError):
+            SystemConfig(csb=CSBConfig(line_size=32))
+
+    def test_rejects_bus_without_line_bursts(self):
+        with pytest.raises(ConfigError):
+            SystemConfig(bus=BusConfig(max_burst_bytes=32))
+
+    def test_with_line_size_rederives_everything(self):
+        config = SystemConfig().with_line_size(128)
+        assert config.memory.line_size == 128
+        assert config.csb.line_size == 128
+        assert config.bus.max_burst_bytes >= 128
+
+    def test_with_line_size_clamps_combining_block(self):
+        base = SystemConfig(
+            memory=MemoryHierarchyConfig.with_line_size(64),
+            uncached=UncachedBufferConfig(combine_block=64),
+        )
+        derived = base.with_line_size(32)
+        assert derived.uncached.combine_block == 32

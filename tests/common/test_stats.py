@@ -1,0 +1,105 @@
+"""Counters, marks, and the paper-style bandwidth window."""
+
+import pytest
+
+from repro.common.stats import (
+    BandwidthWindow,
+    Counter,
+    StatsCollector,
+    TransactionRecord,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        counter = Counter("x")
+        assert counter.value == 0
+        counter.add()
+        counter.add(4)
+        assert counter.value == 5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter("x").add(-1)
+
+
+class TestBandwidthWindow:
+    def test_empty_window(self):
+        window = BandwidthWindow()
+        assert window.cycles == 0
+        assert window.bytes_per_cycle == 0.0
+
+    def test_single_transaction(self):
+        window = BandwidthWindow()
+        window.open(10)
+        window.close(11, 8)
+        assert window.cycles == 2
+        assert window.bytes_per_cycle == 4.0
+
+    def test_window_spans_first_open_to_last_close(self):
+        window = BandwidthWindow()
+        window.open(0)
+        window.close(1, 8)
+        window.open(2)
+        window.close(3, 8)
+        # 16 bytes over cycles 0..3 inclusive -> 4 bytes/cycle.
+        assert window.cycles == 4
+        assert window.bytes_per_cycle == 4.0
+
+    def test_close_before_open_rejected(self):
+        with pytest.raises(ValueError):
+            BandwidthWindow().close(0, 8)
+
+    def test_turnaround_after_last_txn_not_counted(self):
+        # Three 2-cycle transactions with a turnaround between them start
+        # at 0, 3, 6: the window is 0..7 = 8 cycles (paper's "three
+        # transactions take 8 cycles").
+        window = BandwidthWindow()
+        for start in (0, 3, 6):
+            window.open(start)
+            window.close(start + 1, 8)
+        assert window.cycles == 8
+
+
+class TestStatsCollector:
+    def test_counter_reuse(self, stats: StatsCollector):
+        stats.bump("a")
+        stats.bump("a", 2)
+        assert stats.get("a") == 3
+        assert stats.get("missing") == 0
+
+    def test_marks_and_span(self, stats: StatsCollector):
+        stats.mark("start", 100)
+        stats.mark("end", 142)
+        assert stats.span("start", "end") == 42
+
+    def test_span_missing_mark(self, stats: StatsCollector):
+        stats.mark("start", 0)
+        with pytest.raises(KeyError):
+            stats.span("start", "never")
+
+    def test_uncached_store_window_tracks_stores_and_flushes(
+        self, stats: StatsCollector
+    ):
+        stats.record_transaction(
+            TransactionRecord(0, 1, 0x100, 8, 8, "uncached_store", False)
+        )
+        stats.record_transaction(
+            TransactionRecord(2, 10, 0x140, 64, 16, "csb_flush", True)
+        )
+        window = stats.uncached_store_window
+        assert window.transactions == 2
+        # Useful bytes, not wire bytes: 8 + 16.
+        assert window.total_bytes == 24
+        assert window.cycles == 11
+
+    def test_loads_do_not_enter_store_window(self, stats: StatsCollector):
+        stats.record_transaction(
+            TransactionRecord(0, 5, 0x100, 8, 8, "uncached_load", False)
+        )
+        assert stats.uncached_store_window.transactions == 0
+
+    def test_as_dict_sorted_snapshot(self, stats: StatsCollector):
+        stats.bump("b")
+        stats.bump("a")
+        assert list(stats.as_dict()) == ["a", "b"]

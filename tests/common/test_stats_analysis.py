@@ -1,0 +1,94 @@
+"""Bus-activity analysis on the stats collector."""
+
+import pytest
+
+from repro.common.stats import StatsCollector, TransactionRecord
+
+
+def record(start, end, size, kind="uncached_store", useful=None):
+    return TransactionRecord(
+        start_cycle=start,
+        end_cycle=end,
+        address=0x1000,
+        size=size,
+        useful_bytes=size if useful is None else useful,
+        kind=kind,
+        burst=size > 8,
+    )
+
+
+@pytest.fixture
+def busy_stats():
+    stats = StatsCollector()
+    stats.record_transaction(record(0, 1, 8))
+    stats.record_transaction(record(2, 3, 8))
+    stats.record_transaction(record(10, 18, 64, kind="csb_flush", useful=16))
+    stats.record_transaction(record(20, 28, 64, kind="refill"))
+    return stats
+
+
+class TestHistograms:
+    def test_size_histogram_all(self, busy_stats):
+        assert busy_stats.size_histogram() == {8: 2, 64: 2}
+
+    def test_size_histogram_by_kind(self, busy_stats):
+        assert busy_stats.size_histogram("uncached_store") == {8: 2}
+        assert busy_stats.size_histogram("csb_flush") == {64: 1}
+
+    def test_bytes_by_kind(self, busy_stats):
+        assert busy_stats.bytes_by_kind() == {
+            "csb_flush": 64,
+            "refill": 64,
+            "uncached_store": 16,
+        }
+
+
+class TestUtilization:
+    def test_busy_cycles(self, busy_stats):
+        assert busy_stats.bus_busy_cycles() == 2 + 2 + 9 + 9
+
+    def test_utilization_over_span(self, busy_stats):
+        # Span 0..28 inclusive = 29 cycles, 22 busy.
+        assert busy_stats.bus_utilization() == pytest.approx(22 / 29)
+
+    def test_empty_collector(self):
+        stats = StatsCollector()
+        assert stats.bus_utilization() == 0.0
+        assert stats.efficiency() == 0.0
+
+    def test_efficiency_counts_padding(self, busy_stats):
+        # 8+8+16+64 useful over 8+8+64+64 wire.
+        assert busy_stats.efficiency() == pytest.approx(96 / 144)
+
+
+class TestEndToEnd:
+    def test_csb_histogram_is_all_lines(self):
+        from repro import System, assemble
+        from repro.workloads import store_kernel_csb
+        from tests.conftest import make_config
+
+        system = System(make_config())
+        system.add_process(assemble(store_kernel_csb(512, 64)))
+        system.run()
+        assert system.stats.size_histogram() == {64: 8}
+        assert system.stats.efficiency() == 1.0
+
+    def test_noncombining_histogram_is_all_doublewords(self):
+        from repro import System, assemble
+        from repro.workloads import store_kernel_uncached
+        from tests.conftest import make_config
+
+        system = System(make_config(combine_block=8))
+        system.add_process(assemble(store_kernel_uncached(128)))
+        system.run()
+        assert system.stats.size_histogram() == {8: 16}
+
+    def test_partial_csb_line_lowers_efficiency(self):
+        from repro import System, assemble
+        from repro.workloads import store_kernel_csb
+        from tests.conftest import make_config
+
+        system = System(make_config())
+        system.add_process(assemble(store_kernel_csb(16, 64)))
+        system.run()
+        assert system.stats.efficiency() == pytest.approx(16 / 64)

@@ -1,0 +1,73 @@
+"""Table rendering and access."""
+
+import pytest
+
+from repro.common.tables import Table
+
+
+class TestConstruction:
+    def test_requires_columns(self):
+        with pytest.raises(ValueError):
+            Table([])
+
+    def test_row_arity_checked(self):
+        table = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_add_mapping_fills_missing_with_none(self):
+        table = Table(["a", "b"])
+        table.add_mapping({"a": 1})
+        assert table.rows == [[1, None]]
+
+
+class TestRendering:
+    def test_render_aligns_columns(self):
+        table = Table(["scheme", "16"], title="t")
+        table.add_row("none", 4.0)
+        table.add_row("combine16", 5.25)
+        text = table.render()
+        lines = text.splitlines()
+        assert lines[0] == "t"
+        assert "scheme" in lines[1]
+        # All data lines are the same width (right-justified columns).
+        assert len(lines[3]) == len(lines[4])
+        assert "5.25" in text
+
+    def test_precision(self):
+        table = Table(["x"])
+        table.add_row(1 / 3)
+        assert "0.333" in table.render(precision=3)
+        assert "0.33\n" in table.render(precision=2)
+
+    def test_none_renders_blank(self):
+        table = Table(["x", "y"])
+        table.add_row(None, 1)
+        assert table.render().splitlines()[-1].strip().startswith("1") or (
+            "1" in table.render()
+        )
+
+    def test_csv(self):
+        table = Table(["a", "b"])
+        table.add_row(1, "x")
+        assert table.to_csv() == "a,b\n1,x\n"
+
+
+class TestAccess:
+    def test_column(self):
+        table = Table(["k", "v"])
+        table.add_row("x", 1)
+        table.add_row("y", 2)
+        assert table.column("v") == [1, 2]
+
+    def test_lookup(self):
+        table = Table(["scheme", "bw"])
+        table.add_row("none", 4.0)
+        table.add_row("csb", 7.11)
+        assert table.lookup("scheme", "csb", "bw") == 7.11
+        assert table.lookup("scheme", "absent", "bw") is None
+
+    def test_str_is_render(self):
+        table = Table(["a"])
+        table.add_row(1)
+        assert str(table) == table.render()

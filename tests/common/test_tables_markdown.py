@@ -1,0 +1,34 @@
+"""Markdown rendering of tables and the CLI flag that uses it."""
+
+from repro.common.tables import Table
+from repro.evaluation.cli import main
+
+
+class TestMarkdown:
+    def test_basic_shape(self):
+        table = Table(["scheme", "bw"], title="t")
+        table.add_row("csb", 7.111)
+        text = table.to_markdown()
+        lines = text.splitlines()
+        assert lines[0] == "**t**"
+        assert lines[2] == "| scheme | bw |"
+        assert lines[3] == "|---|---|"
+        assert lines[4] == "| csb | 7.11 |"
+
+    def test_untitled(self):
+        table = Table(["a"])
+        table.add_row(1)
+        assert table.to_markdown().startswith("| a |")
+
+    def test_precision(self):
+        table = Table(["x"])
+        table.add_row(1 / 3)
+        assert "| 0.3333 |" in table.to_markdown(precision=4)
+
+
+class TestCliMarkdownFlag:
+    def test_markdown_output(self, capsys):
+        assert main(["ablation-depth", "--markdown"]) == 0
+        out = capsys.readouterr().out
+        assert "| depth |" in out
+        assert "|---|" in out

@@ -1,0 +1,68 @@
+"""Shared test helpers: one-call system construction and program runs."""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Tuple
+
+import pytest
+
+from repro.common.config import (
+    BusConfig,
+    CSBConfig,
+    MemoryHierarchyConfig,
+    SystemConfig,
+    UncachedBufferConfig,
+)
+from repro.common.stats import StatsCollector
+from repro.isa.assembler import assemble
+from repro.sim.system import System
+
+
+def make_config(
+    bus_kind: str = "multiplexed",
+    bus_width: int = 8,
+    cpu_ratio: int = 6,
+    line_size: int = 64,
+    combine_block: int = 8,
+    turnaround: int = 0,
+    min_addr_delay: int = 0,
+    **kwargs,
+) -> SystemConfig:
+    """A SystemConfig with the knobs tests most often turn."""
+    return SystemConfig(
+        memory=MemoryHierarchyConfig.with_line_size(line_size),
+        bus=BusConfig(
+            kind=bus_kind,
+            width_bytes=bus_width,
+            cpu_ratio=cpu_ratio,
+            turnaround=turnaround,
+            min_addr_delay=min_addr_delay,
+            max_burst_bytes=max(line_size, bus_width),
+        ),
+        uncached=UncachedBufferConfig(combine_block=combine_block),
+        csb=CSBConfig(line_size=line_size),
+        **kwargs,
+    )
+
+
+def run_asm(
+    source: str,
+    config: Optional[SystemConfig] = None,
+    registers: Iterable[Tuple[str, int]] = (),
+    warm: Iterable[int] = (),
+    max_cycles: int = 2_000_000,
+) -> System:
+    """Assemble, run to completion, and return the finished system."""
+    system = System(config or make_config())
+    process = system.add_process(assemble(source))
+    for name, value in registers:
+        process.set_register(name, value)
+    for address in warm:
+        system.hierarchy.warm(address)
+    system.run(max_cycles=max_cycles)
+    return system
+
+
+@pytest.fixture
+def stats() -> StatsCollector:
+    return StatsCollector()

@@ -1,0 +1,120 @@
+"""VIS-style block stores through the full pipeline."""
+
+import pytest
+
+from repro import System, assemble
+from repro.common.errors import SimulationError
+from repro.memory.layout import IO_COMBINING_BASE, IO_UNCACHED_BASE
+from tests.conftest import make_config
+
+
+def run_blockstore(base, combine_block=8, preload=True):
+    system = System(make_config(combine_block=combine_block))
+    process = system.add_process(
+        assemble(f"set {base}, %o1\nstblk [%o1]\nhalt")
+    )
+    if preload:
+        for i in range(8):
+            process.set_register(f"%f{i * 2}", 0xA0 + i)
+    system.run()
+    return system
+
+
+class TestFunctional:
+    def test_all_eight_registers_reach_the_device(self):
+        system = run_blockstore(IO_UNCACHED_BASE)
+        for i in range(8):
+            assert system.backing.read_int(IO_UNCACHED_BASE + 8 * i, 8) == 0xA0 + i
+
+    def test_single_atomic_burst_on_the_bus(self):
+        system = run_blockstore(IO_UNCACHED_BASE)
+        records = system.stats.transactions
+        assert len(records) == 1
+        assert records[0].size == 64 and records[0].burst
+
+    def test_bypasses_csb_in_combining_space(self):
+        system = run_blockstore(IO_COMBINING_BASE)
+        assert system.stats.get("csb.stores") == 0
+        assert system.stats.get("uncached.block_stores") == 1
+        assert system.backing.read_int(IO_COMBINING_BASE, 8) == 0xA0
+
+    def test_non_combining_buffer_still_bursts(self):
+        # Even with a non-combining (8-byte) buffer configuration, the
+        # block store is a pre-combined line and goes out as one burst.
+        system = run_blockstore(IO_UNCACHED_BASE, combine_block=8)
+        assert system.stats.get("bus.bursts") == 1
+
+    def test_cached_target_rejected(self):
+        with pytest.raises(SimulationError):
+            run_blockstore(0x4000)
+
+    def test_unaligned_target_rejected(self):
+        with pytest.raises(SimulationError):
+            run_blockstore(IO_UNCACHED_BASE + 8)
+
+
+class TestMarshalling:
+    def test_int_payload_marshalled_through_memory(self):
+        from repro.workloads.blockstore import blockstore_marshalled_kernel
+
+        system = System(make_config())
+        process = system.add_process(assemble(blockstore_marshalled_kernel()))
+        for i in range(4):
+            process.set_register(f"%l{i}", 0x100 + i)
+        system.run()
+        # %l0..%l3 cycle through the 8 slots.
+        for i in range(8):
+            assert (
+                system.backing.read_int(IO_UNCACHED_BASE + 8 * i, 8)
+                == 0x100 + i % 4
+            )
+
+
+class TestAssembly:
+    def test_stblk_parses(self):
+        from repro.isa.instructions import BlockStoreInstruction
+
+        program = assemble("stblk [%o1+64]\nhalt")
+        instr = program[0]
+        assert isinstance(instr, BlockStoreInstruction)
+        assert instr.size == 64
+        assert instr.offset == 64
+        # Reads the base register plus the eight even FP registers.
+        assert len(instr.sources()) == 9
+
+    def test_ordering_against_other_uncached_stores(self):
+        system = System(make_config())
+        process = system.add_process(
+            assemble(
+                f"set {IO_UNCACHED_BASE}, %o1\n"
+                f"set {IO_UNCACHED_BASE + 1024}, %o2\n"
+                "stx %l0, [%o2]\n"
+                "stblk [%o1]\n"
+                "stx %l0, [%o2+8]\n"
+                "halt"
+            )
+        )
+        system.run()
+        kinds_sizes = [(r.kind, r.size) for r in system.stats.transactions]
+        assert kinds_sizes == [
+            ("uncached_store", 8),
+            ("uncached_store", 64),
+            ("uncached_store", 8),
+        ]
+
+
+class TestComparisonStudy:
+    def test_blockstore_vs_csb_vs_lock(self):
+        from repro.evaluation.blockstore import blockstore_table
+
+        table = blockstore_table()
+        lock = table.lookup("mechanism", "lock_stores_unlock", "cycles")
+        csb = table.lookup("mechanism", "csb", "cycles")
+        pre = table.lookup("mechanism", "blockstore_preloaded", "cycles")
+        assert pre < csb < lock
+        # The marshalled path costs 16 extra dynamic instructions.
+        assert table.lookup(
+            "mechanism", "blockstore_marshalled", "instructions"
+        ) - table.lookup(
+            "mechanism", "blockstore_preloaded", "instructions"
+        ) == 17

@@ -1,0 +1,107 @@
+"""Process contexts and the round-robin scheduler."""
+
+import pytest
+
+from repro import System, assemble
+from repro.cpu.context import ProcessContext
+from tests.conftest import make_config
+
+
+def counting_program(n: int, result_addr: int) -> str:
+    return (
+        f"set {n}, %o1\n"
+        "set 0, %o2\n"
+        "loop: add %o2, 1, %o2\n"
+        "sub %o1, 1, %o1\n"
+        "brnz %o1, loop\n"
+        f"stx %o2, [{result_addr}]\n"
+        "halt"
+    )
+
+
+class TestProcessContext:
+    def test_pid_validation(self):
+        with pytest.raises(ValueError):
+            ProcessContext(-1, assemble("halt"))
+
+    def test_set_register_chainable(self):
+        context = ProcessContext(1, assemble("halt"))
+        assert context.set_register("%o1", 5) is context
+        assert context.registers.read("%o1") == 5
+
+    def test_finalizes_program(self):
+        from repro.isa.program import Program
+        from repro.isa.instructions import HaltInstruction
+
+        program = Program()
+        program.add(HaltInstruction())
+        ProcessContext(1, program)
+        assert program.finalized
+
+
+class TestSingleProcess:
+    def test_runs_to_halt(self):
+        system = System(make_config())
+        system.add_process(assemble(counting_program(5, 0x4000)))
+        system.run()
+        assert system.backing.read_int(0x4000, 8) == 5
+
+    def test_auto_pid_assignment(self):
+        system = System(make_config())
+        p1 = system.add_process(assemble("halt"))
+        p2 = system.add_process(assemble("halt"))
+        assert p1.pid != p2.pid
+
+
+class TestMultiProcess:
+    def test_two_processes_both_complete(self):
+        system = System(make_config(), quantum=500, switch_penalty=50)
+        system.add_process(assemble(counting_program(100, 0x4000)), name="A")
+        system.add_process(assemble(counting_program(100, 0x5000)), name="B")
+        system.run()
+        assert system.backing.read_int(0x4000, 8) == 100
+        assert system.backing.read_int(0x5000, 8) == 100
+
+    def test_quantum_produces_context_switches(self):
+        system = System(make_config(), quantum=200, switch_penalty=10)
+        system.add_process(assemble(counting_program(400, 0x4000)))
+        system.add_process(assemble(counting_program(400, 0x5000)))
+        system.run()
+        assert system.scheduler.context_switches > 2
+
+    def test_no_quantum_runs_to_completion_then_switches(self):
+        system = System(make_config())  # quantum=None
+        system.add_process(assemble(counting_program(50, 0x4000)))
+        system.add_process(assemble(counting_program(50, 0x5000)))
+        system.run()
+        # Exactly two installs: one per process.
+        assert system.scheduler.context_switches == 2
+        assert system.backing.read_int(0x5000, 8) == 50
+
+    def test_register_state_isolated_across_switches(self):
+        # Both processes hammer the same registers; preemption must not mix
+        # their values.
+        system = System(make_config(), quantum=100, switch_penalty=10)
+        system.add_process(assemble(counting_program(300, 0x4000)))
+        system.add_process(assemble(counting_program(700, 0x5000)))
+        system.run()
+        assert system.backing.read_int(0x4000, 8) == 300
+        assert system.backing.read_int(0x5000, 8) == 700
+
+
+class TestSchedulerValidation:
+    def test_bad_quantum(self):
+        from repro.common.errors import ConfigError
+        from repro.cpu.core import Core
+
+        with pytest.raises(ConfigError):
+            System(make_config(), quantum=0)
+
+    def test_install_with_inflight_instructions_rejected(self):
+        from repro.common.errors import SimulationError
+
+        system = System(make_config())
+        system.add_process(assemble("set 1, %o1\nmulx %o1, %o1, %o1\nhalt"))
+        system.run_cycles(3)  # mid-flight
+        with pytest.raises(SimulationError):
+            system.core.install_context(ProcessContext(9, assemble("halt")))

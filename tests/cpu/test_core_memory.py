@@ -1,0 +1,137 @@
+"""Cached memory operations through the core: loads, stores, forwarding,
+atomic swap, membar, alignment."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.memory.layout import IO_UNCACHED_BASE
+from tests.conftest import make_config, run_asm
+
+ADDR = 0x4000
+
+
+class TestCachedLoadStore:
+    def test_store_then_load(self):
+        system = run_asm(
+            f"set 77, %o1\nstx %o1, [{ADDR}]\nldx [{ADDR}], %o2\nhalt"
+        )
+        regs = system.scheduler.processes[0].registers
+        assert regs.read("%o2") == 77
+        assert system.backing.read_int(ADDR, 8) == 77
+
+    def test_sub_word_sizes(self):
+        system = run_asm(
+            "set 0x11223344, %o1\n"
+            f"st %o1, [{ADDR}]\n"
+            f"ld [{ADDR}], %o2\n"
+            f"ldub [{ADDR}], %o3\n"
+            "halt"
+        )
+        regs = system.scheduler.processes[0].registers
+        assert regs.read("%o2") == 0x11223344
+        assert regs.read("%o3") == 0x11  # big-endian: MSB first
+
+    def test_load_from_preinitialized_memory(self):
+        config = make_config()
+        from repro import System, assemble
+
+        system = System(config)
+        system.backing.write_int(ADDR, 123, 8)
+        system.add_process(assemble(f"ldx [{ADDR}], %o2\nhalt"))
+        system.run()
+        assert system.scheduler.processes[0].registers.read("%o2") == 123
+
+    def test_register_offset_addressing(self):
+        system = run_asm(
+            f"set {ADDR}, %o1\n"
+            "set 16, %o3\n"
+            "set 5, %o2\n"
+            "stx %o2, [%o1+%o3]\n"
+            f"ldx [{ADDR + 16}], %o4\n"
+            "halt"
+        )
+        assert system.scheduler.processes[0].registers.read("%o4") == 5
+
+    def test_unaligned_access_rejected(self):
+        with pytest.raises(SimulationError):
+            run_asm(f"ldx [{ADDR + 4}], %o2\nhalt")
+
+
+class TestForwarding:
+    def test_load_sees_older_inflight_store(self):
+        # Dependent chain long enough that the store has not committed when
+        # the load wants its value.
+        system = run_asm(
+            "set 9, %o1\n"
+            "mulx %o1, %o1, %o1\n"
+            "mulx %o1, %o1, %o1\n"
+            f"stx %o1, [{ADDR}]\n"
+            f"ldx [{ADDR}], %o2\n"
+            "add %o2, 1, %o3\n"
+            "halt"
+        )
+        assert system.scheduler.processes[0].registers.read("%o3") == 9**4 + 1
+
+
+class TestCachedSwap:
+    def test_swap_semantics(self):
+        system = run_asm(
+            f"set {ADDR}, %o0\n"
+            "set 1, %l6\n"
+            "swap [%o0], %l6\n"
+            "halt"
+        )
+        regs = system.scheduler.processes[0].registers
+        assert regs.read("%l6") == 0           # old value
+        assert system.backing.read_int(ADDR, 8) == 1  # new value
+
+    def test_spin_lock_acquires_free_lock(self):
+        system = run_asm(
+            f"set {ADDR}, %o0\n"
+            ".ACQ:\n"
+            "set 1, %l6\n"
+            "swap [%o0], %l6\n"
+            "brnz %l6, .ACQ\n"
+            "set 1, %o5\n"
+            "halt"
+        )
+        assert system.scheduler.processes[0].registers.read("%o5") == 1
+
+    def test_swap_miss_costs_miss_latency(self):
+        cold = run_asm(
+            f"mark a\nset {ADDR}, %o0\nset 1, %l6\nswap [%o0], %l6\nmark b\nhalt"
+        )
+        warm = run_asm(
+            f"mark a\nset {ADDR}, %o0\nset 1, %l6\nswap [%o0], %l6\nmark b\nhalt",
+            warm=[ADDR],
+        )
+        cold_span = cold.span("a", "b")
+        warm_span = warm.span("a", "b")
+        assert cold_span - warm_span >= 90  # ~100-cycle miss difference
+
+
+class TestMembar:
+    def test_membar_delays_completion_until_buffer_drains(self):
+        no_barrier = run_asm(
+            f"mark a\nset {IO_UNCACHED_BASE}, %o1\n"
+            "stx %l0, [%o1]\nstx %l0, [%o1+8]\n"
+            "mark b\nhalt"
+        )
+        with_barrier = run_asm(
+            f"mark a\nset {IO_UNCACHED_BASE}, %o1\n"
+            "stx %l0, [%o1]\nstx %l0, [%o1+8]\n"
+            "membar\nmark b\nhalt"
+        )
+        assert with_barrier.span("a", "b") > no_barrier.span("a", "b")
+
+    def test_membar_noop_when_nothing_pending(self):
+        system = run_asm("mark a\nmembar\nmark b\nhalt")
+        assert system.span("a", "b") <= 2
+
+
+class TestCacheTiming:
+    def test_miss_slower_than_hit(self):
+        source = f"mark a\nldx [{ADDR}], %o2\nadd %o2, 1, %o3\nmark b\nhalt"
+        cold = run_asm(source)
+        warm = run_asm(source, warm=[ADDR])
+        assert cold.span("a", "b") - warm.span("a", "b") >= 90

@@ -1,0 +1,165 @@
+"""Load-linked / store-conditional through the pipeline."""
+
+import pytest
+from dataclasses import replace
+
+from repro import System, assemble
+from repro.common.errors import SimulationError
+from repro.common.config import CoreConfig
+from repro.memory.layout import IO_UNCACHED_BASE
+from tests.conftest import make_config
+
+LOCK = 0x4000
+
+
+def build(source, sc_bus=True, **kwargs):
+    config = replace(make_config(), core=CoreConfig(sc_bus_transaction=sc_bus))
+    system = System(config, **kwargs)
+    process = system.add_process(assemble(source))
+    system.hierarchy.warm(LOCK)
+    return system, process
+
+
+class TestBasicSemantics:
+    def test_ll_sc_pair_succeeds(self):
+        system, process = build(
+            f"set {LOCK}, %o0\n"
+            "ll [%o0], %l6\n"
+            "set 1, %l5\n"
+            "sc %l5, [%o0], %l5\n"
+            "halt"
+        )
+        system.run()
+        assert process.registers.read("%l5") == 1       # SC succeeded
+        assert system.backing.read_int(LOCK, 8) == 1    # value stored
+
+    def test_intervening_store_breaks_link(self):
+        system, process = build(
+            f"set {LOCK}, %o0\n"
+            "ll [%o0], %l6\n"
+            f"stx %g0, [{LOCK + 8}]\n"    # same line!
+            "set 1, %l5\n"
+            "sc %l5, [%o0], %l5\n"
+            "halt"
+        )
+        system.run()
+        assert process.registers.read("%l5") == 0
+        assert system.backing.read_int(LOCK, 8) == 0   # nothing stored
+
+    def test_store_to_other_line_preserves_link(self):
+        system, process = build(
+            f"set {LOCK}, %o0\n"
+            "ll [%o0], %l6\n"
+            f"stx %g0, [{LOCK + 0x1000}]\n"
+            "set 1, %l5\n"
+            "sc %l5, [%o0], %l5\n"
+            "halt"
+        )
+        system.run()
+        assert process.registers.read("%l5") == 1
+
+    def test_sc_without_ll_fails(self):
+        system, process = build(
+            f"set {LOCK}, %o0\nset 1, %l5\nsc %l5, [%o0], %l5\nhalt"
+        )
+        system.run()
+        assert process.registers.read("%l5") == 0
+
+    def test_sc_consumes_link(self):
+        system, process = build(
+            f"set {LOCK}, %o0\n"
+            "ll [%o0], %l6\n"
+            "set 1, %l5\n"
+            "sc %l5, [%o0], %l5\n"
+            "set 2, %l4\n"
+            "sc %l4, [%o0], %l4\n"   # second SC: link already consumed
+            "halt"
+        )
+        system.run()
+        assert process.registers.read("%l5") == 1
+        assert process.registers.read("%l4") == 0
+
+    def test_ll_returns_memory_value(self):
+        system, process = build(
+            f"set {LOCK}, %o0\nll [%o0], %l6\nhalt"
+        )
+        system.backing.write_int(LOCK, 0x77, 8)
+        system.run()
+        assert process.registers.read("%l6") == 0x77
+
+    def test_uncached_target_rejected(self):
+        system, _ = build(
+            f"set {IO_UNCACHED_BASE}, %o0\nll [%o0], %l6\nhalt"
+        )
+        with pytest.raises(SimulationError):
+            system.run()
+
+
+class TestInterruptInteraction:
+    def test_context_switch_breaks_link(self):
+        system, process = build(
+            f"set {LOCK}, %o0\n"
+            "ll [%o0], %l6\n"
+            "mulx %l6, %l6, %l6\n"    # keep the pair apart
+            "mulx %l6, %l6, %l6\n"
+            "set 1, %l5\n"
+            "sc %l5, [%o0], %l5\n"
+            "brz %l5, .FAILED\n"
+            "set 0, %o5\n"
+            "ba .OUT\n"
+            ".FAILED: set 1, %o5\n"
+            ".OUT: halt"
+        )
+        # Interrupt after the LL retired but before the SC did.
+        while system.stats.get("core.retired") < 2:
+            system.step()
+        system.core.interrupt()
+        while not system.core.drained:
+            system.step()
+        system.core.install_context(process)
+        system.run()
+        assert process.registers.read("%o5") == 1  # SC observed the break
+
+
+class TestSpinLock:
+    LOCK_KERNEL = (
+        f"set {LOCK}, %o0\n"
+        ".ACQ:\n"
+        "ll [%o0], %l6\n"
+        "brnz %l6, .ACQ\n"
+        "set 1, %l5\n"
+        "sc %l5, [%o0], %l5\n"
+        "brz %l5, .ACQ\n"
+        "set 1, %o5\n"
+        "halt"
+    )
+
+    def test_acquires_free_lock(self):
+        system, process = build(self.LOCK_KERNEL)
+        system.run()
+        assert process.registers.read("%o5") == 1
+        assert system.backing.read_int(LOCK, 8) == 1
+
+    def test_sc_bus_transaction_appears_on_the_bus(self):
+        system, _ = build(self.LOCK_KERNEL, sc_bus=True)
+        system.run()
+        assert any(r.kind == "sync" for r in system.stats.transactions)
+
+    def test_local_sc_keeps_bus_quiet(self):
+        system, _ = build(self.LOCK_KERNEL, sc_bus=False)
+        system.run()
+        assert all(r.kind != "sync" for r in system.stats.transactions)
+
+    def test_bus_transaction_costs_cycles(self):
+        def cycles(sc_bus):
+            system, _ = build(
+                "mark a\n" + self.LOCK_KERNEL.replace("halt", "mark b\nhalt"),
+                sc_bus=sc_bus,
+            )
+            system.run()
+            return system.span("a", "b")
+
+        # "the store-conditional instruction results in a bus transaction
+        # even for a cache hit, which would further increase the locking
+        # overhead" — one full bus round trip at ratio 6.
+        assert cycles(True) - cycles(False) >= 20

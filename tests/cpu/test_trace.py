@@ -1,0 +1,87 @@
+"""Pipeline trace facility."""
+
+import pytest
+
+from repro import System, assemble
+from repro.cpu.trace import PipelineTrace, TraceEvent
+from repro.memory.layout import IO_UNCACHED_BASE
+from tests.conftest import make_config
+
+
+def traced_run(source, **kwargs):
+    system = System(make_config(), trace=True, **kwargs)
+    system.add_process(assemble(source))
+    system.run()
+    return system
+
+
+class TestTraceCollection:
+    def test_disabled_by_default(self):
+        system = System(make_config())
+        assert system.trace is None
+
+    def test_stage_order_per_instruction(self):
+        system = traced_run("set 1, %o1\nadd %o1, 2, %o2\nhalt")
+        trace = system.trace
+        for seq in {e.seq for e in trace.events}:
+            cycles = trace.stage_cycles(seq)
+            if "issue" in cycles and "retire" in cycles:
+                assert cycles["dispatch"] <= cycles["issue"] <= cycles["retire"]
+
+    def test_every_retired_instruction_was_dispatched(self):
+        system = traced_run("nop\nnop\nhalt")
+        retired = {e.seq for e in system.trace.events if e.stage == "retire"}
+        dispatched = {e.seq for e in system.trace.events if e.stage == "dispatch"}
+        assert retired <= dispatched
+
+    def test_uncached_store_logs_uncached_stage(self):
+        system = traced_run(
+            f"set {IO_UNCACHED_BASE}, %o1\nstx %l0, [%o1]\nhalt"
+        )
+        stages = [e.stage for e in system.trace.events]
+        assert "uncached" in stages
+
+    def test_cached_load_logs_cache_stage(self):
+        system = traced_run("ldx [0x4000], %o1\nhalt")
+        assert any(e.stage == "cache" for e in system.trace.events)
+
+    def test_squash_events_on_interrupt(self):
+        system = System(make_config(), trace=True)
+        process = system.add_process(
+            assemble("set 100, %o1\nloop: sub %o1, 1, %o1\nbrnz %o1, loop\nhalt")
+        )
+        system.run_cycles(10)
+        system.core.interrupt()
+        while not system.core.drained:
+            system.step()
+        assert any(e.stage == "squash" for e in system.trace.events)
+
+    def test_render_contains_disassembly(self):
+        system = traced_run("set 7, %o1\nhalt")
+        text = system.trace.render()
+        assert "set 7, %r9" in text
+        assert "retire" in text
+
+
+class TestTraceMechanics:
+    def test_capacity_bound(self):
+        trace = PipelineTrace(capacity=2)
+        from repro.isa.instructions import NopInstruction
+
+        for i in range(5):
+            trace.record(i, "dispatch", i, i, NopInstruction())
+        assert len(trace) == 2
+        assert trace.dropped == 3
+
+    def test_unknown_stage_rejected(self):
+        trace = PipelineTrace()
+        from repro.isa.instructions import NopInstruction
+
+        with pytest.raises(ValueError):
+            trace.record(0, "teleport", 0, 0, NopInstruction())
+
+    def test_events_for(self):
+        system = traced_run("set 1, %o1\nhalt")
+        seqs = {e.seq for e in system.trace.events}
+        for seq in seqs:
+            assert all(e.seq == seq for e in system.trace.events_for(seq))

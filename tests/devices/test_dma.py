@@ -1,0 +1,106 @@
+"""The DMA engine."""
+
+import pytest
+
+from repro.common.errors import MemoryError_
+from repro.devices.dma import (
+    DmaEngine,
+    DOORBELL_OFFSET,
+    LEN_OFFSET,
+    SRC_OFFSET,
+    STATUS_OFFSET,
+)
+from repro.devices.nic import NetworkInterface
+from repro.memory.backing import BackingStore
+from repro.memory.layout import PageAttr, Region
+
+DMA_BASE = 0x2001_0000
+NIC_BASE = 0x2002_0000
+
+
+def make_engine(**kwargs):
+    memory = BackingStore()
+    nic = NetworkInterface(
+        Region(NIC_BASE, 64 * 1024, PageAttr.UNCACHED, "nic")
+    )
+    dma = DmaEngine(
+        Region(DMA_BASE, 8192, PageAttr.UNCACHED, "dma"),
+        memory,
+        nic,
+        **kwargs,
+    )
+    return dma, nic, memory
+
+
+def write_reg(dma, offset, value):
+    dma.bus_write(DMA_BASE + offset, value.to_bytes(8, "big"))
+
+
+class TestTransfer:
+    def test_registers_then_doorbell(self):
+        dma, nic, memory = make_engine(setup_cycles=10, cycles_per_line=2)
+        memory.write_bytes(0x1000, b"payload!" * 8)
+        write_reg(dma, SRC_OFFSET, 0x1000)
+        write_reg(dma, LEN_OFFSET, 64)
+        write_reg(dma, DOORBELL_OFFSET, 0)
+        assert dma.busy
+        for cycle in range(20):
+            dma.tick(cycle)
+            nic.tick(cycle)
+        assert not dma.busy
+        for cycle in range(20, 40):
+            nic.tick(cycle)
+        assert nic.last_payload() == b"payload!" * 8
+
+    def test_packed_descriptor_doorbell(self):
+        # Atoll-style: one write carries source and length.
+        dma, nic, memory = make_engine(setup_cycles=1, cycles_per_line=1)
+        memory.write_bytes(0x2000, b"x" * 16)
+        write_reg(dma, DOORBELL_OFFSET, (0x2000 << 16) | 16)
+        for cycle in range(10):
+            dma.tick(cycle)
+            nic.tick(cycle)
+        assert dma.transfers[0][:2] == (0x2000, 16)
+
+    def test_setup_cost_dominates_short_transfers(self):
+        dma, _, memory = make_engine(setup_cycles=40, cycles_per_line=10)
+        memory.write_bytes(0, bytes(8))
+        write_reg(dma, DOORBELL_OFFSET, (0 << 16) | 8)
+        cycle = 0
+        while dma.busy:
+            dma.tick(cycle)
+            cycle += 1
+        assert dma.completion_cycle() == 40 + 10  # setup + one line
+
+
+class TestStatus:
+    def test_status_register(self):
+        dma, _, memory = make_engine(setup_cycles=5, cycles_per_line=1)
+        assert dma.bus_read(DMA_BASE + STATUS_OFFSET, 8)[-1] == 1  # idle
+        memory.write_bytes(0, bytes(8))
+        write_reg(dma, DOORBELL_OFFSET, 8)
+        assert dma.bus_read(DMA_BASE + STATUS_OFFSET, 8)[-1] == 0  # busy
+
+    def test_register_readback(self):
+        dma, _, _ = make_engine()
+        write_reg(dma, SRC_OFFSET, 0x1234)
+        assert dma.bus_read(DMA_BASE + SRC_OFFSET, 8) == (0x1234).to_bytes(8, "big")
+
+
+class TestErrors:
+    def test_doorbell_while_busy_rejected(self):
+        dma, _, memory = make_engine(setup_cycles=100)
+        memory.write_bytes(0, bytes(8))
+        write_reg(dma, DOORBELL_OFFSET, 8)
+        with pytest.raises(MemoryError_):
+            write_reg(dma, DOORBELL_OFFSET, 8)
+
+    def test_zero_length_rejected(self):
+        dma, _, _ = make_engine()
+        with pytest.raises(MemoryError_):
+            write_reg(dma, DOORBELL_OFFSET, 0)
+
+    def test_unknown_register(self):
+        dma, _, _ = make_engine()
+        with pytest.raises(MemoryError_):
+            dma.bus_write(DMA_BASE + 0x80, bytes(8))

@@ -1,0 +1,97 @@
+"""The FIFO-descriptor network interface."""
+
+import pytest
+
+from repro.devices.nic import (
+    NetworkInterface,
+    PACKET_MEMORY_OFFSET,
+    STATUS_OFFSET,
+    TX_COUNT_OFFSET,
+)
+from repro.memory.layout import PageAttr, Region
+
+BASE = 0x2000_0000
+
+
+def make_nic(**kwargs) -> NetworkInterface:
+    region = Region(BASE, 64 * 1024, PageAttr.UNCACHED, "nic")
+    return NetworkInterface(region, **kwargs)
+
+
+def run_ticks(nic, n, start=0):
+    for cycle in range(start, start + n):
+        nic.tick(cycle)
+
+
+class TestInlineSend:
+    def test_burst_to_fifo_window_is_inline_packet(self):
+        nic = make_nic()
+        payload = bytes(range(64))
+        nic.bus_write(BASE, payload)
+        run_ticks(nic, 20)
+        assert len(nic.sent) == 1
+        packet = nic.sent[0]
+        assert packet.inline and packet.payload == payload
+
+    def test_tx_serialization_rate(self):
+        nic = make_nic(tx_cycles=8)
+        nic.bus_write(BASE, bytes(64))
+        nic.bus_write(BASE, bytes(64))
+        run_ticks(nic, 8)  # cycles 0..7: the link is busy with packet 1
+        assert len(nic.sent) == 1  # second packet still serializing
+        run_ticks(nic, 8, start=8)
+        assert len(nic.sent) == 2
+        assert nic.sent[1].sent_at - nic.sent[0].sent_at == 8
+
+
+class TestDescriptorSend:
+    def test_descriptor_references_packet_memory(self):
+        nic = make_nic()
+        payload = b"M" * 24
+        nic.bus_write(BASE + PACKET_MEMORY_OFFSET + 0x40, payload)
+        descriptor = (0x40 << 16) | len(payload)
+        nic.bus_write(BASE, descriptor.to_bytes(8, "big"))
+        run_ticks(nic, 20)
+        assert nic.sent[0].payload == payload
+        assert not nic.sent[0].inline
+
+
+class TestRegisters:
+    def test_status_reports_free_slots(self):
+        nic = make_nic(fifo_depth=4)
+        assert nic.bus_read(BASE + STATUS_OFFSET, 8) == (4).to_bytes(8, "big")
+        nic.bus_write(BASE, bytes(64))
+        assert nic.bus_read(BASE + STATUS_OFFSET, 8) == (3).to_bytes(8, "big")
+
+    def test_tx_count(self):
+        nic = make_nic()
+        nic.bus_write(BASE, bytes(64))
+        run_ticks(nic, 20)
+        assert nic.bus_read(BASE + TX_COUNT_OFFSET, 8) == (1).to_bytes(8, "big")
+
+    def test_packet_memory_readback(self):
+        nic = make_nic()
+        nic.bus_write(BASE + PACKET_MEMORY_OFFSET, b"hello___")
+        assert nic.bus_read(BASE + PACKET_MEMORY_OFFSET, 8) == b"hello___"
+
+    def test_write_to_register_window_rejected(self):
+        from repro.common.errors import MemoryError_
+
+        nic = make_nic()
+        with pytest.raises(MemoryError_):
+            nic.bus_write(BASE + STATUS_OFFSET, bytes(8))
+
+
+class TestBackpressure:
+    def test_full_fifo_drops_and_counts(self):
+        nic = make_nic(fifo_depth=1, tx_cycles=100)
+        nic.bus_write(BASE, bytes(64))
+        nic.bus_write(BASE, bytes(64))
+        assert nic.dropped == 1
+        assert nic.pending == 1
+
+    def test_dma_delivery(self):
+        nic = make_nic()
+        nic.deliver_dma_payload(b"dma-data", bus_cycle=5)
+        run_ticks(nic, 20, start=6)
+        assert nic.last_payload() == b"dma-data"

@@ -1,0 +1,45 @@
+"""Burst sink device."""
+
+import pytest
+
+from repro.common.errors import MemoryError_
+from repro.devices.sink import BurstSink
+from repro.memory.layout import PageAttr, Region
+
+
+def make_sink(base=0x2000_0000, size=8192) -> BurstSink:
+    return BurstSink(Region(base, size, PageAttr.UNCACHED, "sink"))
+
+
+class TestSink:
+    def test_write_logged_in_order(self):
+        sink = make_sink()
+        sink.bus_write(0x2000_0000, b"AAAA")
+        sink.bus_write(0x2000_0010, b"BBBBBBBB")
+        assert sink.log == [(0, b"AAAA"), (0x10, b"BBBBBBBB")]
+        assert sink.writes == 2
+        assert sink.bytes_written == 12
+
+    def test_read_returns_written_data(self):
+        sink = make_sink()
+        sink.bus_write(0x2000_0000, b"12345678")
+        assert sink.bus_read(0x2000_0004, 4) == b"5678"
+        assert sink.reads == 1
+
+    def test_contents_does_not_count_as_read(self):
+        sink = make_sink()
+        sink.bus_write(0x2000_0000, b"xy")
+        assert sink.contents(0, 2) == b"xy"
+        assert sink.reads == 0
+
+    def test_out_of_region_rejected(self):
+        sink = make_sink()
+        with pytest.raises(MemoryError_):
+            sink.bus_write(0x2000_0000 + 8192, b"x")
+        with pytest.raises(MemoryError_):
+            sink.bus_read(0x2000_0000 + 8190, 4)  # crosses the end
+
+    def test_burst_write_accepted(self):
+        sink = make_sink()
+        sink.bus_write(0x2000_0000, bytes(range(64)))
+        assert sink.contents(0, 64) == bytes(range(64))

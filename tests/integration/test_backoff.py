@@ -1,0 +1,97 @@
+"""Livelock mitigation (paper §3.2): exponential backoff on failed flushes.
+
+A deterministic adversary injects a competing process's combining store
+just before each conditional flush, forcing a controlled number of
+conflicts.  With backoff enabled, every consecutive failure roughly
+doubles the retry delay; without it, each retry costs the same.
+"""
+
+from repro import System, assemble
+from repro.memory.layout import IO_COMBINING_BASE
+from repro.workloads.contention import contending_csb_kernel
+
+N_DWORDS = 4
+
+
+def run_with_forced_conflicts(backoff: bool, conflicts: int) -> int:
+    """Total cycles for one iteration that suffers ``conflicts`` failures."""
+    system = System()
+    system.add_process(
+        assemble(
+            contending_csb_kernel(
+                1,
+                IO_COMBINING_BASE,
+                n_doublewords=N_DWORDS,
+                backoff=backoff,
+                backoff_cap=4096,
+            )
+        )
+    )
+    forced = 0
+    while not system.finished:
+        # Sabotage: once the sequence is fully in the CSB (counter == n),
+        # a competing process's store clears it, so the flush will fail.
+        if (
+            forced < conflicts
+            and system.csb.hit_counter == N_DWORDS
+            and system.csb.line_buffer_free
+        ):
+            system.unit.issue_store(IO_COMBINING_BASE, 8, 0xBAD, pid=99)
+            forced += 1
+        system.step()
+    assert system.stats.get("csb.flush_conflicts") == conflicts
+    assert system.stats.get("csb.flushes") == 1  # it did get through
+    return system.cycle
+
+
+class TestBackoffSemantics:
+    def test_no_conflicts_backoff_is_free(self):
+        plain = run_with_forced_conflicts(backoff=False, conflicts=0)
+        with_backoff = run_with_forced_conflicts(backoff=True, conflicts=0)
+        # The success path adds only the be/reset instructions.
+        assert abs(with_backoff - plain) <= 8
+
+    def test_retry_cost_constant_without_backoff(self):
+        costs = [
+            run_with_forced_conflicts(False, k) for k in range(1, 7)
+        ]
+        deltas = [b - a for a, b in zip(costs, costs[1:])]
+        # Flat per-retry cost, modulo bus-phase alignment jitter.
+        assert max(deltas) - min(deltas) <= 8
+
+    def test_retry_cost_grows_exponentially_with_backoff(self):
+        costs = [run_with_forced_conflicts(True, k) for k in range(1, 7)]
+        deltas = [b - a for a, b in zip(costs, costs[1:])]
+        # Deltas are non-decreasing and the spin term eventually dominates
+        # the constant retry cost (the last delta dwarfs the first).
+        assert all(b >= a for a, b in zip(deltas, deltas[1:]))
+        assert deltas[-1] >= 3 * deltas[0]
+
+    def test_backoff_capped(self):
+        capped = run_with_forced_conflicts(True, 12)
+        assert capped < 100_000  # cap prevents unbounded exponential spins
+
+
+class TestBackoffUnderPreemption:
+    def test_both_processes_complete_with_tiny_quantum(self):
+        iterations = 25
+        system = System(quantum=45, switch_penalty=15)
+        system.add_process(
+            assemble(
+                contending_csb_kernel(
+                    iterations, IO_COMBINING_BASE, backoff=True, signature=0x1_0000
+                )
+            )
+        )
+        system.add_process(
+            assemble(
+                contending_csb_kernel(
+                    iterations,
+                    IO_COMBINING_BASE + 64,
+                    backoff=True,
+                    signature=0x2_0000,
+                )
+            )
+        )
+        system.run(max_cycles=10_000_000)
+        assert system.stats.get("csb.flushes") == 2 * iterations

@@ -1,0 +1,61 @@
+"""The ``csb-figures`` command-line interface."""
+
+import os
+
+import pytest
+
+from repro.evaluation.cli import main
+
+
+class TestList:
+    def test_list_prints_all_ids(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out.split()
+        assert "fig3a" in out and "fig5b" in out and "crossover" in out
+
+
+class TestRun:
+    def test_single_experiment_prints_table(self, capsys):
+        assert main(["sensitivity-ratio"]) == 0
+        out = capsys.readouterr().out
+        assert "cpu_ratio" in out and "lock_slope" in out
+
+    def test_unknown_experiment_is_clean_usage_error(self, capsys):
+        assert main(["fig9z"]) == 2
+        err = capsys.readouterr().err
+        assert "fig9z" in err and "--list" in err
+
+    def test_no_arguments_is_usage_error(self, capsys):
+        assert main([]) == 2
+
+    def test_csv_output(self, tmp_path, capsys):
+        assert main(["ablation-depth", "--out", str(tmp_path)]) == 0
+        path = tmp_path / "ablation-depth.csv"
+        assert path.exists()
+        header = path.read_text().splitlines()[0]
+        assert header.startswith("depth,")
+
+    def test_precision_flag(self, capsys):
+        assert main(["ablation-depth", "--precision", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "." not in out.splitlines()[-2].split()[-1]
+
+
+class TestCheckMode:
+    def test_check_against_fresh_golden(self, tmp_path, capsys):
+        assert main(["ablation-depth", "--out", str(tmp_path)]) == 0
+        capsys.readouterr()
+        assert main(["ablation-depth", "--check", str(tmp_path)]) == 0
+        assert "ablation-depth: OK" in capsys.readouterr().out
+
+    def test_check_detects_divergence(self, tmp_path, capsys):
+        assert main(["ablation-depth", "--out", str(tmp_path)]) == 0
+        golden = tmp_path / "ablation-depth.csv"
+        golden.write_text(golden.read_text().replace("1,", "999,", 1))
+        assert main(["ablation-depth", "--check", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "MISMATCH" in out and "expected:" in out
+
+    def test_check_missing_golden(self, tmp_path, capsys):
+        assert main(["ablation-depth", "--check", str(tmp_path)]) == 1
+        assert "MISSING" in capsys.readouterr().out

@@ -1,0 +1,85 @@
+"""Refill bus occupancy and the loaded-bus studies."""
+
+import pytest
+
+from repro import System, assemble
+from repro.evaluation.loaded_bus import (
+    injected_bandwidth_point,
+    loaded_bandwidth_point,
+    loaded_bus_table,
+    stores_with_miss_stream_kernel,
+)
+from repro.memory.layout import DRAM_BASE
+from tests.conftest import make_config
+
+
+class TestRefillEngine:
+    def test_disabled_by_default(self):
+        system = System(make_config())
+        assert system.refill_engine is None
+
+    def test_miss_produces_refill_transaction(self):
+        from dataclasses import replace
+        from repro.common.config import MemoryHierarchyConfig
+
+        config = replace(
+            make_config(),
+            memory=MemoryHierarchyConfig.with_line_size(64, refills_use_bus=True),
+        )
+        system = System(config)
+        system.add_process(assemble(f"ldx [{DRAM_BASE + 0x5000}], %o1\nhalt"))
+        system.run()
+        kinds = [r.kind for r in system.stats.transactions]
+        assert kinds == ["refill"]
+        assert system.stats.get("refill.requests") == 1
+
+    def test_hits_produce_no_refills(self):
+        from dataclasses import replace
+        from repro.common.config import MemoryHierarchyConfig
+
+        config = replace(
+            make_config(),
+            memory=MemoryHierarchyConfig.with_line_size(64, refills_use_bus=True),
+        )
+        system = System(config)
+        system.hierarchy.warm(DRAM_BASE + 0x5000)
+        system.add_process(assemble(f"ldx [{DRAM_BASE + 0x5000}], %o1\nhalt"))
+        system.run()
+        assert system.stats.get("refill.requests") == 0
+
+    def test_refills_not_counted_in_store_window(self):
+        point_idle = injected_bandwidth_point("none", 256, refill_period=0)
+        assert point_idle == pytest.approx(4.0)
+
+
+class TestInjectedTraffic:
+    def test_bandwidth_degrades_with_interference(self):
+        idle = injected_bandwidth_point("csb", 512, refill_period=0)
+        light = injected_bandwidth_point("csb", 512, refill_period=40)
+        heavy = injected_bandwidth_point("csb", 512, refill_period=15)
+        assert idle > light > heavy
+
+    def test_bursts_use_leftover_slots_better_than_singles(self):
+        table = loaded_bus_table(refill_periods=(0, 12), total_bytes=512)
+        none_ratio = table.lookup("scheme", "none", "1/12") / table.lookup(
+            "scheme", "none", "idle"
+        )
+        csb_ratio = table.lookup("scheme", "csb", "1/12") / table.lookup(
+            "scheme", "csb", "idle"
+        )
+        assert csb_ratio > none_ratio
+
+
+class TestMissInterleaved:
+    def test_delayed_drain_improves_hw_combining(self):
+        # The retire stalls of missing loads keep entries in the buffer
+        # longer, so combining improves — the paper's stated trade-off.
+        idle = loaded_bandwidth_point("combine64", 256, refills_use_bus=False)
+        loaded = loaded_bandwidth_point("combine64", 256, refills_use_bus=True)
+        assert loaded >= idle
+
+    def test_kernel_covers_all_stores(self):
+        source = stores_with_miss_stream_kernel(256, 64, csb=False)
+        program = assemble(source)
+        stores = [i for i in program if i.is_store]
+        assert len(stores) == 32

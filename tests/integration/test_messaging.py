@@ -1,0 +1,127 @@
+"""End-to-end message sends over the NIC: locked PIO, CSB inline, DMA."""
+
+import pytest
+
+from repro import System, assemble
+from repro.devices.dma import DmaEngine
+from repro.devices.nic import NetworkInterface, PACKET_MEMORY_OFFSET
+from repro.memory.layout import (
+    IO_COMBINING_BASE,
+    IO_UNCACHED_BASE,
+    PageAttr,
+    Region,
+)
+from repro.workloads.lockbench import MARK_DONE, MARK_START
+from repro.workloads.messaging import (
+    csb_send_kernel,
+    dma_send_kernel,
+    pio_send_kernel,
+)
+from tests.conftest import make_config
+
+NIC_UNCACHED = IO_UNCACHED_BASE           # register window in plain uncached space
+NIC_COMBINING = IO_COMBINING_BASE         # a NIC whose FIFO lives in combining space
+DMA_BASE = IO_UNCACHED_BASE + 0x10_0000
+
+
+def build(nic_space="uncached", with_dma=False):
+    system = System(make_config())
+    if nic_space == "uncached":
+        region = Region(NIC_UNCACHED, 64 * 1024, PageAttr.UNCACHED, "nic")
+    else:
+        region = Region(
+            NIC_COMBINING, 64 * 1024, PageAttr.UNCACHED_COMBINING, "nic"
+        )
+    nic = system.attach_device(NetworkInterface(region))
+    dma = None
+    if with_dma:
+        dma_region = Region(DMA_BASE, 8192, PageAttr.UNCACHED, "dma")
+        dma = system.attach_device(
+            DmaEngine(dma_region, system.backing, nic)
+        )
+    return system, nic, dma
+
+
+class TestLockedPIO:
+    def test_payload_descriptor_send(self):
+        system, nic, _ = build()
+        system.add_process(
+            assemble(pio_send_kernel(32, NIC_UNCACHED))
+        ).set_register("%l0", 0x11).set_register("%l1", 0x22)
+        system.run()
+        assert len(nic.sent) == 1
+        packet = nic.sent[0]
+        assert not packet.inline
+        assert len(packet.payload) == 32
+        # Payload assembled from the %l registers, big-endian.
+        assert packet.payload[7] == 0x11
+        assert packet.payload[15] == 0x22
+
+    def test_lock_released_after_send(self):
+        from repro.workloads.lockbench import DEFAULT_LOCK_ADDR
+
+        system, _, _ = build()
+        system.add_process(assemble(pio_send_kernel(16, NIC_UNCACHED)))
+        system.run()
+        assert system.backing.read_int(DEFAULT_LOCK_ADDR, 8) == 0
+
+
+class TestCSBInlineSend:
+    def test_single_burst_becomes_inline_packet(self):
+        system, nic, _ = build(nic_space="combining")
+        system.add_process(
+            assemble(csb_send_kernel(64, NIC_COMBINING))
+        ).set_register("%l0", 0xAB)
+        system.run()
+        assert len(nic.sent) == 1
+        assert nic.sent[0].inline
+        assert len(nic.sent[0].payload) == 64
+        assert system.stats.get("bus.bursts") == 1
+
+    def test_csb_send_cheaper_than_locked_pio(self):
+        system_pio, _, _ = build()
+        system_pio.add_process(assemble(pio_send_kernel(32, NIC_UNCACHED)))
+        system_pio.run()
+        system_csb, _, _ = build(nic_space="combining")
+        system_csb.add_process(assemble(csb_send_kernel(32, NIC_COMBINING)))
+        system_csb.run()
+        assert system_csb.span(MARK_START, MARK_DONE) < system_pio.span(
+            MARK_START, MARK_DONE
+        )
+
+
+class TestDMASend:
+    def test_dma_transfer_end_to_end(self):
+        system, nic, dma = build(with_dma=True)
+        payload_src = 0x8000
+        system.backing.write_bytes(payload_src, b"D" * 256)
+        system.add_process(
+            assemble(dma_send_kernel(payload_src, 256, DMA_BASE))
+        )
+        system.run()
+        assert nic.last_payload() == b"D" * 256
+        assert len(dma.transfers) == 1
+
+    def test_dma_setup_cost_dominates_small_sends(self):
+        def dma_span(nbytes):
+            system, _, _ = build(with_dma=True)
+            system.backing.write_bytes(0x8000, b"x" * nbytes)
+            system.add_process(assemble(dma_send_kernel(0x8000, nbytes, DMA_BASE)))
+            system.run()
+            return system.span(MARK_START, MARK_DONE)
+
+        small, large = dma_span(8), dma_span(1024)
+        # Going from 8 B to 1 KB costs far less than 128x: setup dominates.
+        assert large < 4 * small
+
+    def test_pio_beats_dma_for_short_messages(self):
+        system_dma, _, _ = build(with_dma=True)
+        system_dma.backing.write_bytes(0x8000, bytes(16))
+        system_dma.add_process(assemble(dma_send_kernel(0x8000, 16, DMA_BASE)))
+        system_dma.run()
+        system_csb, _, _ = build(nic_space="combining")
+        system_csb.add_process(assemble(csb_send_kernel(16, NIC_COMBINING)))
+        system_csb.run()
+        assert system_csb.span(MARK_START, MARK_DONE) < system_dma.span(
+            MARK_START, MARK_DONE
+        )

@@ -1,0 +1,143 @@
+"""Three-node store-and-forward: the cluster scales past two nodes.
+
+Node 0 sends a message toward node 2 through node 1, which owns two NICs
+(one per link) and runs a forwarding kernel: poll NIC-A's RX, copy the
+payload out with uncached loads, send it onward through NIC-B with a CSB
+burst.  Every hop preserves the payload.
+"""
+
+from repro import System, assemble
+from repro.common.config import DOUBLEWORD
+from repro.devices import nic as nic_regs
+from repro.devices.base import DeviceAlias
+from repro.devices.link import Link
+from repro.devices.nic import NetworkInterface
+from repro.memory.layout import (
+    IO_COMBINING_BASE,
+    IO_UNCACHED_BASE,
+    PageAttr,
+    Region,
+)
+from repro.sim.cluster import Cluster
+
+NIC_SIZE = 16 * 1024
+NIC_A = IO_UNCACHED_BASE                 # node1's NIC toward node0
+NIC_B = IO_UNCACHED_BASE + NIC_SIZE      # node1's NIC toward node2
+NIC_B_TX = IO_COMBINING_BASE             # combining alias of NIC_B's TX side
+PAYLOAD_DWORDS = 4
+SIGNATURE = 0xFEED0000_00000001
+
+
+def make_node():
+    system = System()
+    nic = NetworkInterface(
+        Region(NIC_A, NIC_SIZE, PageAttr.UNCACHED, "nic")
+    )
+    system.attach_device(nic)
+    alias = DeviceAlias(
+        Region(IO_COMBINING_BASE, NIC_SIZE, PageAttr.UNCACHED_COMBINING, "nic-tx"),
+        nic,
+    )
+    system.attach_device(alias)
+    return system, nic
+
+
+def sender_kernel() -> str:
+    lines = [
+        f"set {SIGNATURE}, %l0",
+        f"set {IO_COMBINING_BASE}, %o1",
+        ".S:",
+        f"set {PAYLOAD_DWORDS}, %l4",
+    ]
+    for i in range(PAYLOAD_DWORDS):
+        lines.append(f"add %l0, {i}, %l1")
+        lines.append(f"stx %l1, [%o1+{i * DOUBLEWORD}]")
+    lines += ["swap [%o1], %l4", f"cmp %l4, {PAYLOAD_DWORDS}", "bnz .S", "halt"]
+    return "\n".join(lines)
+
+
+def forwarder_kernel() -> str:
+    """Poll NIC-A, copy the payload, re-send via NIC-B's combining alias."""
+    lines = [
+        f"set {NIC_A + nic_regs.RX_STATUS_OFFSET}, %o4",
+        f"set {NIC_A + nic_regs.RX_WINDOW_OFFSET}, %o5",
+        f"set {NIC_B_TX + NIC_SIZE}, %o1",    # alias of NIC_B's TX FIFO
+        ".WAIT:",
+        "ldx [%o4], %l6",
+        "brz %l6, .WAIT",
+    ]
+    for i in range(PAYLOAD_DWORDS):
+        lines.append(f"ldx [%o5+{i * DOUBLEWORD}], %l{i}")
+    lines += [
+        f"stx %g0, [%o4+{nic_regs.RX_CONSUME_OFFSET - nic_regs.RX_STATUS_OFFSET}]",
+        ".F:",
+        f"set {PAYLOAD_DWORDS}, %l4",
+    ]
+    for i in range(PAYLOAD_DWORDS):
+        lines.append(f"stx %l{i}, [%o1+{i * DOUBLEWORD}]")
+    lines += ["swap [%o1], %l4", f"cmp %l4, {PAYLOAD_DWORDS}", "bnz .F", "halt"]
+    return "\n".join(lines)
+
+
+def receiver_kernel(result_addr: int) -> str:
+    lines = [
+        f"set {NIC_A + nic_regs.RX_STATUS_OFFSET}, %o4",
+        f"set {NIC_A + nic_regs.RX_WINDOW_OFFSET}, %o5",
+        f"set {result_addr}, %o6",
+        ".WAIT:",
+        "ldx [%o4], %l6",
+        "brz %l6, .WAIT",
+    ]
+    for i in range(PAYLOAD_DWORDS):
+        lines.append(f"ldx [%o5+{i * DOUBLEWORD}], %l0")
+        lines.append(f"stx %l0, [%o6+{i * DOUBLEWORD}]")
+    lines += ["halt"]
+    return "\n".join(lines)
+
+
+def test_three_node_store_and_forward():
+    node0, nic0 = make_node()
+    node2, nic2 = make_node()
+    # Node 1 has two NICs: nic1a toward node0, nic1b toward node2.
+    node1 = System()
+    nic1a = NetworkInterface(
+        Region(NIC_A, NIC_SIZE, PageAttr.UNCACHED, "nic-a")
+    )
+    nic1b = NetworkInterface(
+        Region(NIC_B, NIC_SIZE, PageAttr.UNCACHED, "nic-b")
+    )
+    node1.attach_device(nic1a)
+    node1.attach_device(nic1b)
+    node1.attach_device(
+        DeviceAlias(
+            Region(
+                IO_COMBINING_BASE, NIC_SIZE, PageAttr.UNCACHED_COMBINING, "a-tx"
+            ),
+            nic1a,
+        )
+    )
+    node1.attach_device(
+        DeviceAlias(
+            Region(
+                IO_COMBINING_BASE + NIC_SIZE,
+                NIC_SIZE,
+                PageAttr.UNCACHED_COMBINING,
+                "b-tx",
+            ),
+            nic1b,
+        )
+    )
+    cluster = Cluster([node0, node1, node2])
+    cluster.connect(Link(nic0, nic1a, latency=5))
+    cluster.connect(Link(nic1b, nic2, latency=5))
+
+    result_addr = 0x6000
+    node0.add_process(assemble(sender_kernel()), name="sender")
+    node1.add_process(assemble(forwarder_kernel()), name="forwarder")
+    node2.add_process(assemble(receiver_kernel(result_addr)), name="receiver")
+    cluster.run()
+
+    for i in range(PAYLOAD_DWORDS):
+        assert node2.backing.read_int(result_addr + i * 8, 8) == SIGNATURE + i
+    assert nic2.received_total == 1
+    assert nic1a.received_total == 1

@@ -1,0 +1,156 @@
+"""The paper's prose anchors (DESIGN.md §5), checked end-to-end.
+
+These tests pin the simulator to every quantitative statement the paper
+makes in §4.3; if any of them breaks, the reproduced figures no longer
+mean what the paper's figures mean.
+"""
+
+import pytest
+
+from repro.evaluation.bandwidth import bandwidth_point
+from repro.evaluation.latency import latency_point
+from repro.evaluation.panels import FIG3_PANELS, FIG4_PANELS
+
+
+class TestBandwidthAnchors:
+    def test_noncombining_mux_bus_flat_at_half_peak(self):
+        # "Without any combining, the bandwidth is independent of the total
+        # amount of data transferred ... 4 bytes per bus cycle, which is
+        # half of the peak bandwidth."
+        panel = FIG3_PANELS["c"]
+        for size in (16, 64, 256, 1024):
+            assert bandwidth_point(panel, "none", size) == pytest.approx(4.0)
+
+    def test_combining_approaches_line_per_5_cycles(self):
+        # "...ultimately approaching the peak bandwidth of one cache line
+        # per 5 cycles" (32-byte line, 8-byte mux bus).
+        panel = FIG3_PANELS["c"]
+        peak = 32 / 5
+        bw = bandwidth_point(panel, "combine32", 1024)
+        assert 0.9 * peak < bw <= peak
+
+    def test_csb_reaches_line_per_burst(self):
+        panel = FIG3_PANELS["e"]  # 64-byte line
+        assert bandwidth_point(panel, "csb", 1024) == pytest.approx(64 / 9)
+
+    def test_small_transfers_unaffected_by_combining(self):
+        # "For small data transfers of 16 bytes, combining has no effect
+        # because the first store leaves the buffer before the second is
+        # issued."
+        panel = FIG3_PANELS["c"]
+        assert bandwidth_point(panel, "combine32", 16) == pytest.approx(
+            bandwidth_point(panel, "none", 16)
+        )
+
+    def test_csb_penalized_below_a_line(self):
+        # "Transfers that are significantly smaller than a cache line are
+        # penalized by the unnecessary long burst transactions."
+        panel = FIG3_PANELS["e"]
+        assert bandwidth_point(panel, "csb", 16) < bandwidth_point(
+            panel, "none", 16
+        )
+
+    def test_csb_wins_at_a_cache_line(self):
+        # "The conditional store buffer clearly has the greatest advantage
+        # over all other schemes for transfer sizes of about a cache line."
+        panel = FIG3_PANELS["e"]
+        csb = bandwidth_point(panel, "csb", 64)
+        for scheme in ("none", "combine16", "combine32", "combine64"):
+            assert csb > bandwidth_point(panel, scheme, 64)
+
+    def test_larger_lines_move_crossover_right(self):
+        # "Increasing the cache line size pushes the crossover point
+        # between the CSB and other schemes towards larger transfers."
+        def crossover(panel):
+            for size in (16, 32, 64, 128, 256, 512, 1024):
+                if bandwidth_point(panel, "csb", size) > bandwidth_point(
+                    panel, "none", size
+                ):
+                    return size
+            return 2048
+
+        assert crossover(FIG3_PANELS["f"]) >= crossover(FIG3_PANELS["d"])
+
+    def test_turnaround_lets_csb_win_earlier(self):
+        # "The net effect is that the CSB bandwidth surpasses all other
+        # schemes for even shorter transfers" (turnaround panel g vs e).
+        def csb_beats_all_at(panel, size):
+            csb = bandwidth_point(panel, "csb", size)
+            return all(
+                csb >= bandwidth_point(panel, s, size)
+                for s in ("none", "combine16", "combine32", "combine64")
+            )
+
+        assert csb_beats_all_at(FIG3_PANELS["g"], 32)
+        assert not csb_beats_all_at(FIG3_PANELS["e"], 32)
+
+    def test_min_delay_8_only_hurts_short_transactions(self):
+        # "A delay of 4 ... an 8-cycle burst completely overlaps with the
+        # acknowledgment."
+        none_free = bandwidth_point(FIG3_PANELS["e"], "none", 1024)
+        none_delay = bandwidth_point(FIG3_PANELS["i"], "none", 1024)
+        csb_free = bandwidth_point(FIG3_PANELS["e"], "csb", 1024)
+        csb_delay = bandwidth_point(FIG3_PANELS["i"], "csb", 1024)
+        assert none_delay < none_free / 2  # short txns crushed
+        assert csb_delay == pytest.approx(csb_free)  # bursts unaffected
+
+
+class TestSplitBusAnchors:
+    def test_doubleword_wastes_wide_bus(self):
+        # A doubleword uses half of a 128-bit bus: 8 bytes/cycle against a
+        # 16 byte/cycle peak.
+        panel = FIG4_PANELS["a"]
+        assert bandwidth_point(panel, "none", 256) == pytest.approx(8.0)
+
+    def test_256bit_burst_two_cycles(self):
+        # "On a 256 bit wide bus, a burst transfer takes only two cycles,
+        # the same number of cycles as two individual doubleword stores."
+        panel = FIG4_PANELS["b"]
+        assert bandwidth_point(panel, "csb", 64) == pytest.approx(32.0)
+
+    def test_min_delay_4_only_csb_hides(self):
+        # "For a minimum delay of 4, only the CSB can successfully hide the
+        # acknowledgment latency."
+        panel = FIG4_PANELS["d"]
+        csb = bandwidth_point(panel, "csb", 1024)
+        assert csb == pytest.approx(16.0)
+        for scheme in ("none", "combine16", "combine32", "combine64"):
+            assert bandwidth_point(panel, scheme, 1024) < csb
+
+
+class TestLatencyAnchors:
+    def test_locking_slope_12_cycles_per_doubleword(self):
+        # "It increases by 12 cycles for every doubleword transferred"
+        # (ratio 6: one 2-cycle bus transaction per doubleword).
+        spans = [latency_point("none", n, lock_hits_l1=True) for n in (2, 5, 8)]
+        assert spans[1] - spans[0] == 3 * 12
+        assert spans[2] - spans[1] == 3 * 12
+
+    def test_csb_slope_1_cycle_per_doubleword(self):
+        spans = [latency_point("csb", n, lock_hits_l1=True) for n in (2, 5, 8)]
+        assert spans[1] - spans[0] == 3
+        assert spans[2] - spans[1] == 3
+
+    def test_lock_miss_adds_roughly_miss_latency(self):
+        hit = latency_point("none", 4, lock_hits_l1=True)
+        miss = latency_point("none", 4, lock_hits_l1=False)
+        assert 90 <= miss - hit <= 110
+
+    def test_csb_unaffected_by_lock_variable_state(self):
+        # The CSB path has no lock variable at all.
+        assert latency_point("csb", 4, True) == latency_point("csb", 4, False)
+
+    def test_csb_beats_locking_everywhere(self):
+        for n in (2, 4, 8):
+            for hits in (True, False):
+                assert latency_point("csb", n, hits) < latency_point(
+                    "none", n, hits
+                )
+
+    def test_alignment_nonmonotonicity_7_to_8(self):
+        # "The bus alignment restrictions lead to better bus utilization
+        # when going from 7 to 8 transactions, thus explaining the
+        # decreasing number of cycles."
+        seven = latency_point("combine64", 7, lock_hits_l1=True)
+        eight = latency_point("combine64", 8, lock_hits_l1=True)
+        assert eight <= seven

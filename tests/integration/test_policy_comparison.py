@@ -1,0 +1,44 @@
+"""Integration checks for the processor-policy comparison study."""
+
+from repro.evaluation.policy_comparison import (
+    POLICY_SCHEMES,
+    interleaved_store_kernel,
+    policy_table,
+)
+from repro.isa.assembler import assemble
+
+
+class TestInterleavedKernel:
+    def test_covers_same_bytes_as_sequential(self):
+        source = interleaved_store_kernel(128)
+        program = assemble(source)
+        offsets = sorted(
+            instr.offset for instr in program if instr.is_store
+        )
+        assert offsets == [8 * i for i in range(16)]
+
+    def test_within_line_order_is_evens_then_odds(self):
+        source = interleaved_store_kernel(64)
+        program = assemble(source)
+        offsets = [instr.offset for instr in program if instr.is_store]
+        assert offsets == [0, 16, 32, 48, 8, 24, 40, 56]
+
+
+class TestPolicyTable:
+    def test_all_schemes_present(self):
+        table = policy_table(sizes=(64,))
+        assert [row[0] for row in table.rows] == list(POLICY_SCHEMES)
+
+    def test_r10000_order_sensitivity(self):
+        sequential = policy_table(sizes=(1024,), interleaved=False)
+        shuffled = policy_table(sizes=(1024,), interleaved=True)
+        assert shuffled.lookup("scheme", "r10000", "1024") < sequential.lookup(
+            "scheme", "r10000", "1024"
+        )
+
+    def test_csb_order_insensitive(self):
+        sequential = policy_table(sizes=(1024,), interleaved=False)
+        shuffled = policy_table(sizes=(1024,), interleaved=True)
+        assert shuffled.lookup("scheme", "csb", "1024") == sequential.lookup(
+            "scheme", "csb", "1024"
+        )

@@ -1,0 +1,102 @@
+"""Error paths and determinism: the simulator fails loudly and repeats
+exactly."""
+
+import pytest
+
+from repro import System, assemble
+from repro.common.errors import DeadlockError, MemoryError_, SimulationError
+from repro.isa.program import Program, ProgramError
+from repro.isa.instructions import NopInstruction
+from repro.memory.layout import IO_UNCACHED_BASE
+from tests.conftest import make_config
+
+
+class TestErrorPaths:
+    def test_unmapped_access_fails_at_dispatch(self):
+        system = System(make_config())
+        system.add_process(assemble("ldx [0x70000000], %o1\nhalt"))
+        with pytest.raises(MemoryError_):
+            system.run()
+
+    def test_fetch_past_end_is_impossible_by_construction(self):
+        # finalize() requires a trailing halt, so a program can never run
+        # off its end.
+        program = Program()
+        program.add(NopInstruction())
+        with pytest.raises(ProgramError):
+            program.finalize()
+
+    def test_run_without_processes_finishes_immediately(self):
+        system = System(make_config())
+        assert system.finished
+        system.run()
+        assert system.cycle == 0
+
+    def test_spin_forever_raises_deadlock_with_cycle(self):
+        system = System(make_config())
+        system.add_process(assemble("x: ba x\nhalt"))
+        with pytest.raises(DeadlockError) as exc:
+            system.run(max_cycles=5_000)
+        assert exc.value.cycle is not None
+
+    def test_unaligned_uncached_store_rejected(self):
+        system = System(make_config())
+        system.add_process(
+            assemble(f"set {IO_UNCACHED_BASE + 4}, %o1\nstx %l0, [%o1]\nhalt")
+        )
+        with pytest.raises(SimulationError):
+            system.run()
+
+    def test_interrupt_on_halted_core_is_harmless(self):
+        system = System(make_config())
+        system.add_process(assemble("halt"))
+        system.run()
+        system.core.interrupt()
+        system.run_cycles(5)  # no crash, nothing to squash
+
+
+class TestDeterminism:
+    def test_identical_runs_produce_identical_stats(self):
+        def run():
+            system = System(make_config(combine_block=64))
+            from repro.workloads import store_kernel_csb
+
+            system.add_process(assemble(store_kernel_csb(512, 64)))
+            system.run()
+            return (
+                system.cycle,
+                system.stats.as_dict(),
+                [
+                    (r.start_cycle, r.end_cycle, r.address, r.size, r.kind)
+                    for r in system.stats.transactions
+                ],
+            )
+
+        assert run() == run()
+
+    def test_multiprocess_runs_deterministic(self):
+        from repro.workloads.contention import contending_csb_kernel
+        from repro.memory.layout import IO_COMBINING_BASE
+
+        def run():
+            system = System(make_config(), quantum=120, switch_penalty=20)
+            system.add_process(
+                assemble(contending_csb_kernel(15, IO_COMBINING_BASE))
+            )
+            system.add_process(
+                assemble(contending_csb_kernel(15, IO_COMBINING_BASE + 64))
+            )
+            system.run(max_cycles=5_000_000)
+            return system.cycle, system.stats.as_dict()
+
+        assert run() == run()
+
+
+class TestSlowRegistrySweep:
+    @pytest.mark.slow
+    def test_every_registered_experiment_produces_a_table(self):
+        from repro.evaluation.experiments import experiment_ids, run_experiment
+
+        for experiment_id in experiment_ids():
+            table = run_experiment(experiment_id)
+            assert table.rows, experiment_id

@@ -1,0 +1,36 @@
+"""Sensitivity-study integration checks."""
+
+from repro.evaluation.sensitivity import (
+    ratio_sensitivity_table,
+    sensitivity_summary,
+    width_sensitivity_table,
+)
+
+
+class TestWidth:
+    def test_csb_insensitive_to_width(self):
+        table = width_sensitivity_table(widths=(2, 8))
+        csb = table.column("csb_cycles")
+        assert max(csb) - min(csb) <= 2
+
+    def test_lock_insensitive_to_width(self):
+        table = width_sensitivity_table(widths=(2, 8))
+        lock = table.column("lock_cycles")
+        assert max(lock) - min(lock) <= 8
+
+
+class TestRatio:
+    def test_lock_slope_is_two_bus_cycles_per_doubleword(self):
+        table = ratio_sensitivity_table(ratios=(3, 5))
+        assert table.lookup("cpu_ratio", 3, "lock_slope") == 6
+        assert table.lookup("cpu_ratio", 5, "lock_slope") == 10
+
+    def test_csb_slope_constant(self):
+        table = ratio_sensitivity_table(ratios=(2, 8))
+        assert set(table.column("csb_slope")) == {1}
+
+
+def test_summary_renders():
+    lines = sensitivity_summary()
+    assert len(lines) == 2
+    assert "lock" in lines[0]

@@ -1,0 +1,150 @@
+"""The textual assembler, including the paper's own listing."""
+
+import pytest
+
+from repro.common.errors import AssemblyError
+from repro.isa.assembler import assemble
+from repro.isa.instructions import (
+    AluInstruction,
+    BranchInstruction,
+    CompareInstruction,
+    LoadInstruction,
+    MarkInstruction,
+    MembarInstruction,
+    SetInstruction,
+    StoreInstruction,
+    SwapInstruction,
+)
+
+PAPER_LISTING = """
+.RETRY:
+set 8, %l4          ! expected value
+std %f0, [%o1]
+std %f10, [%o1+40]
+std %f12, [%o1+8]
+swap [%o1], %l4     ! conditional flush
+cmp %l4, 8          ! compare values
+bnz .RETRY          ! retry on failure
+halt
+"""
+
+
+class TestPaperListing:
+    def test_assembles(self):
+        program = assemble(PAPER_LISTING)
+        assert len(program) == 8
+        assert isinstance(program[0], SetInstruction)
+        assert isinstance(program[1], StoreInstruction)
+        assert program[1].size == 8
+        assert isinstance(program[4], SwapInstruction)
+        assert isinstance(program[5], CompareInstruction)
+        branch = program[6]
+        assert isinstance(branch, BranchInstruction)
+        assert branch.op == "bne"  # bnz alias
+        assert program.target_of(branch) == 0
+
+    def test_offsets_parsed(self):
+        program = assemble(PAPER_LISTING)
+        assert program[2].offset == 40
+
+
+class TestMemoryOperands:
+    def test_plain(self):
+        program = assemble("ld [%o1], %o2\nhalt")
+        load = program[0]
+        assert isinstance(load, LoadInstruction)
+        assert load.base == "r9" and load.offset == 0 and load.size == 4
+
+    def test_negative_offset(self):
+        program = assemble("st %o2, [%o1-8]\nhalt")
+        assert program[0].offset == -8
+
+    def test_register_offset(self):
+        program = assemble("ldx [%o1+%o3], %o2\nhalt")
+        assert program[0].offset == "r11"
+
+    def test_absolute_address(self):
+        program = assemble("ldx [0x2000], %o2\nhalt")
+        assert program[0].base == "r0" and program[0].offset == 0x2000
+
+    def test_hex_offset(self):
+        program = assemble("ldx [%o1+0x10], %o2\nhalt")
+        assert program[0].offset == 16
+
+    def test_bad_memref(self):
+        with pytest.raises(AssemblyError):
+            assemble("ld %o1, %o2\nhalt")
+
+
+class TestSizes:
+    @pytest.mark.parametrize(
+        "mnemonic,size",
+        [("ldub", 1), ("lduh", 2), ("ld", 4), ("ldx", 8), ("ldd", 8)],
+    )
+    def test_load_sizes(self, mnemonic, size):
+        program = assemble(f"{mnemonic} [%o1], %o2\nhalt")
+        assert program[0].size == size
+
+    @pytest.mark.parametrize(
+        "mnemonic,size",
+        [("stb", 1), ("sth", 2), ("st", 4), ("stx", 8), ("std", 8)],
+    )
+    def test_store_sizes(self, mnemonic, size):
+        program = assemble(f"{mnemonic} %o2, [%o1]\nhalt")
+        assert program[0].size == size
+
+
+class TestDirectivesAndSugar:
+    def test_comments_and_blank_lines(self):
+        program = assemble("\n! leading comment\n  nop // trailing\n\nhalt\n")
+        assert len(program) == 2
+
+    def test_label_shares_line(self):
+        program = assemble("L1: nop\nba L1\nhalt")
+        assert program.label_index("L1") == 0
+
+    def test_mov_register_becomes_or(self):
+        program = assemble("mov %o1, %o2\nhalt")
+        alu = program[0]
+        assert isinstance(alu, AluInstruction) and alu.op == "or"
+
+    def test_mov_immediate_becomes_set(self):
+        program = assemble("mov 42, %o2\nhalt")
+        assert isinstance(program[0], SetInstruction)
+
+    def test_membar_accepts_constraint_operand(self):
+        program = assemble("membar #Sync\nhalt")
+        assert isinstance(program[0], MembarInstruction)
+
+    def test_mark(self):
+        program = assemble("mark begin\nhalt")
+        mark = program[0]
+        assert isinstance(mark, MarkInstruction) and mark.label == "begin"
+
+    def test_alu_three_operand_sparc_order(self):
+        program = assemble("add %o1, 8, %o2\nhalt")
+        alu = program[0]
+        assert alu.rs1 == "r9" and alu.operand2 == 8 and alu.rd == "r10"
+
+
+class TestErrors:
+    def test_unknown_mnemonic_reports_line(self):
+        with pytest.raises(AssemblyError) as exc:
+            assemble("nop\nfrobnicate %o1\nhalt")
+        assert exc.value.line == 2
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(AssemblyError):
+            assemble("add %o1, %o2\nhalt")
+
+    def test_undefined_label_caught_at_finalize(self):
+        with pytest.raises(AssemblyError):
+            assemble("ba .NOWHERE\nhalt")
+
+    def test_bad_register_wrapped_as_assembly_error(self):
+        with pytest.raises(AssemblyError):
+            assemble("add %q1, 1, %o1\nhalt")
+
+    def test_bad_integer(self):
+        with pytest.raises(AssemblyError):
+            assemble("set banana, %o1\nhalt")

@@ -1,0 +1,97 @@
+"""Disassembler: rendering and assemble/disassemble round-trips."""
+
+import pytest
+
+from repro.isa.assembler import assemble
+from repro.isa.disassembler import disassemble, disassemble_instruction
+from repro.isa.instructions import (
+    AluInstruction,
+    BlockStoreInstruction,
+    LoadInstruction,
+    SetInstruction,
+    StoreInstruction,
+    SwapInstruction,
+)
+from repro.workloads import (
+    contending_csb_kernel,
+    csb_access_kernel,
+    csb_send_kernel,
+    locked_access_kernel,
+    store_kernel_csb,
+    store_kernel_uncached,
+)
+from repro.workloads.blockstore import blockstore_marshalled_kernel
+
+
+class TestInstructionRendering:
+    def test_alu(self):
+        text = disassemble_instruction(AluInstruction("add", "%o1", 8, "%o2"))
+        assert text == "add %r9, 8, %r10"
+
+    def test_set(self):
+        assert disassemble_instruction(SetInstruction(5, "%l0")) == "set 5, %r16"
+
+    def test_memrefs(self):
+        load = LoadInstruction(base="%o1", offset=-8, rd="%o2", size=8)
+        assert disassemble_instruction(load) == "ldx [%r9-8], %r10"
+        store = StoreInstruction(base="%o1", offset="%o3", rs="%f0", size=8)
+        assert disassemble_instruction(store) == "std %f0, [%r9+%r11]"
+
+    def test_swap_and_blockstore(self):
+        swap = SwapInstruction(base="%o1", offset=0, rd="%l4")
+        assert disassemble_instruction(swap) == "swap [%r9], %r20"
+        blk = BlockStoreInstruction(base="%o1", offset=64)
+        assert disassemble_instruction(blk) == "stblk [%r9+64]"
+
+
+def structurally_equal(a, b) -> bool:
+    """Same instruction sequence and same resolved branch targets."""
+    from repro.isa.instructions import BranchInstruction
+
+    if len(a) != len(b):
+        return False
+    for left, right in zip(a, b):
+        if type(left) is not type(right):
+            return False
+        if isinstance(left, BranchInstruction):
+            if left.op != right.op or a.target_of(left) != b.target_of(right):
+                return False
+            if left.rs1 != right.rs1:
+                return False
+        elif left != right:
+            return False
+    return True
+
+
+KERNELS = [
+    pytest.param(store_kernel_uncached(256), id="storebw"),
+    pytest.param(store_kernel_csb(256, 64), id="storebw-csb"),
+    pytest.param(locked_access_kernel(8), id="lock"),
+    pytest.param(csb_access_kernel(8), id="csb-access"),
+    pytest.param(contending_csb_kernel(5, 0x3000_0000, backoff=True), id="backoff"),
+    pytest.param(csb_send_kernel(32, 0x3000_0000), id="nic-send"),
+    pytest.param(blockstore_marshalled_kernel(), id="blockstore"),
+]
+
+
+def _llsc_kernel() -> str:
+    from repro.evaluation.sync_mechanisms import llsc_access_kernel
+
+    return llsc_access_kernel(4)
+
+
+KERNELS.append(pytest.param(_llsc_kernel(), id="llsc"))
+
+
+@pytest.mark.parametrize("source", KERNELS)
+def test_round_trip(source):
+    original = assemble(source)
+    text = disassemble(original)
+    rebuilt = assemble(text)
+    assert structurally_equal(original, rebuilt), text
+
+
+def test_disassembly_is_readable():
+    listing = disassemble(assemble(csb_access_kernel(2)))
+    assert "swap [%r9], %r20" in listing
+    assert "L2:" in listing  # the retry label

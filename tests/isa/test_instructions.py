@@ -1,0 +1,126 @@
+"""Instruction construction, classification, and dataflow interface."""
+
+import pytest
+
+from repro.isa.instructions import (
+    AluInstruction,
+    BranchInstruction,
+    CompareInstruction,
+    HaltInstruction,
+    InstructionError,
+    LoadInstruction,
+    MarkInstruction,
+    MembarInstruction,
+    NopInstruction,
+    SetInstruction,
+    StoreInstruction,
+    SwapInstruction,
+)
+
+
+class TestAlu:
+    def test_sources_and_destination(self):
+        add = AluInstruction("add", "%o1", "%o2", "%o3")
+        assert add.sources() == ("r9", "r10")
+        assert add.destination() == "r11"
+        assert add.fu == "int"
+
+    def test_immediate_operand(self):
+        add = AluInstruction("add", "%o1", 8, "%o2")
+        assert add.sources() == ("r9",)
+        assert add.operand2 == 8
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(InstructionError):
+            AluInstruction("frobnicate", "%o1", 0, "%o2")
+
+    def test_fp_op_requires_fp_registers(self):
+        with pytest.raises(InstructionError):
+            AluInstruction("fadd", "%o1", "%f2", "%f4")
+        fadd = AluInstruction("fadd", "%f0", "%f2", "%f4")
+        assert fadd.fu == "fp"
+
+
+class TestCompareAndSet:
+    def test_cmp_writes_icc(self):
+        cmp_ = CompareInstruction("%l4", 8)
+        assert cmp_.destination() == "icc"
+        assert cmp_.sources() == ("r20",)
+
+    def test_set_has_no_sources(self):
+        set_ = SetInstruction(8, "%l4")
+        assert set_.sources() == ()
+        assert set_.destination() == "r20"
+        assert set_.fu == "int"
+
+
+class TestBranches:
+    def test_cc_branch_reads_icc(self):
+        bne = BranchInstruction("bne", ".RETRY")
+        assert bne.sources() == ("icc",)
+        assert bne.is_branch
+
+    def test_register_branch(self):
+        brnz = BranchInstruction("brnz", ".SPIN", rs1="%l6")
+        assert brnz.sources() == ("r22",)
+
+    def test_register_branch_needs_register(self):
+        with pytest.raises(InstructionError):
+            BranchInstruction("brz", "x")
+
+    def test_cc_branch_rejects_register(self):
+        with pytest.raises(InstructionError):
+            BranchInstruction("be", "x", rs1="%o1")
+
+    def test_ba_reads_nothing(self):
+        assert BranchInstruction("ba", "x").sources() == ()
+
+
+class TestMemoryOps:
+    def test_load_shape(self):
+        load = LoadInstruction(base="%o1", offset=8, rd="%o2", size=8)
+        assert load.is_mem and load.is_load and not load.is_store
+        assert load.sources() == ("r9",)
+        assert load.destination() == "r10"
+
+    def test_register_offset_is_a_source(self):
+        load = LoadInstruction(base="%o1", offset="%o3", rd="%o2", size=4)
+        assert set(load.sources()) == {"r9", "r11"}
+
+    def test_store_reads_data_register(self):
+        store = StoreInstruction(base="%o1", offset=0, rs="%l0", size=8)
+        assert store.is_store and not store.is_load
+        assert store.sources() == ("r9", "r16")
+        assert store.destination() is None
+
+    def test_bad_size_rejected(self):
+        with pytest.raises(InstructionError):
+            LoadInstruction(base="%o1", rd="%o2", size=3)
+
+    def test_fp_store_must_be_doubleword(self):
+        with pytest.raises(InstructionError):
+            StoreInstruction(base="%o1", rs="%f0", size=4)
+        StoreInstruction(base="%o1", rs="%f0", size=8)  # fine
+
+    def test_swap_is_load_and_store(self):
+        swap = SwapInstruction(base="%o1", offset=0, rd="%l4")
+        assert swap.is_swap and swap.is_load and swap.is_store
+        assert swap.size == 8
+        # Reads the address base and its own data register; writes it too.
+        assert set(swap.sources()) == {"r9", "r20"}
+        assert swap.destination() == "r20"
+
+
+class TestPseudoOps:
+    def test_membar(self):
+        membar = MembarInstruction()
+        assert membar.is_mem and membar.is_membar
+        assert membar.sources() == () and membar.destination() is None
+
+    def test_mark(self):
+        mark = MarkInstruction(label="t0")
+        assert mark.is_mark and mark.fu == "none"
+
+    def test_halt_and_nop(self):
+        assert HaltInstruction().is_halt
+        assert NopInstruction().fu == "int"

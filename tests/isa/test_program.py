@@ -1,0 +1,90 @@
+"""Program container: labels, finalization, fetch."""
+
+import pytest
+
+from repro.isa.instructions import (
+    BranchInstruction,
+    HaltInstruction,
+    NopInstruction,
+)
+from repro.isa.program import Program, ProgramError
+
+
+def small_program() -> Program:
+    program = Program("t")
+    program.label("top")
+    program.add(NopInstruction())
+    program.add(BranchInstruction("ba", "top"))
+    program.add(HaltInstruction())
+    return program
+
+
+class TestBuilding:
+    def test_add_returns_index(self):
+        program = Program()
+        assert program.add(NopInstruction()) == 0
+        assert program.add(HaltInstruction()) == 1
+
+    def test_duplicate_label_rejected(self):
+        program = Program()
+        program.label("x")
+        with pytest.raises(ProgramError):
+            program.label("x")
+
+    def test_finalized_program_is_immutable(self):
+        program = small_program().finalize()
+        with pytest.raises(ProgramError):
+            program.add(NopInstruction())
+        with pytest.raises(ProgramError):
+            program.label("y")
+
+    def test_finalize_idempotent(self):
+        program = small_program()
+        assert program.finalize() is program.finalize()
+
+
+class TestValidation:
+    def test_empty_program_rejected(self):
+        with pytest.raises(ProgramError):
+            Program().finalize()
+
+    def test_undefined_branch_target_rejected(self):
+        program = Program()
+        program.add(BranchInstruction("ba", "nowhere"))
+        program.add(HaltInstruction())
+        with pytest.raises(ProgramError):
+            program.finalize()
+
+    def test_must_end_with_halt(self):
+        program = Program()
+        program.add(NopInstruction())
+        with pytest.raises(ProgramError):
+            program.finalize()
+
+    def test_label_past_end_rejected(self):
+        program = Program()
+        program.add(BranchInstruction("ba", "end"))
+        program.add(HaltInstruction())
+        program.label("end")  # points past the last instruction
+        with pytest.raises(ProgramError):
+            program.finalize()
+
+
+class TestAccess:
+    def test_target_resolution(self):
+        program = small_program().finalize()
+        branch = program[1]
+        assert isinstance(branch, BranchInstruction)
+        assert program.target_of(branch) == 0
+        assert program.label_index("top") == 0
+
+    def test_fetch_in_and_out_of_range(self):
+        program = small_program().finalize()
+        assert program.fetch(0) is not None
+        assert program.fetch(len(program)) is None
+        assert program.fetch(-1) is None
+
+    def test_iteration_and_len(self):
+        program = small_program()
+        assert len(program) == 3
+        assert len(list(program)) == 3

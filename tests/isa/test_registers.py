@@ -1,0 +1,95 @@
+"""Register naming and the architectural register file."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa.registers import (
+    RegisterFile,
+    canonical_register,
+    is_fp_register,
+    register_names,
+    RegisterError,
+)
+
+
+class TestCanonicalNames:
+    @pytest.mark.parametrize(
+        "alias,expected",
+        [
+            ("%g0", "r0"),
+            ("%g7", "r7"),
+            ("%o0", "r8"),
+            ("%o1", "r9"),
+            ("%l0", "r16"),
+            ("%i7", "r31"),
+            ("o1", "r9"),
+            ("%r5", "r5"),
+            ("r31", "r31"),
+            ("%f0", "f0"),
+            ("%f31", "f31"),
+            ("%icc", "icc"),
+            ("%sp", "r14"),
+            ("%fp", "r30"),
+        ],
+    )
+    def test_aliases(self, alias, expected):
+        assert canonical_register(alias) == expected
+
+    def test_case_and_whitespace(self):
+        assert canonical_register("  %O1 ") == "r9"
+
+    @pytest.mark.parametrize("bad", ["%q1", "%r32", "%f32", "", "%"])
+    def test_unknown_rejected(self, bad):
+        with pytest.raises(RegisterError):
+            canonical_register(bad)
+
+    def test_register_names_complete(self):
+        names = register_names()
+        assert len(names) == 32 + 32 + 1
+        assert "r0" in names and "f31" in names and "icc" in names
+
+    def test_fp_classification(self):
+        assert is_fp_register("f3")
+        assert not is_fp_register("r3")
+        assert not is_fp_register("fp")  # the frame pointer is integer
+
+
+class TestRegisterFile:
+    def test_initially_zero(self):
+        regs = RegisterFile()
+        assert regs.read("%o1") == 0
+
+    def test_write_read_roundtrip(self):
+        regs = RegisterFile()
+        regs.write("%o1", 0x1234)
+        assert regs.read("%o1") == 0x1234
+        assert regs.read("r9") == 0x1234  # same register
+
+    def test_g0_hardwired_zero(self):
+        regs = RegisterFile()
+        regs.write("%g0", 99)
+        assert regs.read("%g0") == 0
+
+    def test_values_wrap_to_64_bits(self):
+        regs = RegisterFile()
+        regs.write("%o1", 1 << 70)
+        assert regs.read("%o1") == 0
+
+    @given(value=st.integers(min_value=0, max_value=(1 << 64) - 1))
+    def test_property_any_64bit_value_survives(self, value):
+        regs = RegisterFile()
+        regs.write("%l3", value)
+        assert regs.read("%l3") == value
+
+    def test_snapshot_restore(self):
+        regs = RegisterFile()
+        regs.write("%o1", 7)
+        snap = regs.snapshot()
+        regs.write("%o1", 8)
+        regs.restore(snap)
+        assert regs.read("%o1") == 7
+
+    def test_restore_rejects_partial_snapshot(self):
+        regs = RegisterFile()
+        with pytest.raises(RegisterError):
+            regs.restore({"r1": 1})

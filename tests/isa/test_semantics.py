@@ -1,0 +1,91 @@
+"""Functional semantics: 64-bit ALU, condition codes, branch predicates."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa import semantics
+from repro.common.errors import SimulationError
+
+U64 = st.integers(min_value=0, max_value=(1 << 64) - 1)
+
+
+class TestAlu:
+    def test_basic_ops(self):
+        assert semantics.alu("add", 2, 3) == 5
+        assert semantics.alu("sub", 2, 3) == (1 << 64) - 1
+        assert semantics.alu("and", 0b1100, 0b1010) == 0b1000
+        assert semantics.alu("or", 0b1100, 0b1010) == 0b1110
+        assert semantics.alu("xor", 0b1100, 0b1010) == 0b0110
+        assert semantics.alu("sll", 1, 4) == 16
+        assert semantics.alu("srl", 16, 4) == 1
+        assert semantics.alu("mulx", 3, 5) == 15
+
+    def test_sra_preserves_sign(self):
+        minus_two = semantics.to_unsigned(-2)
+        assert semantics.to_signed(semantics.alu("sra", minus_two, 1)) == -1
+
+    def test_shift_amount_masked_to_6_bits(self):
+        assert semantics.alu("sll", 1, 64) == 1  # 64 & 63 == 0
+
+    def test_unknown_op(self):
+        with pytest.raises(SimulationError):
+            semantics.alu("div", 1, 1)
+
+    @given(a=U64, b=U64)
+    def test_property_add_matches_python_mod_2_64(self, a, b):
+        assert semantics.alu("add", a, b) == (a + b) % (1 << 64)
+
+    @given(a=U64, b=U64)
+    def test_property_sub_then_add_roundtrips(self, a, b):
+        assert semantics.alu("add", semantics.alu("sub", a, b), b) == a
+
+
+class TestSignConversion:
+    @given(value=st.integers(min_value=-(1 << 63), max_value=(1 << 63) - 1))
+    def test_property_signed_roundtrip(self, value):
+        assert semantics.to_signed(semantics.to_unsigned(value)) == value
+
+
+class TestCompare:
+    def test_equal_sets_z(self):
+        assert semantics.compare(5, 5) & semantics.CC_Z
+
+    def test_less_than_sets_borrow(self):
+        flags = semantics.compare(3, 5)
+        assert flags & semantics.CC_C
+        assert not flags & semantics.CC_Z
+
+    @given(
+        a=st.integers(min_value=-(1 << 62), max_value=(1 << 62) - 1),
+        b=st.integers(min_value=-(1 << 62), max_value=(1 << 62) - 1),
+    )
+    def test_property_signed_branches_agree_with_python(self, a, b):
+        flags = semantics.compare(
+            semantics.to_unsigned(a), semantics.to_unsigned(b)
+        )
+        assert semantics.branch_taken("be", flags) == (a == b)
+        assert semantics.branch_taken("bne", flags) == (a != b)
+        assert semantics.branch_taken("bl", flags) == (a < b)
+        assert semantics.branch_taken("bge", flags) == (a >= b)
+        assert semantics.branch_taken("bg", flags) == (a > b)
+        assert semantics.branch_taken("ble", flags) == (a <= b)
+
+    @given(a=U64, b=U64)
+    def test_property_unsigned_branches_agree_with_python(self, a, b):
+        flags = semantics.compare(a, b)
+        assert semantics.branch_taken("bgu", flags) == (a > b)
+        assert semantics.branch_taken("bleu", flags) == (a <= b)
+
+
+class TestBranchPredicates:
+    def test_ba_always(self):
+        assert semantics.branch_taken("ba", 0)
+
+    def test_register_branches(self):
+        assert semantics.branch_taken("brz", reg_value=0)
+        assert not semantics.branch_taken("brz", reg_value=1)
+        assert semantics.branch_taken("brnz", reg_value=7)
+
+    def test_unknown_branch(self):
+        with pytest.raises(SimulationError):
+            semantics.branch_taken("bonkers", 0)

@@ -1,0 +1,75 @@
+"""Sparse backing store."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.errors import MemoryError_
+from repro.memory.backing import BackingStore
+
+
+class TestBytes:
+    def test_uninitialized_reads_zero(self):
+        store = BackingStore()
+        assert store.read_bytes(0x1234, 8) == bytes(8)
+
+    def test_roundtrip(self):
+        store = BackingStore()
+        store.write_bytes(0x100, b"hello")
+        assert store.read_bytes(0x100, 5) == b"hello"
+
+    def test_cross_chunk_write(self):
+        store = BackingStore()
+        payload = bytes(range(64))
+        store.write_bytes(4096 - 32, payload)  # straddles a chunk boundary
+        assert store.read_bytes(4096 - 32, 64) == payload
+
+    def test_sparse_allocation(self):
+        store = BackingStore()
+        store.write_bytes(0, b"x")
+        store.write_bytes(1 << 40, b"y")
+        # Two far-apart writes allocate only two chunks.
+        assert store.touched_bytes <= 2 * 4096
+
+    def test_negative_rejected(self):
+        store = BackingStore()
+        with pytest.raises(MemoryError_):
+            store.read_bytes(-1, 4)
+        with pytest.raises(MemoryError_):
+            store.write_bytes(-1, b"a")
+
+
+class TestIntegers:
+    def test_big_endian(self):
+        store = BackingStore()
+        store.write_int(0, 0x0102030405060708, 8)
+        assert store.read_bytes(0, 8) == bytes([1, 2, 3, 4, 5, 6, 7, 8])
+
+    def test_value_wraps_to_size(self):
+        store = BackingStore()
+        store.write_int(0, 0x1FF, 1)
+        assert store.read_int(0, 1) == 0xFF
+
+    @given(
+        address=st.integers(min_value=0, max_value=1 << 30),
+        value=st.integers(min_value=0, max_value=(1 << 64) - 1),
+        size=st.sampled_from([1, 2, 4, 8]),
+    )
+    def test_property_int_roundtrip(self, address, value, size):
+        store = BackingStore()
+        store.write_int(address, value, size)
+        assert store.read_int(address, size) == value % (1 << (8 * size))
+
+    @given(data=st.binary(min_size=0, max_size=300),
+           address=st.integers(min_value=0, max_value=1 << 20))
+    def test_property_bytes_roundtrip(self, data, address):
+        store = BackingStore()
+        store.write_bytes(address, data)
+        assert store.read_bytes(address, len(data)) == data
+
+
+class TestFill:
+    def test_fill(self):
+        store = BackingStore()
+        store.fill(0x10, 4, 0xAB)
+        assert store.read_bytes(0x10, 4) == b"\xab\xab\xab\xab"
+        assert store.read_bytes(0x14, 1) == b"\x00"

@@ -1,0 +1,129 @@
+"""Set-associative cache level."""
+
+from hypothesis import given, strategies as st
+
+from repro.common.config import CacheConfig
+from repro.memory.cache import CacheLevel, LineState
+
+
+def tiny_cache(assoc: int = 2, sets: int = 4, line: int = 64) -> CacheLevel:
+    return CacheLevel(CacheConfig(line * assoc * sets, line, assoc, 1), "t")
+
+
+class TestLookup:
+    def test_cold_miss_then_hit(self):
+        cache = tiny_cache()
+        assert not cache.lookup(0x100, is_write=False)
+        cache.fill(0x100)
+        assert cache.lookup(0x100, is_write=False)
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_same_line_different_offsets_hit(self):
+        cache = tiny_cache()
+        cache.fill(0x100)
+        assert cache.lookup(0x13F, is_write=False)  # same 64-byte line
+
+    def test_probe_does_not_touch_state(self):
+        cache = tiny_cache()
+        cache.fill(0x100)
+        assert cache.probe(0x100)
+        assert not cache.probe(0x200)
+        assert (cache.hits, cache.misses) == (0, 0)
+
+
+class TestWritePolicy:
+    def test_write_hit_marks_dirty(self):
+        cache = tiny_cache()
+        cache.fill(0x100)
+        cache.lookup(0x100, is_write=True)
+        assert 0x100 in cache.dirty_lines()
+
+    def test_fill_dirty(self):
+        cache = tiny_cache()
+        cache.fill(0x100, dirty=True)
+        assert cache.dirty_lines() == [0x100]
+
+    def test_eviction_of_dirty_line_counts_writeback(self):
+        cache = tiny_cache(assoc=1, sets=1)
+        cache.fill(0x0, dirty=True)
+        evicted = cache.fill(0x40)  # same (only) set, evicts dirty line 0
+        assert evicted == 0x0
+        assert cache.writebacks == 1
+
+    def test_eviction_of_clean_line_silent(self):
+        cache = tiny_cache(assoc=1, sets=1)
+        cache.fill(0x0)
+        assert cache.fill(0x40) is None
+
+
+class TestLRU:
+    def test_lru_victim_selection(self):
+        cache = tiny_cache(assoc=2, sets=1)
+        cache.fill(0x000)
+        cache.fill(0x040)
+        cache.lookup(0x000, is_write=False)  # make line 0 MRU
+        cache.fill(0x080)                    # evicts line 0x40
+        assert cache.probe(0x000)
+        assert not cache.probe(0x040)
+
+    def test_refill_does_not_duplicate(self):
+        cache = tiny_cache(assoc=2, sets=1)
+        cache.fill(0x000)
+        cache.fill(0x000)
+        assert cache.resident_lines == 1
+
+    def test_refill_preserves_dirty_state(self):
+        cache = tiny_cache()
+        cache.fill(0x100, dirty=True)
+        cache.fill(0x100)  # clean refill must not launder the dirty bit
+        assert 0x100 in cache.dirty_lines()
+
+
+class TestInvalidate:
+    def test_invalidate(self):
+        cache = tiny_cache()
+        cache.fill(0x100)
+        cache.invalidate(0x100)
+        assert not cache.probe(0x100)
+
+    def test_invalidate_all(self):
+        cache = tiny_cache()
+        cache.fill(0x000)
+        cache.fill(0x100)
+        cache.invalidate_all()
+        assert cache.resident_lines == 0
+
+
+class TestInvariants:
+    @given(
+        addresses=st.lists(
+            st.integers(min_value=0, max_value=0x4000).map(lambda a: a & ~0x3F),
+            min_size=1,
+            max_size=200,
+        )
+    )
+    def test_property_occupancy_never_exceeds_capacity(self, addresses):
+        cache = tiny_cache(assoc=2, sets=4)
+        for address in addresses:
+            if not cache.lookup(address, is_write=False):
+                cache.fill(address)
+        assert cache.resident_lines <= 8
+        # And every set individually respects associativity.
+        for cache_set in cache._sets:
+            assert len(cache_set) <= 2
+
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=0x2000),
+                st.booleans(),
+            ),
+            max_size=200,
+        )
+    )
+    def test_property_hits_plus_misses_equals_lookups(self, ops):
+        cache = tiny_cache()
+        for address, is_write in ops:
+            if not cache.lookup(address, is_write):
+                cache.fill(address, dirty=is_write)
+        assert cache.hits + cache.misses == len(ops)

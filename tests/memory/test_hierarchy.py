@@ -1,0 +1,77 @@
+"""Two-level hierarchy latency model and functional access."""
+
+import pytest
+
+from repro.common.config import MemoryHierarchyConfig
+from repro.common.errors import MemoryError_
+from repro.memory.backing import BackingStore
+from repro.memory.hierarchy import MemoryHierarchy
+
+
+@pytest.fixture
+def hierarchy() -> MemoryHierarchy:
+    return MemoryHierarchy(MemoryHierarchyConfig(), BackingStore())
+
+
+class TestLatency:
+    def test_cold_miss_costs_full_latency(self, hierarchy):
+        assert hierarchy.access_latency(0x1000, is_write=False) == 100
+
+    def test_l1_hit_after_fill(self, hierarchy):
+        hierarchy.access_latency(0x1000, is_write=False)
+        assert hierarchy.access_latency(0x1000, is_write=False) == 1
+
+    def test_l2_hit_after_l1_eviction(self, hierarchy):
+        hierarchy.access_latency(0x1000, is_write=False)
+        hierarchy.l1.invalidate(0x1000)
+        latency = hierarchy.access_latency(0x1000, is_write=False)
+        assert latency == 1 + 8  # L1 lookup + L2 hit
+
+    def test_warm_makes_hit(self, hierarchy):
+        hierarchy.warm(0x2000)
+        assert hierarchy.access_latency(0x2000, is_write=False) == 1
+
+    def test_evict_forces_full_miss(self, hierarchy):
+        hierarchy.warm(0x2000)
+        hierarchy.evict(0x2000)
+        assert hierarchy.access_latency(0x2000, is_write=False) == 100
+
+    def test_write_allocates_dirty_in_l1(self, hierarchy):
+        hierarchy.access_latency(0x3000, is_write=True)
+        assert 0x3000 in hierarchy.l1.dirty_lines()
+
+    def test_memory_access_counter(self, hierarchy):
+        hierarchy.access_latency(0x1000, is_write=False)
+        hierarchy.access_latency(0x1000, is_write=False)
+        assert hierarchy.memory_accesses == 1
+
+
+class TestFunctional:
+    def test_read_write_roundtrip(self, hierarchy):
+        hierarchy.write(0x100, 0xDEADBEEF, 8)
+        assert hierarchy.read(0x100, 8) == 0xDEADBEEF
+
+    def test_line_crossing_rejected(self, hierarchy):
+        with pytest.raises(MemoryError_):
+            hierarchy.read(0x1000 + 60, 8)
+
+    def test_zero_size_rejected(self, hierarchy):
+        with pytest.raises(MemoryError_):
+            hierarchy.read(0x100, 0)
+
+
+class TestConfigValidation:
+    def test_line_size_mismatch_rejected(self):
+        from repro.common.config import CacheConfig
+        from repro.common.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            MemoryHierarchyConfig(
+                line_size=64,
+                l1=CacheConfig(16 * 1024, 32, 2, 1),
+            )
+
+    def test_with_line_size(self):
+        config = MemoryHierarchyConfig.with_line_size(128, miss_latency=80)
+        assert config.l1.line_size == 128
+        assert config.miss_latency == 80

@@ -1,0 +1,90 @@
+"""Address-space layout and page attributes."""
+
+import pytest
+
+from repro.common.errors import ConfigError, MemoryError_
+from repro.memory.layout import (
+    AddressSpace,
+    PageAttr,
+    Region,
+    IO_COMBINING_BASE,
+    IO_UNCACHED_BASE,
+    default_address_space,
+)
+
+
+class TestRegion:
+    def test_bounds(self):
+        region = Region(0x1000, 0x1000, PageAttr.CACHED, "r")
+        assert region.end == 0x2000
+        assert region.contains(0x1000)
+        assert region.contains(0x1FFF)
+        assert not region.contains(0x2000)
+
+    def test_overlap(self):
+        a = Region(0, 100, PageAttr.CACHED)
+        b = Region(50, 100, PageAttr.CACHED)
+        c = Region(100, 100, PageAttr.CACHED)
+        assert a.overlaps(b) and b.overlaps(a)
+        assert not a.overlaps(c)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigError):
+            Region(0, 0, PageAttr.CACHED)
+
+
+class TestAddressSpace:
+    def test_requires_page_alignment(self):
+        space = AddressSpace(page_size=8192)
+        with pytest.raises(ConfigError):
+            space.map_region(100, 8192, PageAttr.CACHED)
+        with pytest.raises(ConfigError):
+            space.map_region(8192, 100, PageAttr.CACHED)
+
+    def test_rejects_overlap(self):
+        space = AddressSpace(page_size=8192)
+        space.map_region(0, 8192 * 2, PageAttr.CACHED, "a")
+        with pytest.raises(ConfigError):
+            space.map_region(8192, 8192, PageAttr.UNCACHED, "b")
+
+    def test_attribute_lookup(self):
+        space = default_address_space()
+        assert space.attribute_of(0x1000) is PageAttr.CACHED
+        assert space.attribute_of(IO_UNCACHED_BASE) is PageAttr.UNCACHED
+        assert (
+            space.attribute_of(IO_COMBINING_BASE + 64)
+            is PageAttr.UNCACHED_COMBINING
+        )
+
+    def test_unmapped_access_raises(self):
+        space = default_address_space()
+        with pytest.raises(MemoryError_):
+            space.attribute_of(0xFFFF_FFFF_0000)
+
+    def test_check_span_inside_region(self):
+        space = default_address_space()
+        region = space.check_span(IO_UNCACHED_BASE, 64)
+        assert region.attr is PageAttr.UNCACHED
+
+    def test_check_span_rejects_boundary_cross(self):
+        space = AddressSpace(page_size=8192)
+        space.map_region(0, 8192, PageAttr.CACHED, "only")
+        with pytest.raises(MemoryError_):
+            space.check_span(8192 - 4, 8)
+
+    def test_regions_sorted(self):
+        space = AddressSpace(page_size=8192)
+        space.map_region(8192 * 4, 8192, PageAttr.CACHED, "hi")
+        space.map_region(0, 8192, PageAttr.CACHED, "lo")
+        assert [r.name for r in space.regions] == ["lo", "hi"]
+
+    def test_rejects_bad_page_size(self):
+        with pytest.raises(ConfigError):
+            AddressSpace(page_size=1000)
+
+
+class TestPageAttr:
+    def test_is_uncached(self):
+        assert not PageAttr.CACHED.is_uncached
+        assert PageAttr.UNCACHED.is_uncached
+        assert PageAttr.UNCACHED_COMBINING.is_uncached

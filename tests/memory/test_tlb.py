@@ -1,0 +1,64 @@
+"""Attribute TLB: hit/miss accounting and LRU replacement."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.memory.layout import AddressSpace, PageAttr
+from repro.memory.tlb import AttributeTLB
+
+
+def small_space(pages: int = 16, page: int = 8192) -> AddressSpace:
+    space = AddressSpace(page_size=page)
+    space.map_region(0, pages * page, PageAttr.CACHED, "all")
+    return space
+
+
+class TestTLB:
+    def test_miss_then_hit(self):
+        tlb = AttributeTLB(small_space(), entries=4)
+        assert tlb.attribute_of(0) is PageAttr.CACHED
+        assert (tlb.hits, tlb.misses) == (0, 1)
+        tlb.attribute_of(100)  # same page
+        assert (tlb.hits, tlb.misses) == (1, 1)
+
+    def test_distinct_pages_miss_independently(self):
+        tlb = AttributeTLB(small_space(), entries=8)
+        tlb.attribute_of(0)
+        tlb.attribute_of(8192)
+        assert tlb.misses == 2
+
+    def test_lru_eviction(self):
+        tlb = AttributeTLB(small_space(), entries=2)
+        tlb.attribute_of(0 * 8192)
+        tlb.attribute_of(1 * 8192)
+        tlb.attribute_of(0 * 8192)  # touch page 0 so page 1 becomes LRU
+        tlb.attribute_of(2 * 8192)  # evicts page 1
+        tlb.attribute_of(0 * 8192)  # still resident
+        assert tlb.hits == 2
+        tlb.attribute_of(1 * 8192)  # was evicted
+        assert tlb.misses == 4
+
+    def test_capacity_bounded(self):
+        tlb = AttributeTLB(small_space(), entries=3)
+        for page in range(10):
+            tlb.attribute_of(page * 8192)
+        assert tlb.occupancy == 3
+
+    def test_flush(self):
+        tlb = AttributeTLB(small_space())
+        tlb.attribute_of(0)
+        tlb.flush()
+        assert tlb.occupancy == 0
+        tlb.attribute_of(0)
+        assert tlb.misses == 2
+
+    def test_propagates_unmapped_error(self):
+        from repro.common.errors import MemoryError_
+
+        tlb = AttributeTLB(small_space(pages=1))
+        with pytest.raises(MemoryError_):
+            tlb.attribute_of(1 << 40)
+
+    def test_rejects_zero_entries(self):
+        with pytest.raises(ConfigError):
+            AttributeTLB(small_space(), entries=0)

@@ -1,0 +1,106 @@
+"""The CSB against an executable specification.
+
+A tiny reference model implements §3.2's prose directly; hypothesis
+drives both it and the real CSB through random interleavings of stores
+and conditional flushes from multiple process IDs across multiple lines,
+and every observable (flush outcomes, burst contents, hit counter) must
+agree at every step.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.common.config import CSBConfig
+from repro.common.stats import StatsCollector
+from repro.uncached.csb import ConditionalStoreBuffer, FlushResult
+
+LINE = 64
+BASE = 0x3000_0000
+
+
+class ReferenceCSB:
+    """Direct transliteration of the paper's §3.2 rules."""
+
+    def __init__(self):
+        self.line = None
+        self.pid = None
+        self.counter = 0
+        self.data = {}  # offset -> byte value (one per slot)
+
+    def store(self, line, slot, value, pid):
+        if line != self.line or pid != self.pid:
+            self.data = {}
+            self.line = line
+            self.pid = pid
+            self.counter = 0
+        self.data[slot] = value
+        self.counter += 1
+
+    def flush(self, line, pid, expected):
+        ok = (
+            self.counter == expected
+            and self.counter > 0
+            and pid == self.pid
+            and line == self.line
+        )
+        burst = dict(self.data) if ok else None
+        self.data = {}
+        self.counter = 0
+        self.line = None
+        self.pid = None
+        return ok, burst
+
+
+operations = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("store"),
+            st.integers(min_value=0, max_value=2),   # line index
+            st.integers(min_value=0, max_value=7),   # slot
+            st.integers(min_value=1, max_value=255),  # value byte
+            st.integers(min_value=1, max_value=3),   # pid
+        ),
+        st.tuples(
+            st.just("flush"),
+            st.integers(min_value=0, max_value=2),
+            st.integers(min_value=0, max_value=9),   # expected counter
+            st.integers(min_value=1, max_value=3),   # pid
+        ),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+@settings(max_examples=150, deadline=None)
+@given(ops=operations)
+def test_csb_matches_reference(ops):
+    stats = StatsCollector()
+    csb = ConditionalStoreBuffer(CSBConfig(num_line_buffers=2), stats)
+    reference = ReferenceCSB()
+    for op in ops:
+        if op[0] == "store":
+            _, line_index, slot, value, pid = op
+            if not csb.line_buffer_free:
+                csb.pop_burst()  # hardware drained the pending burst
+            line = BASE + line_index * LINE
+            csb.store(line + slot * 8, bytes([value]) * 8, pid)
+            reference.store(line, slot, value, pid)
+            assert csb.hit_counter == reference.counter
+        else:
+            _, line_index, expected, pid = op
+            if not csb.line_buffer_free:
+                csb.pop_burst()
+            line = BASE + line_index * LINE
+            result = csb.conditional_flush(line, pid, expected)
+            ref_ok, ref_burst = reference.flush(line, pid, expected)
+            assert (result is FlushResult.SUCCESS) == ref_ok
+            if ref_ok:
+                burst = csb.pop_burst()
+                assert burst.address == line
+                for slot in range(8):
+                    expected_byte = ref_burst.get(slot, 0)
+                    actual = burst.data[slot * 8 : slot * 8 + 8]
+                    assert actual == bytes([expected_byte] * 8) or (
+                        expected_byte == 0 and actual == bytes(8)
+                    )
+                assert burst.useful_bytes == 8 * len(ref_burst)

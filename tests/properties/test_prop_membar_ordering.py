@@ -1,0 +1,78 @@
+"""Membar ordering property, end to end.
+
+For ANY mix of uncached stores separated by membars, and ANY combining
+configuration, every store before a membar must reach the bus before
+every store after it — the ordering contract device drivers build on
+(paper §4.1: a membar "is prevented from graduating until the uncached
+buffer is empty").
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro import System, assemble
+from repro.memory.layout import IO_UNCACHED_BASE
+from tests.conftest import make_config
+
+# A program shape: phases of store slot-lists separated by membars.
+phases = st.lists(
+    st.lists(st.integers(min_value=0, max_value=15), min_size=1, max_size=6),
+    min_size=2,
+    max_size=4,
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    phases=phases,
+    combine_block=st.sampled_from([8, 16, 64]),
+    policy=st.sampled_from(["block", "r10000"]),
+)
+def test_membar_separates_bus_phases(phases, combine_block, policy):
+    system = System(make_config(combine_block=combine_block))
+    # Rebuild with the requested policy (ppc620 needs block 16; skip it
+    # here to keep the strategy space simple).
+    from dataclasses import replace
+    from repro.common.config import UncachedBufferConfig
+
+    config = replace(
+        system.config,
+        uncached=UncachedBufferConfig(
+            combine_block=combine_block, policy=policy
+        ),
+    )
+    system = System(config)
+    lines = [f"set {IO_UNCACHED_BASE}, %o1"]
+    phase_of_store = {}
+    for phase_index, slots in enumerate(phases):
+        for slot in slots:
+            # One address is only ever stored in one phase, so the bus
+            # order check below is unambiguous.
+            address = IO_UNCACHED_BASE + (phase_index * 16 + slot) * 8
+            phase_of_store[address] = phase_index
+            lines.append(f"set {phase_index + 1}, %l0")
+            lines.append(f"stx %l0, [%o1+{(phase_index * 16 + slot) * 8}]")
+        lines.append("membar")
+    lines.append("halt")
+    system.add_process(assemble("\n".join(lines)))
+    system.run()
+
+    # Walk the bus transactions in start order: the phase index of the
+    # stores they carry must be non-decreasing.
+    last_phase = -1
+    for record in sorted(system.stats.transactions, key=lambda r: r.start_cycle):
+        if record.kind != "uncached_store":
+            continue
+        # A combined transaction may carry several stores; all of its
+        # bytes belong to one phase because phases use disjoint blocks.
+        touched = {
+            phase_of_store[a]
+            for a in phase_of_store
+            if record.address <= a < record.address + record.size
+        }
+        assert len(touched) <= 1, "a transaction combined across a membar"
+        if touched:
+            phase = touched.pop()
+            assert phase >= last_phase, (
+                f"phase {phase} store on the bus after phase {last_phase}"
+            )
+            last_phase = max(last_phase, phase)

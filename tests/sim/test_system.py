@@ -1,0 +1,94 @@
+"""System assembly and run loop."""
+
+import pytest
+
+from repro import System, SystemConfig, assemble
+from repro.common.errors import ConfigError, DeadlockError
+from repro.devices.sink import BurstSink
+from repro.memory.layout import (
+    IO_UNCACHED_BASE,
+    PageAttr,
+    Region,
+)
+from tests.conftest import make_config
+
+
+class TestConstruction:
+    def test_default_config(self):
+        system = System()
+        assert system.config.bus.cpu_ratio == 6
+
+    def test_components_share_stats(self):
+        system = System()
+        assert system.bus.stats is system.stats
+        assert system.csb.stats is system.stats
+
+
+class TestDeviceAttachment:
+    def test_attach_in_uncached_space(self):
+        system = System(make_config())
+        region = Region(IO_UNCACHED_BASE, 8192, PageAttr.UNCACHED, "dev")
+        device = system.attach_device(BurstSink(region))
+        assert device in system.devices
+
+    def test_attach_outside_mapped_space_rejected(self):
+        system = System(make_config())
+        region = Region(0x7000_0000, 8192, PageAttr.UNCACHED, "dev")
+        with pytest.raises(ConfigError):
+            system.attach_device(BurstSink(region))
+
+    def test_attach_in_cached_space_rejected(self):
+        system = System(make_config())
+        region = Region(0x0, 8192, PageAttr.CACHED, "dev")
+        with pytest.raises(ConfigError):
+            system.attach_device(BurstSink(region))
+
+    def test_devices_get_bus_ticks(self):
+        system = System(make_config())
+        region = Region(IO_UNCACHED_BASE, 64 * 1024, PageAttr.UNCACHED, "nic")
+        from repro.devices.nic import NetworkInterface
+
+        nic = system.attach_device(NetworkInterface(region))
+        system.add_process(
+            assemble(f"set {IO_UNCACHED_BASE + 0x1000}, %o1\nstx %l0, [%o1]\nhalt")
+        )
+        system.run()
+        assert nic.writes == 1
+
+
+class TestRunLoop:
+    def test_finished_only_after_io_drains(self):
+        system = System(make_config())
+        system.add_process(
+            assemble(f"set {IO_UNCACHED_BASE}, %o1\nstx %l0, [%o1]\nhalt")
+        )
+        # Step until the process halts; I/O may still be in flight.
+        while not system.scheduler.all_halted:
+            system.step()
+        system.run()  # must still drain the bus
+        assert system.unit.quiescent()
+        assert system.finished
+
+    def test_max_cycles_guard(self):
+        system = System(make_config())
+        system.add_process(assemble("loop: ba loop\nhalt"))
+        with pytest.raises(DeadlockError):
+            system.run(max_cycles=1000)
+
+    def test_run_cycles_advances_exactly(self):
+        system = System(make_config())
+        system.add_process(assemble("halt"))
+        system.run_cycles(10)
+        assert system.cycle == 10
+
+    def test_span_and_bandwidth_helpers(self):
+        system = System(make_config())
+        system.add_process(
+            assemble(
+                f"mark a\nset {IO_UNCACHED_BASE}, %o1\n"
+                "stx %l0, [%o1]\nmembar\nmark b\nhalt"
+            )
+        )
+        system.run()
+        assert system.span("a", "b") > 0
+        assert system.store_bandwidth > 0

@@ -1,0 +1,166 @@
+"""The conventional uncached buffer: FIFO order, combining rules, draining."""
+
+import pytest
+
+from repro.common.config import BusConfig, UncachedBufferConfig
+from repro.common.stats import StatsCollector
+from repro.bus.base import TargetRegistry
+from repro.bus.multiplexed import MultiplexedBus
+from repro.memory.backing import BackingStore
+from repro.uncached.buffer import UncachedBuffer
+
+BASE = 0x2000_0000
+
+
+def make_buffer(combine_block=8, depth=8, **bus_kwargs):
+    stats = StatsCollector()
+    backing = BackingStore()
+    bus = MultiplexedBus(
+        BusConfig(**bus_kwargs), stats, TargetRegistry(backing)
+    )
+    buffer = UncachedBuffer(
+        UncachedBufferConfig(combine_block=combine_block, depth=depth), bus, stats
+    )
+    return buffer, bus, backing, stats
+
+
+def drain(buffer, bus, start_cycle=0, limit=1000):
+    """Run bus cycles until the buffer empties; returns cycles used."""
+    cycle = start_cycle
+    while not buffer.empty and cycle < limit:
+        bus.tick(cycle)
+        buffer.tick_bus(cycle)
+        cycle += 1
+    bus.tick(cycle + 100)
+    assert buffer.empty, "buffer failed to drain"
+    return cycle
+
+
+class TestFIFO:
+    def test_stores_drain_in_order(self):
+        buffer, bus, backing, _ = make_buffer()
+        assert buffer.accept_store(BASE, b"AAAAAAAA", 1)
+        assert buffer.accept_store(BASE + 8, b"BBBBBBBB", 2)
+        drain(buffer, bus)
+        assert backing.read_bytes(BASE, 16) == b"AAAAAAAA" + b"BBBBBBBB"
+
+    def test_depth_limit(self):
+        buffer, _, _, stats = make_buffer(depth=2)
+        assert buffer.accept_store(BASE, bytes(8), 1)
+        assert buffer.accept_store(BASE + 64, bytes(8), 2)
+        assert not buffer.accept_store(BASE + 128, bytes(8), 3)
+        assert stats.get("uncached.full_stalls") == 1
+
+    def test_head_sequence(self):
+        buffer, _, _, _ = make_buffer()
+        assert buffer.head_sequence is None
+        buffer.accept_store(BASE, bytes(8), 7)
+        assert buffer.head_sequence == 7
+
+
+class TestCombining:
+    def test_non_combining_never_coalesces(self):
+        buffer, _, _, _ = make_buffer(combine_block=8)
+        buffer.accept_store(BASE, bytes(8), 1)
+        buffer.accept_store(BASE + 8, bytes(8), 2)
+        assert buffer.occupancy == 2
+
+    def test_same_block_coalesces(self):
+        buffer, _, _, stats = make_buffer(combine_block=64)
+        buffer.accept_store(BASE, bytes(8), 1)
+        buffer.accept_store(BASE + 8, bytes(8), 2)
+        assert buffer.occupancy == 1
+        assert stats.get("uncached.stores_combined") == 1
+
+    def test_different_block_allocates(self):
+        buffer, _, _, _ = make_buffer(combine_block=64)
+        buffer.accept_store(BASE, bytes(8), 1)
+        buffer.accept_store(BASE + 64, bytes(8), 2)
+        assert buffer.occupancy == 2
+
+    def test_overlapping_store_never_merges(self):
+        # Overlapping uncached stores may have side effects: both must
+        # reach the device.
+        buffer, bus, _, _ = make_buffer(combine_block=64)
+        buffer.accept_store(BASE, b"AAAAAAAA", 1)
+        buffer.accept_store(BASE, b"BBBBBBBB", 2)
+        assert buffer.occupancy == 2
+
+    def test_store_combines_into_newest_matching_entry(self):
+        buffer, _, _, _ = make_buffer(combine_block=64)
+        buffer.accept_store(BASE, bytes(8), 1)        # entry A (block 0)
+        buffer.accept_store(BASE + 64, bytes(8), 2)   # entry B (block 1)
+        buffer.accept_store(BASE + 8, bytes(8), 3)    # combines into A
+        assert buffer.occupancy == 2
+
+    def test_load_blocks_combining_with_older_entries(self):
+        results = []
+        buffer, _, _, _ = make_buffer(combine_block=64)
+        buffer.accept_store(BASE, bytes(8), 1)
+        buffer.accept_load(BASE + 256, 8, 2, lambda d, c: results.append(d))
+        # The next store matches entry 1's block but would have to bypass
+        # the load: it must get its own entry instead.
+        buffer.accept_store(BASE + 8, bytes(8), 3)
+        assert buffer.occupancy == 3
+
+    def test_no_combining_once_transfer_began(self):
+        buffer, bus, _, _ = make_buffer(combine_block=64)
+        buffer.accept_store(BASE, bytes(8), 1)
+        bus.tick(0)
+        assert buffer.tick_bus(0)  # first piece issued; entry frozen+gone
+        assert buffer.empty
+        buffer.accept_store(BASE + 8, bytes(8), 2)
+        assert buffer.occupancy == 1  # new entry, no resurrection
+
+
+class TestDrainTiming:
+    def test_noncombining_txn_per_store(self):
+        buffer, bus, _, stats = make_buffer(combine_block=8)
+        for i in range(4):
+            buffer.accept_store(BASE + 8 * i, bytes(8), i)
+        drain(buffer, bus)
+        assert stats.get("bus.transactions") == 4
+
+    def test_combined_entry_single_burst(self):
+        buffer, bus, _, stats = make_buffer(combine_block=64)
+        for i in range(8):
+            buffer.accept_store(BASE + 8 * i, bytes(8), i)
+        drain(buffer, bus)
+        assert stats.get("bus.transactions") == 1
+        assert stats.get("bus.bursts") == 1
+
+    def test_partial_entry_fragments_into_aligned_pieces(self):
+        buffer, bus, _, stats = make_buffer(combine_block=64)
+        for i in range(3):  # 24 bytes -> 16 + 8
+            buffer.accept_store(BASE + 8 * i, bytes(8), i)
+        drain(buffer, bus)
+        assert stats.get("bus.transactions") == 2
+
+
+class TestLoads:
+    def test_load_returns_device_data(self):
+        buffer, bus, backing, _ = make_buffer()
+        backing.write_bytes(BASE, b"HELLOSIM")
+        results = []
+        buffer.accept_load(BASE, 8, 1, lambda data, cyc: results.append(data))
+        drain(buffer, bus)
+        assert results == [b"HELLOSIM"]
+
+    def test_load_blocks_younger_stores(self):
+        buffer, bus, backing, _ = make_buffer()
+        order = []
+        buffer.accept_load(BASE, 8, 1, lambda d, c: order.append(("load", c)))
+        buffer.accept_store(BASE + 8, b"ZZZZZZZZ", 2)
+        cycle = 0
+        while not buffer.empty and cycle < 100:
+            bus.tick(cycle)
+            buffer.tick_bus(cycle)
+            if backing.read_bytes(BASE + 8, 8) == b"ZZZZZZZZ" and not order:
+                pytest.fail("store reached the device before the older load")
+            cycle += 1
+        assert order and order[0][0] == "load"
+
+    def test_load_depth_limit(self):
+        buffer, _, _, _ = make_buffer(depth=1)
+        buffer.accept_store(BASE, bytes(8), 1)
+        assert not buffer.accept_load(BASE, 8, 2, lambda d, c: None)

@@ -1,0 +1,220 @@
+"""The conditional store buffer protocol (paper §3.2)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.config import CSBConfig
+from repro.common.errors import SimulationError
+from repro.common.stats import StatsCollector
+from repro.uncached.csb import ConditionalStoreBuffer, FlushResult
+
+LINE = 0x3000_0000
+
+
+def make_csb(**kwargs) -> ConditionalStoreBuffer:
+    return ConditionalStoreBuffer(CSBConfig(**kwargs), StatsCollector())
+
+
+def fill(csb, n, pid=1, base=LINE, value=0xAB):
+    for i in range(n):
+        csb.store(base + 8 * i, bytes([value]) * 8, pid)
+
+
+class TestHitCounter:
+    def test_counts_consecutive_matching_stores(self):
+        csb = make_csb()
+        fill(csb, 3)
+        assert csb.hit_counter == 3
+
+    def test_stores_in_any_order(self):
+        csb = make_csb()
+        csb.store(LINE + 40, bytes(8), 1)
+        csb.store(LINE, bytes(8), 1)
+        csb.store(LINE + 16, bytes(8), 1)
+        assert csb.hit_counter == 3
+
+    def test_pid_mismatch_resets_to_one(self):
+        csb = make_csb()
+        fill(csb, 3, pid=1)
+        csb.store(LINE, bytes(8), 2)
+        assert csb.hit_counter == 1
+        assert csb.pid == 2
+
+    def test_line_mismatch_resets_to_one(self):
+        csb = make_csb()
+        fill(csb, 3)
+        csb.store(LINE + 64, bytes(8), 1)
+        assert csb.hit_counter == 1
+        assert csb.line_addr == LINE + 64
+
+    def test_conflict_clears_old_data(self):
+        csb = make_csb()
+        fill(csb, 8, pid=1, value=0xFF)
+        csb.store(LINE, bytes(8), 2)  # conflict clears the buffer
+        assert csb.valid_bytes == 8   # only the new store's bytes
+
+
+class TestConditionalFlush:
+    def test_success_requires_exact_count(self):
+        csb = make_csb()
+        fill(csb, 4)
+        assert csb.conditional_flush(LINE, 1, expected=4) is FlushResult.SUCCESS
+
+    def test_wrong_count_conflicts(self):
+        csb = make_csb()
+        fill(csb, 4)
+        assert csb.conditional_flush(LINE, 1, expected=3) is FlushResult.CONFLICT
+
+    def test_wrong_pid_conflicts(self):
+        csb = make_csb()
+        fill(csb, 4, pid=1)
+        assert csb.conditional_flush(LINE, 2, expected=4) is FlushResult.CONFLICT
+
+    def test_wrong_address_conflicts_when_checked(self):
+        csb = make_csb(check_address=True)
+        fill(csb, 4)
+        assert (
+            csb.conditional_flush(LINE + 64, 1, expected=4) is FlushResult.CONFLICT
+        )
+
+    def test_address_check_can_be_disabled(self):
+        csb = make_csb(check_address=False)
+        fill(csb, 4)
+        assert (
+            csb.conditional_flush(LINE + 64, 1, expected=4) is FlushResult.SUCCESS
+        )
+
+    def test_flush_of_empty_buffer_conflicts(self):
+        csb = make_csb()
+        assert csb.conditional_flush(LINE, 1, expected=0) is FlushResult.CONFLICT
+
+    def test_conflict_resets_everything(self):
+        csb = make_csb()
+        fill(csb, 4)
+        csb.conditional_flush(LINE, 1, expected=99)
+        assert csb.hit_counter == 0
+        assert csb.valid_bytes == 0
+        assert csb.line_addr is None
+
+    def test_success_clears_for_next_sequence(self):
+        csb = make_csb(num_line_buffers=2)
+        fill(csb, 2)
+        csb.conditional_flush(LINE, 1, expected=2)
+        assert csb.hit_counter == 0
+        fill(csb, 3)
+        assert csb.hit_counter == 3
+
+    def test_interrupted_sequence_scenario(self):
+        # Paper §3.2: process A stores, is preempted, process B stores;
+        # A's flush then fails and B's succeeds.
+        csb = make_csb(num_line_buffers=2)
+        fill(csb, 8, pid=1)
+        csb.store(LINE, bytes(8), pid=2)  # B's first store clears the buffer
+        assert csb.conditional_flush(LINE, 1, expected=8) is FlushResult.CONFLICT
+        # B finishes its own sequence and flushes successfully.
+        fill(csb, 8, pid=2)
+        assert csb.conditional_flush(LINE, 2, expected=8) is FlushResult.SUCCESS
+
+
+class TestBurstPayload:
+    def test_full_line_with_zero_padding(self):
+        csb = make_csb()
+        csb.store(LINE + 8, b"\xff" * 8, 1)
+        csb.conditional_flush(LINE, 1, expected=1)
+        burst = csb.pop_burst()
+        assert burst.address == LINE
+        assert len(burst.data) == 64
+        assert burst.data[8:16] == b"\xff" * 8
+        assert burst.data[:8] == bytes(8)      # zero padded
+        assert burst.data[16:] == bytes(48)
+        assert burst.useful_bytes == 8
+
+    def test_no_data_leak_between_processes(self):
+        # The clear-on-first-store rule is the security defense: a new
+        # sequence must never see the previous process's bytes as padding.
+        csb = make_csb(num_line_buffers=2)
+        fill(csb, 8, pid=1, value=0x55)
+        csb.conditional_flush(LINE, 1, expected=8)
+        csb.pop_burst()
+        csb.store(LINE, b"\x11" * 8, pid=2)
+        csb.conditional_flush(LINE, 2, expected=1)
+        burst = csb.pop_burst()
+        assert burst.data[8:] == bytes(56)  # no 0x55 remnants
+
+    def test_relaxed_variant_issues_covering_span(self):
+        csb = make_csb(pad_to_full_line=False)
+        csb.store(LINE, bytes(8), 1)
+        csb.store(LINE + 8, bytes(8), 1)
+        csb.conditional_flush(LINE, 1, expected=2)
+        burst = csb.pop_burst()
+        assert burst.address == LINE
+        assert len(burst.data) == 16
+
+
+class TestLineBufferOccupancy:
+    def test_single_buffer_busy_after_flush(self):
+        csb = make_csb(num_line_buffers=1)
+        fill(csb, 2)
+        csb.conditional_flush(LINE, 1, expected=2)
+        assert not csb.line_buffer_free
+        with pytest.raises(SimulationError):
+            csb.store(LINE, bytes(8), 1)
+        with pytest.raises(SimulationError):
+            csb.conditional_flush(LINE, 1, expected=0)
+
+    def test_pop_frees_buffer(self):
+        csb = make_csb(num_line_buffers=1)
+        fill(csb, 2)
+        csb.conditional_flush(LINE, 1, expected=2)
+        csb.pop_burst()
+        assert csb.line_buffer_free
+
+    def test_second_line_buffer_allows_overlap(self):
+        csb = make_csb(num_line_buffers=2)
+        fill(csb, 2)
+        csb.conditional_flush(LINE, 1, expected=2)
+        assert csb.line_buffer_free  # second buffer available
+        fill(csb, 2)
+        csb.conditional_flush(LINE, 1, expected=2)
+        assert not csb.line_buffer_free
+        assert csb.pending_bursts == 2
+
+    def test_pop_without_burst_raises(self):
+        with pytest.raises(SimulationError):
+            make_csb().pop_burst()
+
+    def test_store_crossing_line_rejected(self):
+        csb = make_csb()
+        with pytest.raises(SimulationError):
+            csb.store(LINE + 60, bytes(8), 1)
+
+
+class TestProtocolProperty:
+    @given(
+        stores=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=7),   # slot in line
+                st.integers(min_value=1, max_value=3),   # pid
+            ),
+            min_size=1,
+            max_size=20,
+        ),
+        flush_pid=st.integers(min_value=1, max_value=3),
+    )
+    def test_property_flush_succeeds_iff_counter_and_pid_match(
+        self, stores, flush_pid
+    ):
+        csb = make_csb()
+        # Reference model of the spec: track the run of consecutive
+        # same-pid stores (same line always, here).
+        run_pid = None
+        run_length = 0
+        for slot, pid in stores:
+            csb.store(LINE + slot * 8, bytes(8), pid)
+            if pid == run_pid:
+                run_length += 1
+            else:
+                run_pid, run_length = pid, 1
+        expected_success = flush_pid == run_pid
+        result = csb.conditional_flush(LINE, flush_pid, expected=run_length)
+        assert (result is FlushResult.SUCCESS) == expected_success

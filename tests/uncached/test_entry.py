@@ -1,0 +1,103 @@
+"""Uncached buffer store entries: coalescing rules and decomposition."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.errors import SimulationError
+from repro.uncached.entry import StoreEntry
+
+
+def entry(base: int = 0x1000, block: int = 64) -> StoreEntry:
+    return StoreEntry(base, block, sequence=1)
+
+
+class TestWrite:
+    def test_base_must_be_aligned(self):
+        with pytest.raises(SimulationError):
+            StoreEntry(0x1008, 64, 1)
+
+    def test_write_and_valid_bytes(self):
+        e = entry()
+        e.write(0x1000, bytes(8))
+        e.write(0x1010, bytes(8))
+        assert e.valid_bytes == 16
+
+    def test_overlap_rejected(self):
+        e = entry()
+        e.write(0x1000, bytes(8))
+        assert not e.can_accept(0x1000, 8)
+        assert not e.can_accept(0x1004, 8)
+        with pytest.raises(SimulationError):
+            e.write(0x1000, bytes(8))
+
+    def test_out_of_block_rejected(self):
+        e = entry()
+        assert not e.can_accept(0x1040, 8)   # next block
+        assert not e.can_accept(0x0FF8, 8)   # previous block
+        assert not e.can_accept(0x103C, 8)   # crosses the block end
+
+    def test_frozen_rejects_all(self):
+        e = entry()
+        e.write(0x1000, bytes(8))
+        e.frozen = True
+        assert not e.can_accept(0x1008, 8)
+
+
+class TestRuns:
+    def test_single_run(self):
+        e = entry()
+        e.write(0x1000, bytes(16))
+        assert e.runs() == [(0x1000, 16)]
+
+    def test_gap_splits_runs(self):
+        e = entry()
+        e.write(0x1000, bytes(8))
+        e.write(0x1010, bytes(8))
+        assert e.runs() == [(0x1000, 8), (0x1010, 8)]
+
+    def test_out_of_order_writes_merge(self):
+        e = entry()
+        e.write(0x1008, bytes(8))
+        e.write(0x1000, bytes(8))
+        assert e.runs() == [(0x1000, 16)]
+
+
+class TestTransactions:
+    def test_full_block_single_burst(self):
+        e = entry()
+        e.write(0x1000, bytes(64))
+        assert [(a, s) for a, s, _ in e.transactions()] == [(0x1000, 64)]
+
+    def test_three_doublewords_fragment(self):
+        e = entry()
+        e.write(0x1000, bytes(24))
+        assert [(a, s) for a, s, _ in e.transactions()] == [
+            (0x1000, 16),
+            (0x1010, 8),
+        ]
+
+    def test_data_travels_with_pieces(self):
+        e = entry()
+        e.write(0x1000, b"AAAAAAAA")
+        e.write(0x1008, b"BBBBBBBB")
+        pieces = e.transactions()
+        assert pieces == [(0x1000, 16, b"AAAAAAAA" + b"BBBBBBBB")]
+
+    @given(
+        offsets=st.lists(
+            st.integers(min_value=0, max_value=7), min_size=1, max_size=8, unique=True
+        )
+    )
+    def test_property_transactions_cover_exactly_valid_bytes(self, offsets):
+        e = entry()
+        for slot in offsets:
+            e.write(0x1000 + slot * 8, bytes([slot + 1]) * 8)
+        covered = set()
+        for address, size, data in e.transactions():
+            assert len(data) == size
+            for i in range(size):
+                covered.add(address + i)
+        expected = {
+            0x1000 + slot * 8 + i for slot in offsets for i in range(8)
+        }
+        assert covered == expected

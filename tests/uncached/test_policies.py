@@ -1,0 +1,161 @@
+"""Hardware combining policies: R10000 pattern buffer, PowerPC 620 pairs."""
+
+import pytest
+
+from repro.common.config import UncachedBufferConfig, BusConfig
+from repro.common.errors import ConfigError
+from repro.common.stats import StatsCollector
+from repro.bus.base import TargetRegistry
+from repro.bus.multiplexed import MultiplexedBus
+from repro.memory.backing import BackingStore
+from repro.uncached.buffer import UncachedBuffer
+from repro.uncached.entry import StoreEntry
+from repro.uncached.policies import (
+    BlockCombining,
+    PowerPC620Pairs,
+    R10000Accelerated,
+    make_policy,
+)
+
+BASE = 0x2000_0000
+
+
+def make_buffer(policy="block", combine_block=64, depth=8):
+    stats = StatsCollector()
+    bus = MultiplexedBus(
+        BusConfig(max_burst_bytes=64), stats, TargetRegistry(BackingStore())
+    )
+    config = UncachedBufferConfig(
+        combine_block=combine_block, depth=depth, policy=policy
+    )
+    return UncachedBuffer(config, bus, stats), bus, stats
+
+
+def drain(buffer, bus, limit=500):
+    cycle = 0
+    while not buffer.empty and cycle < limit:
+        bus.tick(cycle)
+        buffer.tick_bus(cycle)
+        cycle += 1
+    assert buffer.empty
+
+
+class TestFactory:
+    def test_names(self):
+        assert make_policy(UncachedBufferConfig(combine_block=8)).name == "none"
+        assert (
+            make_policy(UncachedBufferConfig(combine_block=32)).name == "combine32"
+        )
+        assert (
+            make_policy(
+                UncachedBufferConfig(combine_block=64, policy="r10000")
+            ).name
+            == "r10000"
+        )
+
+    def test_ppc620_requires_16_byte_block(self):
+        with pytest.raises(ConfigError):
+            UncachedBufferConfig(combine_block=64, policy="ppc620")
+        with pytest.raises(ConfigError):
+            PowerPC620Pairs(entry_block=64)
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ConfigError):
+            UncachedBufferConfig(policy="mystery")
+
+
+class TestR10000:
+    def test_sequential_stream_forms_full_line_burst(self):
+        buffer, bus, stats = make_buffer(policy="r10000")
+        for i in range(8):
+            buffer.accept_store(BASE + 8 * i, bytes(8), i)
+        assert buffer.occupancy == 1
+        drain(buffer, bus)
+        assert stats.get("bus.transactions") == 1
+        assert stats.get("bus.bursts") == 1
+
+    def test_non_sequential_store_breaks_pattern(self):
+        buffer, bus, stats = make_buffer(policy="r10000")
+        buffer.accept_store(BASE, bytes(8), 1)
+        buffer.accept_store(BASE + 8, bytes(8), 2)
+        buffer.accept_store(BASE + 24, bytes(8), 3)  # skips one slot
+        assert buffer.occupancy == 2
+
+    def test_broken_pattern_entry_stops_combining(self):
+        buffer, _, _ = make_buffer(policy="r10000")
+        buffer.accept_store(BASE, bytes(8), 1)
+        buffer.accept_store(BASE + 64, bytes(8), 2)   # new line; closes entry 1
+        # Even the "right" next sequential address no longer combines.
+        buffer.accept_store(BASE + 8, bytes(8), 3)
+        assert buffer.occupancy == 3
+
+    def test_partial_line_drains_as_single_beats(self):
+        # Unlike the generic block model (which would use an aligned
+        # 16-byte piece), the R10000 issues one single-beat per store.
+        buffer, bus, stats = make_buffer(policy="r10000")
+        for i in range(3):
+            buffer.accept_store(BASE + 8 * i, bytes(8), i)
+        drain(buffer, bus)
+        assert stats.get("bus.transactions") == 3
+        assert stats.get("bus.bursts") == 0
+
+    def test_descending_stream_never_combines(self):
+        buffer, _, _ = make_buffer(policy="r10000")
+        for i in reversed(range(4)):
+            buffer.accept_store(BASE + 8 * i, bytes(8), i)
+        assert buffer.occupancy == 4
+
+
+class TestPowerPC620:
+    def test_combines_exactly_one_pair(self):
+        buffer, bus, stats = make_buffer(policy="ppc620", combine_block=16)
+        for i in range(4):
+            buffer.accept_store(BASE + 8 * i, bytes(8), i)
+        assert buffer.occupancy == 2  # two pairs
+        drain(buffer, bus)
+        assert stats.get("bus.transactions") == 2
+
+    def test_pair_must_be_naturally_aligned(self):
+        buffer, _, _ = make_buffer(policy="ppc620", combine_block=16)
+        buffer.accept_store(BASE + 8, bytes(8), 1)
+        buffer.accept_store(BASE + 16, bytes(8), 2)  # consecutive, misaligned
+        assert buffer.occupancy == 2
+
+    def test_pair_must_be_same_size(self):
+        buffer, _, _ = make_buffer(policy="ppc620", combine_block=16)
+        buffer.accept_store(BASE, bytes(4), 1)
+        buffer.accept_store(BASE + 4, bytes(8), 2)
+        assert buffer.occupancy == 2
+
+    def test_no_triples(self):
+        buffer, _, _ = make_buffer(policy="ppc620", combine_block=16)
+        buffer.accept_store(BASE, bytes(4), 1)
+        buffer.accept_store(BASE + 4, bytes(4), 2)   # pair complete
+        buffer.accept_store(BASE + 8, bytes(4), 3)   # must start a new entry
+        assert buffer.occupancy == 2
+
+
+class TestBlockPolicyUnchanged:
+    def test_out_of_order_within_block_still_combines(self):
+        # The generic model accepts any order; the R10000 model does not.
+        buffer, _, _ = make_buffer(policy="block")
+        buffer.accept_store(BASE + 24, bytes(8), 1)
+        buffer.accept_store(BASE, bytes(8), 2)
+        assert buffer.occupancy == 1
+
+    def test_plan_uses_aligned_pieces(self):
+        entry = StoreEntry(BASE, 64, 1)
+        for i in range(3):
+            entry.write(BASE + 8 * i, bytes(8))
+        policy = BlockCombining(64)
+        assert [(a, s) for a, s, _ in policy.plan(entry)] == [
+            (BASE, 16),
+            (BASE + 16, 8),
+        ]
+
+    def test_r10000_plan_full_line(self):
+        entry = StoreEntry(BASE, 64, 1)
+        for i in range(8):
+            entry.write(BASE + 8 * i, bytes(8))
+        policy = R10000Accelerated(64)
+        assert [(a, s) for a, s, _ in policy.plan(entry)] == [(BASE, 64)]

@@ -1,0 +1,174 @@
+"""The uncached unit: routing, ordering, flush-result timing."""
+
+import pytest
+
+from repro.common.config import BusConfig, CSBConfig, UncachedBufferConfig
+from repro.common.errors import SimulationError
+from repro.common.stats import StatsCollector
+from repro.bus.base import TargetRegistry
+from repro.bus.multiplexed import MultiplexedBus
+from repro.memory.backing import BackingStore
+from repro.memory.layout import default_address_space, IO_COMBINING_BASE, IO_UNCACHED_BASE
+from repro.memory.tlb import AttributeTLB
+from repro.uncached.buffer import UncachedBuffer
+from repro.uncached.csb import ConditionalStoreBuffer
+from repro.uncached.unit import UncachedUnit
+
+RATIO = 6
+
+
+def make_unit(combine_block=8, num_line_buffers=1, flush_latency=3):
+    stats = StatsCollector()
+    backing = BackingStore()
+    bus = MultiplexedBus(
+        BusConfig(cpu_ratio=RATIO), stats, TargetRegistry(backing)
+    )
+    csb_config = CSBConfig(
+        num_line_buffers=num_line_buffers, flush_latency=flush_latency
+    )
+    csb = ConditionalStoreBuffer(csb_config, stats)
+    buffer = UncachedBuffer(
+        UncachedBufferConfig(combine_block=combine_block), bus, stats
+    )
+    tlb = AttributeTLB(default_address_space())
+    unit = UncachedUnit(buffer, csb, bus, tlb, stats, RATIO, csb_config)
+    return unit, backing, stats
+
+
+def run(unit, cycles, start=0):
+    for cycle in range(start, start + cycles):
+        unit.tick(cycle)
+    return start + cycles
+
+
+class TestRouting:
+    def test_uncached_store_goes_to_buffer(self):
+        unit, backing, _ = make_unit()
+        assert unit.issue_store(IO_UNCACHED_BASE, 8, 0xAABB, pid=1)
+        assert unit.buffer.occupancy == 1
+        run(unit, 50)
+        assert backing.read_int(IO_UNCACHED_BASE, 8) == 0xAABB
+
+    def test_combining_store_goes_to_csb(self):
+        unit, _, _ = make_unit()
+        assert unit.issue_store(IO_COMBINING_BASE, 8, 1, pid=1)
+        assert unit.csb.hit_counter == 1
+        assert unit.buffer.occupancy == 0
+
+    def test_cached_store_rejected(self):
+        unit, _, _ = make_unit()
+        with pytest.raises(SimulationError):
+            unit.issue_store(0x1000, 8, 1, pid=1)
+
+    def test_load_in_combining_space_bypasses_csb(self):
+        # Paper: uncached loads bypass the combined (uncommitted) stores.
+        unit, backing, _ = make_unit()
+        backing.write_int(IO_COMBINING_BASE, 0x77, 8)
+        unit.issue_store(IO_COMBINING_BASE, 8, 0x99, pid=1)  # uncommitted
+        results = []
+        assert unit.issue_load(
+            IO_COMBINING_BASE, 8, lambda value, cyc: results.append(value)
+        )
+        run(unit, 200)
+        assert results == [0x77]  # old value: CSB content not visible
+
+
+class TestFlush:
+    def test_flush_result_arrives_after_flush_latency(self):
+        unit, _, _ = make_unit(flush_latency=3)
+        unit.issue_store(IO_COMBINING_BASE, 8, 1, pid=1)
+        results = []
+        unit.tick(0)
+        assert unit.issue_swap(
+            IO_COMBINING_BASE, pid=1, expected=1,
+            callback=lambda v, c: results.append((v, c)),
+        )
+        run(unit, 2, start=1)
+        assert results == []
+        unit.tick(3)
+        assert results == [(1, 3)]
+
+    def test_failed_flush_returns_zero(self):
+        unit, _, _ = make_unit()
+        unit.issue_store(IO_COMBINING_BASE, 8, 1, pid=1)
+        results = []
+        unit.tick(0)
+        unit.issue_swap(
+            IO_COMBINING_BASE, pid=2, expected=1,
+            callback=lambda v, c: results.append(v),
+        )
+        run(unit, 10, start=1)
+        assert results == [0]
+
+    def test_burst_reaches_device(self):
+        unit, backing, stats = make_unit()
+        for i in range(8):
+            unit.issue_store(IO_COMBINING_BASE + 8 * i, 8, i + 1, pid=1)
+        unit.issue_swap(IO_COMBINING_BASE, 1, 8, lambda v, c: None)
+        run(unit, 200)
+        for i in range(8):
+            assert backing.read_int(IO_COMBINING_BASE + 8 * i, 8) == i + 1
+        assert stats.get("bus.bursts") == 1
+
+    def test_store_stalls_while_line_buffer_busy(self):
+        unit, _, stats = make_unit(num_line_buffers=1)
+        unit.issue_store(IO_COMBINING_BASE, 8, 1, pid=1)
+        unit.issue_swap(IO_COMBINING_BASE, 1, 1, lambda v, c: None)
+        # Burst not yet on the bus: the next combining store must stall.
+        assert not unit.issue_store(IO_COMBINING_BASE, 8, 2, pid=1)
+        assert stats.get("csb.store_stalls") == 1
+        run(unit, RATIO + 1)  # one bus cycle: burst issued
+        assert unit.issue_store(IO_COMBINING_BASE, 8, 2, pid=1)
+
+
+class TestOrdering:
+    def test_buffer_and_csb_issue_in_program_order(self):
+        unit, _, stats = make_unit()
+        # Uncached store first, then a CSB sequence: the doubleword store's
+        # transaction must reach the bus before the flush burst.
+        unit.issue_store(IO_UNCACHED_BASE, 8, 1, pid=1)
+        unit.issue_store(IO_COMBINING_BASE, 8, 2, pid=1)
+        unit.issue_swap(IO_COMBINING_BASE, 1, 1, lambda v, c: None)
+        run(unit, 13)  # bus cycles 0, 1, 2
+        records = stats.transactions
+        assert [r.kind for r in records] == ["uncached_store", "csb_flush"]
+
+    def test_csb_flush_before_buffer_when_older(self):
+        unit, _, stats = make_unit()
+        unit.issue_store(IO_COMBINING_BASE, 8, 2, pid=1)
+        unit.issue_swap(IO_COMBINING_BASE, 1, 1, lambda v, c: None)
+        unit.issue_store(IO_UNCACHED_BASE, 8, 1, pid=1)
+        run(unit, 80)
+        records = stats.transactions
+        assert [r.kind for r in records] == ["csb_flush", "uncached_store"]
+
+
+class TestUncachedSwap:
+    def test_plain_uncached_swap_read_then_write(self):
+        unit, backing, _ = make_unit()
+        backing.write_int(IO_UNCACHED_BASE, 0, 8)
+        results = []
+        unit.issue_swap(
+            IO_UNCACHED_BASE, pid=1, expected=1,
+            callback=lambda v, c: results.append(v),
+        )
+        run(unit, 300)
+        assert results == [0]                       # old value returned
+        assert backing.read_int(IO_UNCACHED_BASE, 8) == 1  # new value stored
+
+
+class TestBarrier:
+    def test_barrier_waits_for_buffer(self):
+        unit, _, _ = make_unit()
+        unit.issue_store(IO_UNCACHED_BASE, 8, 1, pid=1)
+        assert not unit.barrier_clear()
+        run(unit, 50)
+        assert unit.barrier_clear()
+
+    def test_quiescent(self):
+        unit, _, _ = make_unit()
+        assert unit.quiescent()
+        unit.issue_store(IO_UNCACHED_BASE, 8, 1, pid=1)
+        assert not unit.quiescent()
+        run(unit, 50)
+        assert unit.quiescent()
