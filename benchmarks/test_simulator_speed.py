@@ -45,3 +45,25 @@ def test_uncached_store_stream_throughput(benchmark):
 
     transactions = benchmark(run)
     assert transactions > 0
+
+
+def test_sweep_throughput(benchmark):
+    """End-to-end sweep cost through the SweepRunner job path: one
+    Figure 3 scheme row (seven transfer sizes) resolved serially with no
+    cache, the unit the parallel engine fans out."""
+    from repro.evaluation.bandwidth import bandwidth_job
+    from repro.evaluation.panels import FIG3_PANELS
+    from repro.evaluation.runner import SweepRunner
+    from repro.workloads.storebw import TRANSFER_SIZES
+
+    jobs = [
+        bandwidth_job(FIG3_PANELS["e"], "combine64", size)
+        for size in TRANSFER_SIZES
+    ]
+
+    def run():
+        return SweepRunner(jobs=1).run(jobs)
+
+    values = benchmark(run)
+    assert len(values) == len(TRANSFER_SIZES)
+    assert all(value > 0 for value in values)

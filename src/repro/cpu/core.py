@@ -85,6 +85,17 @@ class Core:
         self.context: Optional[ProcessContext] = None
         self._rob: Deque[InFlight] = deque()
         self._memq: List[InFlight] = []
+        #: dispatched ALU/FP/branch instructions awaiting a functional unit,
+        #: in dispatch (= program) order; removed once issued.  Keeping this
+        #: separate from the ROB turns the issue stage from an O(ROB) scan
+        #: per cycle into a walk of only the not-yet-issued candidates.
+        self._issueq: List[InFlight] = []
+        # Hot counters, resolved once: the pipeline loops bump these every
+        # cycle and the lazy name lookup in StatsCollector.bump is measurable.
+        self._n_dispatched = stats.counter("core.dispatched")
+        self._n_issued = stats.counter("core.issued")
+        self._n_retired = stats.counter("core.retired")
+        self._n_branches = stats.counter("core.branches")
         self._spec_map: Dict[str, int] = {}
         self._values: Dict[int, int] = {}
         self._ready: Dict[int, int] = {}
@@ -117,6 +128,7 @@ class Core:
         self._values.clear()
         self._ready.clear()
         self._memq.clear()
+        self._issueq.clear()
         self._undo.clear()
         self._link = None  # a context switch breaks any load link
         self._last_progress = self.now
@@ -204,12 +216,17 @@ class Core:
             self._rob.append(flight)
             if instr.is_mem and not instr.is_membar:
                 self._memq.append(flight)
+            elif not (instr.is_mark or instr.is_halt or instr.is_membar):
+                if instr.fu == "none":
+                    flight.issued = True  # nothing to issue (no FU class)
+                else:
+                    self._issueq.append(flight)
             if instr.is_halt:
                 self._fetch_stopped = True
                 return
             if not instr.is_mark:
                 budget -= 1
-            self.stats.bump("core.dispatched")
+            self._n_dispatched.value += 1
 
     def _capture_operands(self, flight: InFlight) -> bool:
         """Record source operands: known values into ``src_vals``, in-flight
@@ -232,6 +249,7 @@ class Core:
             else:
                 assert self.context is not None
                 flight.src_vals[reg] = self.context.registers.read(reg)
+        flight.dep_list = tuple(flight.dep_seqs.values())
         return True
 
     def _apply_dispatch_effects(self, flight: InFlight) -> None:
@@ -278,7 +296,7 @@ class Core:
             # Sensitivity knob: charge a flat redirect penalty per taken
             # branch by delaying the branch's readiness.
             flight.ready_at = None
-        self.stats.bump("core.branches")
+        self._n_branches.value += 1
 
     def _prepare_memop(self, flight: InFlight) -> None:
         """Compute the address, classify by page attribute, and apply
@@ -393,17 +411,39 @@ class Core:
 
     def _issue(self, now: int) -> None:
         """Issue ALU/FP/branch instructions to functional units, oldest first."""
-        for flight in self._rob:
+        queue = self._issueq
+        if not queue:
+            return
+        ready_map = self._ready
+        ready_get = ready_map.get
+        kept: List[InFlight] = []
+        for flight in queue:
+            # Producers' ready cycles never move earlier once recorded, so a
+            # failed dependency check yields a cycle before which re-checking
+            # is pointless (0 = a producer's timing is still unknown).
+            if flight.stall_until > now:
+                kept.append(flight)
+                continue
+            wait = 0
+            blocked = False
+            for producer in flight.dep_list:
+                cycle = ready_get(producer)
+                if cycle is None:
+                    blocked = True
+                    wait = 0
+                    break
+                if cycle > now:
+                    blocked = True
+                    if cycle > wait:
+                        wait = cycle
+            if blocked:
+                flight.stall_until = wait
+                kept.append(flight)
+                continue
             instr = flight.instr
-            if flight.issued or instr.is_mem or instr.is_mark or instr.is_halt:
-                continue
             fu = instr.fu
-            if fu == "none":
-                flight.issued = True
-                continue
-            if not flight.timing_ready(self._ready, now):
-                continue
             if not self.fus.acquire(fu):
+                kept.append(flight)
                 continue
             flight.issued = True
             latency = (
@@ -419,15 +459,18 @@ class Core:
                 self._compute_value(flight)
             ready = now + latency
             flight.ready_at = ready
-            self._ready[flight.seq] = ready
+            ready_map[flight.seq] = ready
             if self.trace is not None:
                 self.trace.record(now, "issue", flight.seq, flight.pc, instr)
-            self.stats.bump("core.issued")
+            self._n_issued.value += 1
+        self._issueq = kept
 
     # -- memory queue -----------------------------------------------------------------
 
     def _memq_issue(self, now: int) -> None:
         """Execute cached loads speculatively, out of order."""
+        if not self._memq:
+            return
         for flight in self._memq:
             instr = flight.instr
             if flight.mem_state is not MemState.WAITING:
@@ -759,7 +802,7 @@ class Core:
             self.context.pc = head.pc + 1
         self.context.retired_instructions += 1
         self._last_progress = now
-        self.stats.bump("core.retired")
+        self._n_retired.value += 1
 
     # -- precise interrupts ---------------------------------------------------------------
 
@@ -792,6 +835,7 @@ class Core:
             self.stats.bump("core.squashed", len(self._rob))
         self._rob.clear()
         self._memq.clear()
+        self._issueq.clear()
         self._spec_map.clear()
         self._values.clear()
         self._ready.clear()

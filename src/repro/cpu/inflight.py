@@ -46,6 +46,8 @@ class InFlight:
         "store_data",
         "mem_state",
         "swap_expected",
+        "dep_list",
+        "stall_until",
     )
 
     def __init__(
@@ -71,10 +73,15 @@ class InFlight:
         self.mem_state = MemState.WAITING
         #: for swaps: the expected value carried in the source register
         self.swap_expected: Optional[int] = None
+        #: flat copy of ``dep_seqs.values()`` frozen after operand capture;
+        #: the hot timing checks iterate this instead of a dict view
+        self.dep_list: Tuple[int, ...] = ()
+        #: issue-stage skip hint: no producer can be ready before this cycle
+        self.stall_until = 0
 
     def timing_ready(self, ready: Dict[int, int], now: int) -> bool:
         """True when every producer's result is timing-available by ``now``."""
-        for producer in self.dep_seqs.values():
+        for producer in self.dep_list:
             cycle = ready.get(producer)
             if cycle is None or cycle > now:
                 return False
@@ -88,7 +95,7 @@ class InFlight:
         return values[self.dep_seqs[name]]
 
     def operands_known(self, values: Dict[int, int]) -> bool:
-        return all(seq in values for seq in self.dep_seqs.values())
+        return all(seq in values for seq in self.dep_list)
 
     def describe(self) -> Tuple[int, str]:
         return (self.seq, type(self.instr).__name__)

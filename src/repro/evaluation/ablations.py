@@ -21,65 +21,104 @@ Each function isolates one knob:
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Iterable, List
+from typing import Iterable, List, Optional
 
 from repro.common.config import CSBConfig, SystemConfig, UncachedBufferConfig
 from repro.common.stats import StatsCollector
 from repro.common.tables import Table
-from repro.isa.assembler import assemble
-from repro.sim.system import System
 from repro.uncached.csb import ConditionalStoreBuffer, FlushResult
 from repro.evaluation.bandwidth import config_for
 from repro.evaluation.panels import FIG3_PANELS, FIG4_PANELS, PanelSpec
+from repro.evaluation.runner import (
+    SimJob,
+    SweepRunner,
+    default_runner,
+    execute_job,
+)
 from repro.workloads.storebw import store_kernel_csb, store_kernel_uncached
 
 _SIZES = (16, 32, 64, 128, 256, 512, 1024)
 
 
+def _csb_bandwidth_job(
+    panel: PanelSpec, csb_config: CSBConfig, size: int
+) -> SimJob:
+    return SimJob(
+        config=replace(config_for(panel, "csb"), csb=csb_config),
+        kernel=store_kernel_csb(size, panel.line_size),
+        measurement="store_bandwidth",
+        name=f"ablation-{panel.panel_id}-csb-{size}",
+    )
+
+
 def _csb_bandwidth(panel: PanelSpec, csb_config: CSBConfig, size: int) -> float:
-    config = replace(config_for(panel, "csb"), csb=csb_config)
-    system = System(config)
-    system.add_process(assemble(store_kernel_csb(size, panel.line_size)))
-    system.run()
-    return system.store_bandwidth
+    return execute_job(_csb_bandwidth_job(panel, csb_config, size))
 
 
-def line_buffer_table(sizes: Iterable[int] = _SIZES) -> Table:
+def line_buffer_table(
+    sizes: Iterable[int] = _SIZES,
+    runner: Optional[SweepRunner] = None,
+) -> Table:
     """Single vs. double line buffer on the fast 256-bit split bus, where
     the single-buffer refill stall is visible."""
     panel = FIG4_PANELS["b"]
     sizes = list(sizes)
+    if runner is None:
+        runner = default_runner()
+    variants = (1, 2)
+    jobs = [
+        _csb_bandwidth_job(
+            panel,
+            CSBConfig(line_size=panel.line_size, num_line_buffers=buffers),
+            size,
+        )
+        for buffers in variants
+        for size in sizes
+    ]
+    values = iter(runner.run(jobs))
     table = Table(
         ["line_buffers"] + [str(s) for s in sizes],
         title="Ablation: CSB line buffers on a 256-bit split bus "
         "[bytes per bus cycle]",
     )
-    for buffers in (1, 2):
-        csb = CSBConfig(line_size=panel.line_size, num_line_buffers=buffers)
-        table.add_row(
-            str(buffers), *[_csb_bandwidth(panel, csb, s) for s in sizes]
-        )
+    for buffers in variants:
+        table.add_row(str(buffers), *[next(values) for _ in sizes])
     return table
 
 
-def burst_padding_table(sizes: Iterable[int] = _SIZES) -> Table:
+def burst_padding_table(
+    sizes: Iterable[int] = _SIZES,
+    runner: Optional[SweepRunner] = None,
+) -> Table:
     """Always-full-line vs. multiple-burst-size flushes on the mux bus:
     the relaxation removes the small-transfer penalty."""
     panel = FIG3_PANELS["e"]
     sizes = list(sizes)
+    if runner is None:
+        runner = default_runner()
+    variants = (True, False)
+    jobs = [
+        _csb_bandwidth_job(
+            panel,
+            CSBConfig(line_size=panel.line_size, pad_to_full_line=pad),
+            size,
+        )
+        for pad in variants
+        for size in sizes
+    ]
+    values = iter(runner.run(jobs))
     table = Table(
         ["flush_policy"] + [str(s) for s in sizes],
         title="Ablation: full-line vs multi-size CSB bursts "
         "[bytes per bus cycle]",
     )
-    for pad in (True, False):
-        csb = CSBConfig(line_size=panel.line_size, pad_to_full_line=pad)
+    for pad in variants:
         name = "full_line" if pad else "multi_size"
-        table.add_row(name, *[_csb_bandwidth(panel, csb, s) for s in sizes])
+        table.add_row(name, *[next(values) for _ in sizes])
     return table
 
 
-def address_check_table() -> Table:
+def address_check_table(runner: Optional[SweepRunner] = None) -> Table:
     """Same-PID thread conflicts: caught with the address check, silently
     merged without it."""
     table = Table(
@@ -109,6 +148,7 @@ def address_check_table() -> Table:
 def buffer_depth_table(
     depths: Iterable[int] = (1, 2, 4, 8, 16),
     n_stores: int = 16,
+    runner: Optional[SweepRunner] = None,
 ) -> Table:
     """CPU-side stall absorption vs uncached buffer depth.
 
@@ -120,10 +160,9 @@ def buffer_depth_table(
     """
     from repro.memory.layout import IO_UNCACHED_BASE
 
-    table = Table(
-        ["depth", "cpu_cycles_to_retire_stores"],
-        title=f"Ablation: uncached buffer depth ({n_stores} doubleword stores)",
-    )
+    depths = list(depths)
+    if runner is None:
+        runner = default_runner()
     stores = "".join(
         f"stx %l0, [%o1+{8 * i}]\n" for i in range(n_stores)
     )
@@ -132,42 +171,64 @@ def buffer_depth_table(
         "mark a\n" + stores + "mark b\nhalt"
     )
     panel = FIG3_PANELS["e"]
-    for depth in depths:
-        config = replace(
-            config_for(panel, "none"),
-            uncached=UncachedBufferConfig(combine_block=8, depth=depth),
+    jobs = [
+        SimJob(
+            config=replace(
+                config_for(panel, "none"),
+                uncached=UncachedBufferConfig(combine_block=8, depth=depth),
+            ),
+            kernel=source,
+            measurement="span",
+            args=("a", "b"),
+            name=f"ablation-depth-{depth}",
         )
-        system = System(config)
-        system.add_process(assemble(source))
-        system.run()
-        table.add_row(depth, system.span("a", "b"))
+        for depth in depths
+    ]
+    values = runner.run(jobs)
+    table = Table(
+        ["depth", "cpu_cycles_to_retire_stores"],
+        title=f"Ablation: uncached buffer depth ({n_stores} doubleword stores)",
+    )
+    for depth, value in zip(depths, values):
+        table.add_row(depth, value)
     return table
 
 
-def flush_latency_table(latencies: Iterable[int] = (1, 3, 5, 10)) -> Table:
+def flush_latency_table(
+    latencies: Iterable[int] = (1, 3, 5, 10),
+    runner: Optional[SweepRunner] = None,
+) -> Table:
     """Sensitivity of the Figure 5 CSB latency to the flush-check latency."""
-    from repro.evaluation.latency import latency_point
     from repro.common.config import (
         BusConfig,
         MemoryHierarchyConfig,
     )
     from repro.workloads.lockbench import MARK_DONE, MARK_START, csb_access_kernel
 
+    latencies = list(latencies)
+    if runner is None:
+        runner = default_runner()
+    counts = (2, 8)
+    jobs = [
+        SimJob(
+            config=SystemConfig(
+                memory=MemoryHierarchyConfig.with_line_size(64),
+                bus=BusConfig(cpu_ratio=6, max_burst_bytes=64),
+                csb=CSBConfig(line_size=64, flush_latency=latency),
+            ),
+            kernel=csb_access_kernel(n),
+            measurement="span",
+            args=(MARK_START, MARK_DONE),
+            name=f"ablation-flushlatency-{latency}-{n}dw",
+        )
+        for latency in latencies
+        for n in counts
+    ]
+    values = iter(runner.run(jobs))
     table = Table(
         ["flush_latency", "2dw", "8dw"],
         title="Ablation: CSB flush latency vs access time [CPU cycles]",
     )
     for latency in latencies:
-        spans: List[int] = []
-        for n in (2, 8):
-            config = SystemConfig(
-                memory=MemoryHierarchyConfig.with_line_size(64),
-                bus=BusConfig(cpu_ratio=6, max_burst_bytes=64),
-                csb=CSBConfig(line_size=64, flush_latency=latency),
-            )
-            system = System(config)
-            system.add_process(assemble(csb_access_kernel(n)))
-            system.run()
-            spans.append(system.span(MARK_START, MARK_DONE))
-        table.add_row(latency, *spans)
+        table.add_row(latency, *[next(values) for _ in counts])
     return table

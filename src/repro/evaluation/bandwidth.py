@@ -20,9 +20,14 @@ from repro.common.config import (
     UncachedBufferConfig,
 )
 from repro.common.tables import Table
-from repro.isa.assembler import assemble
 from repro.sim.system import System
 from repro.evaluation.panels import PanelSpec
+from repro.evaluation.runner import (
+    SimJob,
+    SweepRunner,
+    default_runner,
+    execute_job,
+)
 from repro.evaluation.schemes import SCHEME_CSB, all_schemes, scheme_block
 from repro.workloads.storebw import (
     TRANSFER_SIZES,
@@ -54,27 +59,43 @@ def system_for(panel: PanelSpec, scheme: str) -> System:
     return System(config_for(panel, scheme))
 
 
-def bandwidth_point(panel: PanelSpec, scheme: str, transfer_bytes: int) -> float:
-    """Simulate one data point; returns bytes per bus cycle."""
-    system = system_for(panel, scheme)
+def bandwidth_job(panel: PanelSpec, scheme: str, transfer_bytes: int) -> SimJob:
+    """Describe one (panel, scheme, transfer-size) point as a SimJob."""
     if scheme == SCHEME_CSB:
         source = store_kernel_csb(transfer_bytes, panel.line_size)
     else:
         source = store_kernel_uncached(transfer_bytes)
-    system.add_process(assemble(source, name=f"{panel.panel_id}-{scheme}"))
-    system.run()
-    return system.store_bandwidth
+    return SimJob(
+        config=config_for(panel, scheme),
+        kernel=source,
+        measurement="store_bandwidth",
+        name=f"{panel.panel_id}-{scheme}-{transfer_bytes}",
+    )
+
+
+def bandwidth_point(panel: PanelSpec, scheme: str, transfer_bytes: int) -> float:
+    """Simulate one data point; returns bytes per bus cycle."""
+    return execute_job(bandwidth_job(panel, scheme, transfer_bytes))
 
 
 def panel_table(
     panel: PanelSpec,
     sizes: Iterable[int] = TRANSFER_SIZES,
     schemes: Optional[List[str]] = None,
+    runner: Optional[SweepRunner] = None,
 ) -> Table:
     """Sweep one panel: rows = schemes, columns = transfer sizes."""
     sizes = list(sizes)
     if schemes is None:
         schemes = all_schemes(panel.line_size)
+    if runner is None:
+        runner = default_runner()
+    jobs = [
+        bandwidth_job(panel, scheme, size)
+        for scheme in schemes
+        for size in sizes
+    ]
+    values = iter(runner.run(jobs))
     table = Table(
         ["scheme"] + [str(s) for s in sizes],
         title=(
@@ -83,8 +104,5 @@ def panel_table(
         ),
     )
     for scheme in schemes:
-        row: List[object] = [scheme]
-        for size in sizes:
-            row.append(bandwidth_point(panel, scheme, size))
-        table.add_row(*row)
+        table.add_row(scheme, *[next(values) for _ in sizes])
     return table

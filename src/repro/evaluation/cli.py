@@ -4,7 +4,13 @@ Examples::
 
     csb-figures --list
     csb-figures fig3c fig5a
-    csb-figures --all --out results/
+    csb-figures --all --out results/ --jobs 4
+    csb-figures --all --check expected_results --no-cache
+
+Sweeps fan out over ``--jobs`` worker processes and reuse a
+content-addressed result cache under ``--cache-dir`` (disable with
+``--no-cache``).  Both are pure speedups: output is byte-identical to a
+serial, uncached run.
 """
 
 from __future__ import annotations
@@ -12,9 +18,17 @@ from __future__ import annotations
 import argparse
 import os
 import sys
+import time
 from typing import List, Optional
 
+from repro.common.tables import Table
 from repro.evaluation.experiments import experiment_ids, run_experiment
+from repro.evaluation.runner import (
+    ResultCache,
+    SweepRunner,
+    default_cache_dir,
+    experiment_key,
+)
 
 
 def _parser() -> argparse.ArgumentParser:
@@ -48,23 +62,86 @@ def _parser() -> argparse.ArgumentParser:
             "against DIR/<id>.csv; exit 1 on any mismatch"
         ),
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        metavar="N",
+        default=os.cpu_count() or 1,
+        help="worker processes per sweep (default: CPU count)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=default_cache_dir(),
+        help=(
+            "content-addressed result cache directory "
+            "(default: $CSB_CACHE_DIR or ~/.cache/csb-figures)"
+        ),
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="neither read nor write the result cache",
+    )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress per-experiment progress on stderr",
+    )
     return parser
+
+
+def _make_runner(args: argparse.Namespace) -> SweepRunner:
+    if args.jobs < 1:
+        raise SystemExit("error: --jobs must be at least 1")
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    progress = None
+    if not args.quiet and sys.stderr.isatty():
+        def progress(done: int, total: int) -> None:
+            print(f"\r  {done}/{total} points", end="", file=sys.stderr)
+            if done == total:
+                print(file=sys.stderr)
+    return SweepRunner(jobs=args.jobs, cache=cache, progress=progress)
+
+
+def _resolve_table(experiment_id: str, runner: SweepRunner) -> Table:
+    """Run one experiment through the runner, with a whole-table cache in
+    front for the studies that cannot be decomposed into SimJobs."""
+    cache = runner.cache
+    key = experiment_key(experiment_id)
+    if cache is not None:
+        cached = cache.get_table(key)
+        if cached is not None:
+            return cached
+    table = run_experiment(experiment_id, runner)
+    if cache is not None:
+        cache.put_table(key, table, name=experiment_id)
+    return table
+
+
+def _report(runner: SweepRunner, elapsed: float, quiet: bool) -> None:
+    if quiet:
+        return
+    print(
+        f"[{runner.simulated} simulated, {runner.cache_hits} cached, "
+        f"{elapsed:.1f}s]",
+        file=sys.stderr,
+    )
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = _parser().parse_args(argv)
+    ids = experiment_ids()
     if args.list:
-        for experiment_id in experiment_ids():
+        for experiment_id in ids:
             print(experiment_id)
         return 0
-    chosen = experiment_ids() if args.all else args.experiments
+    chosen = ids if args.all else args.experiments
     if not chosen:
         _parser().print_usage()
         print("error: give experiment ids, --all, or --list", file=sys.stderr)
         return 2
-    if args.out:
-        os.makedirs(args.out, exist_ok=True)
-    unknown = [e for e in chosen if e not in experiment_ids()]
+    unknown = [e for e in chosen if e not in ids]
     if unknown:
         print(
             f"error: unknown experiment(s) {', '.join(unknown)}; "
@@ -72,10 +149,18 @@ def main(argv: Optional[List[str]] = None) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.out:
+        os.makedirs(args.out, exist_ok=True)
+    runner = _make_runner(args)
+    started = time.monotonic()
     if args.check:
-        return _check_against(chosen, args.check)
+        status = _check_against(chosen, args.check, runner)
+        _report(runner, time.monotonic() - started, args.quiet)
+        return status
     for experiment_id in chosen:
-        table = run_experiment(experiment_id)
+        if not args.quiet:
+            print(f"[{experiment_id}]", file=sys.stderr)
+        table = _resolve_table(experiment_id, runner)
         if args.markdown:
             print(table.to_markdown(precision=args.precision))
         else:
@@ -85,10 +170,43 @@ def main(argv: Optional[List[str]] = None) -> int:
             with open(path, "w", encoding="utf-8") as handle:
                 handle.write(table.to_csv())
             print(f"[wrote {path}]\n")
+    _report(runner, time.monotonic() - started, args.quiet)
     return 0
 
 
-def _check_against(chosen: List[str], golden_dir: str) -> int:
+def _diff_lines(actual: str, expected: str) -> List[str]:
+    """Human-readable description of the first divergence between two CSVs,
+    including length differences ``zip`` would silently swallow."""
+    got_lines = actual.splitlines()
+    want_lines = expected.splitlines()
+    detail: List[str] = []
+    if len(got_lines) != len(want_lines):
+        detail.append(
+            f"  expected {len(want_lines)} lines, got {len(got_lines)}"
+        )
+    for row, (got, want) in enumerate(zip(got_lines, want_lines), start=1):
+        if got != want:
+            detail.append(f"  first differing line ({row}):")
+            detail.append(f"    expected: {want}")
+            detail.append(f"    actual:   {got}")
+            return detail
+    # All shared lines agree, so one side has trailing extra lines.
+    if len(got_lines) > len(want_lines):
+        extra = got_lines[len(want_lines)]
+        detail.append(f"  first extra line ({len(want_lines) + 1}): {extra}")
+    elif len(want_lines) > len(got_lines):
+        missing = want_lines[len(got_lines)]
+        detail.append(
+            f"  first missing line ({len(got_lines) + 1}): {missing}"
+        )
+    return detail
+
+
+def _check_against(
+    chosen: List[str],
+    golden_dir: str,
+    runner: Optional[SweepRunner] = None,
+) -> int:
     """Golden-file regression: simulations are deterministic, so every
     regenerated table must match its stored CSV byte for byte."""
     failures = 0
@@ -100,16 +218,16 @@ def _check_against(chosen: List[str], golden_dir: str) -> int:
             continue
         with open(path, "r", encoding="utf-8") as handle:
             expected = handle.read()
-        actual = run_experiment(experiment_id).to_csv()
+        if runner is None:
+            actual = run_experiment(experiment_id).to_csv()
+        else:
+            actual = _resolve_table(experiment_id, runner).to_csv()
         if actual == expected:
             print(f"{experiment_id}: OK")
         else:
             print(f"{experiment_id}: MISMATCH against {path}")
-            for got, want in zip(actual.splitlines(), expected.splitlines()):
-                if got != want:
-                    print(f"  expected: {want}")
-                    print(f"  actual:   {got}")
-                    break
+            for line in _diff_lines(actual, expected):
+                print(line)
             failures += 1
     if failures:
         print(f"{failures} experiment(s) diverged", file=sys.stderr)

@@ -9,25 +9,39 @@ code.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional
 
 from repro.common.errors import ConfigError
 from repro.common.tables import Table
 from repro.evaluation.bandwidth import panel_table
 from repro.evaluation.latency import fig5_table
 from repro.evaluation.panels import FIG3_PANELS, FIG4_PANELS
+from repro.evaluation.runner import SweepRunner
 
-TableFactory = Callable[[], Table]
+#: Every factory takes an optional :class:`SweepRunner`; sweep-style
+#: experiments hand their jobs to it, single-run studies ignore it.
+TableFactory = Callable[[Optional[SweepRunner]], Table]
 
 
 def _bandwidth_factory(figure: int, panel: str) -> TableFactory:
     panels = FIG3_PANELS if figure == 3 else FIG4_PANELS
     spec = panels[panel]
 
-    def build() -> Table:
-        return panel_table(spec)
+    def build(runner: Optional[SweepRunner] = None) -> Table:
+        return panel_table(spec, runner=runner)
 
     build.__name__ = f"fig{figure}{panel}"
+    return build
+
+
+def _ignores_runner(factory: Callable[[], Table]) -> TableFactory:
+    """Adapt a zero-argument factory (a study that is not a sweep of
+    independent simulations) to the registry signature."""
+
+    def build(runner: Optional[SweepRunner] = None) -> Table:
+        return factory()
+
+    build.__name__ = getattr(factory, "__name__", "experiment")
     return build
 
 
@@ -37,8 +51,12 @@ def _registry() -> Dict[str, TableFactory]:
         registry[f"fig3{panel}"] = _bandwidth_factory(3, panel)
     for panel in FIG4_PANELS:
         registry[f"fig4{panel}"] = _bandwidth_factory(4, panel)
-    registry["fig5a"] = lambda: fig5_table(lock_hits_l1=True)
-    registry["fig5b"] = lambda: fig5_table(lock_hits_l1=False)
+    registry["fig5a"] = lambda runner=None: fig5_table(
+        lock_hits_l1=True, runner=runner
+    )
+    registry["fig5b"] = lambda runner=None: fig5_table(
+        lock_hits_l1=False, runner=runner
+    )
     registry.update(_extension_registry())
     return registry
 
@@ -64,21 +82,37 @@ def _extension_registry() -> Dict[str, TableFactory]:
     )
 
     return {
-        "pingpong": rtt_table,
-        "loaded-bus": loaded_bus_table,
-        "loaded-bus-misses": miss_interleaved_table,
-        "crossover": crossover_table,
-        "policies-sequential": lambda: policy_table(interleaved=False),
-        "policies-shuffled": lambda: policy_table(interleaved=True),
-        "blockstore": blockstore_table,
-        "ablation-linebuffers": line_buffer_table,
-        "ablation-padding": burst_padding_table,
+        "pingpong": _ignores_runner(rtt_table),
+        "loaded-bus": _ignores_runner(loaded_bus_table),
+        "loaded-bus-misses": _ignores_runner(miss_interleaved_table),
+        "crossover": _ignores_runner(crossover_table),
+        "policies-sequential": lambda runner=None: policy_table(
+            interleaved=False, runner=runner
+        ),
+        "policies-shuffled": lambda runner=None: policy_table(
+            interleaved=True, runner=runner
+        ),
+        "blockstore": _ignores_runner(blockstore_table),
+        "ablation-linebuffers": lambda runner=None: line_buffer_table(
+            runner=runner
+        ),
+        "ablation-padding": lambda runner=None: burst_padding_table(
+            runner=runner
+        ),
         "ablation-addrcheck": address_check_table,
-        "ablation-depth": buffer_depth_table,
-        "ablation-flushlatency": flush_latency_table,
-        "sensitivity-width": width_sensitivity_table,
-        "sync-mechanisms": sync_mechanism_table,
-        "sensitivity-ratio": ratio_sensitivity_table,
+        "ablation-depth": lambda runner=None: buffer_depth_table(
+            runner=runner
+        ),
+        "ablation-flushlatency": lambda runner=None: flush_latency_table(
+            runner=runner
+        ),
+        "sensitivity-width": lambda runner=None: width_sensitivity_table(
+            runner=runner
+        ),
+        "sync-mechanisms": _ignores_runner(sync_mechanism_table),
+        "sensitivity-ratio": lambda runner=None: ratio_sensitivity_table(
+            runner=runner
+        ),
     }
 
 
@@ -89,11 +123,13 @@ def experiment_ids() -> List[str]:
     return sorted(EXPERIMENTS)
 
 
-def run_experiment(experiment_id: str) -> Table:
+def run_experiment(
+    experiment_id: str, runner: Optional[SweepRunner] = None
+) -> Table:
     try:
         factory = EXPERIMENTS[experiment_id]
     except KeyError:
         raise ConfigError(
             f"unknown experiment {experiment_id!r}; have {experiment_ids()}"
         ) from None
-    return factory()
+    return factory(runner)

@@ -20,8 +20,12 @@ from repro.common.config import (
 )
 from repro.common.errors import ConfigError
 from repro.common.tables import Table
-from repro.isa.assembler import assemble
-from repro.sim.system import System
+from repro.evaluation.runner import (
+    SimJob,
+    SweepRunner,
+    default_runner,
+    execute_job,
+)
 from repro.evaluation.schemes import SCHEME_CSB, all_schemes, scheme_block
 from repro.workloads.lockbench import (
     DEFAULT_LOCK_ADDR,
@@ -45,6 +49,32 @@ def _fig5_config(scheme: str, line_size: int = 64, cpu_ratio: int = 6) -> System
     )
 
 
+def latency_job(
+    scheme: str,
+    n_doublewords: int,
+    lock_hits_l1: bool,
+    line_size: int = 64,
+    cpu_ratio: int = 6,
+) -> SimJob:
+    """Describe one atomic-access latency point as a SimJob."""
+    if n_doublewords < 1 or n_doublewords * 8 > line_size:
+        raise ConfigError(
+            f"{n_doublewords} doublewords do not fit a {line_size}-byte line"
+        )
+    if scheme == SCHEME_CSB:
+        source = csb_access_kernel(n_doublewords)
+    else:
+        source = locked_access_kernel(n_doublewords)
+    return SimJob(
+        config=_fig5_config(scheme, line_size, cpu_ratio),
+        kernel=source,
+        measurement="span",
+        args=(MARK_START, MARK_DONE),
+        warm=(DEFAULT_LOCK_ADDR,) if lock_hits_l1 else (),
+        name=f"fig5-{scheme}-{n_doublewords}",
+    )
+
+
 def latency_point(
     scheme: str,
     n_doublewords: int,
@@ -53,20 +83,9 @@ def latency_point(
     cpu_ratio: int = 6,
 ) -> int:
     """CPU cycles for one atomic access of ``n_doublewords`` stores."""
-    if n_doublewords < 1 or n_doublewords * 8 > line_size:
-        raise ConfigError(
-            f"{n_doublewords} doublewords do not fit a {line_size}-byte line"
-        )
-    system = System(_fig5_config(scheme, line_size, cpu_ratio))
-    if scheme == SCHEME_CSB:
-        source = csb_access_kernel(n_doublewords)
-    else:
-        source = locked_access_kernel(n_doublewords)
-    system.add_process(assemble(source, name=f"fig5-{scheme}-{n_doublewords}"))
-    if lock_hits_l1:
-        system.hierarchy.warm(DEFAULT_LOCK_ADDR)
-    system.run()
-    return system.span(MARK_START, MARK_DONE)
+    return execute_job(
+        latency_job(scheme, n_doublewords, lock_hits_l1, line_size, cpu_ratio)
+    )
 
 
 def fig5_table(
@@ -74,11 +93,20 @@ def fig5_table(
     counts: Iterable[int] = DOUBLEWORD_COUNTS,
     schemes: Optional[List[str]] = None,
     line_size: int = 64,
+    runner: Optional[SweepRunner] = None,
 ) -> Table:
     """One Figure 5 panel: rows = schemes, columns = transfer sizes."""
     counts = list(counts)
     if schemes is None:
         schemes = all_schemes(line_size)
+    if runner is None:
+        runner = default_runner()
+    jobs = [
+        latency_job(scheme, n, lock_hits_l1, line_size)
+        for scheme in schemes
+        for n in counts
+    ]
+    values = iter(runner.run(jobs))
     panel = "a" if lock_hits_l1 else "b"
     state = "hits L1" if lock_hits_l1 else "misses (100-cycle miss)"
     table = Table(
@@ -86,8 +114,5 @@ def fig5_table(
         title=f"Figure 5({panel}) — lock {state} [CPU cycles]",
     )
     for scheme in schemes:
-        row: List[object] = [scheme]
-        for n in counts:
-            row.append(latency_point(scheme, n, lock_hits_l1, line_size))
-        table.add_row(*row)
+        table.add_row(scheme, *[next(values) for _ in counts])
     return table

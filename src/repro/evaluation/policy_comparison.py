@@ -21,15 +21,19 @@ Two workloads expose the difference:
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Iterable, List
+from typing import Iterable, List, Optional
 
 from repro.common.config import DOUBLEWORD, UncachedBufferConfig
 from repro.common.tables import Table
-from repro.isa.assembler import assemble
 from repro.memory.layout import IO_COMBINING_BASE, IO_UNCACHED_BASE
-from repro.sim.system import System
 from repro.evaluation.bandwidth import config_for
 from repro.evaluation.panels import FIG3_PANELS
+from repro.evaluation.runner import (
+    SimJob,
+    SweepRunner,
+    default_runner,
+    execute_job,
+)
 from repro.workloads.storebw import store_kernel_csb, store_kernel_uncached
 
 #: Schemes compared: generic baselines, faithful processor models, CSB.
@@ -66,24 +70,50 @@ def interleaved_store_kernel(total_bytes: int, base: int = IO_UNCACHED_BASE) -> 
     return "\n".join(lines)
 
 
-def _measure(scheme: str, source_uncached: str, source_csb: str) -> float:
+def policy_job(scheme: str, size: int, interleaved: bool) -> SimJob:
+    """Describe one (scheme, transfer-size, store-order) point as a SimJob."""
     panel = FIG3_PANELS["e"]
+    order = "shuffled" if interleaved else "sequential"
     if scheme == "csb":
-        system = System(config_for(panel, "csb"))
-        system.add_process(assemble(source_csb))
+        config = config_for(panel, "csb")
+        source = store_kernel_csb(
+            size, 64, IO_COMBINING_BASE, interleave=interleaved
+        )
     else:
-        config = replace(config_for(panel, "none"), uncached=_buffer_config(scheme))
-        system = System(config)
-        system.add_process(assemble(source_uncached))
-    system.run()
-    return system.store_bandwidth
+        config = replace(
+            config_for(panel, "none"), uncached=_buffer_config(scheme)
+        )
+        if interleaved:
+            source = interleaved_store_kernel(size)
+        else:
+            source = store_kernel_uncached(size)
+    return SimJob(
+        config=config,
+        kernel=source,
+        measurement="store_bandwidth",
+        name=f"policy-{scheme}-{size}-{order}",
+    )
+
+
+def _measure(scheme: str, size: int, interleaved: bool) -> float:
+    return execute_job(policy_job(scheme, size, interleaved))
 
 
 def policy_table(
-    sizes: Iterable[int] = _SIZES, interleaved: bool = False
+    sizes: Iterable[int] = _SIZES,
+    interleaved: bool = False,
+    runner: Optional[SweepRunner] = None,
 ) -> Table:
     """Rows = schemes, columns = transfer sizes."""
     sizes = list(sizes)
+    if runner is None:
+        runner = default_runner()
+    jobs = [
+        policy_job(scheme, size, interleaved)
+        for scheme in POLICY_SCHEMES
+        for size in sizes
+    ]
+    values = iter(runner.run(jobs))
     order = "out-of-order" if interleaved else "sequential"
     table = Table(
         ["scheme"] + [str(s) for s in sizes],
@@ -91,15 +121,5 @@ def policy_table(
         "[bytes per bus cycle]",
     )
     for scheme in POLICY_SCHEMES:
-        row: List[object] = [scheme]
-        for size in sizes:
-            if interleaved:
-                uncached_src = interleaved_store_kernel(size)
-            else:
-                uncached_src = store_kernel_uncached(size)
-            csb_src = store_kernel_csb(
-                size, 64, IO_COMBINING_BASE, interleave=interleaved
-            )
-            row.append(_measure(scheme, uncached_src, csb_src))
-        table.add_row(*row)
+        table.add_row(scheme, *[next(values) for _ in sizes])
     return table

@@ -1,0 +1,331 @@
+"""Parallel sweep engine with a content-addressed on-disk result cache.
+
+Every figure in the reproduction is a sweep of *independent* full-system
+simulations; nothing about one (panel, scheme, size) point depends on any
+other.  This module decomposes a sweep into picklable :class:`SimJob`
+descriptors — a serialized :class:`~repro.common.config.SystemConfig`, the
+kernel source, and the measurement to take — and executes them through a
+:class:`SweepRunner` that can fan jobs out over a process pool and/or
+resolve them from a content-addressed cache.
+
+Determinism guarantee
+---------------------
+
+The simulator is fully deterministic: a job's result is a pure function of
+its configuration, kernel, and measurement.  ``SweepRunner.run`` therefore
+returns results in *input order* regardless of completion order, so a
+parallel sweep is byte-identical to a serial one, and a cached result is
+byte-identical to a fresh simulation (values round-trip exactly through
+JSON).  The equivalence is enforced by tests/integration/test_runner.py.
+
+Cache keys
+----------
+
+A cache entry is keyed by the SHA-256 of the canonical JSON of
+(:data:`SIM_VERSION`, config, kernel, measurement, measurement args, warmed
+addresses).  Changing any of those produces a different key; bump
+:data:`SIM_VERSION` whenever a simulator change may alter timing so stale
+entries can never be served.  Corrupt or truncated entries are treated as
+misses and recomputed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple, Union
+
+from repro.common.config import SystemConfig
+from repro.common.errors import ConfigError
+from repro.common.serialize import config_to_dict
+from repro.common.tables import Table
+from repro.isa.assembler import assemble
+from repro.sim.system import System
+
+#: Simulator version tag baked into every cache key.  Bump whenever a
+#: change to the simulator could alter any measured number.
+SIM_VERSION = "csb-sim-1"
+
+#: Measurement kinds a job may request.
+MEASUREMENTS = ("store_bandwidth", "span")
+
+#: A job result: bytes-per-cycle (float) or a cycle span (int).
+Result = Union[int, float]
+
+#: Progress callback: (completed jobs so far, total jobs in this sweep).
+ProgressFn = Callable[[int, int], None]
+
+
+@dataclass(frozen=True)
+class SimJob:
+    """One simulation point, fully described and picklable.
+
+    ``measurement`` selects what to read off the finished system:
+
+    * ``"store_bandwidth"`` — bytes per bus cycle over the uncached-store
+      window (the Figure 3/4 metric); ``args`` unused.
+    * ``"span"`` — CPU cycles between two ``mark`` labels (the Figure 5
+      metric); ``args`` is ``(start_label, end_label)``.
+
+    ``warm`` lists addresses pre-loaded into the cache hierarchy before
+    the run (e.g. the lock variable for the warm-lock panels).  ``name``
+    is a display label only — it does not affect the result or the cache
+    key.
+    """
+
+    config: SystemConfig
+    kernel: str
+    measurement: str = "store_bandwidth"
+    args: Tuple[str, ...] = ()
+    warm: Tuple[int, ...] = ()
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.measurement not in MEASUREMENTS:
+            raise ConfigError(
+                f"unknown measurement {self.measurement!r}; "
+                f"have {MEASUREMENTS}"
+            )
+        if self.measurement == "span" and len(self.args) != 2:
+            raise ConfigError("span measurement needs (start, end) labels")
+
+
+def execute_job(job: SimJob) -> Result:
+    """Build the system, run the kernel to completion, take the measurement.
+
+    Pure: equal jobs always produce equal results.  This is the function a
+    worker process runs, and also the serial fallback.
+    """
+    system = System(job.config)
+    system.add_process(assemble(job.kernel, name=job.name or "job"))
+    for address in job.warm:
+        system.hierarchy.warm(address)
+    system.run()
+    if job.measurement == "store_bandwidth":
+        return system.store_bandwidth
+    start, end = job.args
+    return system.span(start, end)
+
+
+def _digest(document: dict) -> str:
+    blob = json.dumps(document, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def job_key(job: SimJob) -> str:
+    """Content hash of everything that determines the job's result."""
+    return _digest(
+        {
+            "version": SIM_VERSION,
+            "config": config_to_dict(job.config),
+            "kernel": job.kernel,
+            "measurement": job.measurement,
+            "args": list(job.args),
+            "warm": list(job.warm),
+        }
+    )
+
+
+def experiment_key(experiment_id: str) -> str:
+    """Cache key for a whole experiment table.
+
+    Some studies are not decomposable into independent :class:`SimJob`
+    points (attached devices, two-node clusters, mid-run bus injection),
+    so the CLI caches their finished tables instead.  The key carries no
+    config content — only the :data:`SIM_VERSION` discipline protects
+    these entries, which is the same contract the job-level cache states
+    for simulator changes.
+    """
+    return _digest(
+        {
+            "version": SIM_VERSION,
+            "kind": "experiment-table",
+            "experiment": experiment_id,
+        }
+    )
+
+
+class ResultCache:
+    """Content-addressed result store: one small JSON file per job key.
+
+    Entries are written atomically (temp file + rename) so a killed run
+    never leaves a readable-but-torn entry; anything unreadable or
+    malformed is silently treated as a miss and recomputed.
+    """
+
+    def __init__(self, directory: str) -> None:
+        self.directory = directory
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        os.makedirs(directory, exist_ok=True)
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.directory, f"{key}.json")
+
+    def get(self, key: str) -> Optional[Result]:
+        """The cached result for ``key``, or None (counted as a miss)."""
+        try:
+            with open(self._path(key), "r", encoding="utf-8") as handle:
+                document = json.load(handle)
+            value = document["value"]
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                raise ValueError(f"bad cached value {value!r}")
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return value
+
+    def put(self, key: str, value: Result, name: str = "") -> None:
+        self._write(key, {"version": SIM_VERSION, "name": name, "value": value})
+
+    def get_table(self, key: str) -> Optional[Table]:
+        """The cached table for ``key``, or None (counted as a miss)."""
+        try:
+            with open(self._path(key), "r", encoding="utf-8") as handle:
+                document = json.load(handle)
+            table = Table.from_dict(document["table"])
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return table
+
+    def put_table(self, key: str, table: Table, name: str = "") -> None:
+        self._write(
+            key, {"version": SIM_VERSION, "name": name, "table": table.to_dict()}
+        )
+
+    def _write(self, key: str, document: dict) -> None:
+        path = self._path(key)
+        temporary = f"{path}.tmp.{os.getpid()}"
+        try:
+            with open(temporary, "w", encoding="utf-8") as handle:
+                json.dump(document, handle)
+            os.replace(temporary, path)
+            self.stores += 1
+        except OSError:
+            # A read-only or full cache directory must never fail a sweep.
+            try:
+                os.remove(temporary)
+            except OSError:
+                pass
+
+
+class SweepRunner:
+    """Executes batches of :class:`SimJob` with caching and parallelism.
+
+    ``jobs`` is the maximum number of worker processes; 1 means run
+    serially in-process (no pool, no pickling).  ``cache`` is an optional
+    :class:`ResultCache` consulted before and populated after simulation.
+    ``progress`` is called after every resolved job with
+    ``(completed, total)`` — cache hits count immediately.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache: Optional[ResultCache] = None,
+        progress: Optional[ProgressFn] = None,
+    ) -> None:
+        if jobs < 1:
+            raise ConfigError("SweepRunner needs at least one job slot")
+        self.jobs = jobs
+        self.cache = cache
+        self.progress = progress
+        self.simulated = 0
+
+    def run(self, jobs: Sequence[SimJob]) -> List[Result]:
+        """Resolve every job; results are returned in input order."""
+        jobs = list(jobs)
+        total = len(jobs)
+        results: List[Optional[Result]] = [None] * total
+        pending: List[Tuple[int, SimJob]] = []
+        done = 0
+        for index, job in enumerate(jobs):
+            cached = self.cache.get(job_key(job)) if self.cache else None
+            if cached is not None:
+                results[index] = cached
+                done += 1
+                if self.progress:
+                    self.progress(done, total)
+            else:
+                pending.append((index, job))
+        if pending:
+            done = self._simulate(pending, results, done, total)
+        return results  # type: ignore[return-value]
+
+    def _simulate(
+        self,
+        pending: List[Tuple[int, SimJob]],
+        results: List[Optional[Result]],
+        done: int,
+        total: int,
+    ) -> int:
+        if self.jobs > 1 and len(pending) > 1:
+            workers = min(self.jobs, len(pending))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = {
+                    pool.submit(execute_job, job): (index, job)
+                    for index, job in pending
+                }
+                not_done = set(futures)
+                while not_done:
+                    finished, not_done = wait(
+                        not_done, return_when=FIRST_COMPLETED
+                    )
+                    for future in finished:
+                        index, job = futures[future]
+                        done = self._resolve(
+                            index, job, future.result(), results, done, total
+                        )
+        else:
+            for index, job in pending:
+                done = self._resolve(
+                    index, job, execute_job(job), results, done, total
+                )
+        return done
+
+    def _resolve(
+        self,
+        index: int,
+        job: SimJob,
+        value: Result,
+        results: List[Optional[Result]],
+        done: int,
+        total: int,
+    ) -> int:
+        results[index] = value
+        self.simulated += 1
+        if self.cache:
+            self.cache.put(job_key(job), value, name=job.name)
+        if self.progress:
+            self.progress(done + 1, total)
+        return done + 1
+
+    @property
+    def cache_hits(self) -> int:
+        return self.cache.hits if self.cache else 0
+
+    @property
+    def cache_misses(self) -> int:
+        return self.cache.misses if self.cache else 0
+
+
+def default_runner() -> SweepRunner:
+    """The runner used when an experiment is called without one: serial,
+    uncached — exactly the behavior of inlining ``System(...).run()``."""
+    return SweepRunner(jobs=1, cache=None)
+
+
+def default_cache_dir() -> str:
+    """Where the CLI keeps its cache: ``$CSB_CACHE_DIR`` if set, else
+    ``~/.cache/csb-figures``."""
+    configured = os.environ.get("CSB_CACHE_DIR")
+    if configured:
+        return configured
+    return os.path.join(os.path.expanduser("~"), ".cache", "csb-figures")

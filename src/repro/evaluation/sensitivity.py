@@ -11,8 +11,7 @@
 
 from __future__ import annotations
 
-from dataclasses import replace
-from typing import Iterable, List
+from typing import Iterable, List, Optional
 
 from repro.common.config import (
     BusConfig,
@@ -22,8 +21,12 @@ from repro.common.config import (
     SystemConfig,
 )
 from repro.common.tables import Table
-from repro.isa.assembler import assemble
-from repro.sim.system import System
+from repro.evaluation.runner import (
+    SimJob,
+    SweepRunner,
+    default_runner,
+    execute_job,
+)
 from repro.workloads.lockbench import (
     DEFAULT_LOCK_ADDR,
     MARK_DONE,
@@ -33,24 +36,33 @@ from repro.workloads.lockbench import (
 )
 
 
-def _access_cycles(
+def _access_job(
     scheme: str, n_doublewords: int, core: CoreConfig, cpu_ratio: int
-) -> int:
+) -> SimJob:
     config = SystemConfig(
         core=core,
         memory=MemoryHierarchyConfig.with_line_size(64),
         bus=BusConfig(cpu_ratio=cpu_ratio, max_burst_bytes=64),
         csb=CSBConfig(line_size=64),
     )
-    system = System(config)
     if scheme == "csb":
         source = csb_access_kernel(n_doublewords)
     else:
         source = locked_access_kernel(n_doublewords)
-    system.add_process(assemble(source))
-    system.hierarchy.warm(DEFAULT_LOCK_ADDR)
-    system.run()
-    return system.span(MARK_START, MARK_DONE)
+    return SimJob(
+        config=config,
+        kernel=source,
+        measurement="span",
+        args=(MARK_START, MARK_DONE),
+        warm=(DEFAULT_LOCK_ADDR,),
+        name=f"sensitivity-{scheme}-{n_doublewords}dw-r{cpu_ratio}",
+    )
+
+
+def _access_cycles(
+    scheme: str, n_doublewords: int, core: CoreConfig, cpu_ratio: int
+) -> int:
+    return execute_job(_access_job(scheme, n_doublewords, core, cpu_ratio))
 
 
 def _width_config(width: int) -> CoreConfig:
@@ -62,40 +74,53 @@ def _width_config(width: int) -> CoreConfig:
     )
 
 
-def width_sensitivity_table(widths: Iterable[int] = (2, 4, 8)) -> Table:
+def width_sensitivity_table(
+    widths: Iterable[int] = (2, 4, 8),
+    runner: Optional[SweepRunner] = None,
+) -> Table:
     """Lock and CSB access time vs superscalar width (4 doublewords)."""
     widths = list(widths)
+    if runner is None:
+        runner = default_runner()
+    jobs = [
+        _access_job(scheme, 4, _width_config(width), cpu_ratio=6)
+        for width in widths
+        for scheme in ("lock", "csb")
+    ]
+    values = iter(runner.run(jobs))
     table = Table(
         ["width", "lock_cycles", "csb_cycles"],
         title="Sensitivity: superscalar width (32 B access, lock hits L1)",
     )
     for width in widths:
-        table.add_row(
-            width,
-            _access_cycles("lock", 4, _width_config(width), cpu_ratio=6),
-            _access_cycles("csb", 4, _width_config(width), cpu_ratio=6),
-        )
+        table.add_row(width, next(values), next(values))
     return table
 
 
-def ratio_sensitivity_table(ratios: Iterable[int] = (2, 4, 6, 8)) -> Table:
+def ratio_sensitivity_table(
+    ratios: Iterable[int] = (2, 4, 6, 8),
+    runner: Optional[SweepRunner] = None,
+) -> Table:
     """Per-doubleword latency slope vs the CPU/bus frequency ratio."""
     ratios = list(ratios)
+    if runner is None:
+        runner = default_runner()
+    core = CoreConfig()
+    jobs = [
+        _access_job(scheme, n, core, ratio)
+        for ratio in ratios
+        for scheme in ("lock", "csb")
+        for n in (8, 2)
+    ]
+    values = iter(runner.run(jobs))
     table = Table(
         ["cpu_ratio", "lock_slope", "csb_slope"],
         title="Sensitivity: per-doubleword latency slope vs bus speed "
         "[CPU cycles per doubleword]",
     )
-    core = CoreConfig()
     for ratio in ratios:
-        lock_slope = (
-            _access_cycles("lock", 8, core, ratio)
-            - _access_cycles("lock", 2, core, ratio)
-        ) / 6
-        csb_slope = (
-            _access_cycles("csb", 8, core, ratio)
-            - _access_cycles("csb", 2, core, ratio)
-        ) / 6
+        lock_slope = (next(values) - next(values)) / 6
+        csb_slope = (next(values) - next(values)) / 6
         table.add_row(ratio, lock_slope, csb_slope)
     return table
 

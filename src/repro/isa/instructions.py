@@ -44,43 +44,24 @@ def _canon_operand(operand: Operand) -> Operand:
 
 @dataclass(frozen=True)
 class Instruction:
-    """Base class; concrete instructions override the classification API."""
+    """Base class; concrete instructions override the classification API.
 
-    @property
-    def fu(self) -> str:
-        return FU_NONE
+    The classification flags are plain class attributes rather than
+    properties: the core's pipeline loops read them millions of times per
+    simulated run, and a property call costs several times a plain
+    attribute load.  They are not annotated, so the dataclass machinery
+    does not treat them as fields.
+    """
 
-    @property
-    def is_branch(self) -> bool:
-        return False
-
-    @property
-    def is_mem(self) -> bool:
-        return False
-
-    @property
-    def is_load(self) -> bool:
-        return False
-
-    @property
-    def is_store(self) -> bool:
-        return False
-
-    @property
-    def is_swap(self) -> bool:
-        return False
-
-    @property
-    def is_membar(self) -> bool:
-        return False
-
-    @property
-    def is_mark(self) -> bool:
-        return False
-
-    @property
-    def is_halt(self) -> bool:
-        return False
+    fu = FU_NONE
+    is_branch = False
+    is_mem = False
+    is_load = False
+    is_store = False
+    is_swap = False
+    is_membar = False
+    is_mark = False
+    is_halt = False
 
     def sources(self) -> Tuple[str, ...]:
         """Canonical names of registers this instruction reads."""
@@ -112,10 +93,7 @@ class AluInstruction(Instruction):
                 operands.append(self.operand2)
             if not all(is_fp_register(r) for r in operands):
                 raise InstructionError(f"{self.op} requires FP registers")
-
-    @property
-    def fu(self) -> str:
-        return FU_FP if self.op in FP_OPS else FU_INT
+        object.__setattr__(self, "fu", FU_FP if self.op in FP_OPS else FU_INT)
 
     def sources(self) -> Tuple[str, ...]:
         if isinstance(self.operand2, str):
@@ -133,12 +111,10 @@ class SetInstruction(Instruction):
     value: int
     rd: str
 
+    fu = FU_INT
+
     def __post_init__(self) -> None:
         object.__setattr__(self, "rd", canonical_register(self.rd))
-
-    @property
-    def fu(self) -> str:
-        return FU_INT
 
     def destination(self) -> Optional[str]:
         return self.rd
@@ -151,13 +127,11 @@ class CompareInstruction(Instruction):
     rs1: str
     operand2: Operand
 
+    fu = FU_INT
+
     def __post_init__(self) -> None:
         object.__setattr__(self, "rs1", canonical_register(self.rs1))
         object.__setattr__(self, "operand2", _canon_operand(self.operand2))
-
-    @property
-    def fu(self) -> str:
-        return FU_INT
 
     def sources(self) -> Tuple[str, ...]:
         if isinstance(self.operand2, str):
@@ -180,6 +154,9 @@ class BranchInstruction(Instruction):
     target: str
     rs1: Optional[str] = None
 
+    fu = FU_INT
+    is_branch = True
+
     def __post_init__(self) -> None:
         if self.op not in BRANCH_OPS:
             raise InstructionError(f"unknown branch op {self.op!r}")
@@ -189,14 +166,6 @@ class BranchInstruction(Instruction):
             object.__setattr__(self, "rs1", canonical_register(self.rs1))
         elif self.rs1 is not None:
             raise InstructionError(f"{self.op} takes no register operand")
-
-    @property
-    def fu(self) -> str:
-        return FU_INT
-
-    @property
-    def is_branch(self) -> bool:
-        return True
 
     def sources(self) -> Tuple[str, ...]:
         if self.op == "ba":
@@ -217,17 +186,12 @@ class _MemoryInstruction(Instruction):
     base: str
     offset: Operand = 0
 
+    fu = FU_MEM
+    is_mem = True
+
     def __post_init__(self) -> None:
         object.__setattr__(self, "base", canonical_register(self.base))
         object.__setattr__(self, "offset", _canon_operand(self.offset))
-
-    @property
-    def fu(self) -> str:
-        return FU_MEM
-
-    @property
-    def is_mem(self) -> bool:
-        return True
 
     def address_sources(self) -> Tuple[str, ...]:
         if isinstance(self.offset, str):
@@ -242,6 +206,8 @@ class LoadInstruction(_MemoryInstruction):
     rd: str = "r0"
     size: int = 4
 
+    is_load = True
+
     def __post_init__(self) -> None:
         super().__post_init__()
         if self.size not in LOAD_SIZES:
@@ -249,10 +215,6 @@ class LoadInstruction(_MemoryInstruction):
         object.__setattr__(self, "rd", canonical_register(self.rd))
         if is_fp_register(self.rd) and self.size != 8:
             raise InstructionError("FP loads must be doubleword (ldd)")
-
-    @property
-    def is_load(self) -> bool:
-        return True
 
     def sources(self) -> Tuple[str, ...]:
         return self.address_sources()
@@ -268,6 +230,8 @@ class StoreInstruction(_MemoryInstruction):
     rs: str = "r0"
     size: int = 4
 
+    is_store = True
+
     def __post_init__(self) -> None:
         super().__post_init__()
         if self.size not in LOAD_SIZES:
@@ -275,10 +239,6 @@ class StoreInstruction(_MemoryInstruction):
         object.__setattr__(self, "rs", canonical_register(self.rs))
         if is_fp_register(self.rs) and self.size != 8:
             raise InstructionError("FP stores must be doubleword (std)")
-
-    @property
-    def is_store(self) -> bool:
-        return True
 
     def sources(self) -> Tuple[str, ...]:
         return self.address_sources() + (self.rs,)
@@ -300,13 +260,8 @@ class BlockStoreInstruction(_MemoryInstruction):
     section holds against this mechanism.
     """
 
-    @property
-    def size(self) -> int:
-        return 64
-
-    @property
-    def is_store(self) -> bool:
-        return True
+    size = 64
+    is_store = True
 
     def sources(self) -> Tuple[str, ...]:
         return self.address_sources() + BLOCK_STORE_REGS
@@ -324,25 +279,14 @@ class SwapInstruction(_MemoryInstruction):
 
     rd: str = "r0"
 
+    is_swap = True
+    is_load = True
+    is_store = True
+    size = 8
+
     def __post_init__(self) -> None:
         super().__post_init__()
         object.__setattr__(self, "rd", canonical_register(self.rd))
-
-    @property
-    def is_swap(self) -> bool:
-        return True
-
-    @property
-    def is_load(self) -> bool:
-        return True
-
-    @property
-    def is_store(self) -> bool:
-        return True
-
-    @property
-    def size(self) -> int:
-        return 8
 
     def sources(self) -> Tuple[str, ...]:
         return self.address_sources() + (self.rd,)
@@ -362,17 +306,12 @@ class LoadLinkedInstruction(_MemoryInstruction):
 
     rd: str = "r0"
 
+    is_load = True
+    size = 8
+
     def __post_init__(self) -> None:
         super().__post_init__()
         object.__setattr__(self, "rd", canonical_register(self.rd))
-
-    @property
-    def is_load(self) -> bool:
-        return True
-
-    @property
-    def size(self) -> int:
-        return 8
 
     def sources(self) -> Tuple[str, ...]:
         return self.address_sources()
@@ -395,18 +334,13 @@ class StoreConditionalInstruction(_MemoryInstruction):
     rs: str = "r0"
     rd: str = "r0"
 
+    is_store = True
+    size = 8
+
     def __post_init__(self) -> None:
         super().__post_init__()
         object.__setattr__(self, "rs", canonical_register(self.rs))
         object.__setattr__(self, "rd", canonical_register(self.rd))
-
-    @property
-    def is_store(self) -> bool:
-        return True
-
-    @property
-    def size(self) -> int:
-        return 8
 
     def sources(self) -> Tuple[str, ...]:
         return self.address_sources() + (self.rs,)
@@ -420,17 +354,9 @@ class MembarInstruction(Instruction):
     """Memory barrier: may not graduate until the uncached buffer is empty
     and all earlier memory operations have completed (paper §4.1)."""
 
-    @property
-    def fu(self) -> str:
-        return FU_MEM
-
-    @property
-    def is_mem(self) -> bool:
-        return True
-
-    @property
-    def is_membar(self) -> bool:
-        return True
+    fu = FU_MEM
+    is_mem = True
+    is_membar = True
 
 
 @dataclass(frozen=True)
@@ -441,24 +367,18 @@ class MarkInstruction(Instruction):
 
     label: str = field(default="mark")
 
-    @property
-    def is_mark(self) -> bool:
-        return True
+    is_mark = True
 
 
 @dataclass(frozen=True)
 class NopInstruction(Instruction):
     """Does nothing; occupies a dispatch slot like a real nop."""
 
-    @property
-    def fu(self) -> str:
-        return FU_INT
+    fu = FU_INT
 
 
 @dataclass(frozen=True)
 class HaltInstruction(Instruction):
     """Stops the simulated program when it retires."""
 
-    @property
-    def is_halt(self) -> bool:
-        return True
+    is_halt = True

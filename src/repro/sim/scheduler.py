@@ -52,7 +52,11 @@ class Scheduler:
 
     @property
     def all_halted(self) -> bool:
-        return all(p.halted for p in self._processes)
+        # Hot: checked once per simulated CPU cycle by System.run.
+        for process in self._processes:
+            if not process.halted:
+                return False
+        return True
 
     def runnable(self) -> List[ProcessContext]:
         return [p for p in self._processes if not p.halted]

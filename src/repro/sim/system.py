@@ -123,7 +123,7 @@ class System:
         """Advance one CPU cycle."""
         now = self.cycle
         self.unit.tick(now)
-        if now % self.config.bus.cpu_ratio == 0:
+        if self.devices and now % self.config.bus.cpu_ratio == 0:
             bus_cycle = now // self.config.bus.cpu_ratio
             for device in self.devices:
                 device.tick(bus_cycle)
@@ -132,13 +132,37 @@ class System:
         self.cycle += 1
 
     def run(self, max_cycles: int = 5_000_000) -> StatsCollector:
-        """Run until every process has halted and all I/O has drained."""
-        while not self.finished:
-            if self.cycle >= max_cycles:
-                raise DeadlockError(
-                    f"exceeded max_cycles={max_cycles}", cycle=self.cycle
-                )
-            self.step()
+        """Run until every process has halted and all I/O has drained.
+
+        This is the simulator's hottest loop (every experiment point runs
+        through it), so the per-cycle component ticks are bound to locals
+        and device ticking is skipped entirely when nothing is attached —
+        cycle-for-cycle identical to calling :meth:`step` in a loop.
+        """
+        unit_tick = self.unit.tick
+        core_tick = self.core.tick
+        scheduler = self.scheduler
+        scheduler_tick = scheduler.tick
+        quiescent = self.unit.quiescent
+        devices = self.devices
+        ratio = self.config.bus.cpu_ratio
+        cycle = self.cycle
+        try:
+            while not (scheduler.all_halted and quiescent()):
+                if cycle >= max_cycles:
+                    raise DeadlockError(
+                        f"exceeded max_cycles={max_cycles}", cycle=cycle
+                    )
+                unit_tick(cycle)
+                if devices and cycle % ratio == 0:
+                    bus_cycle = cycle // ratio
+                    for device in devices:
+                        device.tick(bus_cycle)
+                core_tick(cycle)
+                scheduler_tick(cycle)
+                cycle += 1
+        finally:
+            self.cycle = cycle
         return self.stats
 
     def run_cycles(self, count: int) -> None:

@@ -66,3 +66,11 @@ def run_asm(
 @pytest.fixture
 def stats() -> StatsCollector:
     return StatsCollector()
+
+
+@pytest.fixture(autouse=True)
+def _hermetic_result_cache(tmp_path, monkeypatch):
+    """Keep the csb-figures result cache out of the user's home directory:
+    anything in the suite that falls back to the default cache location
+    lands in this test's tmp dir instead."""
+    monkeypatch.setenv("CSB_CACHE_DIR", str(tmp_path / "result-cache"))
