@@ -13,7 +13,7 @@ exactly once and un-torn.
 Run:  python examples/csb_contention.py
 """
 
-from repro import System, assemble
+from repro import System, SystemConfig, assemble
 from repro.devices.sink import BurstSink
 from repro.memory.layout import IO_COMBINING_BASE, PageAttr, Region
 from repro.workloads.contention import contending_csb_kernel
@@ -24,7 +24,7 @@ QUANTUM = 180
 
 def main() -> None:
     print(__doc__)
-    system = System(quantum=QUANTUM, switch_penalty=40)
+    system = System(SystemConfig(quantum=QUANTUM, switch_penalty=40))
     sink = system.attach_device(
         BurstSink(
             Region(IO_COMBINING_BASE, 8192, PageAttr.UNCACHED_COMBINING, "dev")

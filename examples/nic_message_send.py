@@ -16,6 +16,7 @@ Run:  python examples/nic_message_send.py
 from repro import System, assemble
 from repro.common.tables import Table
 from repro.devices.nic import NetworkInterface
+from repro.observability import DeviceWrite, RingBufferSink
 from repro.memory.layout import (
     IO_COMBINING_BASE,
     IO_UNCACHED_BASE,
@@ -46,6 +47,11 @@ def locked_pio_send(payload_bytes: int):
 
 def csb_send(payload_bytes: int):
     system = System()
+    # Observe the device traffic: every write that reaches the NIC shows
+    # up as a DeviceWrite event with the CPU cycle it landed on.
+    events = system.attach_observer(
+        RingBufferSink(predicate=lambda e: isinstance(e, DeviceWrite))
+    )
     nic = system.attach_device(
         NetworkInterface(
             Region(
@@ -58,7 +64,7 @@ def csb_send(payload_bytes: int):
     )
     process.set_register("%l0", 0xDEAD).set_register("%l1", 0xBEEF)
     system.run()
-    return system.span(MARK_START, MARK_DONE), nic
+    return system.span(MARK_START, MARK_DONE), nic, events
 
 
 def main() -> None:
@@ -69,19 +75,24 @@ def main() -> None:
     )
     for size in MESSAGE_SIZES:
         pio_cycles, pio_nic = locked_pio_send(size)
-        csb_cycles, csb_nic = csb_send(size)
+        csb_cycles, csb_nic, _ = csb_send(size)
         assert pio_nic.sent and csb_nic.sent, "both sends must reach the NIC"
         table.add_row(
             f"{size}B", pio_cycles, csb_cycles, round(pio_cycles / csb_cycles, 1)
         )
     print(table.render(1))
-    _, nic = csb_send(32)
+    _, nic, events = csb_send(32)
     packet = nic.sent[0]
     print(
         f"The CSB message arrived as one {'inline' if packet.inline else ''} "
         f"burst of {len(packet.payload)} bytes;\nfirst payload word: "
         f"{packet.payload[:8].hex()} (the 0xDEAD the program stored)."
     )
+    for event in events:
+        print(
+            f"  cycle {event.cycle}: DeviceWrite {event.size}B to "
+            f"{event.device} @ {event.address:#x}"
+        )
 
 
 if __name__ == "__main__":

@@ -11,16 +11,14 @@ stall the frontend until it arrives.
 Run:  python examples/pipeline_trace.py
 """
 
-from repro import System, assemble
-from repro.memory.layout import IO_COMBINING_BASE
+from repro import SystemConfig, simulate
 from repro.workloads.lockbench import csb_access_kernel
 
 
 def main() -> None:
     print(__doc__)
-    system = System(trace=True)
-    system.add_process(assemble(csb_access_kernel(4)))
-    system.run()
+    result = simulate(SystemConfig(trace=True), csb_access_kernel(4))
+    system = result.system
     print(system.trace.render())
     swap_events = [
         e for e in system.trace.events if e.text.startswith("swap")

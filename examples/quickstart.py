@@ -12,10 +12,9 @@ from repro import (
     BusConfig,
     CSBConfig,
     MemoryHierarchyConfig,
-    System,
     SystemConfig,
     UncachedBufferConfig,
-    assemble,
+    simulate,
 )
 from repro.common.tables import Table
 from repro.workloads import store_kernel_csb, store_kernel_uncached
@@ -24,29 +23,25 @@ LINE_SIZE = 64
 TRANSFERS = (16, 64, 256, 1024)
 
 
-def make_system(combine_block: int) -> System:
+def make_config(combine_block: int) -> SystemConfig:
     """A 600 MHz-class 4-wide core over a 100 MHz 8-byte multiplexed bus."""
-    return System(
-        SystemConfig(
-            memory=MemoryHierarchyConfig.with_line_size(LINE_SIZE),
-            bus=BusConfig(kind="multiplexed", width_bytes=8, cpu_ratio=6),
-            uncached=UncachedBufferConfig(combine_block=combine_block),
-            csb=CSBConfig(line_size=LINE_SIZE),
-        )
+    return SystemConfig(
+        memory=MemoryHierarchyConfig.with_line_size(LINE_SIZE),
+        bus=BusConfig(kind="multiplexed", width_bytes=8, cpu_ratio=6),
+        uncached=UncachedBufferConfig(combine_block=combine_block),
+        csb=CSBConfig(line_size=LINE_SIZE),
     )
 
 
 def measure(scheme: str, transfer_bytes: int) -> float:
     if scheme == "csb":
-        system = make_system(combine_block=8)
+        config = make_config(combine_block=8)
         source = store_kernel_csb(transfer_bytes, LINE_SIZE)
     else:
         block = 8 if scheme == "none" else LINE_SIZE
-        system = make_system(combine_block=block)
+        config = make_config(combine_block=block)
         source = store_kernel_uncached(transfer_bytes)
-    system.add_process(assemble(source))
-    system.run()
-    return system.store_bandwidth
+    return simulate(config, source).store_bandwidth
 
 
 def main() -> None:

@@ -2,15 +2,13 @@
 Buffer (Schaelicke & Davis, *Improving I/O Performance with a Conditional
 Store Buffer*, MICRO 1998).
 
-Quick start::
+Quick start (the stable facade, :mod:`repro.api`)::
 
-    from repro import System, SystemConfig, assemble
+    from repro import simulate, SystemConfig
     from repro.workloads import store_kernel_csb
 
-    system = System(SystemConfig())
-    system.add_process(assemble(store_kernel_csb(256, line_size=64)))
-    system.run()
-    print(f"{system.store_bandwidth:.2f} bytes/bus-cycle")
+    result = simulate(SystemConfig(), store_kernel_csb(256, line_size=64))
+    print(f"{result.store_bandwidth:.2f} bytes/bus-cycle")
 
 Package layout:
 
@@ -23,9 +21,12 @@ Package layout:
 * :mod:`repro.devices` — burst sink, NIC, DMA engine
 * :mod:`repro.sim` — system assembly and scheduling
 * :mod:`repro.workloads` — microbenchmark kernel generators
+* :mod:`repro.observability` — structured event tracing and profiling
 * :mod:`repro.evaluation` — figure-reproduction harness
+* :mod:`repro.api` — the stable facade re-exported here
 """
 
+from repro.api import RunResult, experiments, run_experiment, simulate
 from repro.common.config import (
     BusConfig,
     CacheConfig,
@@ -50,9 +51,13 @@ __all__ = [
     "MemoryHierarchyConfig",
     "Program",
     "ReproError",
+    "RunResult",
     "System",
     "SystemConfig",
     "UncachedBufferConfig",
     "assemble",
+    "experiments",
+    "run_experiment",
+    "simulate",
     "__version__",
 ]

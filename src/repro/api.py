@@ -1,0 +1,115 @@
+"""The stable public facade: one import, three entry points.
+
+Everything else in the package is implementation that may move between
+releases; this module is the supported surface:
+
+* :func:`simulate` — run one kernel on one configuration and get a
+  :class:`RunResult` (stats, metrics, the finished system).
+* :func:`experiments` — the ids of every figure/table the harness can
+  regenerate.
+* :func:`run_experiment` — regenerate one of them as a
+  :class:`~repro.common.tables.Table`.
+
+Example::
+
+    from repro import simulate, SystemConfig
+    from repro.workloads import store_kernel_csb
+
+    result = simulate(SystemConfig(), store_kernel_csb(256, line_size=64))
+    print(result.store_bandwidth, result.metrics.counters["csb.flushes"])
+
+Observability plugs in through ``observers``::
+
+    from repro.observability import RingBufferSink
+
+    ring = RingBufferSink()
+    result = simulate(config, kernel, observers=[ring])
+    print(ring.counts())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, List, Optional, Sequence, Tuple
+
+from repro.common.config import SystemConfig
+from repro.common.stats import StatsCollector
+from repro.isa.assembler import assemble
+from repro.isa.program import Program
+from repro.observability.metrics import MetricsSnapshot
+from repro.observability.sinks import EventSink
+from repro.sim.system import System
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.common.tables import Table
+    from repro.evaluation.runner import SweepRunner
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """What :func:`simulate` hands back for one finished run."""
+
+    system: System
+    stats: StatsCollector
+    metrics: MetricsSnapshot
+
+    @property
+    def store_bandwidth(self) -> float:
+        """Bytes per bus cycle over the uncached-store window (the
+        paper's Figure 3/4 metric)."""
+        return self.system.store_bandwidth
+
+    def span(self, start_label: str, end_label: str) -> int:
+        """CPU cycles between two ``mark`` instructions (Figure 5)."""
+        return self.system.span(start_label, end_label)
+
+
+def simulate(
+    config: Optional[SystemConfig] = None,
+    program: "Program | str | None" = None,
+    *,
+    programs: Sequence["Program | str"] = (),
+    observers: Iterable[EventSink] = (),
+    warm: Tuple[int, ...] = (),
+    max_cycles: int = 5_000_000,
+) -> RunResult:
+    """Build a system, run kernel(s) to completion, return the result.
+
+    ``program`` (or each element of ``programs`` for multi-process runs)
+    is an assembled :class:`~repro.isa.program.Program` or kernel source
+    text, assembled on the fly.  ``observers`` are event sinks attached
+    before the run; ``warm`` lists addresses pre-loaded into the caches
+    (e.g. a lock variable).
+    """
+    system = System(config)
+    for sink in observers:
+        system.attach_observer(sink)
+    sources = list(programs)
+    if program is not None:
+        sources.insert(0, program)
+    for source in sources:
+        if isinstance(source, str):
+            source = assemble(source)
+        system.add_process(source)
+    for address in warm:
+        system.hierarchy.warm(address)
+    stats = system.run(max_cycles=max_cycles)
+    return RunResult(
+        system=system, stats=stats, metrics=MetricsSnapshot.from_system(system)
+    )
+
+
+def experiments() -> List[str]:
+    """Every experiment id :func:`run_experiment` accepts."""
+    from repro.evaluation.experiments import experiment_ids
+
+    return experiment_ids()
+
+
+def run_experiment(
+    experiment_id: str, runner: "Optional[SweepRunner]" = None
+) -> "Table":
+    """Regenerate one figure/table (see :func:`experiments` for ids)."""
+    from repro.evaluation.experiments import run_experiment as _run
+
+    return _run(experiment_id, runner)

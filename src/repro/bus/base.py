@@ -93,6 +93,8 @@ class SystemBus(abc.ABC):
         self.stats = stats
         self.targets = targets
         self.read_latency = read_latency
+        #: Observability event bus; None (the default) means uninstrumented.
+        self.events = None
         self._next_start_allowed = 0
         self._busy_until = -1
         # Min-heap of (end_cycle, sequence, transaction) pending completion.
@@ -104,6 +106,15 @@ class SystemBus(abc.ABC):
     @abc.abstractmethod
     def transaction_end(self, txn: BusTransaction, start: int) -> int:
         """Bus cycle of the transaction's last data beat."""
+
+    @abc.abstractmethod
+    def cycle_breakdown(self, txn: BusTransaction) -> Tuple[int, int, int]:
+        """``(address, wait, data)`` cycles of ``txn`` on this bus.
+
+        The three always sum to the transaction's occupancy
+        ``end - start + 1`` — the bus-cycle accounting in
+        :mod:`repro.observability.report` relies on it.
+        """
 
     # -- issue / progress -----------------------------------------------------
 
@@ -149,7 +160,48 @@ class SystemBus(abc.ABC):
                 burst=txn.is_burst,
             )
         )
+        if self.events is not None:
+            self._publish_accept(txn, start, end)
         return True
+
+    def _publish_accept(self, txn: BusTransaction, start: int, end: int) -> None:
+        """Emit the observability view of an accepted transaction (kept
+        out of try_issue so the traced path costs the uninstrumented run
+        nothing but the ``events is None`` check)."""
+        from repro.observability.events import (
+            BusAddressCycle,
+            BusDataCycle,
+            TransactionAccepted,
+            Turnaround,
+        )
+
+        addr_cycles, wait_cycles, data_cycles = self.cycle_breakdown(txn)
+        publish = self.events.publish
+        publish(
+            TransactionAccepted(
+                bus_cycle=start,
+                end_cycle=end,
+                address=txn.address,
+                size=txn.size,
+                useful_bytes=txn.useful_bytes or 0,
+                txn_kind=txn.kind,
+                burst=txn.is_burst,
+                addr_cycles=addr_cycles,
+                wait_cycles=wait_cycles,
+                data_cycles=data_cycles,
+                turnaround_after=self.config.turnaround,
+            )
+        )
+        for offset in range(addr_cycles):
+            publish(BusAddressCycle(start + offset, txn.address, txn.kind))
+        for beat in range(data_cycles):
+            publish(
+                BusDataCycle(
+                    end - data_cycles + 1 + beat, txn.address, txn.kind, beat
+                )
+            )
+        if self.config.turnaround:
+            publish(Turnaround(end + 1, self.config.turnaround))
 
     def tick(self, bus_cycle: int) -> None:
         """Complete every transaction whose last data beat has passed."""

@@ -12,6 +12,8 @@ cycles before the data beats return on the same wires.
 
 from __future__ import annotations
 
+from typing import Tuple
+
 from repro.bus.base import SystemBus
 from repro.bus.transaction import BusTransaction, KIND_REFILL
 
@@ -29,3 +31,9 @@ class MultiplexedBus(SystemBus):
             return start + 1 + self.read_latency + beats - 1
         # Address cycle at `start`, data beats immediately after.
         return start + beats
+
+    def cycle_breakdown(self, txn: BusTransaction) -> Tuple[int, int, int]:
+        beats = self.config.data_beats(txn.size)
+        if txn.is_read and txn.kind != KIND_REFILL:
+            return 1, self.read_latency, beats
+        return 1, 0, beats

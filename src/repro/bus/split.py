@@ -10,6 +10,8 @@ of the wires (§4.3.1, Figure 4).
 
 from __future__ import annotations
 
+from typing import Tuple
+
 from repro.bus.base import SystemBus
 from repro.bus.transaction import BusTransaction, KIND_REFILL
 
@@ -26,3 +28,11 @@ class SplitBus(SystemBus):
             # Address at `start`, target access, then data beats.
             return start + self.read_latency + beats - 1
         return start + beats - 1
+
+    def cycle_breakdown(self, txn: BusTransaction) -> Tuple[int, int, int]:
+        # The address transfer rides the separate address path, so it
+        # costs nothing on the accounted (data) path.
+        beats = self.config.data_beats(txn.size)
+        if txn.is_read and txn.kind != KIND_REFILL:
+            return 0, self.read_latency, beats
+        return 0, 0, beats

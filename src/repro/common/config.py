@@ -11,7 +11,7 @@ bandwidth numbers.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Tuple
+from typing import Optional, Tuple
 
 from repro.common.bitops import is_power_of_two
 from repro.common.errors import ConfigError
@@ -261,15 +261,32 @@ class CSBConfig:
 
 @dataclass(frozen=True)
 class SystemConfig:
-    """Everything needed to build one simulated system."""
+    """Everything needed to build one simulated system.
+
+    Beyond the per-component sections, the whole-system knobs live here
+    too: ``quantum`` (scheduler timeslice in CPU cycles; None disables
+    preemption), ``switch_penalty`` (context-switch cost in CPU cycles),
+    ``bus_read_latency`` (target access time of a bus read, in bus
+    cycles), and ``trace`` (record a per-instruction pipeline trace).
+    """
 
     core: CoreConfig = field(default_factory=CoreConfig)
     memory: MemoryHierarchyConfig = field(default_factory=MemoryHierarchyConfig)
     bus: BusConfig = field(default_factory=BusConfig)
     uncached: UncachedBufferConfig = field(default_factory=UncachedBufferConfig)
     csb: CSBConfig = field(default_factory=CSBConfig)
+    quantum: Optional[int] = None
+    switch_penalty: int = 100
+    bus_read_latency: int = 3
+    trace: bool = False
 
     def __post_init__(self) -> None:
+        _require(
+            self.quantum is None or self.quantum >= 1,
+            "scheduler quantum must be >= 1 CPU cycle (or None)",
+        )
+        _require(self.switch_penalty >= 0, "switch_penalty must be >= 0")
+        _require(self.bus_read_latency >= 0, "bus_read_latency must be >= 0")
         _require(
             self.csb.line_size == self.memory.line_size,
             "CSB line size must match the cache line size",

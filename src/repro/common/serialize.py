@@ -31,6 +31,11 @@ _SECTION_TYPES = {
     "csb": CSBConfig,
 }
 
+#: Whole-system scalar knobs of :class:`SystemConfig` (everything that is
+#: not a nested section).  Values pass through as-is; ``SystemConfig``'s
+#: own validation rejects bad ones.
+_SCALAR_FIELDS = ("quantum", "switch_penalty", "bus_read_latency", "trace")
+
 
 def config_to_dict(config: SystemConfig) -> Dict[str, Any]:
     """Flatten a SystemConfig into nested plain dictionaries."""
@@ -41,7 +46,7 @@ def config_from_dict(data: Dict[str, Any]) -> SystemConfig:
     """Rebuild a SystemConfig; unknown sections or fields are errors."""
     if not isinstance(data, dict):
         raise ConfigError("config document must be a mapping")
-    unknown = set(data) - set(_SECTION_TYPES)
+    unknown = set(data) - set(_SECTION_TYPES) - set(_SCALAR_FIELDS)
     if unknown:
         raise ConfigError(f"unknown config sections: {sorted(unknown)}")
     sections: Dict[str, Any] = {}
@@ -49,6 +54,9 @@ def config_from_dict(data: Dict[str, Any]) -> SystemConfig:
         if name not in data:
             continue
         sections[name] = _build(cls, data[name], where=name)
+    for name in _SCALAR_FIELDS:
+        if name in data:
+            sections[name] = data[name]
     return SystemConfig(**sections)
 
 

@@ -13,6 +13,54 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+#: Every counter the simulator itself bumps, by component prefix.  Reads
+#: of a name outside this namespace (and never bumped) raise ``KeyError``
+#: — a typo'd lookup like ``stats.get("csb.flushs")`` must fail loudly,
+#: not quietly return 0.  The namespace is documented in
+#: docs/modeling.md ("The counter namespace").
+COUNTER_NAMESPACE = frozenset(
+    {
+        # bus.*: system-bus activity
+        "bus.transactions",
+        "bus.bytes_wire",
+        "bus.bursts",
+        # core.*: pipeline activity
+        "core.dispatched",
+        "core.issued",
+        "core.retired",
+        "core.branches",
+        "core.cached_loads",
+        "core.cached_swaps",
+        "core.sc_failures",
+        "core.squashed",
+        "core.uncached_stores",
+        "core.uncached_store_stalls",
+        "core.frontend_value_stalls",
+        "core.memq_full_stalls",
+        "core.rob_full_stalls",
+        # csb.*: conditional store buffer
+        "csb.stores",
+        "csb.sequences_started",
+        "csb.flushes",
+        "csb.flush_conflicts",
+        "csb.flush_stalls",
+        "csb.store_stalls",
+        # uncached.*: conventional uncached buffer
+        "uncached.entries_allocated",
+        "uncached.stores_combined",
+        "uncached.block_stores",
+        "uncached.full_stalls",
+        # refill.*: cache refills on the bus (refills_use_bus=True)
+        "refill.requests",
+        "refill.issued",
+    }
+)
+
+
+def known_counters() -> List[str]:
+    """Every counter name the simulator can bump, sorted."""
+    return sorted(COUNTER_NAMESPACE)
+
 
 class Counter:
     """A named monotonically increasing counter."""
@@ -113,8 +161,26 @@ class StatsCollector:
         self.counter(name).add(amount)
 
     def get(self, name: str) -> int:
+        """The value of counter ``name`` (0 if it was never bumped).
+
+        Writes (:meth:`bump`, :meth:`counter`) may mint any name — ad-hoc
+        counters are a feature — but a *read* of a name that was neither
+        bumped nor belongs to :data:`COUNTER_NAMESPACE` can only be a
+        typo, and raises ``KeyError`` listing the known names.
+        """
         counter = self._counters.get(name)
-        return counter.value if counter is not None else 0
+        if counter is not None:
+            return counter.value
+        if name in COUNTER_NAMESPACE:
+            return 0
+        raise KeyError(
+            f"unknown counter {name!r}; known counters: "
+            f"{known_counters()}; counters bumped this run: "
+            f"{sorted(self._counters)}"
+        )
+
+    def __getitem__(self, name: str) -> int:
+        return self.get(name)
 
     def mark(self, label: str, cycle: int) -> None:
         """Record the retire cycle of a ``mark`` pseudo-instruction.

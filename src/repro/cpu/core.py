@@ -77,6 +77,8 @@ class Core:
     ) -> None:
         self.config = config
         self.trace = trace
+        #: Observability event bus; None (the default) means uninstrumented.
+        self.events = None
         self.hierarchy = hierarchy
         self.tlb = tlb
         self.unit = uncached_unit
@@ -638,6 +640,11 @@ class Core:
             head.ready_at = now + latency
             self._ready[head.seq] = now + latency
             self.stats.bump("core.cached_swaps")
+            if self.events is not None:
+                from repro.observability.events import LockAcquire
+
+                assert self.context is not None
+                self.events.publish(LockAcquire(head.address, self.context.pid))
             return False
         if head.mem_state is MemState.ACCESSING:
             assert head.ready_at is not None
@@ -833,6 +840,10 @@ class Core:
                         self.now, "squash", flight.seq, flight.pc, flight.instr
                     )
             self.stats.bump("core.squashed", len(self._rob))
+            if self.events is not None:
+                from repro.observability.events import PipelineSquash
+
+                self.events.publish(PipelineSquash(len(self._rob)))
         self._rob.clear()
         self._memq.clear()
         self._issueq.clear()

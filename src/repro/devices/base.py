@@ -15,6 +15,8 @@ class Device(abc.ABC):
     def __init__(self, region: Region, name: str = "") -> None:
         self.region = region
         self.name = name or type(self).__name__
+        #: Observability event bus; None (the default) means uninstrumented.
+        self.events = None
         self.writes = 0
         self.reads = 0
         self.bytes_written = 0
@@ -23,11 +25,19 @@ class Device(abc.ABC):
         self._check(address, len(data))
         self.writes += 1
         self.bytes_written += len(data)
+        if self.events is not None:
+            from repro.observability.events import DeviceWrite
+
+            self.events.publish(DeviceWrite(self.name, address, len(data)))
         self.handle_write(address - self.region.base, data)
 
     def bus_read(self, address: int, size: int) -> bytes:
         self._check(address, size)
         self.reads += 1
+        if self.events is not None:
+            from repro.observability.events import DeviceRead
+
+            self.events.publish(DeviceRead(self.name, address, size))
         return self.handle_read(address - self.region.base, size)
 
     def tick(self, bus_cycle: int) -> None:

@@ -6,16 +6,27 @@ Examples::
     csb-figures fig3c fig5a
     csb-figures --all --out results/ --jobs 4
     csb-figures --all --check expected_results --no-cache
+    csb-figures fig3c --trace-events trace.jsonl --metrics-out metrics.json
+    csb-figures profile fig3c
 
 Sweeps fan out over ``--jobs`` worker processes and reuse a
 content-addressed result cache under ``--cache-dir`` (disable with
 ``--no-cache``).  Both are pure speedups: output is byte-identical to a
 serial, uncached run.
+
+Observability: ``--trace-events FILE`` streams every simulator event of
+every job as JSONL; ``--metrics-out FILE`` writes an end-of-run metrics
+snapshot per job.  Either flag forces jobs to simulate fresh and
+serially (sinks cannot be fed from the cache), but the printed tables
+are byte-identical — tracing is passive.  The ``profile`` subcommand
+reruns one representative point per scheme of a figure experiment and
+prints a bus-cycle accounting table (see docs/observability.md).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 import time
@@ -88,10 +99,28 @@ def _parser() -> argparse.ArgumentParser:
         action="store_true",
         help="suppress per-experiment progress on stderr",
     )
+    parser.add_argument(
+        "--trace-events",
+        metavar="FILE",
+        help=(
+            "stream every simulator event of every sweep job to FILE as "
+            "JSONL (forces fresh, serial simulation; tables unchanged)"
+        ),
+    )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="FILE",
+        help=(
+            "write an end-of-run metrics snapshot per sweep job to FILE "
+            "as JSON (forces fresh, serial simulation; tables unchanged)"
+        ),
+    )
     return parser
 
 
-def _make_runner(args: argparse.Namespace) -> SweepRunner:
+def _make_runner(
+    args: argparse.Namespace, trace_stream=None
+) -> SweepRunner:
     if args.jobs < 1:
         raise SystemExit("error: --jobs must be at least 1")
     cache = None if args.no_cache else ResultCache(args.cache_dir)
@@ -101,13 +130,28 @@ def _make_runner(args: argparse.Namespace) -> SweepRunner:
             print(f"\r  {done}/{total} points", end="", file=sys.stderr)
             if done == total:
                 print(file=sys.stderr)
-    return SweepRunner(jobs=args.jobs, cache=cache, progress=progress)
+    observer_factory = None
+    if trace_stream is not None:
+        from repro.observability.sinks import JsonlSink
+
+        def observer_factory(job):
+            return [JsonlSink(trace_stream, extra={"job": job.name})]
+
+    return SweepRunner(
+        jobs=args.jobs,
+        cache=cache,
+        progress=progress,
+        observer_factory=observer_factory,
+        collect_metrics=bool(args.metrics_out),
+    )
 
 
 def _resolve_table(experiment_id: str, runner: SweepRunner) -> Table:
     """Run one experiment through the runner, with a whole-table cache in
-    front for the studies that cannot be decomposed into SimJobs."""
-    cache = runner.cache
+    front for the studies that cannot be decomposed into SimJobs.  In
+    observed mode (tracing/metrics) the table cache is bypassed so every
+    job actually simulates."""
+    cache = None if runner.observed else runner.cache
     key = experiment_key(experiment_id)
     if cache is not None:
         cached = cache.get_table(key)
@@ -129,7 +173,52 @@ def _report(runner: SweepRunner, elapsed: float, quiet: bool) -> None:
     )
 
 
+def _profile_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="csb-figures profile",
+        description=(
+            "Rerun one representative point per combining scheme of a "
+            "figure experiment with bus-cycle accounting attached, and "
+            "print where every bus cycle went (address / data / wait / "
+            "turnaround / idle)."
+        ),
+    )
+    parser.add_argument(
+        "experiments", nargs="+", help="figure ids (fig3a-i, fig4a-e, fig5a/b)"
+    )
+    parser.add_argument(
+        "--precision", type=int, default=2, help="decimal places (default 2)"
+    )
+    parser.add_argument(
+        "--markdown",
+        action="store_true",
+        help="print tables as GitHub-flavoured markdown",
+    )
+    return parser
+
+
+def _profile_main(argv: List[str]) -> int:
+    from repro.common.errors import ConfigError
+    from repro.observability.profile import profile_table
+
+    args = _profile_parser().parse_args(argv)
+    for experiment_id in args.experiments:
+        try:
+            table = profile_table(experiment_id)
+        except ConfigError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if args.markdown:
+            print(table.to_markdown(precision=args.precision))
+        else:
+            print(table.render(precision=args.precision))
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "profile":
+        return _profile_main(argv[1:])
     args = _parser().parse_args(argv)
     ids = experiment_ids()
     if args.list:
@@ -151,27 +240,44 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 2
     if args.out:
         os.makedirs(args.out, exist_ok=True)
-    runner = _make_runner(args)
-    started = time.monotonic()
-    if args.check:
-        status = _check_against(chosen, args.check, runner)
+    trace_stream = None
+    if args.trace_events:
+        trace_stream = open(args.trace_events, "w", encoding="utf-8")
+    try:
+        runner = _make_runner(args, trace_stream=trace_stream)
+        started = time.monotonic()
+        if args.check:
+            status = _check_against(chosen, args.check, runner)
+            _report(runner, time.monotonic() - started, args.quiet)
+            return status
+        for experiment_id in chosen:
+            if not args.quiet:
+                print(f"[{experiment_id}]", file=sys.stderr)
+            table = _resolve_table(experiment_id, runner)
+            if args.markdown:
+                print(table.to_markdown(precision=args.precision))
+            else:
+                print(table.render(precision=args.precision))
+            if args.out:
+                path = os.path.join(args.out, f"{experiment_id}.csv")
+                with open(path, "w", encoding="utf-8") as handle:
+                    handle.write(table.to_csv())
+                print(f"[wrote {path}]\n")
+        if args.metrics_out:
+            document = {
+                name: snapshot.to_dict()
+                for name, snapshot in sorted(runner.metrics.items())
+            }
+            with open(args.metrics_out, "w", encoding="utf-8") as handle:
+                json.dump(document, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            if not args.quiet:
+                print(f"[wrote {args.metrics_out}]", file=sys.stderr)
         _report(runner, time.monotonic() - started, args.quiet)
-        return status
-    for experiment_id in chosen:
-        if not args.quiet:
-            print(f"[{experiment_id}]", file=sys.stderr)
-        table = _resolve_table(experiment_id, runner)
-        if args.markdown:
-            print(table.to_markdown(precision=args.precision))
-        else:
-            print(table.render(precision=args.precision))
-        if args.out:
-            path = os.path.join(args.out, f"{experiment_id}.csv")
-            with open(path, "w", encoding="utf-8") as handle:
-                handle.write(table.to_csv())
-            print(f"[wrote {path}]\n")
-    _report(runner, time.monotonic() - started, args.quiet)
-    return 0
+        return 0
+    finally:
+        if trace_stream is not None:
+            trace_stream.close()
 
 
 def _diff_lines(actual: str, expected: str) -> List[str]:

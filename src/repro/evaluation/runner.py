@@ -93,17 +93,30 @@ class SimJob:
             raise ConfigError("span measurement needs (start, end) labels")
 
 
-def execute_job(job: SimJob) -> Result:
+def execute_job(job: SimJob, observers: Sequence = ()) -> Result:
     """Build the system, run the kernel to completion, take the measurement.
 
     Pure: equal jobs always produce equal results.  This is the function a
-    worker process runs, and also the serial fallback.
+    worker process runs, and also the serial fallback.  ``observers`` are
+    event sinks attached before the run (tracing is passive, so an
+    observed run returns the identical measurement).
     """
+    return _measure(run_system(job, observers), job)
+
+
+def run_system(job: SimJob, observers: Sequence = ()) -> System:
+    """Build and run ``job``'s system, returning it for inspection."""
     system = System(job.config)
+    for sink in observers:
+        system.attach_observer(sink)
     system.add_process(assemble(job.kernel, name=job.name or "job"))
     for address in job.warm:
         system.hierarchy.warm(address)
     system.run()
+    return system
+
+
+def _measure(system: System, job: SimJob) -> Result:
     if job.measurement == "store_bandwidth":
         return system.store_bandwidth
     start, end = job.args
@@ -224,6 +237,14 @@ class SweepRunner:
     :class:`ResultCache` consulted before and populated after simulation.
     ``progress`` is called after every resolved job with
     ``(completed, total)`` — cache hits count immediately.
+
+    Observability: ``observer_factory`` (a callable mapping a job to the
+    event sinks to attach) and ``collect_metrics`` (gather a
+    :class:`~repro.observability.metrics.MetricsSnapshot` per job into
+    :attr:`metrics`) both force *observed mode*: every job simulates
+    fresh, serially, in-process — sinks cannot be fed from the cache or
+    pickled into a worker.  Measurements are unchanged either way
+    (tracing is passive), so the cache is still *written*.
     """
 
     def __init__(
@@ -231,13 +252,24 @@ class SweepRunner:
         jobs: int = 1,
         cache: Optional[ResultCache] = None,
         progress: Optional[ProgressFn] = None,
+        observer_factory: Optional[Callable[[SimJob], Sequence]] = None,
+        collect_metrics: bool = False,
     ) -> None:
         if jobs < 1:
             raise ConfigError("SweepRunner needs at least one job slot")
         self.jobs = jobs
         self.cache = cache
         self.progress = progress
+        self.observer_factory = observer_factory
+        self.collect_metrics = collect_metrics
+        #: job name -> MetricsSnapshot (populated when collect_metrics).
+        self.metrics: dict = {}
         self.simulated = 0
+
+    @property
+    def observed(self) -> bool:
+        """True when every job must simulate fresh, serially, in-process."""
+        return self.observer_factory is not None or self.collect_metrics
 
     def run(self, jobs: Sequence[SimJob]) -> List[Result]:
         """Resolve every job; results are returned in input order."""
@@ -247,7 +279,11 @@ class SweepRunner:
         pending: List[Tuple[int, SimJob]] = []
         done = 0
         for index, job in enumerate(jobs):
-            cached = self.cache.get(job_key(job)) if self.cache else None
+            cached = (
+                self.cache.get(job_key(job))
+                if self.cache and not self.observed
+                else None
+            )
             if cached is not None:
                 results[index] = cached
                 done += 1
@@ -259,6 +295,19 @@ class SweepRunner:
             done = self._simulate(pending, results, done, total)
         return results  # type: ignore[return-value]
 
+    def _execute_observed(self, job: SimJob) -> Result:
+        observers = (
+            self.observer_factory(job) if self.observer_factory else ()
+        )
+        system = run_system(job, observers)
+        if self.collect_metrics:
+            from repro.observability.metrics import MetricsSnapshot
+
+            self.metrics[job.name or job_key(job)] = (
+                MetricsSnapshot.from_system(system)
+            )
+        return _measure(system, job)
+
     def _simulate(
         self,
         pending: List[Tuple[int, SimJob]],
@@ -266,6 +315,12 @@ class SweepRunner:
         done: int,
         total: int,
     ) -> int:
+        if self.observed:
+            for index, job in pending:
+                done = self._resolve(
+                    index, job, self._execute_observed(job), results, done, total
+                )
+            return done
         if self.jobs > 1 and len(pending) > 1:
             workers = min(self.jobs, len(pending))
             with ProcessPoolExecutor(max_workers=workers) as pool:

@@ -35,6 +35,8 @@ class MemoryHierarchy:
         self.backing = backing
         self.l1 = CacheLevel(config.l1, "L1")
         self.l2 = CacheLevel(config.l2, "L2")
+        #: Observability event bus; None (the default) means uninstrumented.
+        self.events = None
         self.memory_accesses = 0
         #: Called with the missing address on every main-memory access
         #: (wired to a RefillEngine when refills occupy the bus).
@@ -50,7 +52,15 @@ class MemoryHierarchy:
         if self.l2.lookup(address, is_write=False):
             # Allocate into L1; the dirty bit lives at the level written.
             self.l1.fill(address, dirty=is_write)
+            if self.events is not None:
+                from repro.observability.events import CacheMiss
+
+                self.events.publish(CacheMiss(address, "l1"))
             return self.config.l1.hit_latency + self.config.l2.hit_latency
+        if self.events is not None:
+            from repro.observability.events import CacheMiss
+
+            self.events.publish(CacheMiss(address, "l2"))
         self.memory_accesses += 1
         if self.refill_hook is not None:
             self.refill_hook(address)

@@ -1,0 +1,75 @@
+"""Cycle-level observability: structured events, sinks, and reporters.
+
+The simulator's end-of-run counters say *how many* bus transactions a run
+made; this package says *where every bus cycle went*.  Components emit
+typed events (:mod:`repro.observability.events`) into an
+:class:`~repro.observability.hooks.EventBus` installed through the hook
+registry on :class:`~repro.sim.system.System`; pluggable sinks
+(:mod:`repro.observability.sinks`) buffer, stream, or aggregate them.
+
+The layer is strictly passive and zero-overhead when off: with no
+observer attached, every instrumentation point is a single ``None``
+check, and an observed run is cycle-for-cycle identical to an
+unobserved one (enforced by tests/observability/test_trace_identity.py).
+
+Quick start::
+
+    from repro import System
+    from repro.observability import RingBufferSink
+
+    system = System()
+    ring = system.attach_observer(RingBufferSink())
+    ...
+    for event in ring:
+        print(event.cycle, event.kind)
+"""
+
+from repro.observability.events import (
+    BusAddressCycle,
+    BusDataCycle,
+    CacheMiss,
+    CombineHit,
+    ConflictAbort,
+    ContextSwitch,
+    DeviceRead,
+    DeviceWrite,
+    Event,
+    FlushCommitted,
+    LockAcquire,
+    PipelineSquash,
+    SequenceStarted,
+    StoreIssued,
+    TransactionAccepted,
+    Turnaround,
+)
+from repro.observability.hooks import EventBus, Observability
+from repro.observability.metrics import MetricsSnapshot
+from repro.observability.report import BusCycleAccount, BusCycleReporter
+from repro.observability.sinks import EventSink, JsonlSink, RingBufferSink
+
+__all__ = [
+    "BusAddressCycle",
+    "BusCycleAccount",
+    "BusCycleReporter",
+    "BusDataCycle",
+    "CacheMiss",
+    "CombineHit",
+    "ConflictAbort",
+    "ContextSwitch",
+    "DeviceRead",
+    "DeviceWrite",
+    "Event",
+    "EventBus",
+    "EventSink",
+    "FlushCommitted",
+    "JsonlSink",
+    "LockAcquire",
+    "MetricsSnapshot",
+    "Observability",
+    "PipelineSquash",
+    "RingBufferSink",
+    "SequenceStarted",
+    "StoreIssued",
+    "TransactionAccepted",
+    "Turnaround",
+]

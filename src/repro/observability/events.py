@@ -1,0 +1,220 @@
+"""The typed event taxonomy.
+
+Every event is a small mutable dataclass.  Emitters never fill in the
+``cycle`` field: :meth:`~repro.observability.hooks.EventBus.publish`
+stamps it with the current CPU cycle at publication, so all events share
+one clock regardless of which component produced them.  Bus-model events
+additionally carry their own *bus*-cycle coordinates (``bus_cycle``),
+because bus occupancy accounting is done in bus cycles (one bus cycle =
+``BusConfig.cpu_ratio`` CPU cycles).
+
+The taxonomy (see docs/observability.md for the full field reference):
+
+===================  ========================================================
+event                emitted by / when
+===================  ========================================================
+StoreIssued          uncached unit — an uncached store was accepted
+CombineHit           uncached buffer — a store coalesced into a live entry
+SequenceStarted      CSB — a combining store began a new sequence
+FlushCommitted       CSB — a conditional flush succeeded
+ConflictAbort        CSB — a conditional flush failed the conflict check
+TransactionAccepted  bus — a transaction was accepted, with its full
+                     address/wait/data cycle breakdown
+BusAddressCycle      bus — one address cycle (multiplexed path only)
+BusDataCycle         bus — one data beat
+Turnaround           bus — mandatory idle cycles after a transaction
+LockAcquire          core — a cached atomic swap began (a lock acquire)
+CacheMiss            memory hierarchy — an access missed a cache level
+ContextSwitch        scheduler — a new process was installed
+PipelineSquash       core — a precise interrupt squashed in-flight work
+DeviceWrite          device — a bus write reached the device
+DeviceRead           device — a bus read was served by the device
+===================  ========================================================
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+
+@dataclass
+class Event:
+    """Base event.  ``cycle`` (CPU cycles) is stamped by the EventBus."""
+
+    cycle: int = field(default=-1, init=False)
+
+    @property
+    def kind(self) -> str:
+        """The event's type name, used as the JSONL discriminator."""
+        return type(self).__name__
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Flat JSON-compatible dictionary, ``event`` key first."""
+        document: Dict[str, Any] = {"event": self.kind}
+        document.update(dataclasses.asdict(self))
+        return document
+
+
+# -- uncached path ------------------------------------------------------------
+
+
+@dataclass
+class StoreIssued(Event):
+    """An uncached store left the core and was accepted by its target
+    path (``target``: ``buffer``, ``csb``, or ``block`` for a VIS-style
+    block store)."""
+
+    address: int
+    size: int
+    target: str
+
+
+@dataclass
+class CombineHit(Event):
+    """A store coalesced into an existing uncached-buffer entry instead
+    of allocating a new one — the race the combining schemes win."""
+
+    address: int
+    size: int
+
+
+@dataclass
+class SequenceStarted(Event):
+    """The CSB accepted the first store of a new combining sequence
+    (clearing whatever the previous owner left behind)."""
+
+    address: int
+    pid: int
+
+
+@dataclass
+class FlushCommitted(Event):
+    """A conditional flush matched and queued an atomic burst.
+    ``stores`` is the hit-counter value (number of combined stores)."""
+
+    address: int
+    useful_bytes: int
+    stores: int
+
+
+@dataclass
+class ConflictAbort(Event):
+    """A conditional flush failed: counter/pid/address mismatch.
+    ``counter`` is the hit counter the CSB actually held."""
+
+    address: int
+    pid: int
+    expected: int
+    counter: int
+
+
+# -- bus models ---------------------------------------------------------------
+
+
+@dataclass
+class TransactionAccepted(Event):
+    """The bus accepted a transaction at address cycle ``bus_cycle``.
+
+    Carries the complete per-transaction cycle breakdown so accounting
+    sinks need no knowledge of the concrete bus model:
+    ``addr_cycles + wait_cycles + data_cycles == end_cycle - bus_cycle + 1``.
+    ``turnaround_after`` is the mandatory idle time the bus will enforce
+    after ``end_cycle``.
+    """
+
+    bus_cycle: int
+    end_cycle: int
+    address: int
+    size: int
+    useful_bytes: int
+    txn_kind: str
+    burst: bool
+    addr_cycles: int
+    wait_cycles: int
+    data_cycles: int
+    turnaround_after: int
+
+
+@dataclass
+class BusAddressCycle(Event):
+    """One address cycle on the shared path (multiplexed buses only; a
+    split bus overlaps the address transfer with earlier data)."""
+
+    bus_cycle: int
+    address: int
+    txn_kind: str
+
+
+@dataclass
+class BusDataCycle(Event):
+    """One data beat of a transaction (``beat`` counts from 0)."""
+
+    bus_cycle: int
+    address: int
+    txn_kind: str
+    beat: int
+
+
+@dataclass
+class Turnaround(Event):
+    """Mandatory idle cycles the bus enforces starting at ``bus_cycle``
+    (immediately after a transaction's last data beat)."""
+
+    bus_cycle: int
+    cycles: int
+
+
+# -- core / memory / scheduler / devices --------------------------------------
+
+
+@dataclass
+class LockAcquire(Event):
+    """A cached atomic swap started its read-modify-write at the head of
+    the ROB — the paper's lock-acquire primitive."""
+
+    address: int
+    pid: int
+
+
+@dataclass
+class CacheMiss(Event):
+    """A cached access missed; ``level`` is the deepest level that
+    missed (``l1``: served by the L2, ``l2``: went to main memory)."""
+
+    address: int
+    level: str
+
+
+@dataclass
+class ContextSwitch(Event):
+    """The scheduler installed a new process on the core."""
+
+    pid: int
+    name: str
+
+
+@dataclass
+class PipelineSquash(Event):
+    """A precise interrupt squashed ``count`` in-flight instructions."""
+
+    count: int
+
+
+@dataclass
+class DeviceWrite(Event):
+    """A bus write transaction terminated at a device."""
+
+    device: str
+    address: int
+    size: int
+
+
+@dataclass
+class DeviceRead(Event):
+    """A bus read transaction was served by a device."""
+
+    device: str
+    address: int
+    size: int

@@ -1,0 +1,81 @@
+"""End-of-run metrics snapshot: one JSON-safe document per simulation.
+
+A :class:`MetricsSnapshot` is a frozen summary of everything a finished
+:class:`~repro.sim.system.System` can report — cycles, counters, bus
+activity, the paper's bandwidth window — captured once after ``run()``
+so results can leave the process (``--metrics-out``, sweep-runner
+attachments) without dragging the live simulator along.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.system import System
+
+
+@dataclass(frozen=True)
+class MetricsSnapshot:
+    """Immutable summary of one finished run."""
+
+    cpu_cycles: int
+    counters: Dict[str, int]
+    marks: Dict[str, int]
+    bus_transactions: int
+    bus_busy_cycles: int
+    bus_utilization: float
+    bus_efficiency: float
+    wire_bytes_by_kind: Dict[str, int]
+    size_histogram: Dict[int, int]
+    store_window_cycles: int
+    store_window_bytes: int
+    store_bandwidth: float
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    @classmethod
+    def from_system(cls, system: "System", **extra: Any) -> "MetricsSnapshot":
+        """Capture ``system``'s statistics (call after ``run()``)."""
+        stats = system.stats
+        window = stats.uncached_store_window
+        return cls(
+            cpu_cycles=system.cycle,
+            counters=stats.as_dict(),
+            marks=dict(stats.marks),
+            bus_transactions=len(stats.transactions),
+            bus_busy_cycles=stats.bus_busy_cycles(),
+            bus_utilization=stats.bus_utilization(),
+            bus_efficiency=stats.efficiency(),
+            wire_bytes_by_kind=stats.bytes_by_kind(),
+            size_histogram=stats.size_histogram(),
+            store_window_cycles=window.cycles,
+            store_window_bytes=window.total_bytes,
+            store_bandwidth=window.bytes_per_cycle,
+            extra=dict(extra),
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable document (histogram keys become strings)."""
+        return {
+            "cpu_cycles": self.cpu_cycles,
+            "counters": dict(self.counters),
+            "marks": dict(self.marks),
+            "bus": {
+                "transactions": self.bus_transactions,
+                "busy_cycles": self.bus_busy_cycles,
+                "utilization": self.bus_utilization,
+                "efficiency": self.bus_efficiency,
+                "wire_bytes_by_kind": dict(self.wire_bytes_by_kind),
+                "size_histogram": {
+                    str(size): count
+                    for size, count in self.size_histogram.items()
+                },
+            },
+            "store_window": {
+                "cycles": self.store_window_cycles,
+                "bytes": self.store_window_bytes,
+                "bandwidth": self.store_bandwidth,
+            },
+            "extra": dict(self.extra),
+        }

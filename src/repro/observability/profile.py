@@ -1,0 +1,94 @@
+"""Profiled reruns of figure experiments: the bus-cycle accounting view.
+
+``csb-figures profile fig3c`` does not show the figure's bandwidth
+numbers — it reruns one representative point per combining scheme with a
+:class:`~repro.observability.report.BusCycleReporter` attached and
+renders where every bus cycle of that run went (address, data, wait,
+turnaround, idle).  Profiling always simulates fresh (observers cannot
+come out of the result cache), which is fine: it is one job per scheme,
+not a sweep.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.common.errors import ConfigError
+from repro.common.tables import Table
+from repro.observability.report import (
+    BusCycleAccount,
+    BusCycleReporter,
+    accounting_table,
+)
+
+#: The bandwidth-panel transfer size profiled (large enough that every
+#: scheme settles into steady state; one of the figure's own x values).
+PROFILE_TRANSFER_BYTES = 1024
+
+#: The latency-panel transfer profiled (4 doublewords = 32 bytes, the
+#: midpoint of Figure 5's sweep).
+PROFILE_DOUBLEWORDS = 4
+
+
+def profile_jobs(experiment_id: str) -> List[Tuple[str, "SimJob"]]:
+    """(scheme, job) pairs for one representative point per scheme.
+
+    Supports the figure sweeps: ``fig3a``..``fig3i``, ``fig4a``..``fig4e``
+    (one :func:`bandwidth_job` each at :data:`PROFILE_TRANSFER_BYTES`)
+    and ``fig5a``/``fig5b`` (one :func:`latency_job` each at
+    :data:`PROFILE_DOUBLEWORDS` doublewords).
+    """
+    from repro.evaluation.bandwidth import bandwidth_job
+    from repro.evaluation.latency import latency_job
+    from repro.evaluation.panels import panel_by_id
+    from repro.evaluation.schemes import all_schemes
+
+    name = experiment_id.lower().strip()
+    if name in ("fig5a", "fig5b"):
+        lock_hits_l1 = name == "fig5a"
+        schemes = all_schemes(64)
+        return [
+            (scheme, latency_job(scheme, PROFILE_DOUBLEWORDS, lock_hits_l1))
+            for scheme in schemes
+        ]
+    try:
+        panel = panel_by_id(name)
+    except ConfigError:
+        raise ConfigError(
+            f"cannot profile {experiment_id!r}: only the figure sweeps "
+            "(fig3a-i, fig4a-e, fig5a/b) have profiled points"
+        ) from None
+    schemes = all_schemes(panel.line_size)
+    return [
+        (scheme, bandwidth_job(panel, scheme, PROFILE_TRANSFER_BYTES))
+        for scheme in schemes
+    ]
+
+
+def profile_job(job: "SimJob") -> BusCycleAccount:
+    """Rerun one job with a bus-cycle reporter attached."""
+    from repro.evaluation.runner import execute_job
+
+    reporter = BusCycleReporter()
+    execute_job(job, observers=(reporter,))
+    return reporter.account()
+
+
+def profile_table(experiment_id: str) -> Table:
+    """The bus-cycle accounting table for one figure experiment."""
+    rows = [
+        (scheme, profile_job(job))
+        for scheme, job in profile_jobs(experiment_id)
+    ]
+    if experiment_id.lower().startswith("fig5"):
+        point = f"{PROFILE_DOUBLEWORDS * 8} B atomic access"
+    else:
+        point = f"{PROFILE_TRANSFER_BYTES} B transfer"
+    return accounting_table(
+        rows,
+        title=(
+            f"{experiment_id} profile — bus cycles by category "
+            f"({point})"
+        ),
+        label="scheme",
+    )

@@ -1,0 +1,171 @@
+"""Bus-cycle accounting: where did every bus cycle of the run go?
+
+:class:`BusCycleReporter` is an event sink that watches
+:class:`~repro.observability.events.TransactionAccepted` events and
+decomposes the bus-activity window (first address cycle .. last data
+beat, the same window the paper's bandwidth metric uses) into five
+exhaustive, disjoint buckets:
+
+* **address** — address cycles on the shared path (multiplexed buses),
+* **data** — data beats,
+* **wait** — target-access cycles of read transactions,
+* **turnaround** — mandatory idle cycles between transactions that the
+  flow-control rules actually forced (capped by the real gap),
+* **idle** — every remaining cycle (arrival gaps, min-addr-delay holes).
+
+The invariant ``address + data + wait + turnaround + idle == total`` is
+structural — the reporter computes idle as the remainder — and is
+asserted by tests/observability/test_profile.py against live runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.common.tables import Table
+from repro.observability.events import Event, TransactionAccepted
+
+
+@dataclass(frozen=True)
+class BusCycleAccount:
+    """One run's bus-cycle decomposition (all in bus cycles)."""
+
+    address: int
+    data: int
+    wait: int
+    turnaround: int
+    idle: int
+    total: int
+    transactions: int
+    wire_bytes: int
+    useful_bytes: int
+
+    @property
+    def busy(self) -> int:
+        """Cycles the bus path was actually occupied."""
+        return self.address + self.data + self.wait
+
+    @property
+    def utilization(self) -> float:
+        return self.busy / self.total if self.total else 0.0
+
+    @property
+    def efficiency(self) -> float:
+        """Useful payload bytes over wire bytes (burst padding overhead)."""
+        return self.useful_bytes / self.wire_bytes if self.wire_bytes else 0.0
+
+    def checks_out(self) -> bool:
+        """The exhaustive-decomposition invariant."""
+        return (
+            self.address + self.data + self.wait + self.turnaround + self.idle
+            == self.total
+        )
+
+
+class BusCycleReporter:
+    """Aggregates TransactionAccepted events into a BusCycleAccount."""
+
+    def __init__(self) -> None:
+        self._txns: List[TransactionAccepted] = []
+
+    def handle(self, event: Event) -> None:
+        if isinstance(event, TransactionAccepted):
+            self._txns.append(event)
+
+    @property
+    def transactions(self) -> List[TransactionAccepted]:
+        return list(self._txns)
+
+    def account(self) -> BusCycleAccount:
+        """Decompose the activity window.  Transactions arrive in issue
+        order (a single bus serializes them), so adjacent gaps are simply
+        ``next.start - prev.end - 1``; of each gap, up to the previous
+        transaction's mandatory turnaround is charged as turnaround and
+        the rest is idle."""
+        if not self._txns:
+            return BusCycleAccount(0, 0, 0, 0, 0, 0, 0, 0, 0)
+        address = sum(t.addr_cycles for t in self._txns)
+        data = sum(t.data_cycles for t in self._txns)
+        wait = sum(t.wait_cycles for t in self._txns)
+        turnaround = 0
+        idle = 0
+        for previous, current in zip(self._txns, self._txns[1:]):
+            gap = current.bus_cycle - previous.end_cycle - 1
+            forced = min(gap, previous.turnaround_after)
+            turnaround += forced
+            idle += gap - forced
+        total = self._txns[-1].end_cycle - self._txns[0].bus_cycle + 1
+        return BusCycleAccount(
+            address=address,
+            data=data,
+            wait=wait,
+            turnaround=turnaround,
+            idle=idle,
+            total=total,
+            transactions=len(self._txns),
+            wire_bytes=sum(t.size for t in self._txns),
+            useful_bytes=sum(t.useful_bytes for t in self._txns),
+        )
+
+    # -- timelines -----------------------------------------------------------
+
+    def occupancy_histogram(self, interval: int = 100) -> Dict[int, int]:
+        """Busy bus cycles per ``interval``-cycle bucket of the run.
+
+        Bucket ``k`` covers bus cycles ``[k * interval, (k+1) * interval)``;
+        a transaction spanning a bucket boundary contributes to both.
+        """
+        if interval < 1:
+            raise ValueError("interval must be >= 1 bus cycle")
+        histogram: Dict[int, int] = {}
+        for txn in self._txns:
+            for cycle in range(txn.bus_cycle, txn.end_cycle + 1):
+                bucket = cycle // interval
+                histogram[bucket] = histogram.get(bucket, 0) + 1
+        return dict(sorted(histogram.items()))
+
+    def kind_breakdown(self) -> Dict[str, Dict[str, int]]:
+        """Per transaction kind: count, busy cycles, wire and useful bytes
+        — the combining-efficiency story at a glance."""
+        breakdown: Dict[str, Dict[str, int]] = {}
+        for txn in self._txns:
+            entry = breakdown.setdefault(
+                txn.txn_kind,
+                {"transactions": 0, "busy_cycles": 0, "wire_bytes": 0,
+                 "useful_bytes": 0},
+            )
+            entry["transactions"] += 1
+            entry["busy_cycles"] += txn.end_cycle - txn.bus_cycle + 1
+            entry["wire_bytes"] += txn.size
+            entry["useful_bytes"] += txn.useful_bytes
+        return dict(sorted(breakdown.items()))
+
+
+#: Column order shared by every accounting table the CLI renders.
+ACCOUNT_COLUMNS = (
+    "address", "data", "wait", "turnaround", "idle", "total",
+    "busy%", "useful/wire",
+)
+
+
+def account_row(account: BusCycleAccount) -> List:
+    """Table cells for one account, in :data:`ACCOUNT_COLUMNS` order."""
+    return [
+        account.address,
+        account.data,
+        account.wait,
+        account.turnaround,
+        account.idle,
+        account.total,
+        100.0 * account.utilization,
+        account.efficiency,
+    ]
+
+
+def accounting_table(rows, title: str, label: str = "point") -> Table:
+    """Render labeled accounts: ``rows`` is (label, BusCycleAccount)."""
+    table = Table([label] + list(ACCOUNT_COLUMNS), title=title)
+    for name, account in rows:
+        table.add_row(name, *account_row(account))
+    return table

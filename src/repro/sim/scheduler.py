@@ -36,6 +36,8 @@ class Scheduler:
         self.core = core
         self.quantum = quantum
         self.switch_penalty = switch_penalty
+        #: Observability event bus; None (the default) means uninstrumented.
+        self.events = None
         self._processes: List[ProcessContext] = []
         self._current_index = -1
         self._quantum_start = 0
@@ -114,4 +116,8 @@ class Scheduler:
         if self.core.context is not chosen:
             self.core.install_context(chosen)
             self.context_switches += 1
+            if self.events is not None:
+                from repro.observability.events import ContextSwitch
+
+                self.events.publish(ContextSwitch(chosen.pid, chosen.name))
         self._quantum_start = now

@@ -6,6 +6,8 @@ with the bus ticking once every ``cpu_ratio`` CPU cycles.
 
 from __future__ import annotations
 
+import warnings
+from dataclasses import replace
 from typing import List, Optional
 
 from repro.common.config import SystemConfig
@@ -22,10 +24,16 @@ from repro.memory.backing import BackingStore
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.memory.layout import AddressSpace, default_address_space
 from repro.memory.tlb import AttributeTLB
+from repro.observability.hooks import EventBus, Observability
+from repro.observability.sinks import EventSink
 from repro.sim.scheduler import Scheduler
 from repro.uncached.buffer import UncachedBuffer
 from repro.uncached.csb import ConditionalStoreBuffer
 from repro.uncached.unit import UncachedUnit
+
+#: Marks a deprecated System keyword argument as not passed, so explicit
+#: ``None`` (a legal quantum) stays distinguishable from "not given".
+_UNSET = object()
 
 
 class System:
@@ -43,18 +51,40 @@ class System:
         self,
         config: Optional[SystemConfig] = None,
         space: Optional[AddressSpace] = None,
-        quantum: Optional[int] = None,
-        switch_penalty: int = 100,
-        bus_read_latency: int = 3,
-        trace: bool = False,
+        quantum=_UNSET,
+        switch_penalty=_UNSET,
+        bus_read_latency=_UNSET,
+        trace=_UNSET,
     ) -> None:
-        self.config = config or SystemConfig()
+        config = config or SystemConfig()
+        overrides = {
+            name: value
+            for name, value in (
+                ("quantum", quantum),
+                ("switch_penalty", switch_penalty),
+                ("bus_read_latency", bus_read_latency),
+                ("trace", trace),
+            )
+            if value is not _UNSET
+        }
+        if overrides:
+            warnings.warn(
+                f"System({', '.join(sorted(overrides))}=...) keyword "
+                "arguments are deprecated; set the equivalent SystemConfig "
+                "fields instead (they will be removed next release)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            config = replace(config, **overrides)
+        self.config = config
         self.stats = StatsCollector()
         self.backing = BackingStore()
         self.space = space or default_address_space()
         self.tlb = AttributeTLB(self.space)
         self.targets = TargetRegistry(self.backing)
-        self.bus = make_bus(self.config.bus, self.stats, self.targets, bus_read_latency)
+        self.bus = make_bus(
+            self.config.bus, self.stats, self.targets, self.config.bus_read_latency
+        )
         self.csb = ConditionalStoreBuffer(self.config.csb, self.stats)
         self.buffer = UncachedBuffer(self.config.uncached, self.bus, self.stats)
         self.unit = UncachedUnit(
@@ -76,7 +106,7 @@ class System:
             )
             self.hierarchy.refill_hook = self.refill_engine.request
             self.unit.refill_engine = self.refill_engine
-        self.trace = PipelineTrace() if trace else None
+        self.trace = PipelineTrace() if self.config.trace else None
         self.core = Core(
             self.config.core,
             self.hierarchy,
@@ -85,8 +115,11 @@ class System:
             self.stats,
             trace=self.trace,
         )
-        self.scheduler = Scheduler(self.core, quantum, switch_penalty)
+        self.scheduler = Scheduler(
+            self.core, self.config.quantum, self.config.switch_penalty
+        )
         self.devices: List[Device] = []
+        self.observability = Observability(self)
         self.cycle = 0
         self._next_pid = 1
 
@@ -115,7 +148,23 @@ class System:
             raise ConfigError(f"device {device.name!r} must live in uncached space")
         self.targets.register(region, device)
         self.devices.append(device)
+        self.observability.wire_device(device)
         return device
+
+    def attach_observer(self, sink: EventSink) -> EventSink:
+        """Subscribe an event sink, enabling observability on first use.
+
+        Returns ``sink`` so attachment reads naturally::
+
+            ring = system.attach_observer(RingBufferSink())
+        """
+        self.observability.attach(sink)
+        return sink
+
+    @property
+    def events(self) -> Optional[EventBus]:
+        """The installed event bus (None while observability is off)."""
+        return self.observability.bus
 
     # -- clocking ---------------------------------------------------------------
 
@@ -185,3 +234,10 @@ class System:
     def span(self, start_label: str, end_label: str) -> int:
         """CPU cycles between two ``mark`` instructions (Figure 5 metric)."""
         return self.stats.span(start_label, end_label)
+
+    def metrics(self, **extra):
+        """A :class:`~repro.observability.metrics.MetricsSnapshot` of the
+        run so far (normally taken after :meth:`run`)."""
+        from repro.observability.metrics import MetricsSnapshot
+
+        return MetricsSnapshot.from_system(self, **extra)

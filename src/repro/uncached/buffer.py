@@ -53,6 +53,8 @@ class UncachedBuffer:
         self.bus = bus
         self.stats = stats
         self.policy = make_policy(config)
+        #: Observability event bus; None (the default) means uninstrumented.
+        self.events = None
         self._entries: Deque[Entry] = deque()
         # Transactions of the head store entry, frozen at first issue.
         self._head_plan: Optional[List[Tuple[int, int, bytes]]] = None
@@ -67,6 +69,10 @@ class UncachedBuffer:
         if entry is not None:
             entry.write(address, data)
             self.stats.bump("uncached.stores_combined")
+            if self.events is not None:
+                from repro.observability.events import CombineHit
+
+                self.events.publish(CombineHit(address, size))
             return True
         if len(self._entries) >= self.config.depth:
             self.stats.bump("uncached.full_stalls")

@@ -66,6 +66,8 @@ class ConditionalStoreBuffer:
     def __init__(self, config: CSBConfig, stats: StatsCollector) -> None:
         self.config = config
         self.stats = stats
+        #: Observability event bus; None (the default) means uninstrumented.
+        self.events = None
         self._line_addr: Optional[int] = None
         self._pid: Optional[int] = None
         self._data = bytearray(config.line_size)
@@ -108,6 +110,10 @@ class ConditionalStoreBuffer:
             self._pid = pid
             self._hit_counter = 0
             self.stats.bump("csb.sequences_started")
+            if self.events is not None:
+                from repro.observability.events import SequenceStarted
+
+                self.events.publish(SequenceStarted(line, pid))
         offset = address - line
         self._data[offset : offset + size] = data
         for i in range(offset, offset + size):
@@ -129,6 +135,12 @@ class ConditionalStoreBuffer:
             and (not self.config.check_address or line == self._line_addr)
         )
         if not matches:
+            if self.events is not None:
+                from repro.observability.events import ConflictAbort
+
+                self.events.publish(
+                    ConflictAbort(line, pid, expected, self._hit_counter)
+                )
             self._clear_data()
             self._line_addr = None
             self._pid = None
@@ -137,6 +149,12 @@ class ConditionalStoreBuffer:
             return FlushResult.CONFLICT
         assert self._line_addr is not None
         useful = sum(self._valid)
+        if self.events is not None:
+            from repro.observability.events import FlushCommitted
+
+            self.events.publish(
+                FlushCommitted(self._line_addr, useful, self._hit_counter)
+            )
         if self.config.pad_to_full_line:
             burst = PendingBurst(
                 self._line_addr,

@@ -26,6 +26,7 @@ from repro.bus.base import SystemBus
 from repro.bus.transaction import BusTransaction, KIND_CSB_FLUSH, KIND_SYNC
 from repro.memory.layout import PageAttr
 from repro.memory.tlb import AttributeTLB
+from repro.observability.events import StoreIssued
 from repro.uncached.buffer import UncachedBuffer
 from repro.uncached.csb import ConditionalStoreBuffer, FlushResult
 
@@ -52,6 +53,10 @@ class UncachedUnit:
         self.stats = stats
         self.cpu_ratio = cpu_ratio
         self.csb_config = csb_config
+        #: Observability event bus; None (the default) means uninstrumented.
+        #: The unit ticks first each CPU cycle, so it also advances the
+        #: bus's shared clock (see :meth:`tick`).
+        self.events = None
         self._sequence = 0
         self._now = 0
         #: Optional RefillEngine with bus priority over the uncached path.
@@ -74,15 +79,25 @@ class UncachedUnit:
                 raise SimulationError(
                     f"block store to cached address {address:#x}"
                 )
-            return self.buffer.accept_block_store(address, data, self._next_seq())
+            accepted = self.buffer.accept_block_store(
+                address, data, self._next_seq()
+            )
+            if accepted and self.events is not None:
+                self.events.publish(StoreIssued(address, size, "block"))
+            return accepted
         if attr is PageAttr.UNCACHED_COMBINING:
             if not self.csb.line_buffer_free:
                 self.stats.bump("csb.store_stalls")
                 return False
             self.csb.store(address, data, pid)
+            if self.events is not None:
+                self.events.publish(StoreIssued(address, size, "csb"))
             return True
         if attr is PageAttr.UNCACHED:
-            return self.buffer.accept_store(address, data, self._next_seq())
+            accepted = self.buffer.accept_store(address, data, self._next_seq())
+            if accepted and self.events is not None:
+                self.events.publish(StoreIssued(address, size, "buffer"))
+            return accepted
         raise SimulationError(
             f"uncached unit received a cached store at {address:#x}"
         )
@@ -171,6 +186,10 @@ class UncachedUnit:
         """Advance one CPU cycle: deliver due flush results; on bus-cycle
         boundaries, complete bus transactions and issue new ones."""
         self._now = cpu_cycle
+        if self.events is not None:
+            # First component ticked each cycle: advance the shared event
+            # clock so every event this cycle is stamped consistently.
+            self.events.now = cpu_cycle
         if self._scheduled:
             due_now = [item for item in self._scheduled if item[0] <= cpu_cycle]
             if due_now:

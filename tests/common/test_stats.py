@@ -66,7 +66,24 @@ class TestStatsCollector:
         stats.bump("a")
         stats.bump("a", 2)
         assert stats.get("a") == 3
-        assert stats.get("missing") == 0
+
+    def test_known_but_unbumped_counter_reads_zero(self, stats: StatsCollector):
+        assert stats.get("csb.flushes") == 0
+        assert stats["bus.transactions"] == 0
+
+    def test_unknown_counter_read_raises_with_known_names(
+        self, stats: StatsCollector
+    ):
+        with pytest.raises(KeyError, match=r"csb\.flushes"):
+            stats.get("csb.flushs")  # typo'd lookup must fail loudly
+        with pytest.raises(KeyError):
+            stats["missing"]
+
+    def test_ad_hoc_counters_stay_readable_once_bumped(
+        self, stats: StatsCollector
+    ):
+        stats.bump("experiment.custom", 7)
+        assert stats.get("experiment.custom") == 7
 
     def test_marks_and_span(self, stats: StatsCollector):
         stats.mark("start", 100)

@@ -55,7 +55,7 @@ class TestSingleProcess:
 
 class TestMultiProcess:
     def test_two_processes_both_complete(self):
-        system = System(make_config(), quantum=500, switch_penalty=50)
+        system = System(make_config(quantum=500, switch_penalty=50))
         system.add_process(assemble(counting_program(100, 0x4000)), name="A")
         system.add_process(assemble(counting_program(100, 0x5000)), name="B")
         system.run()
@@ -63,7 +63,7 @@ class TestMultiProcess:
         assert system.backing.read_int(0x5000, 8) == 100
 
     def test_quantum_produces_context_switches(self):
-        system = System(make_config(), quantum=200, switch_penalty=10)
+        system = System(make_config(quantum=200, switch_penalty=10))
         system.add_process(assemble(counting_program(400, 0x4000)))
         system.add_process(assemble(counting_program(400, 0x5000)))
         system.run()
@@ -81,7 +81,7 @@ class TestMultiProcess:
     def test_register_state_isolated_across_switches(self):
         # Both processes hammer the same registers; preemption must not mix
         # their values.
-        system = System(make_config(), quantum=100, switch_penalty=10)
+        system = System(make_config(quantum=100, switch_penalty=10))
         system.add_process(assemble(counting_program(300, 0x4000)))
         system.add_process(assemble(counting_program(700, 0x5000)))
         system.run()
@@ -95,7 +95,7 @@ class TestSchedulerValidation:
         from repro.cpu.core import Core
 
         with pytest.raises(ConfigError):
-            System(make_config(), quantum=0)
+            System(make_config(quantum=0))
 
     def test_install_with_inflight_instructions_rejected(self):
         from repro.common.errors import SimulationError

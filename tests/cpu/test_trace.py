@@ -9,7 +9,7 @@ from tests.conftest import make_config
 
 
 def traced_run(source, **kwargs):
-    system = System(make_config(), trace=True, **kwargs)
+    system = System(make_config(trace=True, **kwargs))
     system.add_process(assemble(source))
     system.run()
     return system
@@ -46,7 +46,7 @@ class TestTraceCollection:
         assert any(e.stage == "cache" for e in system.trace.events)
 
     def test_squash_events_on_interrupt(self):
-        system = System(make_config(), trace=True)
+        system = System(make_config(trace=True))
         process = system.add_process(
             assemble("set 100, %o1\nloop: sub %o1, 1, %o1\nbrnz %o1, loop\nhalt")
         )

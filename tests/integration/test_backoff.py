@@ -6,7 +6,7 @@ conflicts.  With backoff enabled, every consecutive failure roughly
 doubles the retry delay; without it, each retry costs the same.
 """
 
-from repro import System, assemble
+from repro import System, SystemConfig, assemble
 from repro.memory.layout import IO_COMBINING_BASE
 from repro.workloads.contention import contending_csb_kernel
 
@@ -75,7 +75,7 @@ class TestBackoffSemantics:
 class TestBackoffUnderPreemption:
     def test_both_processes_complete_with_tiny_quantum(self):
         iterations = 25
-        system = System(quantum=45, switch_penalty=15)
+        system = System(SystemConfig(quantum=45, switch_penalty=15))
         system.add_process(
             assemble(
                 contending_csb_kernel(

@@ -19,7 +19,7 @@ LINE_B = IO_COMBINING_BASE + 4096
 
 
 def run_contention(iterations=40, quantum=150, same_line=False):
-    system = System(make_config(), quantum=quantum, switch_penalty=30)
+    system = System(make_config(quantum=quantum, switch_penalty=30))
     region = Region(IO_COMBINING_BASE, 8192, PageAttr.UNCACHED_COMBINING, "sink")
     sink = system.attach_device(BurstSink(region))
     base_b = LINE_A if same_line else LINE_B

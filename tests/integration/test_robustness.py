@@ -79,7 +79,7 @@ class TestDeterminism:
         from repro.memory.layout import IO_COMBINING_BASE
 
         def run():
-            system = System(make_config(), quantum=120, switch_penalty=20)
+            system = System(make_config(quantum=120, switch_penalty=20))
             system.add_process(
                 assemble(contending_csb_kernel(15, IO_COMBINING_BASE))
             )

@@ -1,0 +1,32 @@
+#!/usr/bin/env python
+"""Regenerate the golden event trace used by test_trace_identity.py.
+
+Run from the repo root after an *intentional* schema or timing change::
+
+    PYTHONPATH=src python tests/observability/regen_golden.py
+
+and commit the refreshed golden/fig5a_csb_trace.jsonl together with the
+change that moved it.
+"""
+
+import os
+
+from repro.evaluation.latency import latency_job
+from repro.evaluation.runner import execute_job
+from repro.observability import JsonlSink
+
+GOLDEN = os.path.join(os.path.dirname(__file__), "golden", "fig5a_csb_trace.jsonl")
+
+
+def main() -> None:
+    os.makedirs(os.path.dirname(GOLDEN), exist_ok=True)
+    with open(GOLDEN, "w", encoding="utf-8") as handle:
+        job = latency_job("csb", 1, lock_hits_l1=True)
+        execute_job(job, observers=(JsonlSink(handle),))
+    with open(GOLDEN, "r", encoding="utf-8") as handle:
+        lines = handle.readlines()
+    print(f"wrote {GOLDEN}: {len(lines)} events")
+
+
+if __name__ == "__main__":
+    main()

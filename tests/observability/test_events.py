@@ -1,0 +1,175 @@
+"""Event taxonomy, bus, and sinks: the observability layer itself."""
+
+import io
+import json
+
+import pytest
+
+from repro import System, assemble, simulate
+from repro.observability import (
+    BusDataCycle,
+    CacheMiss,
+    DeviceWrite,
+    EventBus,
+    FlushCommitted,
+    JsonlSink,
+    RingBufferSink,
+    SequenceStarted,
+    StoreIssued,
+    TransactionAccepted,
+)
+from repro.workloads import store_kernel_csb, store_kernel_uncached
+from tests.conftest import make_config
+
+
+class TestEventShape:
+    def test_kind_is_type_name(self):
+        event = StoreIssued(address=0x100, size=8, target="csb")
+        assert event.kind == "StoreIssued"
+
+    def test_cycle_defaults_unstamped(self):
+        assert StoreIssued(address=0, size=8, target="csb").cycle == -1
+
+    def test_to_dict_leads_with_event_and_cycle(self):
+        event = CacheMiss(address=0x2000, level="l1")
+        event.cycle = 7
+        keys = list(event.to_dict())
+        assert keys[:2] == ["event", "cycle"]
+        assert event.to_dict() == {
+            "event": "CacheMiss",
+            "cycle": 7,
+            "address": 0x2000,
+            "level": "l1",
+        }
+
+
+class TestEventBus:
+    def test_publish_stamps_current_cycle(self):
+        bus = EventBus()
+        ring = bus.subscribe(RingBufferSink())
+        bus.now = 42
+        bus.publish(SequenceStarted(address=0x100, pid=1))
+        assert ring.events[0].cycle == 42
+
+    def test_fan_out_to_every_sink(self):
+        bus = EventBus()
+        a, b = bus.subscribe(RingBufferSink()), bus.subscribe(RingBufferSink())
+        bus.publish(SequenceStarted(address=0, pid=1))
+        assert len(a) == len(b) == 1
+
+
+class TestRingBufferSink:
+    def test_capacity_keeps_most_recent(self):
+        ring = RingBufferSink(capacity=2)
+        for address in (1, 2, 3):
+            ring.handle(StoreIssued(address=address, size=8, target="csb"))
+        assert [e.address for e in ring.events] == [2, 3]
+        assert ring.seen == 3
+
+    def test_predicate_filters(self):
+        ring = RingBufferSink(predicate=lambda e: isinstance(e, CacheMiss))
+        ring.handle(StoreIssued(address=0, size=8, target="csb"))
+        ring.handle(CacheMiss(address=0, level="l1"))
+        assert ring.counts() == {"CacheMiss": 1}
+
+    def test_of_kind(self):
+        ring = RingBufferSink()
+        ring.handle(StoreIssued(address=0, size=8, target="csb"))
+        ring.handle(CacheMiss(address=0, level="l2"))
+        assert [e.kind for e in ring.of_kind("CacheMiss")] == ["CacheMiss"]
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            RingBufferSink(capacity=0)
+
+
+class TestJsonlSink:
+    def test_fixed_key_order_with_extras(self):
+        stream = io.StringIO()
+        sink = JsonlSink(stream, extra={"job": "fig5a-csb-1"})
+        event = FlushCommitted(address=0x100, useful_bytes=32, stores=4)
+        event.cycle = 9
+        sink.handle(event)
+        record = stream.getvalue().strip()
+        assert record == (
+            '{"event":"FlushCommitted","cycle":9,"job":"fig5a-csb-1",'
+            '"address":256,"useful_bytes":32,"stores":4}'
+        )
+        assert json.loads(record)["stores"] == 4
+        assert sink.written == 1
+
+
+class TestZeroOverheadWiring:
+    def test_uninstrumented_system_has_no_bus(self):
+        system = System(make_config())
+        assert not system.observability.enabled
+        for component in (
+            system.unit,
+            system.buffer,
+            system.csb,
+            system.bus,
+            system.core,
+            system.hierarchy,
+            system.scheduler,
+        ):
+            assert component.events is None
+
+    def test_attach_observer_wires_every_component(self):
+        system = System(make_config())
+        ring = system.attach_observer(RingBufferSink())
+        assert system.observability.enabled
+        bus = system.events
+        for component in (system.unit, system.csb, system.bus, system.core):
+            assert component.events is bus
+        assert ring in bus.sinks
+
+
+class TestLiveEmission:
+    def test_csb_run_emits_the_expected_taxonomy(self):
+        ring = RingBufferSink()
+        simulate(
+            make_config(),
+            store_kernel_csb(128, 64),
+            observers=[ring],
+        )
+        counts = ring.counts()
+        assert counts["StoreIssued"] == 16  # 128B of doubleword stores
+        assert counts["SequenceStarted"] == 2  # two 64B lines
+        assert counts["FlushCommitted"] == 2
+        assert counts["TransactionAccepted"] == 2  # one burst per line
+        for event in ring.of_kind("FlushCommitted"):
+            assert event.useful_bytes == 64
+
+    def test_transaction_breakdown_matches_span(self):
+        ring = RingBufferSink(predicate=lambda e: isinstance(e, TransactionAccepted))
+        simulate(make_config(), store_kernel_uncached(64), observers=[ring])
+        assert ring.events
+        for txn in ring.events:
+            span = txn.end_cycle - txn.bus_cycle + 1
+            assert txn.addr_cycles + txn.wait_cycles + txn.data_cycles == span
+
+    def test_per_cycle_bus_events_align_with_transactions(self):
+        ring = RingBufferSink()
+        simulate(make_config(), store_kernel_uncached(32), observers=[ring])
+        accepted = ring.of_kind("TransactionAccepted")
+        data_cycles = ring.of_kind("BusDataCycle")
+        assert sum(t.data_cycles for t in accepted) == len(data_cycles)
+        assert all(isinstance(e, BusDataCycle) for e in data_cycles)
+
+    def test_device_write_observed(self):
+        from repro.devices.sink import BurstSink
+        from repro.memory.layout import IO_COMBINING_BASE, PageAttr, Region
+
+        system = System(make_config())
+        ring = system.attach_observer(
+            RingBufferSink(predicate=lambda e: isinstance(e, DeviceWrite))
+        )
+        system.attach_device(
+            BurstSink(
+                Region(IO_COMBINING_BASE, 8192, PageAttr.UNCACHED_COMBINING, "dev")
+            )
+        )
+        system.add_process(assemble(store_kernel_csb(64, 64)))
+        system.run()
+        assert ring.seen >= 1
+        assert ring.events[0].device == "sink"

@@ -1,0 +1,76 @@
+"""Bus-cycle accounting: every cycle of the bus window is accounted for."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.observability.profile import profile_job, profile_jobs, profile_table
+from repro.observability.report import ACCOUNT_COLUMNS, BusCycleReporter
+from repro.evaluation.runner import run_system
+from repro.evaluation.latency import latency_job
+
+
+class TestAccountIdentity:
+    @pytest.mark.parametrize("experiment_id", ["fig3c", "fig3g", "fig5a"])
+    def test_every_cycle_lands_in_exactly_one_bucket(self, experiment_id):
+        for scheme, job in profile_jobs(experiment_id):
+            account = profile_job(job)
+            assert account.transactions > 0, scheme
+            total = (
+                account.address
+                + account.data
+                + account.wait
+                + account.turnaround
+                + account.idle
+            )
+            assert total == account.total, scheme
+            assert account.checks_out(), scheme
+
+    def test_turnaround_appears_only_when_configured(self):
+        # fig3g's panel runs with bus turnaround cycles; fig3c's does not.
+        with_turnaround = dict(
+            (scheme, profile_job(job)) for scheme, job in profile_jobs("fig3g")
+        )
+        without = dict(
+            (scheme, profile_job(job)) for scheme, job in profile_jobs("fig3c")
+        )
+        assert all(acc.turnaround == 0 for acc in without.values())
+        assert with_turnaround["none"].turnaround > 0
+
+    def test_utilization_and_efficiency_are_fractions(self):
+        for _, job in profile_jobs("fig5a"):
+            account = profile_job(job)
+            assert 0.0 < account.utilization <= 1.0
+            assert 0.0 < account.efficiency <= 1.0
+
+
+class TestProfileTable:
+    def test_fig3c_table_shape(self):
+        table = profile_table("fig3c")
+        rendered = table.render(2)
+        assert "scheme" in rendered
+        for column in ACCOUNT_COLUMNS:
+            assert column in rendered
+        # one row per scheme of the 64B panel (none/combine8..64/csb)
+        schemes = [scheme for scheme, _ in profile_jobs("fig3c")]
+        for scheme in schemes:
+            assert scheme in rendered
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(ConfigError):
+            profile_jobs("tab1")
+        with pytest.raises(ConfigError):
+            profile_table("nope")
+
+
+class TestReporterOnLiveRun:
+    def test_occupancy_histogram_and_kind_breakdown_cover_all(self):
+        reporter = BusCycleReporter()
+        run_system(latency_job("csb", 4, lock_hits_l1=True), (reporter,))
+        account = reporter.account()
+        kinds = reporter.kind_breakdown()
+        assert (
+            sum(entry["transactions"] for entry in kinds.values())
+            == account.transactions
+        )
+        histogram = reporter.occupancy_histogram(16)
+        assert sum(histogram.values()) == account.address + account.data + account.wait

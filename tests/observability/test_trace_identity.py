@@ -1,0 +1,73 @@
+"""Tracing is passive: observed runs measure exactly what blind runs do.
+
+The acceptance bar for the observability layer: turning every event on
+must not move a single number.  These tests regenerate a full figure
+table with and without sinks attached and require byte identity, and
+pin the JSONL event schema against a golden trace.
+"""
+
+import io
+import os
+
+from repro.evaluation.experiments import run_experiment
+from repro.evaluation.latency import latency_job
+from repro.evaluation.runner import SweepRunner, execute_job
+from repro.evaluation.bandwidth import bandwidth_job
+from repro.evaluation.panels import panel_by_id
+from repro.observability import JsonlSink, RingBufferSink
+from repro.observability.profile import PROFILE_TRANSFER_BYTES
+
+GOLDEN = os.path.join(os.path.dirname(__file__), "golden", "fig5a_csb_trace.jsonl")
+
+
+def observed_runner(stream):
+    return SweepRunner(
+        jobs=1,
+        cache=None,
+        observer_factory=lambda job: [JsonlSink(stream, extra={"job": job.name})],
+        collect_metrics=True,
+    )
+
+
+class TestTraceIdentity:
+    def test_fig5a_table_bytes_identical_with_tracing_on(self):
+        blind = run_experiment("fig5a").render(2)
+        stream = io.StringIO()
+        runner = observed_runner(stream)
+        traced = run_experiment("fig5a", runner).render(2)
+        assert traced == blind
+        assert stream.getvalue().count("\n") > 100  # the trace really ran
+        assert runner.metrics  # and metrics were collected per job
+
+    def test_execute_job_measurement_unchanged_by_observers(self):
+        panel = panel_by_id("fig3c")
+        for job in (
+            latency_job("csb", 4, lock_hits_l1=True),
+            bandwidth_job(panel, "csb", PROFILE_TRANSFER_BYTES),
+            bandwidth_job(panel, "none", PROFILE_TRANSFER_BYTES),
+        ):
+            blind = execute_job(job)
+            ring = RingBufferSink()
+            observed = execute_job(job, observers=(ring,))
+            assert observed == blind
+            assert ring.seen > 0
+
+
+class TestGoldenTrace:
+    def make_trace(self) -> str:
+        stream = io.StringIO()
+        job = latency_job("csb", 1, lock_hits_l1=True)
+        execute_job(job, observers=(JsonlSink(stream),))
+        return stream.getvalue()
+
+    def test_fig5a_csb_trace_matches_golden(self):
+        """The full event stream of one fig5a point, byte for byte.  A
+        diff here means the event schema or the simulated timing moved —
+        regenerate with tests/observability/regen_golden.py if that was
+        intentional."""
+        with open(GOLDEN, "r", encoding="utf-8") as handle:
+            expected = handle.read()
+        assert self.make_trace() == expected
+
+    def test_trace_is_deterministic(self):
+        assert self.make_trace() == self.make_trace()

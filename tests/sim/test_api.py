@@ -1,0 +1,123 @@
+"""The stable facade (repro.api) and the SystemConfig kwarg fold-in."""
+
+import pytest
+
+import repro
+from repro import (
+    RunResult,
+    System,
+    SystemConfig,
+    assemble,
+    experiments,
+    run_experiment,
+    simulate,
+)
+from repro.common.errors import ConfigError
+from repro.common.serialize import config_from_dict, config_to_dict
+from repro.observability import RingBufferSink
+from repro.workloads import store_kernel_csb
+from tests.conftest import make_config
+
+
+class TestSimulate:
+    def test_returns_run_result_with_metrics(self):
+        result = simulate(make_config(), store_kernel_csb(256, 64))
+        assert isinstance(result, RunResult)
+        assert result.store_bandwidth > 0
+        assert result.stats.get("csb.flushes") == 4
+        assert result.metrics.counters["csb.flushes"] == 4
+        assert result.metrics.bus_transactions == result.stats.get(
+            "bus.transactions"
+        )
+
+    def test_accepts_assembled_program(self):
+        program = assemble("set 1, %o1\nhalt")
+        result = simulate(make_config(), program)
+        assert result.system.cycle > 0
+
+    def test_multi_process_via_programs(self):
+        source = "set 1, %o1\nhalt"
+        result = simulate(make_config(quantum=100), programs=[source, source])
+        assert len(result.system.scheduler.processes) == 2
+
+    def test_observers_attach(self):
+        ring = RingBufferSink()
+        simulate(make_config(), store_kernel_csb(64, 64), observers=[ring])
+        assert ring.seen > 0
+
+    def test_defaults_allow_config_omission(self):
+        result = simulate(program="halt")
+        assert result.system.cycle >= 1
+
+    def test_experiment_facade_round_trip(self):
+        assert "fig5a" in experiments()
+        table = run_experiment("fig5a")
+        assert "Figure 5(a)" in table.render(2)
+
+
+class TestPackageSurface:
+    def test_facade_exported_from_package_root(self):
+        for name in ("simulate", "run_experiment", "experiments", "RunResult"):
+            assert name in repro.__all__
+            assert getattr(repro, name) is not None
+
+
+class TestSystemConfigScalars:
+    def test_fields_reach_the_machine(self):
+        system = System(
+            SystemConfig(quantum=150, switch_penalty=7, bus_read_latency=5,
+                         trace=True)
+        )
+        assert system.scheduler.quantum == 150
+        assert system.scheduler.switch_penalty == 7
+        assert system.bus.read_latency == 5
+        assert system.trace is not None
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            SystemConfig(quantum=0)
+        with pytest.raises(ConfigError):
+            SystemConfig(switch_penalty=-1)
+        with pytest.raises(ConfigError):
+            SystemConfig(bus_read_latency=-1)
+
+    def test_serialize_round_trip_preserves_scalars(self):
+        config = SystemConfig(quantum=250, switch_penalty=12,
+                              bus_read_latency=4, trace=True)
+        restored = config_from_dict(config_to_dict(config))
+        assert restored == config
+
+    def test_serialized_defaults_round_trip(self):
+        config = make_config()
+        assert config_from_dict(config_to_dict(config)) == config
+
+
+class TestDeprecatedKwargs:
+    def test_loose_kwargs_warn_and_forward(self):
+        with pytest.warns(DeprecationWarning, match="SystemConfig"):
+            system = System(make_config(), quantum=120, switch_penalty=9)
+        assert system.config.quantum == 120
+        assert system.scheduler.quantum == 120
+        assert system.scheduler.switch_penalty == 9
+
+    def test_trace_kwarg_warns_and_forwards(self):
+        with pytest.warns(DeprecationWarning):
+            system = System(make_config(), trace=True)
+        assert system.trace is not None
+
+    def test_explicit_none_quantum_still_valid(self):
+        with pytest.warns(DeprecationWarning):
+            system = System(make_config(), quantum=None)
+        assert system.config.quantum is None
+
+    def test_validation_still_applies_through_shim(self):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ConfigError):
+                System(make_config(), quantum=0)
+
+    def test_no_kwargs_no_warning(self):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            System(make_config())
