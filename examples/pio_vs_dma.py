@@ -12,7 +12,6 @@ Run:  python examples/pio_vs_dma.py
 """
 
 from repro.evaluation.crossover import (
-    MESSAGE_SIZES,
     break_even,
     crossover_table,
 )

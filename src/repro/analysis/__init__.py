@@ -1,0 +1,57 @@
+"""Static protocol analysis for guest programs (see docs/static_analysis.md).
+
+The CSB only behaves as the paper promises when guest code follows its
+protocol: swap-based lock acquire/release pairing, membars fencing device
+access, combining stores confined to one aligned line window, and a
+checked, retried conditional flush.  This package verifies those
+program-order properties *before* simulation: a control-flow graph over
+finalized :class:`~repro.isa.program.Program` objects, a worklist abstract
+interpreter, and a rule suite that reports
+:class:`~repro.analysis.findings.Finding` diagnostics with stable ids and
+machine-readable JSON.
+
+Quick use::
+
+    from repro.analysis import lint_source
+
+    for finding in lint_source(kernel_text):
+        print(finding.render())
+
+``csb-figures lint`` runs the same checks over every registered workload.
+"""
+
+from repro.analysis.cfg import BasicBlock, ControlFlowGraph, build_cfg
+from repro.analysis.dataflow import Analysis, report_pass, solve
+from repro.analysis.findings import (
+    SEVERITY_ERROR,
+    SEVERITY_WARNING,
+    Finding,
+    findings_to_json,
+    sort_findings,
+)
+from repro.analysis.linter import RULES, all_rules, lint_program, lint_source
+from repro.analysis.protocol import LintContext, ProtocolAnalysis
+from repro.analysis.registry import LintTarget, iter_lint_targets, lint_targets
+
+__all__ = [
+    "Analysis",
+    "BasicBlock",
+    "ControlFlowGraph",
+    "Finding",
+    "LintContext",
+    "LintTarget",
+    "ProtocolAnalysis",
+    "RULES",
+    "SEVERITY_ERROR",
+    "SEVERITY_WARNING",
+    "all_rules",
+    "build_cfg",
+    "findings_to_json",
+    "iter_lint_targets",
+    "lint_program",
+    "lint_source",
+    "lint_targets",
+    "report_pass",
+    "solve",
+    "sort_findings",
+]

@@ -1,0 +1,149 @@
+"""Control-flow graph over a finalized :class:`repro.isa.program.Program`.
+
+Basic blocks are maximal straight-line instruction runs: a leader starts at
+index 0, at every branch target, and immediately after every branch or
+halt.  Edges follow the ISA's control transfers — a conditional branch has
+a taken edge and a fall-through edge, ``ba`` only the taken edge, ``halt``
+none.  The CFG is the substrate every dataflow check runs on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.common.errors import ReproError
+from repro.isa.instructions import BranchInstruction, HaltInstruction, Instruction
+from repro.isa.program import Program
+
+
+class CfgError(ReproError):
+    """The program violates a structural CFG invariant."""
+
+
+@dataclass
+class BasicBlock:
+    """A maximal straight-line run ``[start, end)`` of instruction indices."""
+
+    block_id: int
+    start: int
+    end: int
+    successors: List[int] = field(default_factory=list)
+    predecessors: List[int] = field(default_factory=list)
+
+    def indices(self) -> range:
+        return range(self.start, self.end)
+
+    def __len__(self) -> int:
+        return self.end - self.start
+
+    def __repr__(self) -> str:
+        return (
+            f"BasicBlock(#{self.block_id}, [{self.start}:{self.end}), "
+            f"succ={self.successors})"
+        )
+
+
+class ControlFlowGraph:
+    """Basic blocks plus successor/predecessor edges and reachability."""
+
+    def __init__(self, program: Program, blocks: List[BasicBlock]) -> None:
+        self.program = program
+        self.blocks = blocks
+        self._block_at: Dict[int, int] = {
+            block.start: block.block_id for block in blocks
+        }
+
+    @property
+    def entry(self) -> BasicBlock:
+        return self.blocks[0]
+
+    def block_starting_at(self, index: int) -> BasicBlock:
+        try:
+            return self.blocks[self._block_at[index]]
+        except KeyError:
+            raise CfgError(f"no basic block starts at instruction {index}") from None
+
+    def instructions(self, block: BasicBlock) -> Iterator[Tuple[int, Instruction]]:
+        """(index, instruction) pairs of one block, in program order."""
+        for index in block.indices():
+            yield index, self.program[index]
+
+    def reachable(self) -> Set[int]:
+        """Block ids reachable from the entry block."""
+        seen: Set[int] = set()
+        stack = [0]
+        while stack:
+            block_id = stack.pop()
+            if block_id in seen:
+                continue
+            seen.add(block_id)
+            stack.extend(self.blocks[block_id].successors)
+        return seen
+
+    def __len__(self) -> int:
+        return len(self.blocks)
+
+
+def _leaders(program: Program) -> List[int]:
+    leaders = {0}
+    for index, instruction in enumerate(program):
+        if isinstance(instruction, BranchInstruction):
+            leaders.add(program.target_of(instruction))
+            if index + 1 < len(program):
+                leaders.add(index + 1)
+        elif isinstance(instruction, HaltInstruction):
+            if index + 1 < len(program):
+                leaders.add(index + 1)
+    return sorted(leaders)
+
+
+def build_cfg(program: Program) -> ControlFlowGraph:
+    """Partition ``program`` into basic blocks and wire the edges."""
+    if not program.finalized:
+        raise CfgError("build_cfg requires a finalized program")
+    leaders = _leaders(program)
+    bounds = leaders + [len(program)]
+    blocks = [
+        BasicBlock(block_id, start, end)
+        for block_id, (start, end) in enumerate(zip(bounds, bounds[1:]))
+    ]
+    cfg = ControlFlowGraph(program, blocks)
+    for block in blocks:
+        last = program[block.end - 1]
+        targets: List[int] = []
+        if isinstance(last, BranchInstruction):
+            target_block = cfg.block_starting_at(program.target_of(last))
+            targets.append(target_block.block_id)
+            if last.op != "ba" and block.end < len(program):
+                targets.append(block.block_id + 1)
+        elif isinstance(last, HaltInstruction):
+            pass  # no successors
+        elif block.end < len(program):
+            targets.append(block.block_id + 1)
+        for target in targets:
+            if target not in block.successors:
+                block.successors.append(target)
+                blocks[target].predecessors.append(block.block_id)
+    return cfg
+
+
+def fallthrough_successor(
+    cfg: ControlFlowGraph, block: BasicBlock
+) -> Optional[int]:
+    """The not-taken successor of a block ending in a conditional branch
+    (``None`` for ``ba``, halt, or a block ending at the program's edge)."""
+    last = cfg.program[block.end - 1]
+    if not isinstance(last, BranchInstruction) or last.op == "ba":
+        return None
+    if block.end >= len(cfg.program):
+        return None
+    return block.block_id + 1
+
+
+def taken_successor(cfg: ControlFlowGraph, block: BasicBlock) -> Optional[int]:
+    """The taken-branch successor of a block ending in a branch."""
+    last = cfg.program[block.end - 1]
+    if not isinstance(last, BranchInstruction):
+        return None
+    return cfg.block_starting_at(cfg.program.target_of(last)).block_id

@@ -1,0 +1,100 @@
+"""A small forward dataflow / abstract-interpretation engine.
+
+The engine runs a worklist to a fixpoint over a
+:class:`~repro.analysis.cfg.ControlFlowGraph`.  An analysis supplies three
+things: an initial state for the entry block, a join (the least upper bound
+of its semilattice), and a block transfer function.  The transfer function
+returns **one out-state per successor edge**, which is what lets protocol
+checks refine state along branch outcomes (the fall-through of
+``brnz %l6, .ACQ`` is the path on which the spin lock was actually
+acquired) while diamond-shaped control flow — retry loops, backoff arms —
+is still joined soundly at the merge points.
+
+Findings are only reported once the fixpoint has converged: the engine
+re-runs the transfer function over every reachable block with a report
+callback attached, so diagnostics are computed from the final (most
+precise, still sound) in-states rather than from a transient iterate.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Dict, Generic, Optional, TypeVar
+
+from repro.analysis.cfg import BasicBlock, ControlFlowGraph
+
+S = TypeVar("S")
+
+#: Report callback: ``(rule, index, message, hint)``.
+Reporter = Callable[[str, int, str, str], None]
+
+
+class Analysis(Generic[S]):
+    """Interface a dataflow analysis implements.
+
+    ``transfer`` must be monotone in the state argument and must not mutate
+    the state it is given; it returns a mapping of successor block id to
+    the out-state flowing along that edge.  When ``report`` is not ``None``
+    the analysis is in its final reporting pass and may emit findings.
+    """
+
+    def initial_state(self) -> S:
+        raise NotImplementedError
+
+    def join(self, left: S, right: S) -> S:
+        raise NotImplementedError
+
+    def transfer(
+        self,
+        cfg: ControlFlowGraph,
+        block: BasicBlock,
+        state: S,
+        report: Optional[Reporter] = None,
+    ) -> Dict[int, S]:
+        raise NotImplementedError
+
+
+def solve(
+    cfg: ControlFlowGraph,
+    analysis: "Analysis[S]",
+    max_iterations: int = 100_000,
+) -> Dict[int, S]:
+    """Run ``analysis`` to a fixpoint; returns the in-state of every
+    reachable block.  Unreachable blocks have no in-state (bottom)."""
+    in_states: Dict[int, S] = {0: analysis.initial_state()}
+    worklist = deque([0])
+    queued = {0}
+    iterations = 0
+    while worklist:
+        iterations += 1
+        if iterations > max_iterations:
+            raise RuntimeError(
+                "dataflow did not converge (non-monotone transfer function?)"
+            )
+        block_id = worklist.popleft()
+        queued.discard(block_id)
+        block = cfg.blocks[block_id]
+        outs = analysis.transfer(cfg, block, in_states[block_id])
+        for successor, out_state in outs.items():
+            current = in_states.get(successor)
+            merged = out_state if current is None else analysis.join(
+                current, out_state
+            )
+            if current is None or merged != current:
+                in_states[successor] = merged
+                if successor not in queued:
+                    worklist.append(successor)
+                    queued.add(successor)
+    return in_states
+
+
+def report_pass(
+    cfg: ControlFlowGraph,
+    analysis: "Analysis[S]",
+    in_states: Dict[int, S],
+    report: Reporter,
+) -> None:
+    """Re-run the transfer function over every reachable block with the
+    converged in-states, letting the analysis emit findings."""
+    for block_id in sorted(in_states):
+        analysis.transfer(cfg, cfg.blocks[block_id], in_states[block_id], report)

@@ -1,0 +1,264 @@
+"""Abstract domain for the protocol checker.
+
+Register contents are tracked in a flat constant lattice — ``bottom`` never
+appears explicitly (an untracked register is simply absent, meaning TOP):
+
+* an ``int`` — the register definitely holds that 64-bit constant
+  (``set``/``mov`` and constant-folded ALU results);
+* a *provenance tag* — the register holds a runtime-dependent value whose
+  origin the checks care about: the old value returned by a lock ``swap``,
+  a store-conditional result, or a conditional-flush result;
+* :data:`TOP` — anything.
+
+Constants are what let a static pass classify memory accesses at all: the
+kernels materialize device and lock addresses with ``set``, so the checker
+folds address arithmetic and maps the result through the address-space
+layout to decide whether a ``swap`` is a spin-lock acquire (cached space)
+or a conditional flush (uncached-combining space).
+
+The protocol state joined at CFG merge points bundles the register map
+with the lock map, the membar flags, the open combining window, and the
+set of unconfirmed flushes.  All joins move strictly up finite lattices,
+so the worklist converges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, FrozenSet, Optional, Union
+
+from repro.isa.registers import MASK64
+
+
+class _Top:
+    """Singleton: the register may hold anything."""
+
+    _instance: Optional["_Top"] = None
+
+    def __new__(cls) -> "_Top":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "TOP"
+
+
+TOP = _Top()
+
+
+@dataclass(frozen=True)
+class SwapResult:
+    """Old memory value returned by a cached (lock) ``swap [lock], rd``."""
+
+    lock_addr: int
+
+
+@dataclass(frozen=True)
+class ScResult:
+    """Result of ``sc rs, [lock], rd``: 1 = store succeeded, 0 = link lost."""
+
+    lock_addr: int
+
+
+@dataclass(frozen=True)
+class FlushResult:
+    """Result of a conditional flush: the expected hit count on success,
+    zero on conflict.  ``site`` is the flush instruction's index."""
+
+    site: int
+    expected: Optional[int]
+
+
+@dataclass(frozen=True)
+class FlushCheck:
+    """ICC after ``cmp`` of a :class:`FlushResult` against a constant:
+    equality means success (compared against the expected count) or failure
+    (compared against zero)."""
+
+    site: int
+    eq_means_success: bool
+
+
+@dataclass(frozen=True)
+class LockCheck:
+    """ICC after ``cmp`` of a :class:`SwapResult` against zero: equality
+    means the old lock value was free, i.e. the acquire succeeded."""
+
+    lock_addr: int
+
+
+Value = Union[int, _Top, SwapResult, ScResult, FlushResult, FlushCheck, LockCheck]
+
+# -- lock states ---------------------------------------------------------------
+
+LOCK_HELD = "held"
+LOCK_FREE = "free"
+LOCK_UNKNOWN = "unknown"  # differs across joined paths
+
+
+def join_lock(left: str, right: str) -> str:
+    return left if left == right else LOCK_UNKNOWN
+
+
+# -- combining window ----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Window:
+    """An open CSB combining window: the aligned line base and the number
+    of combining stores accumulated since it opened."""
+
+    base: int
+    count: int
+    opened_at: int  # index of the store that opened the window
+
+
+class _WindowTop:
+    """The window may or may not be open (joined from disagreeing paths);
+    window rules are suppressed rather than guessed."""
+
+    _instance: Optional["_WindowTop"] = None
+
+    def __new__(cls) -> "_WindowTop":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "WINDOW_TOP"
+
+
+WINDOW_TOP = _WindowTop()
+
+WindowState = Union[None, Window, _WindowTop]
+
+
+def join_window(left: WindowState, right: WindowState) -> WindowState:
+    if left == right:
+        return left
+    return WINDOW_TOP
+
+
+# -- the joined protocol state -------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ProtocolState:
+    """Everything the protocol rules need at one program point.
+
+    ``regs`` maps canonical register names to known values (absence means
+    TOP; ``r0`` is implicitly the constant 0).  ``locks`` maps lock-variable
+    addresses to :data:`LOCK_HELD` / :data:`LOCK_FREE` / :data:`LOCK_UNKNOWN`
+    (absence means free).  ``membar_after_acquire`` is True when a membar
+    has definitely executed since the most recent lock acquire;
+    ``membar_since_device_store`` is True when no plain-uncached store has
+    happened since the last membar (so a lock release is safe).  ``pending``
+    is the set of flush sites whose success has not been established on
+    this path.
+    """
+
+    regs: "FrozenDict" = field(default_factory=lambda: FrozenDict({}))
+    locks: "FrozenDict" = field(default_factory=lambda: FrozenDict({}))
+    membar_after_acquire: bool = True
+    membar_since_device_store: bool = True
+    window: WindowState = None
+    pending: FrozenSet[int] = frozenset()
+
+    # -- register accessors ----------------------------------------------------
+
+    def value_of(self, name: str) -> Value:
+        if name == "r0":
+            return 0
+        return self.regs.get(name, TOP)
+
+    def with_reg(self, name: str, value: Value) -> "ProtocolState":
+        if name == "r0":
+            return self  # hardwired zero; writes are discarded
+        mapping = dict(self.regs)
+        if value is TOP:
+            mapping.pop(name, None)
+        else:
+            mapping[name] = value
+        return replace(self, regs=FrozenDict(mapping))
+
+    def lock_state(self, addr: int) -> str:
+        return self.locks.get(addr, LOCK_FREE)
+
+    def with_lock(self, addr: int, state: str) -> "ProtocolState":
+        mapping = dict(self.locks)
+        mapping[addr] = state
+        return replace(self, locks=FrozenDict(mapping))
+
+    def any_lock_held(self) -> bool:
+        return any(v == LOCK_HELD for v in self.locks.values())
+
+
+class FrozenDict(dict):
+    """A dict that is hashable/immutable enough for dataclass equality.
+
+    Mutating methods are not blocked (the checker never calls them on a
+    state in flight — updates go through ``with_reg``/``with_lock`` which
+    copy), but equality is structural, which is all the worklist needs.
+    """
+
+    def __hash__(self) -> int:  # pragma: no cover - not used as dict keys
+        return hash(frozenset(self.items()))
+
+
+def join_values(left: Value, right: Value) -> Value:
+    if left == right:
+        return left
+    return TOP
+
+
+def join_states(left: ProtocolState, right: ProtocolState) -> ProtocolState:
+    regs: Dict[str, Value] = {}
+    for name in set(left.regs) & set(right.regs):
+        joined = join_values(left.regs[name], right.regs[name])
+        if joined is not TOP:
+            regs[name] = joined
+    locks: Dict[int, str] = {}
+    for addr in set(left.locks) | set(right.locks):
+        locks[addr] = join_lock(left.lock_state(addr), right.lock_state(addr))
+    return ProtocolState(
+        regs=FrozenDict(regs),
+        locks=FrozenDict(locks),
+        membar_after_acquire=(
+            left.membar_after_acquire and right.membar_after_acquire
+        ),
+        membar_since_device_store=(
+            left.membar_since_device_store and right.membar_since_device_store
+        ),
+        window=join_window(left.window, right.window),
+        pending=left.pending | right.pending,
+    )
+
+
+# -- constant folding ----------------------------------------------------------
+
+_ALU_FOLD = {
+    "add": lambda a, b: a + b,
+    "sub": lambda a, b: a - b,
+    "and": lambda a, b: a & b,
+    "or": lambda a, b: a | b,
+    "xor": lambda a, b: a ^ b,
+    "sll": lambda a, b: a << (b & 63),
+    "srl": lambda a, b: a >> (b & 63),
+    "mulx": lambda a, b: a * b,
+}
+
+
+def fold_alu(op: str, left: Value, right: Value) -> Value:
+    """Constant-fold an ALU op; ``or``/``add`` with zero propagate tags
+    (the assembler lowers ``mov`` to ``or rs, 0, rd``)."""
+    if op in ("or", "add"):
+        if right == 0:
+            return left
+        if left == 0:
+            return right
+    if isinstance(left, int) and isinstance(right, int):
+        fold = _ALU_FOLD.get(op)
+        if fold is not None:
+            return fold(left, right) & MASK64
+    return TOP

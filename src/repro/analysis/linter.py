@@ -1,0 +1,109 @@
+"""The lint driver: run every static check over one program.
+
+``lint_program`` builds the CFG, runs the structural checks and the
+protocol abstract interpretation, and returns deduplicated, deterministic
+:class:`~repro.analysis.findings.Finding` objects.  ``lint_source``
+assembles first, so call sites can lint the same kernel text they hand to
+the simulator.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.cfg import build_cfg
+from repro.analysis.dataflow import report_pass, solve
+from repro.analysis.findings import (
+    SEVERITY_ERROR,
+    SEVERITY_WARNING,
+    Finding,
+    sort_findings,
+)
+from repro.analysis.protocol import LintContext, ProtocolAnalysis
+from repro.analysis.structural import check_unreachable, check_use_before_def
+from repro.isa.assembler import assemble
+from repro.isa.disassembler import disassemble_instruction
+from repro.isa.program import Program
+
+#: Every rule the linter can emit, with its severity.  Protocol violations
+#: are errors (the simulated hardware will lose stores or deadlock);
+#: structural findings are warnings (suspicious, not necessarily fatal).
+RULES: Dict[str, str] = {
+    "lock.double-acquire": SEVERITY_ERROR,
+    "lock.release-without-acquire": SEVERITY_ERROR,
+    "lock.nonzero-store": SEVERITY_ERROR,
+    "lock.held-at-halt": SEVERITY_ERROR,
+    "membar.missing-after-acquire": SEVERITY_ERROR,
+    "membar.missing-before-release": SEVERITY_ERROR,
+    "csb.flush-empty": SEVERITY_ERROR,
+    "csb.store-outside-window": SEVERITY_ERROR,
+    "csb.flush-wrong-line": SEVERITY_ERROR,
+    "csb.expected-mismatch": SEVERITY_ERROR,
+    "csb.split-sequence": SEVERITY_ERROR,
+    "csb.no-retry": SEVERITY_ERROR,
+    "csb.unflushed-window": SEVERITY_ERROR,
+    "cfg.unreachable": SEVERITY_WARNING,
+    "reg.use-before-def": SEVERITY_WARNING,
+}
+
+#: Protocol re-solve bound: each round can only add newly discovered lock
+#: addresses, so this is a safety net, not a tuning knob.
+_MAX_LOCK_DISCOVERY_ROUNDS = 8
+
+
+def all_rules() -> List[str]:
+    """Stable catalog of rule ids (documented in docs/static_analysis.md)."""
+    return sorted(RULES)
+
+
+def lint_program(
+    program: Program,
+    context: Optional[LintContext] = None,
+    name: Optional[str] = None,
+) -> List[Finding]:
+    """Run every check over a finalized program; returns sorted findings."""
+    context = context or LintContext()
+    program_name = name if name is not None else program.name
+    cfg = build_cfg(program)
+
+    raw: Set[Tuple[str, int, str, str]] = set()
+
+    def report(rule: str, index: int, message: str, hint: str) -> None:
+        if rule not in RULES:
+            raise ValueError(f"unregistered lint rule {rule!r}")
+        raw.add((rule, index, message, hint))
+
+    check_unreachable(cfg, report)
+    check_use_before_def(cfg, report)
+
+    lock_addrs: Set[int] = set()
+    for _ in range(_MAX_LOCK_DISCOVERY_ROUNDS):
+        analysis = ProtocolAnalysis(context, lock_addrs)
+        in_states = solve(cfg, analysis)
+        if analysis.lock_addrs == lock_addrs:
+            break
+        lock_addrs = set(analysis.lock_addrs)
+    report_pass(cfg, analysis, in_states, report)
+
+    findings = [
+        Finding(
+            rule=rule,
+            severity=RULES[rule],
+            index=index,
+            instruction=disassemble_instruction(program[index]),
+            message=message,
+            hint=hint,
+            program=program_name,
+        )
+        for rule, index, message, hint in raw
+    ]
+    return sort_findings(findings)
+
+
+def lint_source(
+    source: str,
+    context: Optional[LintContext] = None,
+    name: str = "program",
+) -> List[Finding]:
+    """Assemble ``source`` and lint the resulting program."""
+    return lint_program(assemble(source, name=name), context=context, name=name)

@@ -1,0 +1,556 @@
+"""Protocol checks for CSB guest programs, as a forward abstract interpretation.
+
+The paper's conditional-store-buffer protocol is a *program-order*
+discipline (cf. Cohen & Schirmer's store-buffer reduction): lock acquires
+pair with releases, membars fence device access away from lock traffic,
+combining stores stay inside one aligned line window, and a conditional
+flush is checked and retried on conflict.  Each rule is expressed over the
+:class:`~repro.analysis.domain.ProtocolState` lattice and evaluated with
+the worklist engine, so spin loops, backoff arms, and other diamonds are
+handled soundly.
+
+Rule ids reported here (severity ``error``):
+
+``lock.double-acquire``
+    A swap-acquire targets a lock this path already holds.
+``lock.release-without-acquire``
+    A store releases a lock variable no path has acquired.
+``lock.nonzero-store``
+    A plain store writes a non-zero constant into a lock variable.
+``lock.held-at-halt``
+    Some path reaches halt with a lock still (possibly) held.
+``membar.missing-after-acquire``
+    A device store follows a lock acquire with no membar in between.
+``membar.missing-before-release``
+    A lock release follows a device store with no membar in between
+    (the paper's Figure 5 "wait" barrier).
+``csb.flush-empty``
+    A conditional flush executes with no combining store in flight.
+``csb.store-outside-window``
+    A combining store leaves the aligned line window opened by the
+    current sequence.
+``csb.flush-wrong-line``
+    The conditional flush targets a different line than the open window.
+``csb.expected-mismatch``
+    The flush's expected hit count differs from the number of stores
+    actually combined.
+``csb.split-sequence``
+    A plain-uncached store interleaves with an open combining sequence.
+``csb.no-retry``
+    A flush's success is never established on some path to halt (the
+    conflict path does not loop back to a retry).
+``csb.unflushed-window``
+    Halt is reachable with combining stores still sitting in the buffer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Optional, Set, Tuple
+
+from repro.analysis.cfg import BasicBlock, ControlFlowGraph
+from repro.analysis.dataflow import Analysis, Reporter
+from repro.analysis.domain import (
+    TOP,
+    WINDOW_TOP,
+    FlushCheck,
+    FlushResult,
+    LockCheck,
+    ProtocolState,
+    ScResult,
+    SwapResult,
+    Value,
+    Window,
+    fold_alu,
+    join_states,
+    LOCK_FREE,
+    LOCK_HELD,
+    LOCK_UNKNOWN,
+)
+from repro.isa.instructions import (
+    AluInstruction,
+    BlockStoreInstruction,
+    BranchInstruction,
+    CompareInstruction,
+    HaltInstruction,
+    Instruction,
+    LoadInstruction,
+    LoadLinkedInstruction,
+    MembarInstruction,
+    SetInstruction,
+    StoreConditionalInstruction,
+    StoreInstruction,
+    SwapInstruction,
+)
+from repro.isa.registers import ICC, MASK64
+from repro.memory.layout import AddressSpace, PageAttr, default_address_space
+
+
+@dataclass(frozen=True)
+class LintContext:
+    """Environment assumptions the checker verifies programs against.
+
+    ``line_size`` is the CSB combining-window size the program targets;
+    ``space`` is the physical memory map used to classify constant
+    addresses (defaults to the simulator's default layout).
+    """
+
+    line_size: int = 64
+    space: Optional[AddressSpace] = None
+
+    def resolve_space(self) -> AddressSpace:
+        return self.space if self.space is not None else default_address_space()
+
+
+class ProtocolAnalysis(Analysis[ProtocolState]):
+    """The transfer function implementing every protocol rule.
+
+    ``lock_addrs`` is the set of constant addresses observed as cached
+    ``swap``/``sc`` targets; it grows monotonically while solving, and the
+    driver re-solves until it is stable so release stores that appear
+    *before* the first textual acquire are still classified correctly.
+    """
+
+    def __init__(
+        self, context: LintContext, lock_addrs: Optional[Set[int]] = None
+    ) -> None:
+        self.context = context
+        self.space = context.resolve_space()
+        self.lock_addrs: Set[int] = set(lock_addrs or ())
+
+    # -- Analysis interface ----------------------------------------------------
+
+    def initial_state(self) -> ProtocolState:
+        return ProtocolState()
+
+    def join(self, left: ProtocolState, right: ProtocolState) -> ProtocolState:
+        return join_states(left, right)
+
+    def transfer(
+        self,
+        cfg: ControlFlowGraph,
+        block: BasicBlock,
+        state: ProtocolState,
+        report: Optional[Reporter] = None,
+    ) -> Dict[int, ProtocolState]:
+        program = cfg.program
+        for index, instruction in cfg.instructions(block):
+            if isinstance(instruction, BranchInstruction):
+                break  # always the last instruction of the block
+            state = self._step(index, instruction, state, report)
+        last = program[block.end - 1]
+        successors: Dict[int, ProtocolState] = {}
+        if isinstance(last, BranchInstruction):
+            taken_state, fall_state = self._refine(last, state)
+            taken = cfg.block_starting_at(program.target_of(last)).block_id
+            self._merge_edge(successors, taken, taken_state)
+            if last.op != "ba" and block.end < len(program):
+                self._merge_edge(successors, block.block_id + 1, fall_state)
+        elif isinstance(last, HaltInstruction):
+            pass  # end-state findings were reported by _step
+        elif block.end < len(program):
+            successors[block.block_id + 1] = state
+        return successors
+
+    def _merge_edge(
+        self,
+        successors: Dict[int, ProtocolState],
+        target: int,
+        state: ProtocolState,
+    ) -> None:
+        if target in successors:  # branch whose target is the fall-through
+            successors[target] = join_states(successors[target], state)
+        else:
+            successors[target] = state
+
+    # -- per-instruction transfer ----------------------------------------------
+
+    def _step(
+        self,
+        index: int,
+        instruction: Instruction,
+        state: ProtocolState,
+        report: Optional[Reporter],
+    ) -> ProtocolState:
+        if isinstance(instruction, SetInstruction):
+            return state.with_reg(instruction.rd, instruction.value & MASK64)
+        if isinstance(instruction, AluInstruction):
+            value = fold_alu(
+                instruction.op,
+                state.value_of(instruction.rs1),
+                self._operand(instruction.operand2, state),
+            )
+            return state.with_reg(instruction.rd, value)
+        if isinstance(instruction, CompareInstruction):
+            return state.with_reg(ICC, self._compare(instruction, state))
+        if isinstance(instruction, MembarInstruction):
+            return replace(
+                state, membar_after_acquire=True, membar_since_device_store=True
+            )
+        if isinstance(instruction, SwapInstruction):
+            return self._swap(index, instruction, state, report)
+        if isinstance(instruction, StoreConditionalInstruction):
+            return self._store_conditional(index, instruction, state, report)
+        if isinstance(instruction, LoadLinkedInstruction):
+            return state.with_reg(instruction.rd, TOP)
+        if isinstance(instruction, BlockStoreInstruction):
+            return self._store(index, instruction, TOP, state, report)
+        if isinstance(instruction, StoreInstruction):
+            value = state.value_of(instruction.rs)
+            return self._store(index, instruction, value, state, report)
+        if isinstance(instruction, LoadInstruction):
+            return state.with_reg(instruction.rd, TOP)
+        if isinstance(instruction, HaltInstruction):
+            self._check_halt(index, state, report)
+            return state
+        return state  # nop, mark
+
+    # -- operand/address helpers -----------------------------------------------
+
+    def _operand(self, operand, state: ProtocolState) -> Value:
+        if isinstance(operand, int):
+            return operand & MASK64
+        return state.value_of(operand)
+
+    def _address_of(self, instruction, state: ProtocolState) -> Optional[int]:
+        base = state.value_of(instruction.base)
+        offset = self._operand(instruction.offset, state)
+        if isinstance(base, int) and isinstance(offset, int):
+            return (base + offset) & MASK64
+        return None
+
+    def _classify(self, address: Optional[int]) -> Optional[PageAttr]:
+        if address is None:
+            return None
+        region = self.space.region_at(address)
+        return region.attr if region is not None else None
+
+    def _line_base(self, address: int) -> int:
+        return address & ~(self.context.line_size - 1)
+
+    # -- compare / branch refinement -------------------------------------------
+
+    def _compare(self, instruction: CompareInstruction, state: ProtocolState) -> Value:
+        left = state.value_of(instruction.rs1)
+        right = self._operand(instruction.operand2, state)
+        for a, b in ((left, right), (right, left)):
+            if isinstance(a, FlushResult) and isinstance(b, int):
+                if a.expected is not None and b == a.expected and b != 0:
+                    return FlushCheck(a.site, eq_means_success=True)
+                if b == 0:
+                    return FlushCheck(a.site, eq_means_success=False)
+                return TOP
+            if isinstance(a, SwapResult) and b == 0:
+                return LockCheck(a.lock_addr)
+        return TOP
+
+    def _refine(
+        self, branch: BranchInstruction, state: ProtocolState
+    ) -> Tuple[ProtocolState, ProtocolState]:
+        """(taken-edge state, fall-through state) after branch refinement."""
+        if branch.op in ("be", "bne"):
+            icc = state.value_of(ICC)
+            eq_state, ne_state = self._split_on_equality(icc, state)
+            if branch.op == "be":
+                return eq_state, ne_state
+            return ne_state, eq_state
+        if branch.op in ("brz", "brnz"):
+            assert branch.rs1 is not None
+            value = state.value_of(branch.rs1)
+            zero_state, nonzero_state = self._split_on_zero(value, state)
+            if branch.op == "brz":
+                return zero_state, nonzero_state
+            return nonzero_state, zero_state
+        return state, state
+
+    def _split_on_equality(
+        self, icc: Value, state: ProtocolState
+    ) -> Tuple[ProtocolState, ProtocolState]:
+        """(state-if-equal, state-if-not-equal)."""
+        if isinstance(icc, FlushCheck):
+            success = self._flush_success(icc.site, state)
+            failure = state
+            if icc.eq_means_success:
+                return success, failure
+            return failure, success
+        if isinstance(icc, LockCheck):
+            return (
+                self._acquired(icc.lock_addr, state),
+                self._not_acquired(icc.lock_addr, state),
+            )
+        return state, state
+
+    def _split_on_zero(
+        self, value: Value, state: ProtocolState
+    ) -> Tuple[ProtocolState, ProtocolState]:
+        """(state-if-zero, state-if-nonzero)."""
+        if isinstance(value, SwapResult):
+            # Old lock value zero <=> the lock was free <=> acquired.
+            return (
+                self._acquired(value.lock_addr, state),
+                self._not_acquired(value.lock_addr, state),
+            )
+        if isinstance(value, ScResult):
+            # sc result zero <=> the link broke <=> not acquired.
+            return (
+                self._not_acquired(value.lock_addr, state),
+                self._acquired(value.lock_addr, state),
+            )
+        if isinstance(value, FlushResult):
+            # Flush returns zero on conflict, the expected count on success.
+            return state, self._flush_success(value.site, state)
+        return state, state
+
+    def _acquired(self, addr: int, state: ProtocolState) -> ProtocolState:
+        return replace(
+            state.with_lock(addr, LOCK_HELD), membar_after_acquire=False
+        )
+
+    def _not_acquired(self, addr: int, state: ProtocolState) -> ProtocolState:
+        # A failed swap-acquire says someone holds the lock; it does not
+        # change whether *this* path holds it (it may, on a double acquire).
+        return state
+
+    def _flush_success(self, site: int, state: ProtocolState) -> ProtocolState:
+        return replace(state, pending=state.pending - {site})
+
+    # -- memory instructions -----------------------------------------------------
+
+    def _swap(
+        self,
+        index: int,
+        instruction: SwapInstruction,
+        state: ProtocolState,
+        report: Optional[Reporter],
+    ) -> ProtocolState:
+        address = self._address_of(instruction, state)
+        attr = self._classify(address)
+        if attr is PageAttr.UNCACHED_COMBINING:
+            return self._conditional_flush(index, instruction, address, state, report)
+        if attr is PageAttr.CACHED and address is not None:
+            pre = state.value_of(instruction.rd)
+            if pre == 0:
+                # Swapping in zero is an atomic release, not an acquire.
+                state = self._release(index, address, state, report)
+                return state.with_reg(instruction.rd, TOP)
+            self.lock_addrs.add(address)
+            if state.lock_state(address) == LOCK_HELD and report is not None:
+                report(
+                    "lock.double-acquire",
+                    index,
+                    f"acquire of lock 0x{address:x} while already held",
+                    "release the lock before re-acquiring; a swap spin "
+                    "loop on a held lock never exits",
+                )
+            return state.with_reg(instruction.rd, SwapResult(address))
+        if attr is PageAttr.UNCACHED:
+            state = self._plain_uncached_access(index, state, report)
+        return state.with_reg(instruction.rd, TOP)
+
+    def _store_conditional(
+        self,
+        index: int,
+        instruction: StoreConditionalInstruction,
+        state: ProtocolState,
+        report: Optional[Reporter],
+    ) -> ProtocolState:
+        address = self._address_of(instruction, state)
+        attr = self._classify(address)
+        if attr is PageAttr.CACHED and address is not None:
+            stored = state.value_of(instruction.rs)
+            if isinstance(stored, int) and stored != 0:
+                self.lock_addrs.add(address)
+                return state.with_reg(instruction.rd, ScResult(address))
+            if stored == 0 and address in self.lock_addrs:
+                state = self._release(index, address, state, report)
+        elif attr is PageAttr.UNCACHED:
+            state = self._plain_uncached_access(index, state, report)
+        return state.with_reg(instruction.rd, TOP)
+
+    def _store(
+        self,
+        index: int,
+        instruction,
+        value: Value,
+        state: ProtocolState,
+        report: Optional[Reporter],
+    ) -> ProtocolState:
+        address = self._address_of(instruction, state)
+        attr = self._classify(address)
+        if attr is PageAttr.UNCACHED_COMBINING:
+            return self._combining_store(index, address, state, report)
+        if attr is PageAttr.UNCACHED:
+            return self._plain_uncached_access(index, state, report)
+        if attr is PageAttr.CACHED and address in self.lock_addrs:
+            if isinstance(value, int) and value != 0:
+                if report is not None:
+                    report(
+                        "lock.nonzero-store",
+                        index,
+                        f"store of non-zero constant {value} into lock "
+                        f"0x{address:x}",
+                        "only the acquire swap may write non-zero into a "
+                        "lock variable; a release stores zero",
+                    )
+                return state
+            assert address is not None
+            return self._release(index, address, state, report)
+        return state
+
+    def _release(
+        self,
+        index: int,
+        address: int,
+        state: ProtocolState,
+        report: Optional[Reporter],
+    ) -> ProtocolState:
+        if report is not None:
+            if state.lock_state(address) == LOCK_FREE:
+                report(
+                    "lock.release-without-acquire",
+                    index,
+                    f"release of lock 0x{address:x} that no path has acquired",
+                    "acquire the lock with a checked swap before releasing",
+                )
+            if not state.membar_since_device_store:
+                report(
+                    "membar.missing-before-release",
+                    index,
+                    f"release of lock 0x{address:x} without a membar after "
+                    "the last device store",
+                    "insert a membar so the release is observed only after "
+                    "the last uncached transaction left the buffer "
+                    "(paper Figure 5)",
+                )
+        return state.with_lock(address, LOCK_FREE)
+
+    def _plain_uncached_access(
+        self, index: int, state: ProtocolState, report: Optional[Reporter]
+    ) -> ProtocolState:
+        if report is not None:
+            if isinstance(state.window, Window):
+                report(
+                    "csb.split-sequence",
+                    index,
+                    "plain-uncached store interleaved with an open "
+                    "combining sequence",
+                    "finish the combining sequence with its conditional "
+                    "flush before touching non-combining device space",
+                )
+            if state.any_lock_held() and not state.membar_after_acquire:
+                report(
+                    "membar.missing-after-acquire",
+                    index,
+                    "device store under a lock with no membar since the "
+                    "acquire",
+                    "place a membar between the lock acquire and the first "
+                    "uncached device access",
+                )
+        return replace(state, membar_since_device_store=False)
+
+    def _combining_store(
+        self,
+        index: int,
+        address: Optional[int],
+        state: ProtocolState,
+        report: Optional[Reporter],
+    ) -> ProtocolState:
+        window = state.window
+        if address is None:
+            return replace(state, window=WINDOW_TOP)
+        line = self._line_base(address)
+        if window is None:
+            return replace(state, window=Window(line, 1, index))
+        if isinstance(window, Window):
+            if window.base == line:
+                return replace(
+                    state, window=Window(line, window.count + 1, window.opened_at)
+                )
+            if report is not None:
+                report(
+                    "csb.store-outside-window",
+                    index,
+                    f"combining store to line 0x{line:x} while the window "
+                    f"at 0x{window.base:x} is open",
+                    "keep a combining sequence inside one aligned "
+                    f"{self.context.line_size}-byte line and flush it "
+                    "before starting the next",
+                )
+            return replace(state, window=Window(line, 1, index))
+        return state  # WINDOW_TOP stays unknown
+
+    def _conditional_flush(
+        self,
+        index: int,
+        instruction: SwapInstruction,
+        address: Optional[int],
+        state: ProtocolState,
+        report: Optional[Reporter],
+    ) -> ProtocolState:
+        window = state.window
+        expected = state.value_of(instruction.rd)
+        if report is not None:
+            if window is None:
+                report(
+                    "csb.flush-empty",
+                    index,
+                    "conditional flush with no combining store in flight",
+                    "issue the combining stores before the flush; an empty "
+                    "flush always reports a conflict",
+                )
+            elif isinstance(window, Window):
+                if address is not None and self._line_base(address) != window.base:
+                    report(
+                        "csb.flush-wrong-line",
+                        index,
+                        f"flush targets 0x{address:x} but the open window "
+                        f"is at 0x{window.base:x}",
+                        "flush the same line the combining stores wrote",
+                    )
+                if isinstance(expected, int) and expected != window.count:
+                    report(
+                        "csb.expected-mismatch",
+                        index,
+                        f"flush expects hit count {expected} but the window "
+                        f"holds {window.count} store(s)",
+                        "the swap source must equal the number of combining "
+                        "stores since the window opened",
+                    )
+        expected_const = expected if isinstance(expected, int) else None
+        state = replace(state, window=None, pending=state.pending | {index})
+        return state.with_reg(instruction.rd, FlushResult(index, expected_const))
+
+    # -- end-state checks --------------------------------------------------------
+
+    def _check_halt(
+        self, index: int, state: ProtocolState, report: Optional[Reporter]
+    ) -> None:
+        if report is None:
+            return
+        for address in sorted(state.locks):
+            lock_state = state.locks[address]
+            if lock_state in (LOCK_HELD, LOCK_UNKNOWN):
+                qualifier = "" if lock_state == LOCK_HELD else "may be "
+                report(
+                    "lock.held-at-halt",
+                    index,
+                    f"lock 0x{address:x} {qualifier}still held at halt",
+                    "release the lock on every path, including error paths",
+                )
+        for site in sorted(state.pending):
+            report(
+                "csb.no-retry",
+                site,
+                "conditional flush success is never established on some "
+                f"path to halt (instruction {index})",
+                "check the flush result and loop back to re-issue the "
+                "stores on conflict (paper §3.2 retry idiom)",
+            )
+        if isinstance(state.window, Window):
+            report(
+                "csb.unflushed-window",
+                state.window.opened_at,
+                "combining stores are never flushed on some path to halt "
+                f"(instruction {index})",
+                "commit the sequence with a conditional flush before halt",
+            )

@@ -1,0 +1,155 @@
+"""Registry of every shipped workload/program builder for the lint gate.
+
+``iter_lint_targets`` enumerates each kernel generator across a sweep of
+its parameter space — the same spans the evaluation experiments and the
+examples use — paired with the :class:`~repro.analysis.protocol.LintContext`
+(combining-line size, address map) the program is generated for.  CI runs
+``csb-figures lint`` over this registry and fails on any finding, so a
+protocol regression in a generator is caught before a single simulation
+runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List
+
+from repro.analysis.protocol import LintContext
+from repro.memory.layout import (
+    DRAM_BASE,
+    IO_COMBINING_BASE,
+    IO_UNCACHED_BASE,
+)
+from repro.workloads.blockstore import (
+    blockstore_kernel,
+    blockstore_marshalled_kernel,
+)
+from repro.workloads.contention import contending_csb_kernel
+from repro.workloads.lockbench import csb_access_kernel, locked_access_kernel
+from repro.workloads.messaging import (
+    csb_send_kernel,
+    dma_send_kernel,
+    pio_send_kernel,
+)
+from repro.workloads.pingpong import SEND_METHODS, ping_kernel, pong_kernel
+from repro.workloads.storebw import (
+    TRANSFER_SIZES,
+    store_kernel_csb,
+    store_kernel_uncached,
+)
+
+#: CSB line sizes the figure panels sweep the store-bandwidth kernel over.
+STOREBW_LINE_SIZES = (64, 128)
+
+#: Doubleword counts of the Figure 5 atomic-access sweep (1..8).
+ACCESS_DOUBLEWORDS = tuple(range(1, 9))
+
+#: Message payloads (bytes) used by the messaging examples.
+MESSAGE_PAYLOADS = (8, 16, 32, 64)
+
+#: DMA engine register block (inside plain-uncached device space).
+DMA_BASE = IO_UNCACHED_BASE + 0x10000
+
+#: DMA source buffer (cached DRAM).
+DMA_SRC = DRAM_BASE + 0x4000
+
+
+@dataclass(frozen=True)
+class LintTarget:
+    """One program to lint: a name, its assembly text, and its context."""
+
+    name: str
+    source: str
+    context: LintContext = field(default_factory=LintContext)
+
+
+def _storebw_targets() -> Iterator[LintTarget]:
+    for size in TRANSFER_SIZES:
+        yield LintTarget(
+            f"storebw-uncached-{size}B", store_kernel_uncached(size)
+        )
+    for line_size in STOREBW_LINE_SIZES:
+        context = LintContext(line_size=line_size)
+        for size in TRANSFER_SIZES:
+            for interleave in (False, True):
+                suffix = "-interleaved" if interleave else ""
+                yield LintTarget(
+                    f"storebw-csb-{size}B-line{line_size}{suffix}",
+                    store_kernel_csb(size, line_size, interleave=interleave),
+                    context,
+                )
+
+
+def _lockbench_targets() -> Iterator[LintTarget]:
+    for n in ACCESS_DOUBLEWORDS:
+        yield LintTarget(f"locked-access-{n}dw", locked_access_kernel(n))
+        yield LintTarget(f"csb-access-{n}dw", csb_access_kernel(n))
+
+
+def _llsc_targets() -> Iterator[LintTarget]:
+    from repro.evaluation.sync_mechanisms import llsc_access_kernel
+
+    for n in (2, 4, 8):
+        yield LintTarget(f"llsc-access-{n}dw", llsc_access_kernel(n))
+
+
+def _messaging_targets() -> Iterator[LintTarget]:
+    for payload in MESSAGE_PAYLOADS:
+        yield LintTarget(
+            f"pio-send-{payload}B",
+            pio_send_kernel(payload, IO_UNCACHED_BASE),
+        )
+        yield LintTarget(
+            f"csb-send-{payload}B",
+            csb_send_kernel(payload, IO_COMBINING_BASE),
+        )
+    for payload in (8, 64, 256):
+        yield LintTarget(
+            f"dma-send-{payload}B",
+            dma_send_kernel(DMA_SRC, payload, DMA_BASE),
+        )
+
+
+def _contention_targets() -> Iterator[LintTarget]:
+    for backoff in (False, True):
+        for n in (1, 4, 8):
+            suffix = "-backoff" if backoff else ""
+            yield LintTarget(
+                f"contention-{n}dw{suffix}",
+                contending_csb_kernel(
+                    3, IO_COMBINING_BASE, n_doublewords=n, backoff=backoff
+                ),
+            )
+
+
+def _pingpong_targets() -> Iterator[LintTarget]:
+    for method in SEND_METHODS:
+        for payload in (1, 4, 8):
+            yield LintTarget(
+                f"ping-{method}-{payload}dw",
+                ping_kernel(method, payload, IO_UNCACHED_BASE, IO_COMBINING_BASE),
+            )
+            yield LintTarget(
+                f"pong-{method}-{payload}dw",
+                pong_kernel(method, payload, IO_UNCACHED_BASE, IO_COMBINING_BASE),
+            )
+
+
+def _blockstore_targets() -> Iterator[LintTarget]:
+    yield LintTarget("blockstore", blockstore_kernel())
+    yield LintTarget("blockstore-marshalled", blockstore_marshalled_kernel())
+
+
+def iter_lint_targets() -> Iterator[LintTarget]:
+    """Every shipped kernel, across its parameter space, in stable order."""
+    yield from _storebw_targets()
+    yield from _lockbench_targets()
+    yield from _llsc_targets()
+    yield from _messaging_targets()
+    yield from _contention_targets()
+    yield from _pingpong_targets()
+    yield from _blockstore_targets()
+
+
+def lint_targets() -> List[LintTarget]:
+    return list(iter_lint_targets())

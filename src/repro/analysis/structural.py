@@ -1,0 +1,120 @@
+"""Structural checks: unreachable code and use-before-def of registers.
+
+Rule ids reported here (severity ``warning``):
+
+``cfg.unreachable``
+    A basic block no path from the entry can reach (dead code after an
+    unconditional branch or halt, or an orphaned label).
+``reg.use-before-def``
+    A register the program itself defines somewhere is read on some path
+    before any definition reaches it.  Registers a program only ever
+    *reads* are treated as inputs — kernels legitimately consume payload
+    registers preloaded by the harness (``ProcessContext.set_register``),
+    and every register is architecturally zero at process start.  But when
+    the program does write a register, a read that a definition does not
+    dominate is almost always a misordered initialization.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Set
+
+from repro.analysis.cfg import BasicBlock, ControlFlowGraph
+from repro.analysis.dataflow import Analysis, Reporter, report_pass, solve
+from repro.isa.instructions import BranchInstruction, HaltInstruction
+from repro.isa.program import Program
+from repro.isa.registers import register_names
+
+
+def check_unreachable(cfg: ControlFlowGraph, report: Reporter) -> None:
+    """Report every basic block the entry cannot reach."""
+    reachable = cfg.reachable()
+    for block in cfg.blocks:
+        if block.block_id not in reachable:
+            report(
+                "cfg.unreachable",
+                block.start,
+                f"unreachable code ({len(block)} instruction(s))",
+                "remove the dead instructions or add a branch that "
+                "reaches them",
+            )
+
+
+class DefinedRegisters(Analysis[FrozenSet[str]]):
+    """Forward must-analysis of definitely-defined registers.
+
+    The state is the set of registers a definition definitely reaches;
+    joins intersect (a register is defined only if it is defined on every
+    incoming path).  The entry state contains ``r0`` plus every register
+    the program never writes (those are inputs).
+    """
+
+    def __init__(self, program: Program) -> None:
+        written: Set[str] = set()
+        for instruction in program:
+            destination = instruction.destination()
+            if destination is not None:
+                written.add(destination)
+        inputs = set(register_names()) - written
+        inputs.add("r0")
+        self._entry: FrozenSet[str] = frozenset(inputs)
+
+    def initial_state(self) -> FrozenSet[str]:
+        return self._entry
+
+    def join(self, left: FrozenSet[str], right: FrozenSet[str]) -> FrozenSet[str]:
+        return left & right
+
+    def transfer(
+        self,
+        cfg: ControlFlowGraph,
+        block: BasicBlock,
+        state: FrozenSet[str],
+        report: Optional[Reporter] = None,
+    ) -> Dict[int, FrozenSet[str]]:
+        defined = set(state)
+        for index, instruction in cfg.instructions(block):
+            if report is not None:
+                undefined = [
+                    name
+                    for name in instruction.sources()
+                    if name not in defined
+                ]
+                for name in undefined:
+                    report(
+                        "reg.use-before-def",
+                        index,
+                        f"register %{name} is read before any definition "
+                        "reaches it",
+                        f"initialize %{name} on every path before this "
+                        "instruction (the program writes it elsewhere, so "
+                        "it is not a harness-provided input)",
+                    )
+            destination = instruction.destination()
+            if destination is not None:
+                defined.add(destination)
+        out = frozenset(defined)
+        last = cfg.program[block.end - 1]
+        successors: Dict[int, FrozenSet[str]] = {}
+        if isinstance(last, BranchInstruction):
+            taken = cfg.block_starting_at(
+                cfg.program.target_of(last)
+            ).block_id
+            successors[taken] = out
+            if last.op != "ba" and block.end < len(cfg.program):
+                successors[block.block_id + 1] = out
+        elif not isinstance(last, HaltInstruction) and block.end < len(
+            cfg.program
+        ):
+            successors[block.block_id + 1] = out
+        return successors
+
+
+def check_use_before_def(cfg: ControlFlowGraph, report: Reporter) -> None:
+    """Run the defined-registers analysis and report offending reads."""
+    analysis = DefinedRegisters(cfg.program)
+    in_states = solve(cfg, analysis)
+    report_pass(cfg, analysis, in_states, report)
+
+
+STRUCTURAL_RULES: List[str] = ["cfg.unreachable", "reg.use-before-def"]

@@ -48,7 +48,6 @@ from repro.isa.instructions import (
     BranchInstruction,
     CompareInstruction,
     FU_FP,
-    Instruction,
     LoadInstruction,
     LoadLinkedInstruction,
     SetInstruction,
@@ -56,7 +55,6 @@ from repro.isa.instructions import (
     StoreInstruction,
     SwapInstruction,
 )
-from repro.isa.registers import is_fp_register
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.memory.layout import PageAttr
 from repro.memory.tlb import AttributeTLB

@@ -21,7 +21,7 @@ Each function isolates one knob:
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Iterable, List, Optional
+from typing import Iterable, Optional
 
 from repro.common.config import CSBConfig, SystemConfig, UncachedBufferConfig
 from repro.common.stats import StatsCollector
@@ -35,7 +35,7 @@ from repro.evaluation.runner import (
     default_runner,
     execute_job,
 )
-from repro.workloads.storebw import store_kernel_csb, store_kernel_uncached
+from repro.workloads.storebw import store_kernel_csb
 
 _SIZES = (16, 32, 64, 128, 256, 512, 1024)
 

@@ -8,6 +8,7 @@ Examples::
     csb-figures --all --check expected_results --no-cache
     csb-figures fig3c --trace-events trace.jsonl --metrics-out metrics.json
     csb-figures profile fig3c
+    csb-figures lint --format json
 
 Sweeps fan out over ``--jobs`` worker processes and reuse a
 content-addressed result cache under ``--cache-dir`` (disable with
@@ -21,6 +22,10 @@ serially (sinks cannot be fed from the cache), but the printed tables
 are byte-identical — tracing is passive.  The ``profile`` subcommand
 reruns one representative point per scheme of a figure experiment and
 prints a bus-cycle accounting table (see docs/observability.md).
+
+The ``lint`` subcommand statically checks every registered workload
+kernel against the CSB protocol rules and exits non-zero on any finding
+(see docs/static_analysis.md).
 """
 
 from __future__ import annotations
@@ -215,10 +220,89 @@ def _profile_main(argv: List[str]) -> int:
     return 0
 
 
+def _lint_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="csb-figures lint",
+        description=(
+            "Statically check every registered workload kernel, across "
+            "its parameter sweep, against the CSB protocol rules "
+            "(lock discipline, membar placement, combining windows, "
+            "conditional-flush retry).  Exits 1 on any finding."
+        ),
+    )
+    parser.add_argument(
+        "targets",
+        nargs="*",
+        metavar="NAME",
+        help=(
+            "only lint targets whose name contains NAME "
+            "(default: every registered target)"
+        ),
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default text)",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list target names and exit"
+    )
+    parser.add_argument(
+        "--rules", action="store_true", help="list rule ids and exit"
+    )
+    return parser
+
+
+def _lint_main(argv: List[str]) -> int:
+    from repro.analysis import (
+        all_rules,
+        findings_to_json,
+        iter_lint_targets,
+        lint_source,
+    )
+
+    args = _lint_parser().parse_args(argv)
+    if args.rules:
+        for rule in all_rules():
+            print(rule)
+        return 0
+    targets = [
+        target
+        for target in iter_lint_targets()
+        if not args.targets
+        or any(pattern in target.name for pattern in args.targets)
+    ]
+    if args.list:
+        for target in targets:
+            print(target.name)
+        return 0
+    if not targets:
+        print("error: no lint targets match", file=sys.stderr)
+        return 2
+    findings = []
+    for target in targets:
+        findings.extend(
+            lint_source(target.source, context=target.context, name=target.name)
+        )
+    if args.format == "json":
+        print(findings_to_json(findings))
+    else:
+        for finding in findings:
+            print(finding.render())
+        print(
+            f"[{len(targets)} programs linted, {len(findings)} finding(s)]",
+            file=sys.stderr,
+        )
+    return 1 if findings else 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "profile":
         return _profile_main(argv[1:])
+    if argv and argv[0] == "lint":
+        return _lint_main(argv[1:])
     args = _parser().parse_args(argv)
     ids = experiment_ids()
     if args.list:

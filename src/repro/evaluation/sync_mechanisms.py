@@ -14,7 +14,6 @@ lock whose store-conditional broadcasts on the bus, and the lock-free CSB.
 
 from __future__ import annotations
 
-from dataclasses import replace
 from typing import Iterable, List
 
 from repro.common.config import (

@@ -8,7 +8,7 @@ round-trips.  The output re-assembles to a structurally identical program
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.common.errors import ReproError
 from repro.isa.instructions import (
@@ -54,7 +54,9 @@ def _memref(base: str, offset) -> str:
 
 
 def disassemble_instruction(
-    instruction: Instruction, labels: Dict[int, str] = None, target: int = None
+    instruction: Instruction,
+    labels: Optional[Dict[int, str]] = None,
+    target: Optional[int] = None,
 ) -> str:
     """Render one instruction.  Branches need their resolved ``target``
     index and the ``labels`` map to name it."""

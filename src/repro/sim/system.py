@@ -6,8 +6,6 @@ with the bus ticking once every ``cpu_ratio`` CPU cycles.
 
 from __future__ import annotations
 
-import warnings
-from dataclasses import replace
 from typing import List, Optional
 
 from repro.common.config import SystemConfig
@@ -31,11 +29,6 @@ from repro.uncached.buffer import UncachedBuffer
 from repro.uncached.csb import ConditionalStoreBuffer
 from repro.uncached.unit import UncachedUnit
 
-#: Marks a deprecated System keyword argument as not passed, so explicit
-#: ``None`` (a legal quantum) stays distinguishable from "not given".
-_UNSET = object()
-
-
 class System:
     """A complete simulated machine.
 
@@ -51,32 +44,8 @@ class System:
         self,
         config: Optional[SystemConfig] = None,
         space: Optional[AddressSpace] = None,
-        quantum=_UNSET,
-        switch_penalty=_UNSET,
-        bus_read_latency=_UNSET,
-        trace=_UNSET,
     ) -> None:
-        config = config or SystemConfig()
-        overrides = {
-            name: value
-            for name, value in (
-                ("quantum", quantum),
-                ("switch_penalty", switch_penalty),
-                ("bus_read_latency", bus_read_latency),
-                ("trace", trace),
-            )
-            if value is not _UNSET
-        }
-        if overrides:
-            warnings.warn(
-                f"System({', '.join(sorted(overrides))}=...) keyword "
-                "arguments are deprecated; set the equivalent SystemConfig "
-                "fields instead (they will be removed next release)",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-            config = replace(config, **overrides)
-        self.config = config
+        self.config = config or SystemConfig()
         self.stats = StatsCollector()
         self.backing = BackingStore()
         self.space = space or default_address_space()

@@ -17,7 +17,7 @@ numbers), preserving strong ordering across the two paths.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, List, Tuple
 
 from repro.common.config import CSBConfig
 from repro.common.errors import SimulationError

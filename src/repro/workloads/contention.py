@@ -24,6 +24,7 @@ def contending_csb_kernel(
     signature: int = 0,
     backoff: bool = False,
     backoff_cap: int = 256,
+    line_size: int = 64,
 ) -> str:
     """``iterations`` flush sequences of ``n_doublewords`` stores to ``base``.
 
@@ -40,6 +41,12 @@ def contending_csb_kernel(
         raise ConfigError("iterations must be >= 1")
     if n_doublewords < 1:
         raise ConfigError("need at least one store per sequence")
+    if n_doublewords * DOUBLEWORD > line_size:
+        raise ConfigError(
+            f"{n_doublewords} doublewords do not fit one {line_size}-byte "
+            "combining line; stores past the line would conflict with the "
+            "sequence's own window and be dropped"
+        )
     lines: List[str] = [
         f"set {base}, %o1",
         f"set {iterations}, %l7",

@@ -65,13 +65,24 @@ def pio_send_kernel(
     return "\n".join(lines)
 
 
-def csb_send_kernel(payload_bytes: int, nic_fifo_base: int) -> str:
+def csb_send_kernel(
+    payload_bytes: int, nic_fifo_base: int, line_size: int = 64
+) -> str:
     """Lock-free CSB send: the flushed line IS the packet (inline send).
 
     ``nic_fifo_base`` must be the (line-aligned) TX FIFO window of a NIC
-    mapped in uncached-combining space.
+    mapped in uncached-combining space.  The payload must fit one
+    ``line_size``-byte combining line — the CSB combines exactly one
+    aligned line, so a larger packet would walk out of its own window
+    and lose stores.
     """
     _check_payload(payload_bytes)
+    if payload_bytes > line_size:
+        raise ConfigError(
+            f"{payload_bytes}-byte payload does not fit one "
+            f"{line_size}-byte combining line; split the packet into "
+            "per-line sends or use the DMA path"
+        )
     n = payload_bytes // DOUBLEWORD
     lines: List[str] = [
         f"mark {MARK_START}",

@@ -1,0 +1,27 @@
+"""Shared helpers for the static-analysis tests.
+
+Address constants follow the default memory map: cached DRAM at 0x0,
+plain-uncached device space at 0x2000_0000, uncached-combining (CSB)
+space at 0x3000_0000.  ``rules_at`` collapses a findings list to
+``(rule, index)`` pairs so violating-program tests can pin both the rule
+id and the instruction it anchors to.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.analysis import Finding
+from repro.memory.layout import DRAM_BASE, IO_COMBINING_BASE, IO_UNCACHED_BASE
+
+LOCK = DRAM_BASE + 0x8000
+DEVICE = IO_UNCACHED_BASE
+CSB = IO_COMBINING_BASE
+
+
+def rules_at(findings: List[Finding]) -> List[Tuple[str, int]]:
+    return [(finding.rule, finding.index) for finding in findings]
+
+
+def rules_of(findings: List[Finding]) -> List[str]:
+    return [finding.rule for finding in findings]

@@ -1,0 +1,97 @@
+"""CFG construction: leaders, edges, reachability."""
+
+import pytest
+
+from repro.analysis import build_cfg
+from repro.analysis.cfg import CfgError, fallthrough_successor, taken_successor
+from repro.isa.assembler import assemble
+from repro.isa.program import Program
+from repro.workloads.lockbench import locked_access_kernel
+
+
+def cfg_of(source):
+    return build_cfg(assemble(source))
+
+
+class TestBlocks:
+    def test_straight_line_program_is_one_block(self):
+        cfg = cfg_of("set 1, %l0\nadd %l0, 1, %l1\nhalt")
+        assert len(cfg) == 1
+        assert (cfg.entry.start, cfg.entry.end) == (0, 3)
+        assert cfg.entry.successors == []
+
+    def test_branch_splits_blocks_at_target_and_fallthrough(self):
+        cfg = cfg_of(
+            """
+            set 1, %l0
+            .LOOP: add %l0, 1, %l0
+            cmp %l0, 5
+            bne .LOOP
+            halt
+            """
+        )
+        # Blocks: [0,1) entry, [1,4) loop body, [4,5) halt.
+        assert [(b.start, b.end) for b in cfg.blocks] == [(0, 1), (1, 4), (4, 5)]
+        loop = cfg.blocks[1]
+        assert sorted(loop.successors) == [1, 2]
+        assert 1 in loop.predecessors
+
+    def test_ba_has_only_the_taken_edge(self):
+        cfg = cfg_of(
+            """
+            set 1, %l0
+            ba .END
+            set 2, %l1
+            .END: halt
+            """
+        )
+        branch_block = cfg.blocks[0]
+        assert branch_block.successors == [2]
+        assert fallthrough_successor(cfg, branch_block) is None
+        assert taken_successor(cfg, branch_block) == 2
+
+    def test_conditional_branch_has_both_edges(self):
+        cfg = cfg_of(
+            """
+            set 1, %l0
+            cmp %l0, 1
+            be .END
+            set 2, %l1
+            .END: halt
+            """
+        )
+        branch_block = cfg.blocks[0]
+        assert taken_successor(cfg, branch_block) == 2
+        assert fallthrough_successor(cfg, branch_block) == 1
+
+    def test_halt_terminates_a_block_with_no_successors(self):
+        cfg = cfg_of("set 1, %l0\nhalt\nset 2, %l1\nhalt")
+        assert cfg.blocks[0].successors == []
+        assert cfg.blocks[1].predecessors == []
+
+
+class TestReachability:
+    def test_dead_block_is_unreachable(self):
+        cfg = cfg_of("set 1, %l0\nhalt\nset 2, %l1\nhalt")
+        assert cfg.reachable() == {0}
+
+    def test_loop_back_edges_do_not_hide_blocks(self):
+        cfg = build_cfg(assemble(locked_access_kernel(2)))
+        assert cfg.reachable() == {b.block_id for b in cfg.blocks}
+
+
+class TestInvariants:
+    def test_unfinalized_program_is_rejected(self):
+        program = Program("p")
+        with pytest.raises(CfgError):
+            build_cfg(program)
+
+    def test_block_starting_at_mid_block_index_is_an_error(self):
+        cfg = cfg_of("set 1, %l0\nadd %l0, 1, %l1\nhalt")
+        with pytest.raises(CfgError):
+            cfg.block_starting_at(1)
+
+    def test_instructions_yield_program_order_pairs(self):
+        cfg = cfg_of("set 1, %l0\nadd %l0, 1, %l1\nhalt")
+        indices = [index for index, _ in cfg.instructions(cfg.entry)]
+        assert indices == [0, 1, 2]

@@ -1,0 +1,68 @@
+"""The ``csb-figures lint`` subcommand: exit codes and output formats."""
+
+import json
+
+from repro.analysis.protocol import LintContext
+from repro.analysis.registry import LintTarget
+from repro.evaluation.cli import main
+
+from tests.analysis.helpers import CSB
+
+
+VIOLATING = LintTarget(
+    name="violating-kernel",
+    source=f"set {CSB}, %o1\nstx %l0, [%o1]\nhalt",
+    context=LintContext(),
+)
+
+
+def test_clean_registry_exits_zero(capsys):
+    assert main(["lint"]) == 0
+    captured = capsys.readouterr()
+    assert "0 finding(s)" in captured.err
+
+
+def test_json_format_is_parseable_and_empty_when_clean(capsys):
+    assert main(["lint", "--format", "json"]) == 0
+    assert json.loads(capsys.readouterr().out) == []
+
+
+def test_findings_force_nonzero_exit(monkeypatch, capsys):
+    import repro.analysis
+
+    monkeypatch.setattr(
+        repro.analysis, "iter_lint_targets", lambda: iter([VIOLATING])
+    )
+    assert main(["lint"]) == 1
+    captured = capsys.readouterr()
+    assert "csb.unflushed-window" in captured.out
+
+
+def test_json_format_carries_the_finding(monkeypatch, capsys):
+    import repro.analysis
+
+    monkeypatch.setattr(
+        repro.analysis, "iter_lint_targets", lambda: iter([VIOLATING])
+    )
+    assert main(["lint", "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert [f["rule"] for f in payload] == ["csb.unflushed-window"]
+    assert payload[0]["program"] == "violating-kernel"
+    assert payload[0]["index"] == 1
+
+
+def test_name_filter_narrows_targets(capsys):
+    assert main(["lint", "blockstore", "--list"]) == 0
+    names = capsys.readouterr().out.split()
+    assert names == ["blockstore", "blockstore-marshalled"]
+
+
+def test_unmatched_filter_is_an_error(capsys):
+    assert main(["lint", "no-such-kernel"]) == 2
+
+
+def test_rules_listing_matches_catalog(capsys):
+    from repro.analysis import all_rules
+
+    assert main(["lint", "--rules"]) == 0
+    assert capsys.readouterr().out.split() == all_rules()

@@ -1,0 +1,188 @@
+"""Combining-window and conditional-flush rules."""
+
+from repro.analysis import LintContext, lint_source
+from repro.workloads.contention import contending_csb_kernel
+from repro.workloads.messaging import csb_send_kernel
+from repro.workloads.storebw import store_kernel_csb
+
+from tests.analysis.helpers import CSB, DEVICE, rules_at, rules_of
+
+
+class TestFlushEmpty:
+    def test_flush_with_no_store_in_flight_fires(self):
+        findings = lint_source(
+            f"""
+            set {CSB}, %o1
+            .R: set 1, %l4
+            swap [%o1], %l4
+            cmp %l4, 1
+            bnz .R
+            halt
+            """
+        )
+        assert ("csb.flush-empty", 2) in rules_at(findings)
+
+    def test_store_then_flush_is_clean(self):
+        findings = lint_source(
+            f"""
+            set {CSB}, %o1
+            .R: set 1, %l4
+            stx %l0, [%o1]
+            swap [%o1], %l4
+            cmp %l4, 1
+            bnz .R
+            halt
+            """
+        )
+        assert findings == []
+
+
+class TestStoreOutsideWindow:
+    def test_store_past_the_open_line_fires(self):
+        findings = lint_source(
+            f"""
+            set {CSB}, %o1
+            .R: set 2, %l4
+            stx %l0, [%o1]
+            stx %l0, [%o1+64]
+            swap [%o1], %l4
+            cmp %l4, 2
+            bnz .R
+            halt
+            """
+        )
+        assert ("csb.store-outside-window", 3) in rules_at(findings)
+
+    def test_wider_context_line_accepts_the_same_stores(self):
+        # The identical store pair fits one 128-byte line.
+        findings = lint_source(
+            f"""
+            set {CSB}, %o1
+            .R: set 2, %l4
+            stx %l0, [%o1]
+            stx %l0, [%o1+64]
+            swap [%o1], %l4
+            cmp %l4, 2
+            bnz .R
+            halt
+            """,
+            context=LintContext(line_size=128),
+        )
+        assert findings == []
+
+    def test_shipped_csb_store_kernel_stays_in_window(self):
+        for line_size in (64, 128):
+            findings = lint_source(
+                store_kernel_csb(256, line_size),
+                context=LintContext(line_size=line_size),
+            )
+            assert findings == []
+
+
+class TestFlushWrongLine:
+    def test_flush_of_a_different_line_fires(self):
+        findings = lint_source(
+            f"""
+            set {CSB}, %o1
+            .R: set 1, %l4
+            stx %l0, [%o1]
+            swap [%o1+64], %l4
+            cmp %l4, 1
+            bnz .R
+            halt
+            """
+        )
+        assert ("csb.flush-wrong-line", 3) in rules_at(findings)
+
+
+class TestExpectedMismatch:
+    def test_wrong_expected_count_fires(self):
+        findings = lint_source(
+            f"""
+            set {CSB}, %o1
+            .R: set 3, %l4
+            stx %l0, [%o1]
+            stx %l0, [%o1+8]
+            swap [%o1], %l4
+            cmp %l4, 3
+            bnz .R
+            halt
+            """
+        )
+        assert rules_at(findings) == [("csb.expected-mismatch", 4)]
+
+    def test_matching_count_is_clean(self):
+        findings = lint_source(csb_send_kernel(16, CSB))
+        assert findings == []
+
+
+class TestSplitSequence:
+    def test_interleaved_plain_uncached_store_fires(self):
+        findings = lint_source(
+            f"""
+            set {CSB}, %o1
+            set {DEVICE}, %o2
+            .R: set 2, %l4
+            stx %l0, [%o1]
+            stx %l0, [%o2]
+            stx %l0, [%o1+8]
+            swap [%o1], %l4
+            cmp %l4, 2
+            bnz .R
+            halt
+            """
+        )
+        assert ("csb.split-sequence", 4) in rules_at(findings)
+
+    def test_device_store_after_the_flush_is_clean(self):
+        findings = lint_source(
+            f"""
+            set {CSB}, %o1
+            set {DEVICE}, %o2
+            .R: set 1, %l4
+            stx %l0, [%o1]
+            swap [%o1], %l4
+            cmp %l4, 1
+            bnz .R
+            stx %l0, [%o2]
+            halt
+            """
+        )
+        assert findings == []
+
+
+class TestNoRetry:
+    def test_unchecked_flush_fires_at_the_flush_site(self):
+        findings = lint_source(
+            f"""
+            set {CSB}, %o1
+            set 1, %l4
+            stx %l0, [%o1]
+            swap [%o1], %l4
+            halt
+            """
+        )
+        assert rules_at(findings) == [("csb.no-retry", 3)]
+
+    def test_brz_retry_loop_is_clean(self):
+        # Checking the raw flush result with brz (zero = conflict) is the
+        # branch idiom the contention kernel uses.
+        findings = lint_source(contending_csb_kernel(2, CSB, n_doublewords=4))
+        assert findings == []
+
+
+class TestUnflushedWindow:
+    def test_halting_with_open_window_fires_at_open_site(self):
+        findings = lint_source(
+            f"""
+            set {CSB}, %o1
+            stx %l0, [%o1]
+            halt
+            """
+        )
+        assert rules_at(findings) == [("csb.unflushed-window", 1)]
+
+    def test_flushed_window_is_clean(self):
+        findings = lint_source(csb_send_kernel(64, CSB))
+        assert "csb.unflushed-window" not in rules_of(findings)
+        assert findings == []

@@ -1,0 +1,118 @@
+"""Lock-discipline rules: each has a violating program (pinning the rule id
+and the instruction it anchors to) and a conforming program that must stay
+clean."""
+
+from repro.analysis import lint_source
+from repro.workloads.lockbench import locked_access_kernel
+
+from tests.analysis.helpers import LOCK, rules_at, rules_of
+
+
+class TestDoubleAcquire:
+    def test_second_acquire_of_held_lock_fires(self):
+        findings = lint_source(
+            f"""
+            set {LOCK}, %o0
+            .A: set 1, %l6
+            swap [%o0], %l6
+            brnz %l6, .A
+            membar
+            .B: set 1, %l6
+            swap [%o0], %l6
+            brnz %l6, .B
+            membar
+            stx %g0, [%o0]
+            halt
+            """
+        )
+        assert ("lock.double-acquire", 6) in rules_at(findings)
+
+    def test_spin_loop_back_edge_is_not_a_double_acquire(self):
+        # The retry edge of a normal spin loop re-executes the swap while
+        # the lock is NOT held by this path; it must not fire.
+        findings = lint_source(
+            f"""
+            set {LOCK}, %o0
+            .A: set 1, %l6
+            swap [%o0], %l6
+            brnz %l6, .A
+            membar
+            stx %g0, [%o0]
+            halt
+            """
+        )
+        assert "lock.double-acquire" not in rules_of(findings)
+
+
+class TestReleaseWithoutAcquire:
+    def test_release_on_unacquired_path_fires(self):
+        findings = lint_source(
+            f"""
+            set {LOCK}, %o0
+            set 1, %l6
+            swap [%o0], %l6
+            brnz %l6, .SKIP
+            membar
+            stx %g0, [%o0]
+            .SKIP: stx %g0, [%o0]
+            halt
+            """
+        )
+        assert ("lock.release-without-acquire", 6) in rules_at(findings)
+
+    def test_paired_acquire_release_is_clean(self):
+        findings = lint_source(
+            f"""
+            set {LOCK}, %o0
+            .A: set 1, %l6
+            swap [%o0], %l6
+            brnz %l6, .A
+            membar
+            stx %g0, [%o0]
+            halt
+            """
+        )
+        assert findings == []
+
+
+class TestNonzeroStore:
+    def test_storing_nonzero_constant_into_lock_fires(self):
+        findings = lint_source(
+            f"""
+            set {LOCK}, %o0
+            .A: set 1, %l6
+            swap [%o0], %l6
+            brnz %l6, .A
+            membar
+            set 7, %l1
+            stx %l1, [%o0]
+            halt
+            """
+        )
+        rules = rules_at(findings)
+        assert ("lock.nonzero-store", 6) in rules
+        # The bogus store does not release, so the lock is still held.
+        assert ("lock.held-at-halt", 7) in rules
+
+    def test_zero_store_release_is_clean(self):
+        findings = lint_source(locked_access_kernel(4))
+        assert "lock.nonzero-store" not in rules_of(findings)
+
+
+class TestHeldAtHalt:
+    def test_halting_with_lock_held_fires(self):
+        findings = lint_source(
+            f"""
+            set {LOCK}, %o0
+            .A: set 1, %l6
+            swap [%o0], %l6
+            brnz %l6, .A
+            membar
+            halt
+            """
+        )
+        assert rules_at(findings) == [("lock.held-at-halt", 5)]
+
+    def test_shipped_locked_kernel_releases_before_halt(self):
+        findings = lint_source(locked_access_kernel(8))
+        assert findings == []

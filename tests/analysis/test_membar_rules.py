@@ -1,0 +1,65 @@
+"""Membar-placement rules (the paper's Figure 5 fences)."""
+
+from repro.analysis import lint_source
+from repro.workloads.messaging import pio_send_kernel
+
+from tests.analysis.helpers import DEVICE, LOCK, rules_at, rules_of
+
+
+class TestMembarAfterAcquire:
+    def test_device_store_right_after_acquire_fires(self):
+        findings = lint_source(
+            f"""
+            set {LOCK}, %o0
+            set {DEVICE}, %o1
+            .A: set 1, %l6
+            swap [%o0], %l6
+            brnz %l6, .A
+            stx %l0, [%o1]
+            membar
+            stx %g0, [%o0]
+            halt
+            """
+        )
+        assert ("membar.missing-after-acquire", 5) in rules_at(findings)
+
+    def test_membar_between_acquire_and_device_store_is_clean(self):
+        findings = lint_source(
+            f"""
+            set {LOCK}, %o0
+            set {DEVICE}, %o1
+            .A: set 1, %l6
+            swap [%o0], %l6
+            brnz %l6, .A
+            membar
+            stx %l0, [%o1]
+            membar
+            stx %g0, [%o0]
+            halt
+            """
+        )
+        assert findings == []
+
+
+class TestMembarBeforeRelease:
+    def test_release_right_after_device_store_fires(self):
+        findings = lint_source(
+            f"""
+            set {LOCK}, %o0
+            set {DEVICE}, %o1
+            .A: set 1, %l6
+            swap [%o0], %l6
+            brnz %l6, .A
+            membar
+            stx %l0, [%o1]
+            stx %g0, [%o0]
+            halt
+            """
+        )
+        assert rules_at(findings) == [("membar.missing-before-release", 7)]
+
+    def test_shipped_pio_send_fences_both_sides(self):
+        findings = lint_source(pio_send_kernel(32, DEVICE))
+        assert "membar.missing-after-acquire" not in rules_of(findings)
+        assert "membar.missing-before-release" not in rules_of(findings)
+        assert findings == []

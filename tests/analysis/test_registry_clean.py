@@ -1,0 +1,25 @@
+"""The lint gate: every shipped kernel, across its parameter sweep, must be
+protocol-clean.  A finding here means a workload generator regressed into
+emitting programs the simulated hardware would mishandle (lost stores,
+deadlock, livelock)."""
+
+import pytest
+
+from repro.analysis import lint_source, lint_targets
+
+
+TARGETS = lint_targets()
+
+
+def test_registry_is_nonempty_and_names_are_unique():
+    names = [target.name for target in TARGETS]
+    assert len(names) >= 80
+    assert len(set(names)) == len(names)
+
+
+@pytest.mark.parametrize("target", TARGETS, ids=lambda t: t.name)
+def test_shipped_kernel_lints_clean(target):
+    findings = lint_source(
+        target.source, context=target.context, name=target.name
+    )
+    assert findings == [], "\n".join(f.render() for f in findings)

@@ -1,0 +1,91 @@
+"""Structural warnings: unreachable code and use-before-def."""
+
+from repro.analysis import lint_source
+from repro.workloads.lockbench import csb_access_kernel
+
+from tests.analysis.helpers import rules_at, rules_of
+
+
+class TestUnreachable:
+    def test_code_after_unconditional_branch_fires(self):
+        findings = lint_source(
+            """
+            set 1, %l0
+            ba .END
+            set 2, %l1
+            .END: halt
+            """
+        )
+        assert rules_at(findings) == [("cfg.unreachable", 2)]
+
+    def test_code_after_halt_fires(self):
+        findings = lint_source(
+            """
+            set 1, %l0
+            halt
+            set 2, %l1
+            halt
+            """
+        )
+        assert ("cfg.unreachable", 2) in rules_at(findings)
+
+    def test_diamond_with_both_arms_reachable_is_clean(self):
+        findings = lint_source(
+            """
+            set 1, %l0
+            cmp %l0, 1
+            be .THEN
+            set 2, %l1
+            ba .END
+            .THEN: set 3, %l1
+            .END: halt
+            """
+        )
+        assert findings == []
+
+
+class TestUseBeforeDef:
+    def test_read_before_program_definition_fires(self):
+        findings = lint_source(
+            """
+            add %l4, 1, %l3
+            set 5, %l4
+            halt
+            """
+        )
+        assert rules_at(findings) == [("reg.use-before-def", 0)]
+
+    def test_defined_on_one_arm_only_fires_at_merge(self):
+        findings = lint_source(
+            """
+            set 1, %l0
+            cmp %l0, 1
+            be .SKIP
+            set 2, %l1
+            .SKIP: add %l1, 1, %l2
+            halt
+            """
+        )
+        assert ("reg.use-before-def", 4) in rules_at(findings)
+
+    def test_never_written_registers_are_harness_inputs(self):
+        # Shipped kernels read %l0..%l3 payload registers the harness
+        # preloads; a register the program never writes must not fire.
+        findings = lint_source(csb_access_kernel(4))
+        assert "reg.use-before-def" not in rules_of(findings)
+        assert findings == []
+
+    def test_defined_on_every_arm_is_clean(self):
+        findings = lint_source(
+            """
+            set 1, %l0
+            cmp %l0, 1
+            be .THEN
+            set 2, %l1
+            ba .JOIN
+            .THEN: set 3, %l1
+            .JOIN: add %l1, 1, %l2
+            halt
+            """
+        )
+        assert findings == []

@@ -92,7 +92,6 @@ class TestMultiProcess:
 class TestSchedulerValidation:
     def test_bad_quantum(self):
         from repro.common.errors import ConfigError
-        from repro.cpu.core import Core
 
         with pytest.raises(ConfigError):
             System(make_config(quantum=0))

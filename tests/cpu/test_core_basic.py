@@ -3,7 +3,7 @@
 import pytest
 
 from repro.common.errors import DeadlockError
-from tests.conftest import make_config, run_asm
+from tests.conftest import run_asm
 
 
 def regs_after(source, **kwargs):

@@ -2,7 +2,6 @@
 
 from dataclasses import replace
 
-import pytest
 
 from repro import System, assemble
 from repro.common.config import CoreConfig

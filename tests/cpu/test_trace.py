@@ -3,7 +3,7 @@
 import pytest
 
 from repro import System, assemble
-from repro.cpu.trace import PipelineTrace, TraceEvent
+from repro.cpu.trace import PipelineTrace
 from repro.memory.layout import IO_UNCACHED_BASE
 from tests.conftest import make_config
 

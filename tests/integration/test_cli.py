@@ -1,8 +1,6 @@
 """The ``csb-figures`` command-line interface."""
 
-import os
 
-import pytest
 
 from repro.evaluation.cli import main
 

@@ -4,7 +4,6 @@ import pytest
 
 from repro import System, assemble
 from repro.common.errors import ConfigError
-from repro.devices.base import DeviceAlias
 from repro.devices.link import Link
 from repro.devices.nic import (
     NetworkInterface,
@@ -14,7 +13,6 @@ from repro.devices.nic import (
     RX_WINDOW_OFFSET,
 )
 from repro.memory.layout import (
-    IO_COMBINING_BASE,
     IO_UNCACHED_BASE,
     PageAttr,
     Region,

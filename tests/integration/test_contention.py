@@ -6,7 +6,6 @@ retries in software, and every committed line still reaches the device
 exactly once and intact (no interleaved lines, no lost sequences).
 """
 
-import pytest
 
 from repro import System, assemble
 from repro.devices.sink import BurstSink

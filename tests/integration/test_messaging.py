@@ -1,10 +1,9 @@
 """End-to-end message sends over the NIC: locked PIO, CSB inline, DMA."""
 
-import pytest
 
 from repro import System, assemble
 from repro.devices.dma import DmaEngine
-from repro.devices.nic import NetworkInterface, PACKET_MEMORY_OFFSET
+from repro.devices.nic import NetworkInterface
 from repro.memory.layout import (
     IO_COMBINING_BASE,
     IO_UNCACHED_BASE,

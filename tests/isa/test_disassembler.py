@@ -91,6 +91,25 @@ def test_round_trip(source):
     assert structurally_equal(original, rebuilt), text
 
 
+def _registry_targets():
+    from repro.analysis import lint_targets
+
+    return [
+        pytest.param(target.source, id=target.name)
+        for target in lint_targets()
+    ]
+
+
+@pytest.mark.parametrize("source", _registry_targets())
+def test_every_registered_kernel_round_trips(source):
+    """Every shipped kernel, across its parameter sweep, survives
+    ``assemble(disassemble(assemble(text)))`` with an identical
+    instruction sequence."""
+    original = assemble(source)
+    rebuilt = assemble(disassemble(original))
+    assert structurally_equal(original, rebuilt)
+
+
 def test_disassembly_is_readable():
     listing = disassemble(assemble(csb_access_kernel(2)))
     assert "swap [%r9], %r20" in listing

@@ -3,7 +3,7 @@
 from hypothesis import given, strategies as st
 
 from repro.common.config import CacheConfig
-from repro.memory.cache import CacheLevel, LineState
+from repro.memory.cache import CacheLevel
 
 
 def tiny_cache(assoc: int = 2, sets: int = 4, line: int = 64) -> CacheLevel:

@@ -75,7 +75,6 @@ def test_durations_match_cost_model(config, sizes):
 def test_saturating_stream_is_back_to_back(config, sizes):
     """With a requester always ready, consecutive starts are exactly the
     analytic start period apart."""
-    from repro.evaluation.analytic import start_period
 
     config, records = drive(config, sizes)
     for previous, current in zip(records, records[1:]):

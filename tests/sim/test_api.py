@@ -92,30 +92,12 @@ class TestSystemConfigScalars:
         assert config_from_dict(config_to_dict(config)) == config
 
 
-class TestDeprecatedKwargs:
-    def test_loose_kwargs_warn_and_forward(self):
-        with pytest.warns(DeprecationWarning, match="SystemConfig"):
-            system = System(make_config(), quantum=120, switch_penalty=9)
-        assert system.config.quantum == 120
-        assert system.scheduler.quantum == 120
-        assert system.scheduler.switch_penalty == 9
+class TestRemovedKwargs:
+    def test_loose_kwargs_rejected(self):
+        with pytest.raises(TypeError):
+            System(make_config(), quantum=120)
 
-    def test_trace_kwarg_warns_and_forwards(self):
-        with pytest.warns(DeprecationWarning):
-            system = System(make_config(), trace=True)
-        assert system.trace is not None
-
-    def test_explicit_none_quantum_still_valid(self):
-        with pytest.warns(DeprecationWarning):
-            system = System(make_config(), quantum=None)
-        assert system.config.quantum is None
-
-    def test_validation_still_applies_through_shim(self):
-        with pytest.warns(DeprecationWarning):
-            with pytest.raises(ConfigError):
-                System(make_config(), quantum=0)
-
-    def test_no_kwargs_no_warning(self):
+    def test_config_only_construction_is_clean(self):
         import warnings
 
         with warnings.catch_warnings():

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import System, SystemConfig, assemble
+from repro import System, assemble
 from repro.common.errors import ConfigError, DeadlockError
 from repro.devices.sink import BurstSink
 from repro.memory.layout import (
