@@ -32,6 +32,7 @@ from repro.workloads.messaging import (
     pio_send_kernel,
 )
 from repro.workloads.pingpong import SEND_METHODS, ping_kernel, pong_kernel
+from repro.workloads.smp import smp_csb_kernel, smp_locked_kernel
 from repro.workloads.storebw import (
     TRANSFER_SIZES,
     store_kernel_csb,
@@ -140,6 +141,25 @@ def _blockstore_targets() -> Iterator[LintTarget]:
     yield LintTarget("blockstore-marshalled", blockstore_marshalled_kernel())
 
 
+def _smp_targets() -> Iterator[LintTarget]:
+    """The SMP contention kernels, across the per-core parameterizations
+    the smp-contention experiment actually generates (cores 0, 1, 7 of
+    an 8-core run cover the no-stagger and staggered/backoff shapes)."""
+    for n in (1, 4, 8):
+        yield LintTarget(f"smp-locked-{n}dw", smp_locked_kernel(3, n_doublewords=n))
+    for core in (0, 1, 7):
+        yield LintTarget(
+            f"smp-csb-core{core}",
+            smp_csb_kernel(
+                3,
+                IO_COMBINING_BASE,
+                stagger=core * 40,
+                backoff_base=2 * core + 1,
+                backoff_cap=64 * (core + 1),
+            ),
+        )
+
+
 def iter_lint_targets() -> Iterator[LintTarget]:
     """Every shipped kernel, across its parameter space, in stable order."""
     yield from _storebw_targets()
@@ -149,6 +169,7 @@ def iter_lint_targets() -> Iterator[LintTarget]:
     yield from _contention_targets()
     yield from _pingpong_targets()
     yield from _blockstore_targets()
+    yield from _smp_targets()
 
 
 def lint_targets() -> List[LintTarget]:

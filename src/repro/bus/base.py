@@ -158,6 +158,7 @@ class SystemBus(abc.ABC):
                 useful_bytes=txn.useful_bytes or 0,
                 kind=txn.kind,
                 burst=txn.is_burst,
+                core_id=txn.core_id,
             )
         )
         if self.events is not None:
@@ -190,6 +191,7 @@ class SystemBus(abc.ABC):
                 wait_cycles=wait_cycles,
                 data_cycles=data_cycles,
                 turnaround_after=self.config.turnaround,
+                core_id=txn.core_id,
             )
         )
         for offset in range(addr_cycles):

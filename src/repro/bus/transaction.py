@@ -45,6 +45,8 @@ class BusTransaction:
     data: Optional[bytes] = None
     useful_bytes: Optional[int] = None
     on_complete: Optional[CompletionCallback] = field(default=None, repr=False)
+    #: Initiating core (-1 for non-core initiators such as refill or DMA).
+    core_id: int = -1
     # Filled in by the bus when the transaction is accepted:
     start_cycle: Optional[int] = None
     end_cycle: Optional[int] = None

@@ -180,6 +180,12 @@ class BusConfig:
         return max(1, (size + self.width_bytes - 1) // self.width_bytes)
 
 
+#: Legal bus arbitration policies.  ``round_robin`` rotates the grant among
+#: same-priority initiators; ``priority`` always grants the lowest-numbered
+#: initiator first (refill traffic outranks both).
+ARBITRATION_POLICIES: Tuple[str, ...] = ("round_robin", "priority")
+
+
 #: Combining block size that means "no combining": each store is its own entry.
 NO_COMBINING = DOUBLEWORD
 
@@ -264,10 +270,12 @@ class SystemConfig:
     """Everything needed to build one simulated system.
 
     Beyond the per-component sections, the whole-system knobs live here
-    too: ``quantum`` (scheduler timeslice in CPU cycles; None disables
-    preemption), ``switch_penalty`` (context-switch cost in CPU cycles),
-    ``bus_read_latency`` (target access time of a bus read, in bus
-    cycles), and ``trace`` (record a per-instruction pipeline trace).
+    too: ``num_cores`` (identical cores sharing one bus, CSB, and memory
+    hierarchy), ``arbitration`` (bus grant policy among same-priority
+    initiators), ``quantum`` (scheduler timeslice in CPU cycles; None
+    disables preemption), ``switch_penalty`` (context-switch cost in CPU
+    cycles), ``bus_read_latency`` (target access time of a bus read, in
+    bus cycles), and ``trace`` (record a per-instruction pipeline trace).
     """
 
     core: CoreConfig = field(default_factory=CoreConfig)
@@ -275,12 +283,19 @@ class SystemConfig:
     bus: BusConfig = field(default_factory=BusConfig)
     uncached: UncachedBufferConfig = field(default_factory=UncachedBufferConfig)
     csb: CSBConfig = field(default_factory=CSBConfig)
+    num_cores: int = 1
+    arbitration: str = "round_robin"
     quantum: Optional[int] = None
     switch_penalty: int = 100
     bus_read_latency: int = 3
     trace: bool = False
 
     def __post_init__(self) -> None:
+        _require(self.num_cores >= 1, "num_cores must be >= 1")
+        _require(
+            self.arbitration in ARBITRATION_POLICIES,
+            f"arbitration must be one of {ARBITRATION_POLICIES}",
+        )
         _require(
             self.quantum is None or self.quantum >= 1,
             "scheduler quantum must be >= 1 CPU cycle (or None)",

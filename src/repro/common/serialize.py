@@ -34,7 +34,14 @@ _SECTION_TYPES = {
 #: Whole-system scalar knobs of :class:`SystemConfig` (everything that is
 #: not a nested section).  Values pass through as-is; ``SystemConfig``'s
 #: own validation rejects bad ones.
-_SCALAR_FIELDS = ("quantum", "switch_penalty", "bus_read_latency", "trace")
+_SCALAR_FIELDS = (
+    "num_cores",
+    "arbitration",
+    "quantum",
+    "switch_penalty",
+    "bus_read_latency",
+    "trace",
+)
 
 
 def config_to_dict(config: SystemConfig) -> Dict[str, Any]:

@@ -138,6 +138,8 @@ class TransactionRecord:
     useful_bytes: int
     kind: str
     burst: bool
+    #: Initiating core (-1 for non-core initiators such as refill or DMA).
+    core_id: int = -1
 
 
 class StatsCollector:
@@ -230,6 +232,23 @@ class StatsCollector:
         for record in self.transactions:
             totals[record.kind] = totals.get(record.kind, 0) + record.size
         return dict(sorted(totals.items()))
+
+    def transactions_by_core(self) -> Dict[int, Dict[str, int]]:
+        """Per initiating core: transaction count, wire and useful bytes.
+
+        Key ``-1`` collects non-core initiators (refill engine, DMA), so
+        the values always sum to the whole-run totals.
+        """
+        breakdown: Dict[int, Dict[str, int]] = {}
+        for record in self.transactions:
+            entry = breakdown.setdefault(
+                record.core_id,
+                {"transactions": 0, "wire_bytes": 0, "useful_bytes": 0},
+            )
+            entry["transactions"] += 1
+            entry["wire_bytes"] += record.size
+            entry["useful_bytes"] += record.useful_bytes
+        return dict(sorted(breakdown.items()))
 
     def bus_busy_cycles(self) -> int:
         """Bus cycles occupied by any transaction (transactions never

@@ -72,8 +72,10 @@ class Core:
         uncached_unit: UncachedUnit,
         stats: StatsCollector,
         trace: Optional[PipelineTrace] = None,
+        core_id: int = 0,
     ) -> None:
         self.config = config
+        self.core_id = core_id
         self.trace = trace
         #: Observability event bus; None (the default) means uninstrumented.
         self.events = None
@@ -642,7 +644,9 @@ class Core:
                 from repro.observability.events import LockAcquire
 
                 assert self.context is not None
-                self.events.publish(LockAcquire(head.address, self.context.pid))
+                self.events.publish(
+                    LockAcquire(head.address, self.context.pid, self.core_id)
+                )
             return False
         if head.mem_state is MemState.ACCESSING:
             assert head.ready_at is not None
@@ -841,7 +845,7 @@ class Core:
             if self.events is not None:
                 from repro.observability.events import PipelineSquash
 
-                self.events.publish(PipelineSquash(len(self._rob)))
+                self.events.publish(PipelineSquash(len(self._rob), self.core_id))
         self._rob.clear()
         self._memq.clear()
         self._issueq.clear()

@@ -75,6 +75,7 @@ def _extension_registry() -> Dict[str, TableFactory]:
     from repro.evaluation.policy_comparison import policy_table
     from repro.evaluation.loaded_bus import loaded_bus_table, miss_interleaved_table
     from repro.evaluation.rtt import rtt_table
+    from repro.evaluation.smp_contention import smp_contention_table
     from repro.evaluation.sync_mechanisms import sync_mechanism_table
     from repro.evaluation.sensitivity import (
         ratio_sensitivity_table,
@@ -109,6 +110,7 @@ def _extension_registry() -> Dict[str, TableFactory]:
         "sensitivity-width": lambda runner=None: width_sensitivity_table(
             runner=runner
         ),
+        "smp-contention": _ignores_runner(smp_contention_table),
         "sync-mechanisms": _ignores_runner(sync_mechanism_table),
         "sensitivity-ratio": lambda runner=None: ratio_sensitivity_table(
             runner=runner

@@ -47,7 +47,7 @@ from repro.sim.system import System
 
 #: Simulator version tag baked into every cache key.  Bump whenever a
 #: change to the simulator could alter any measured number.
-SIM_VERSION = "csb-sim-1"
+SIM_VERSION = "csb-sim-2"
 
 #: Measurement kinds a job may request.
 MEASUREMENTS = ("store_bandwidth", "span")

@@ -8,6 +8,12 @@ additionally carry their own *bus*-cycle coordinates (``bus_cycle``),
 because bus occupancy accounting is done in bus cycles (one bus cycle =
 ``BusConfig.cpu_ratio`` CPU cycles).
 
+Events produced by per-core hardware carry a ``core_id`` (default 0, the
+only core of a uniprocessor; ``-1`` on bus transactions started by
+non-core initiators such as the refill engine), so SMP runs can attribute
+every store, flush, conflict, and bus transaction to the core that caused
+it.
+
 The taxonomy (see docs/observability.md for the full field reference):
 
 ===================  ========================================================
@@ -69,6 +75,7 @@ class StoreIssued(Event):
     address: int
     size: int
     target: str
+    core_id: int = 0
 
 
 @dataclass
@@ -78,6 +85,7 @@ class CombineHit(Event):
 
     address: int
     size: int
+    core_id: int = 0
 
 
 @dataclass
@@ -87,6 +95,7 @@ class SequenceStarted(Event):
 
     address: int
     pid: int
+    core_id: int = 0
 
 
 @dataclass
@@ -97,6 +106,7 @@ class FlushCommitted(Event):
     address: int
     useful_bytes: int
     stores: int
+    core_id: int = 0
 
 
 @dataclass
@@ -108,6 +118,7 @@ class ConflictAbort(Event):
     pid: int
     expected: int
     counter: int
+    core_id: int = 0
 
 
 # -- bus models ---------------------------------------------------------------
@@ -135,6 +146,7 @@ class TransactionAccepted(Event):
     wait_cycles: int
     data_cycles: int
     turnaround_after: int
+    core_id: int = -1
 
 
 @dataclass
@@ -176,6 +188,7 @@ class LockAcquire(Event):
 
     address: int
     pid: int
+    core_id: int = 0
 
 
 @dataclass
@@ -193,6 +206,7 @@ class ContextSwitch(Event):
 
     pid: int
     name: str
+    core_id: int = 0
 
 
 @dataclass
@@ -200,6 +214,7 @@ class PipelineSquash(Event):
     """A precise interrupt squashed ``count`` in-flight instructions."""
 
     count: int
+    core_id: int = 0
 
 
 @dataclass

@@ -89,11 +89,14 @@ class Observability:
 
     def _install(self, bus: EventBus) -> None:
         system = self._system
-        system.unit.events = bus
-        system.buffer.events = bus
+        for unit in system.units:
+            unit.events = bus
+        for buffer in system.buffers:
+            buffer.events = bus
         system.csb.events = bus
         system.bus.events = bus
-        system.core.events = bus
+        for core in system.cores:
+            core.events = bus
         system.hierarchy.events = bus
         system.scheduler.events = bus
         for device in system.devices:

@@ -32,6 +32,7 @@ class MetricsSnapshot:
     store_window_cycles: int
     store_window_bytes: int
     store_bandwidth: float
+    per_core: Dict[int, Dict[str, int]] = field(default_factory=dict)
     extra: Dict[str, Any] = field(default_factory=dict)
 
     @classmethod
@@ -39,6 +40,16 @@ class MetricsSnapshot:
         """Capture ``system``'s statistics (call after ``run()``)."""
         stats = system.stats
         window = stats.uncached_store_window
+        per_core = stats.transactions_by_core()
+        for queue in system.scheduler.queues:
+            entry = per_core.setdefault(
+                queue.core_id,
+                {"transactions": 0, "wire_bytes": 0, "useful_bytes": 0},
+            )
+            entry["context_switches"] = queue.context_switches
+            entry["bus_grants"] = system.arbiter.grants.get(
+                f"core{queue.core_id}", 0
+            )
         return cls(
             cpu_cycles=system.cycle,
             counters=stats.as_dict(),
@@ -52,6 +63,7 @@ class MetricsSnapshot:
             store_window_cycles=window.cycles,
             store_window_bytes=window.total_bytes,
             store_bandwidth=window.bytes_per_cycle,
+            per_core={core: dict(entry) for core, entry in per_core.items()},
             extra=dict(extra),
         )
 
@@ -76,6 +88,10 @@ class MetricsSnapshot:
                 "cycles": self.store_window_cycles,
                 "bytes": self.store_window_bytes,
                 "bandwidth": self.store_bandwidth,
+            },
+            "per_core": {
+                str(core): dict(entry)
+                for core, entry in self.per_core.items()
             },
             "extra": dict(self.extra),
         }

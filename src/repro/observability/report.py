@@ -141,6 +141,23 @@ class BusCycleReporter:
             entry["useful_bytes"] += txn.useful_bytes
         return dict(sorted(breakdown.items()))
 
+    def core_breakdown(self) -> Dict[int, Dict[str, int]]:
+        """Per initiating core (``-1`` for refill/DMA): count, busy
+        cycles, wire and useful bytes — who is occupying the shared bus
+        in an SMP run."""
+        breakdown: Dict[int, Dict[str, int]] = {}
+        for txn in self._txns:
+            entry = breakdown.setdefault(
+                txn.core_id,
+                {"transactions": 0, "busy_cycles": 0, "wire_bytes": 0,
+                 "useful_bytes": 0},
+            )
+            entry["transactions"] += 1
+            entry["busy_cycles"] += txn.end_cycle - txn.bus_cycle + 1
+            entry["wire_bytes"] += txn.size
+            entry["useful_bytes"] += txn.useful_bytes
+        return dict(sorted(breakdown.items()))
+
 
 #: Column order shared by every accounting table the CLI renders.
 ACCOUNT_COLUMNS = (

@@ -53,9 +53,30 @@ class Cluster:
         )
 
     def run(self, max_cycles: int = 10_000_000) -> None:
-        while not self.finished:
-            if self.cycle >= max_cycles:
-                raise DeadlockError(
-                    f"cluster exceeded max_cycles={max_cycles}", cycle=self.cycle
-                )
-            self.step()
+        """Run every node to completion (halted and drained, links empty).
+
+        Batched analogue of calling :meth:`step` in a loop — the per-cycle
+        node steps and link ticks are bound to locals once, the same hoist
+        :meth:`System.run` does for its component ticks, and remains
+        cycle-for-cycle identical to the unbatched loop
+        (tests/sim/test_cluster_batch.py pins the equivalence).
+        """
+        steps = [system.step for system in self.systems]
+        link_ticks = [link.tick for link in self.links]
+        ratio = self._ratio
+        cycle = self.cycle
+        try:
+            while not self.finished:
+                if cycle >= max_cycles:
+                    raise DeadlockError(
+                        f"cluster exceeded max_cycles={max_cycles}", cycle=cycle
+                    )
+                if cycle % ratio == 0:
+                    bus_cycle = cycle // ratio
+                    for tick in link_ticks:
+                        tick(bus_cycle)
+                for step in steps:
+                    step()
+                cycle += 1
+        finally:
+            self.cycle = cycle

@@ -1,4 +1,4 @@
-"""Round-robin process scheduler with drain-based context switches.
+"""Round-robin process scheduling with drain-based context switches.
 
 Context switches model a timer interrupt: dispatch stops, the pipeline
 drains (in-flight instructions complete architecturally — this is an
@@ -9,31 +9,44 @@ observable: a process interrupted between its combining stores and its
 conditional flush leaves its partial line in the CSB, and the *next*
 process's first combining store clears it (paper §3.2's interleaving
 example).
+
+Two layers:
+
+* :class:`CoreScheduler` owns one core's run queue — the timeslice logic
+  above, verbatim, for a single core.
+* :class:`Scheduler` is the SMP multiplexer the :class:`~repro.sim.system
+  .System` talks to: it distributes processes over per-core run queues
+  (round-robin by add order unless the caller pins a ``core_id``) and
+  ticks every queue each cycle.  With one core it degenerates to exactly
+  the single-queue behavior, which keeps ``num_cores=1`` runs
+  cycle-identical to the pre-SMP scheduler.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Sequence, Union
 
 from repro.common.errors import ConfigError
 from repro.cpu.context import ProcessContext
 from repro.cpu.core import Core
 
 
-class Scheduler:
-    """Owns the run queue and drives the core's context."""
+class CoreScheduler:
+    """Owns one core's run queue and drives that core's context."""
 
     def __init__(
         self,
         core: Core,
         quantum: Optional[int] = None,
         switch_penalty: int = 100,
+        core_id: int = 0,
     ) -> None:
         if quantum is not None and quantum < 1:
             raise ConfigError("quantum must be >= 1 cycle")
         if switch_penalty < 0:
             raise ConfigError("switch_penalty must be >= 0")
         self.core = core
+        self.core_id = core_id
         self.quantum = quantum
         self.switch_penalty = switch_penalty
         #: Observability event bus; None (the default) means uninstrumented.
@@ -44,9 +57,17 @@ class Scheduler:
         self._switch_at: Optional[int] = None
         self._draining = False
         self.context_switches = 0
+        # Cached count of non-halted processes.  Only the installed context
+        # can transition to halted (halt executes on the core), and tick()
+        # observes that transition exactly once via _current_live, so the
+        # count never drifts — and the hot path never allocates a list.
+        self._num_runnable = 0
+        self._current_live = False
 
     def add(self, context: ProcessContext) -> None:
         self._processes.append(context)
+        if not context.halted:
+            self._num_runnable += 1
 
     @property
     def processes(self) -> List[ProcessContext]:
@@ -76,7 +97,10 @@ class Scheduler:
             self._begin_switch(now, immediate=True)
             return
         if current.halted:
-            if self.runnable():
+            if self._current_live:
+                self._current_live = False
+                self._num_runnable -= 1
+            if self._num_runnable:
                 self._begin_switch(now, immediate=True)
             return
         if self._draining:
@@ -86,7 +110,7 @@ class Scheduler:
             return
         if (
             self.quantum is not None
-            and len(self.runnable()) > 1
+            and self._num_runnable > 1
             and now - self._quantum_start >= self.quantum
         ):
             # Precise timer interrupt: unretired work is squashed and will
@@ -119,5 +143,77 @@ class Scheduler:
             if self.events is not None:
                 from repro.observability.events import ContextSwitch
 
-                self.events.publish(ContextSwitch(chosen.pid, chosen.name))
+                self.events.publish(
+                    ContextSwitch(chosen.pid, chosen.name, self.core_id)
+                )
+        self._current_live = True
         self._quantum_start = now
+
+
+class Scheduler:
+    """Multiplexes processes over per-core run queues.
+
+    Accepts a single :class:`Core` (the historical signature) or a
+    sequence of cores.  Processes are assigned to cores round-robin in
+    add order; ``add(context, core_id=...)`` pins one explicitly.
+    """
+
+    def __init__(
+        self,
+        cores: Union[Core, Sequence[Core]],
+        quantum: Optional[int] = None,
+        switch_penalty: int = 100,
+    ) -> None:
+        core_list = [cores] if isinstance(cores, Core) else list(cores)
+        if not core_list:
+            raise ConfigError("scheduler needs at least one core")
+        self.quantum = quantum
+        self.switch_penalty = switch_penalty
+        self.queues: List[CoreScheduler] = [
+            CoreScheduler(core, quantum, switch_penalty, core_id=index)
+            for index, core in enumerate(core_list)
+        ]
+        self._processes: List[ProcessContext] = []
+
+    def add(self, context: ProcessContext, core_id: Optional[int] = None) -> None:
+        if core_id is None:
+            core_id = len(self._processes) % len(self.queues)
+        if not 0 <= core_id < len(self.queues):
+            raise ConfigError(
+                f"core_id {core_id} out of range (have {len(self.queues)} cores)"
+            )
+        self._processes.append(context)
+        self.queues[core_id].add(context)
+
+    @property
+    def processes(self) -> List[ProcessContext]:
+        """All processes, in global add order."""
+        return list(self._processes)
+
+    @property
+    def all_halted(self) -> bool:
+        # Hot: checked once per simulated CPU cycle by System.run.
+        for process in self._processes:
+            if not process.halted:
+                return False
+        return True
+
+    def runnable(self) -> List[ProcessContext]:
+        return [p for p in self._processes if not p.halted]
+
+    @property
+    def context_switches(self) -> int:
+        return sum(queue.context_switches for queue in self.queues)
+
+    @property
+    def events(self):
+        return self.queues[0].events
+
+    @events.setter
+    def events(self, bus) -> None:
+        for queue in self.queues:
+            queue.events = bus
+
+    def tick(self, now: int) -> None:
+        for queue in self.queues:
+            queue.tick(now)

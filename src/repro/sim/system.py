@@ -1,7 +1,15 @@
-"""The simulated system: one core, a two-level cache hierarchy, the
-uncached unit (conventional buffer + CSB), a system bus, main memory, and
-any number of memory-mapped devices — all advanced by a single CPU clock,
-with the bus ticking once every ``cpu_ratio`` CPU cycles.
+"""The simulated system: N cores (``SystemConfig.num_cores``, default 1),
+each with its own uncached buffer + uncached unit, sharing one conditional
+store buffer, one arbitrated system bus, a two-level cache hierarchy, main
+memory, and any number of memory-mapped devices — all advanced by a single
+CPU clock, with the bus ticking once every ``cpu_ratio`` CPU cycles.
+
+Per-cycle clocking order (``step``): every uncached unit's CPU-side tick,
+then — on a bus-cycle boundary — one :class:`~repro.bus.arbiter.BusArbiter`
+grant (which also advances the bus and completes transactions) and the
+device ticks, then every core, then the scheduler.  With ``num_cores=1``
+this is exactly the pre-SMP ordering, so single-core runs are
+cycle-identical to the historical single-initiator system.
 """
 
 from __future__ import annotations
@@ -11,6 +19,7 @@ from typing import List, Optional
 from repro.common.config import SystemConfig
 from repro.common.errors import ConfigError, DeadlockError
 from repro.common.stats import StatsCollector
+from repro.bus.arbiter import BusArbiter
 from repro.bus.base import TargetRegistry
 from repro.bus.factory import make_bus
 from repro.cpu.context import ProcessContext
@@ -55,16 +64,24 @@ class System:
             self.config.bus, self.stats, self.targets, self.config.bus_read_latency
         )
         self.csb = ConditionalStoreBuffer(self.config.csb, self.stats)
-        self.buffer = UncachedBuffer(self.config.uncached, self.bus, self.stats)
-        self.unit = UncachedUnit(
-            self.buffer,
-            self.csb,
-            self.bus,
-            self.tlb,
-            self.stats,
-            self.config.bus.cpu_ratio,
-            self.config.csb,
-        )
+        num_cores = self.config.num_cores
+        self.buffers: List[UncachedBuffer] = [
+            UncachedBuffer(self.config.uncached, self.bus, self.stats, core_id=i)
+            for i in range(num_cores)
+        ]
+        self.units: List[UncachedUnit] = [
+            UncachedUnit(
+                self.buffers[i],
+                self.csb,
+                self.bus,
+                self.tlb,
+                self.stats,
+                self.config.bus.cpu_ratio,
+                self.config.csb,
+                core_id=i,
+            )
+            for i in range(num_cores)
+        ]
         self.hierarchy = MemoryHierarchy(self.config.memory, self.backing)
         self.refill_engine = None
         if self.config.memory.refills_use_bus:
@@ -74,18 +91,33 @@ class System:
                 self.bus, self.config.memory.line_size, self.stats
             )
             self.hierarchy.refill_hook = self.refill_engine.request
-            self.unit.refill_engine = self.refill_engine
+        self.arbiter = BusArbiter(self.bus, self.config.arbitration)
+        if self.refill_engine is not None:
+            # Memory traffic stalls whole cores, so refills outrank
+            # programmed I/O — the same choice the pre-SMP path hard-coded.
+            self.arbiter.add_initiator(self.refill_engine, priority=0, name="refill")
+        for i, unit in enumerate(self.units):
+            self.arbiter.add_initiator(unit, priority=1, name=f"core{i}")
         self.trace = PipelineTrace() if self.config.trace else None
-        self.core = Core(
-            self.config.core,
-            self.hierarchy,
-            self.tlb,
-            self.unit,
-            self.stats,
-            trace=self.trace,
-        )
+        self.cores: List[Core] = [
+            Core(
+                self.config.core,
+                self.hierarchy,
+                self.tlb,
+                self.units[i],
+                self.stats,
+                trace=self.trace,
+                core_id=i,
+            )
+            for i in range(num_cores)
+        ]
+        # Single-core aliases: core 0's hardware, the whole machine when
+        # ``num_cores=1`` (which the historical API and tests rely on).
+        self.buffer = self.buffers[0]
+        self.unit = self.units[0]
+        self.core = self.cores[0]
         self.scheduler = Scheduler(
-            self.core, self.config.quantum, self.config.switch_penalty
+            self.cores, self.config.quantum, self.config.switch_penalty
         )
         self.devices: List[Device] = []
         self.observability = Observability(self)
@@ -95,14 +127,22 @@ class System:
     # -- construction -----------------------------------------------------------
 
     def add_process(
-        self, program: Program, pid: Optional[int] = None, name: str = ""
+        self,
+        program: Program,
+        pid: Optional[int] = None,
+        name: str = "",
+        core_id: Optional[int] = None,
     ) -> ProcessContext:
-        """Create a process running ``program`` and add it to the run queue."""
+        """Create a process running ``program`` and add it to a run queue.
+
+        Without an explicit ``core_id`` processes are distributed over the
+        cores round-robin in add order (all on core 0 for ``num_cores=1``).
+        """
         if pid is None:
             pid = self._next_pid
             self._next_pid += 1
         context = ProcessContext(pid, program, name)
-        self.scheduler.add(context)
+        self.scheduler.add(context, core_id=core_id)
         return context
 
     def attach_device(self, device: Device) -> Device:
@@ -140,12 +180,15 @@ class System:
     def step(self) -> None:
         """Advance one CPU cycle."""
         now = self.cycle
-        self.unit.tick(now)
-        if self.devices and now % self.config.bus.cpu_ratio == 0:
+        for unit in self.units:
+            unit.tick_cpu(now)
+        if now % self.config.bus.cpu_ratio == 0:
             bus_cycle = now // self.config.bus.cpu_ratio
+            self.arbiter.tick_bus(bus_cycle)
             for device in self.devices:
                 device.tick(bus_cycle)
-        self.core.tick(now)
+        for core in self.cores:
+            core.tick(now)
         self.scheduler.tick(now)
         self.cycle += 1
 
@@ -155,28 +198,58 @@ class System:
         This is the simulator's hottest loop (every experiment point runs
         through it), so the per-cycle component ticks are bound to locals
         and device ticking is skipped entirely when nothing is attached —
-        cycle-for-cycle identical to calling :meth:`step` in a loop.
+        cycle-for-cycle identical to calling :meth:`step` in a loop.  The
+        single-core system keeps dedicated scalar bindings (no per-cycle
+        list walks); the SMP loop iterates prebound tick lists.
         """
-        unit_tick = self.unit.tick
-        core_tick = self.core.tick
         scheduler = self.scheduler
-        scheduler_tick = scheduler.tick
-        quiescent = self.unit.quiescent
+        arbiter_tick = self.arbiter.tick_bus
         devices = self.devices
         ratio = self.config.bus.cpu_ratio
         cycle = self.cycle
+        if len(self.cores) == 1:
+            unit_tick = self.unit.tick_cpu
+            core_tick = self.core.tick
+            scheduler_tick = scheduler.queues[0].tick
+            quiescent = self.unit.quiescent
+            try:
+                while not (scheduler.all_halted and quiescent()):
+                    if cycle >= max_cycles:
+                        raise DeadlockError(
+                            f"exceeded max_cycles={max_cycles}", cycle=cycle
+                        )
+                    unit_tick(cycle)
+                    if cycle % ratio == 0:
+                        arbiter_tick(cycle // ratio)
+                        if devices:
+                            bus_cycle = cycle // ratio
+                            for device in devices:
+                                device.tick(bus_cycle)
+                    core_tick(cycle)
+                    scheduler_tick(cycle)
+                    cycle += 1
+            finally:
+                self.cycle = cycle
+            return self.stats
+        unit_ticks = [unit.tick_cpu for unit in self.units]
+        core_ticks = [core.tick for core in self.cores]
+        scheduler_tick = scheduler.tick
+        quiescent = self._quiescent
         try:
             while not (scheduler.all_halted and quiescent()):
                 if cycle >= max_cycles:
                     raise DeadlockError(
                         f"exceeded max_cycles={max_cycles}", cycle=cycle
                     )
-                unit_tick(cycle)
-                if devices and cycle % ratio == 0:
+                for tick in unit_ticks:
+                    tick(cycle)
+                if cycle % ratio == 0:
                     bus_cycle = cycle // ratio
+                    arbiter_tick(bus_cycle)
                     for device in devices:
                         device.tick(bus_cycle)
-                core_tick(cycle)
+                for tick in core_ticks:
+                    tick(cycle)
                 scheduler_tick(cycle)
                 cycle += 1
         finally:
@@ -188,9 +261,16 @@ class System:
         for _ in range(count):
             self.step()
 
+    def _quiescent(self) -> bool:
+        """Every uncached unit drained (shared-bus drain checked by each)."""
+        for unit in self.units:
+            if not unit.quiescent():
+                return False
+        return True
+
     @property
     def finished(self) -> bool:
-        return self.scheduler.all_halted and self.unit.quiescent()
+        return self.scheduler.all_halted and self._quiescent()
 
     # -- measurement shortcuts -----------------------------------------------------
 

@@ -46,12 +46,14 @@ class UncachedBuffer:
         config: UncachedBufferConfig,
         bus: SystemBus,
         stats: StatsCollector,
+        core_id: int = 0,
     ) -> None:
         from repro.uncached.policies import make_policy
 
         self.config = config
         self.bus = bus
         self.stats = stats
+        self.core_id = core_id
         self.policy = make_policy(config)
         #: Observability event bus; None (the default) means uninstrumented.
         self.events = None
@@ -72,7 +74,7 @@ class UncachedBuffer:
             if self.events is not None:
                 from repro.observability.events import CombineHit
 
-                self.events.publish(CombineHit(address, size))
+                self.events.publish(CombineHit(address, size, self.core_id))
             return True
         if len(self._entries) >= self.config.depth:
             self.stats.bump("uncached.full_stalls")
@@ -158,6 +160,7 @@ class UncachedBuffer:
             size=head.size,
             kind=head.kind,
             on_complete=lambda end, h=head: self._load_done(h, end),
+            core_id=self.core_id,
         )
         if not self.bus.try_issue(txn, bus_cycle):
             return False
@@ -192,6 +195,7 @@ class UncachedBuffer:
             size=size,
             kind=KIND_UNCACHED_STORE,
             data=data,
+            core_id=self.core_id,
         )
         if not self.bus.try_issue(txn, bus_cycle):
             return False

@@ -49,15 +49,28 @@ class FlushResult(enum.Enum):
 
 
 class PendingBurst:
-    """A flushed line awaiting hand-off to the bus."""
+    """A flushed line awaiting hand-off to the bus.
 
-    __slots__ = ("address", "data", "useful_bytes", "sequence")
+    ``core_id`` records which core's flush produced the burst: with the CSB
+    shared among several cores, only the owning core's uncached unit may
+    hand the burst to the bus (the hand-off port is per core).
+    """
 
-    def __init__(self, address: int, data: bytes, useful_bytes: int, sequence: int):
+    __slots__ = ("address", "data", "useful_bytes", "sequence", "core_id")
+
+    def __init__(
+        self,
+        address: int,
+        data: bytes,
+        useful_bytes: int,
+        sequence: int,
+        core_id: int = 0,
+    ):
         self.address = address
         self.data = data
         self.useful_bytes = useful_bytes
         self.sequence = sequence
+        self.core_id = core_id
 
 
 class ConditionalStoreBuffer:
@@ -92,7 +105,7 @@ class ConditionalStoreBuffer:
 
     # -- combining store -----------------------------------------------------
 
-    def store(self, address: int, data: bytes, pid: int) -> None:
+    def store(self, address: int, data: bytes, pid: int, core_id: int = 0) -> None:
         """Accept one combining store (caller must check
         :attr:`line_buffer_free` first — hardware would simply stall)."""
         if not self.line_buffer_free:
@@ -113,7 +126,7 @@ class ConditionalStoreBuffer:
             if self.events is not None:
                 from repro.observability.events import SequenceStarted
 
-                self.events.publish(SequenceStarted(line, pid))
+                self.events.publish(SequenceStarted(line, pid, core_id))
         offset = address - line
         self._data[offset : offset + size] = data
         for i in range(offset, offset + size):
@@ -123,7 +136,9 @@ class ConditionalStoreBuffer:
 
     # -- conditional flush ----------------------------------------------------
 
-    def conditional_flush(self, address: int, pid: int, expected: int) -> FlushResult:
+    def conditional_flush(
+        self, address: int, pid: int, expected: int, core_id: int = 0
+    ) -> FlushResult:
         """Attempt to commit the combined sequence atomically."""
         if not self.line_buffer_free:
             raise SimulationError("conditional flush while line buffer busy")
@@ -139,7 +154,7 @@ class ConditionalStoreBuffer:
                 from repro.observability.events import ConflictAbort
 
                 self.events.publish(
-                    ConflictAbort(line, pid, expected, self._hit_counter)
+                    ConflictAbort(line, pid, expected, self._hit_counter, core_id)
                 )
             self._clear_data()
             self._line_addr = None
@@ -153,7 +168,7 @@ class ConditionalStoreBuffer:
             from repro.observability.events import FlushCommitted
 
             self.events.publish(
-                FlushCommitted(self._line_addr, useful, self._hit_counter)
+                FlushCommitted(self._line_addr, useful, self._hit_counter, core_id)
             )
         if self.config.pad_to_full_line:
             burst = PendingBurst(
@@ -161,6 +176,7 @@ class ConditionalStoreBuffer:
                 bytes(self._data),
                 useful,
                 sequence=-1,
+                core_id=core_id,
             )
         else:
             # Relaxed variant: issue only the covering aligned power-of-two
@@ -172,6 +188,7 @@ class ConditionalStoreBuffer:
                 bytes(self._data[span[0] : span[0] + span[1]]),
                 useful,
                 sequence=-1,
+                core_id=core_id,
             )
         self._pending.append(burst)
         self._clear_data()

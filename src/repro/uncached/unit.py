@@ -45,6 +45,7 @@ class UncachedUnit:
         stats: StatsCollector,
         cpu_ratio: int,
         csb_config: CSBConfig,
+        core_id: int = 0,
     ) -> None:
         self.buffer = buffer
         self.csb = csb
@@ -53,6 +54,7 @@ class UncachedUnit:
         self.stats = stats
         self.cpu_ratio = cpu_ratio
         self.csb_config = csb_config
+        self.core_id = core_id
         #: Observability event bus; None (the default) means uninstrumented.
         #: The unit ticks first each CPU cycle, so it also advances the
         #: bus's shared clock (see :meth:`tick`).
@@ -83,20 +85,20 @@ class UncachedUnit:
                 address, data, self._next_seq()
             )
             if accepted and self.events is not None:
-                self.events.publish(StoreIssued(address, size, "block"))
+                self.events.publish(StoreIssued(address, size, "block", self.core_id))
             return accepted
         if attr is PageAttr.UNCACHED_COMBINING:
             if not self.csb.line_buffer_free:
                 self.stats.bump("csb.store_stalls")
                 return False
-            self.csb.store(address, data, pid)
+            self.csb.store(address, data, pid, self.core_id)
             if self.events is not None:
-                self.events.publish(StoreIssued(address, size, "csb"))
+                self.events.publish(StoreIssued(address, size, "csb", self.core_id))
             return True
         if attr is PageAttr.UNCACHED:
             accepted = self.buffer.accept_store(address, data, self._next_seq())
             if accepted and self.events is not None:
-                self.events.publish(StoreIssued(address, size, "buffer"))
+                self.events.publish(StoreIssued(address, size, "buffer", self.core_id))
             return accepted
         raise SimulationError(
             f"uncached unit received a cached store at {address:#x}"
@@ -135,7 +137,7 @@ class UncachedUnit:
             if not self.csb.line_buffer_free:
                 self.stats.bump("csb.flush_stalls")
                 return False
-            result = self.csb.conditional_flush(address, pid, expected)
+            result = self.csb.conditional_flush(address, pid, expected, self.core_id)
             if result is FlushResult.SUCCESS:
                 self._csb_burst_seqs.append(self._next_seq())
                 value = expected
@@ -184,7 +186,25 @@ class UncachedUnit:
 
     def tick(self, cpu_cycle: int) -> None:
         """Advance one CPU cycle: deliver due flush results; on bus-cycle
-        boundaries, complete bus transactions and issue new ones."""
+        boundaries, complete bus transactions and issue new ones.
+
+        This is the standalone (single-initiator) clocking path.  An SMP
+        :class:`~repro.sim.system.System` instead calls :meth:`tick_cpu`
+        every CPU cycle and lets the shared
+        :class:`~repro.bus.arbiter.BusArbiter` drive :meth:`tick_bus`.
+        """
+        self.tick_cpu(cpu_cycle)
+        if cpu_cycle % self.cpu_ratio == 0:
+            bus_cycle = cpu_cycle // self.cpu_ratio
+            self.bus.tick(bus_cycle)
+            if self.refill_engine is not None and self.refill_engine.tick_bus(
+                bus_cycle
+            ):
+                return  # memory traffic won the bus this cycle
+            self.tick_bus(bus_cycle)
+
+    def tick_cpu(self, cpu_cycle: int) -> None:
+        """CPU-side work for one cycle: deliver due flush results."""
         self._now = cpu_cycle
         if self.events is not None:
             # First component ticked each cycle: advance the shared event
@@ -196,40 +216,43 @@ class UncachedUnit:
                 self._scheduled = [i for i in self._scheduled if i[0] > cpu_cycle]
                 for _, callback, value in due_now:
                     callback(value, cpu_cycle)
-        if cpu_cycle % self.cpu_ratio == 0:
-            bus_cycle = cpu_cycle // self.cpu_ratio
-            self.bus.tick(bus_cycle)
-            if self.refill_engine is not None and self.refill_engine.tick_bus(
-                bus_cycle
-            ):
-                return  # memory traffic won the bus this cycle
-            self._arbitrate(bus_cycle)
 
-    def _arbitrate(self, bus_cycle: int) -> None:
-        """Program-order arbitration between the buffer and a CSB burst."""
+    def tick_bus(self, bus_cycle: int) -> bool:
+        """Program-order arbitration between the buffer and a CSB burst.
+
+        Returns True when a bus transaction was started (the arbiter's
+        grant signal: the bus accepts at most one transaction per cycle).
+        """
         buffer_seq = self.buffer.head_sequence
         csb_seq = self._csb_burst_seqs[0] if self._csb_burst_seqs else None
         if buffer_seq is None and csb_seq is None:
-            return
+            return False
         if csb_seq is None or (buffer_seq is not None and buffer_seq < csb_seq):
-            self.buffer.tick_bus(bus_cycle)
-        else:
-            self._try_issue_csb_burst(bus_cycle)
+            return self.buffer.tick_bus(bus_cycle)
+        return self._try_issue_csb_burst(bus_cycle)
 
-    def _try_issue_csb_burst(self, bus_cycle: int) -> None:
+    def _try_issue_csb_burst(self, bus_cycle: int) -> bool:
         burst = self.csb.peek_burst()
         if burst is None:
             raise SimulationError("CSB burst sequence recorded but no burst pending")
+        if burst.core_id != self.core_id:
+            # The shared CSB drains bursts in flush order; the head burst
+            # belongs to another core's hand-off port, so stall until that
+            # core has issued it.
+            return False
         txn = BusTransaction(
             address=burst.address,
             size=len(burst.data),
             kind=KIND_CSB_FLUSH,
             data=burst.data,
             useful_bytes=burst.useful_bytes,
+            core_id=self.core_id,
         )
         if self.bus.try_issue(txn, bus_cycle):
             self.csb.pop_burst()
             self._csb_burst_seqs.pop(0)
+            return True
+        return False
 
     def quiescent(self) -> bool:
         """No pending work anywhere (used by the system run loop)."""

@@ -20,6 +20,7 @@ from repro.workloads.messaging import (
     dma_send_kernel,
 )
 from repro.workloads.contention import contending_csb_kernel
+from repro.workloads.smp import smp_csb_kernel, smp_locked_kernel
 
 __all__ = [
     "TRANSFER_SIZES",
@@ -29,6 +30,8 @@ __all__ = [
     "dma_send_kernel",
     "locked_access_kernel",
     "pio_send_kernel",
+    "smp_csb_kernel",
+    "smp_locked_kernel",
     "store_kernel_csb",
     "store_kernel_uncached",
 ]

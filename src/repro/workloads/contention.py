@@ -24,6 +24,7 @@ def contending_csb_kernel(
     signature: int = 0,
     backoff: bool = False,
     backoff_cap: int = 256,
+    backoff_base: int = 1,
     line_size: int = 64,
 ) -> str:
     """``iterations`` flush sequences of ``n_doublewords`` stores to ``base``.
@@ -35,12 +36,19 @@ def contending_csb_kernel(
     exponential backoff algorithm to reduce the likelihood of a
     conflict"): after a failed flush the process spins for a delay that
     doubles on every consecutive failure (capped at ``backoff_cap`` loop
-    iterations) before retrying, and resets on success.
+    iterations) before retrying, and resets on success.  ``backoff_base``
+    is the delay the sequence starts (and resets) from; giving each
+    contender a distinct base is the deterministic-simulation analogue of
+    the randomized backoff slot real systems use — it breaks the phase
+    lock between otherwise identical competitors (see
+    :mod:`repro.workloads.smp`).
     """
     if iterations < 1:
         raise ConfigError("iterations must be >= 1")
     if n_doublewords < 1:
         raise ConfigError("need at least one store per sequence")
+    if backoff_base < 1:
+        raise ConfigError("backoff_base must be >= 1")
     if n_doublewords * DOUBLEWORD > line_size:
         raise ConfigError(
             f"{n_doublewords} doublewords do not fit one {line_size}-byte "
@@ -51,7 +59,7 @@ def contending_csb_kernel(
         f"set {base}, %o1",
         f"set {iterations}, %l7",
         f"set {signature}, %l0",
-        "set 1, %l5",                # current backoff (spin iterations)
+        f"set {backoff_base}, %l5",  # current backoff (spin iterations)
         ".LOOP:",
         ".RETRY:",
         f"set {n_doublewords}, %l4",
@@ -77,7 +85,7 @@ def contending_csb_kernel(
             "brnz %l6, .SPIN",
             "ba .RETRY",
             ".OK:",
-            "set 1, %l5",            # success resets the backoff
+            f"set {backoff_base}, %l5",  # success resets the backoff
         ]
     else:
         lines.append("bnz .RETRY")

@@ -1,0 +1,126 @@
+"""SMP contention workloads: N cores hammering one device concurrently.
+
+The paper's §3.2 claim is that CSB conflict detection (process ID + hit
+counter) replaces the lock/unlock pair around programmed I/O.  The
+single-core harness can only exercise that claim through context-switch
+interleavings; these kernels extend it to *true* concurrency — every core
+runs one of them simultaneously against the same device line, so lock
+traffic and flush conflicts come from other processors, not the scheduler.
+
+* :func:`smp_locked_kernel` — a loop of {swap spin-lock acquire, membar,
+  ``n`` uncached doubleword stores, membar, release}: the conventional
+  mutual-exclusion discipline, where every access serializes on the lock
+  and the release/acquire handoff costs bus and cache traffic.
+* :func:`smp_csb_kernel` — the lock-free CSB discipline: combining stores
+  plus a checked conditional flush, retried on conflict with the paper's
+  exponential backoff (§3.2), entered through a per-core *stagger* delay.
+  The stagger de-phases the otherwise perfectly symmetric cores of the
+  deterministic simulator; without it every core's sequence interleaves
+  with every other's identically forever and no flush can ever succeed —
+  the degenerate livelock the paper's backoff randomization breaks, which
+  a deterministic machine must break with asymmetric start times instead.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.common.config import DOUBLEWORD
+from repro.common.errors import ConfigError
+from repro.memory.layout import IO_UNCACHED_BASE
+from repro.workloads.contention import contending_csb_kernel
+from repro.workloads.lockbench import DEFAULT_LOCK_ADDR
+
+#: Default stagger spacing (spin iterations) between consecutive cores.
+#: Longer than one store sequence + flush, so core k+1 first collides with
+#: core k's *completed* sequence instead of interleaving with a live one.
+DEFAULT_STAGGER_STEP = 40
+
+
+def smp_locked_kernel(
+    iterations: int,
+    lock_addr: int = DEFAULT_LOCK_ADDR,
+    data_base: int = IO_UNCACHED_BASE,
+    n_doublewords: int = 8,
+    signature: int = 0,
+) -> str:
+    """``iterations`` lock-protected device accesses of ``n_doublewords``.
+
+    The body is the paper's Figure 5 locking sequence (acquire, membar,
+    stores, membar, release) inside a retry loop, so N copies of this
+    kernel on N cores serialize on the single lock variable.
+    ``signature`` seeds the stored values for per-core attribution.
+    """
+    if iterations < 1:
+        raise ConfigError("iterations must be >= 1")
+    if n_doublewords < 1:
+        raise ConfigError("need at least one doubleword store")
+    lines: List[str] = [
+        f"set {lock_addr}, %o0",
+        f"set {data_base}, %o1",
+        f"set {iterations}, %l7",
+        f"set {signature}, %l0",
+        ".LOOP:",
+        ".ACQ:",
+        "set 1, %l6",                # initialize swap source
+        "swap [%o0], %l6",           # atomic test-and-set
+        "brnz %l6, .ACQ",            # retry while the lock was held
+        "membar",                    # separate locking from device access
+    ]
+    for i in range(n_doublewords):
+        lines.append(f"stx %l0, [%o1+{i * DOUBLEWORD}]")
+    lines += [
+        "membar",                    # wait: stores must leave the buffer
+        "stx %g0, [%o0]",            # release
+        "add %l0, 1, %l0",           # vary the payload per iteration
+        "sub %l7, 1, %l7",
+        "brnz %l7, .LOOP",
+        "halt",
+    ]
+    return "\n".join(lines)
+
+
+def smp_csb_kernel(
+    iterations: int,
+    base: int,
+    n_doublewords: int = 8,
+    signature: int = 0,
+    stagger: int = 0,
+    backoff_base: int = 1,
+    backoff_cap: int = 256,
+    line_size: int = 64,
+) -> str:
+    """``iterations`` CSB flush sequences, de-phased from the other cores.
+
+    A spin preamble of ``stagger`` iterations delays this core's entry to
+    the contended line, then the body is the standard contention kernel
+    (:func:`~repro.workloads.contention.contending_csb_kernel`) with
+    exponential backoff enabled.  Callers must give every core a distinct
+    ``backoff_base`` (and ideally a distinct ``stagger``): with identical
+    bases the deterministic cores' retry periods are equal, their relative
+    phase never changes, and a single collision repeats forever.  Distinct
+    bases make the periods diverge until one core's whole sequence fits in
+    the others' spin windows — the guaranteed-progress property the paper
+    gets from randomizing the backoff slot.
+    """
+    if stagger < 0:
+        raise ConfigError("stagger must be >= 0")
+    body = contending_csb_kernel(
+        iterations,
+        base,
+        n_doublewords=n_doublewords,
+        signature=signature,
+        backoff=True,
+        backoff_cap=backoff_cap,
+        backoff_base=backoff_base,
+        line_size=line_size,
+    )
+    if not stagger:
+        return body
+    preamble = [
+        f"set {stagger}, %l1",
+        ".STAGGER:",
+        "sub %l1, 1, %l1",
+        "brnz %l1, .STAGGER",
+    ]
+    return "\n".join(preamble) + "\n" + body

@@ -1,0 +1,128 @@
+"""Bus arbitration: priority classes, fairness policies, grant accounting."""
+
+import pytest
+
+from repro.bus.arbiter import BusArbiter
+from repro.common.errors import ConfigError
+
+
+class FakeBus:
+    """Stands in for SystemBus: records that it ticked first."""
+
+    def __init__(self):
+        self.ticks = []
+
+    def tick(self, bus_cycle):
+        self.ticks.append(bus_cycle)
+
+
+class Requester:
+    """An initiator that wants the bus whenever ``ready`` is True."""
+
+    def __init__(self, ready=True):
+        self.ready = ready
+        self.granted = []
+
+    def tick_bus(self, bus_cycle):
+        if self.ready:
+            self.granted.append(bus_cycle)
+            return True
+        return False
+
+
+def make_arbiter(policy="round_robin"):
+    return BusArbiter(FakeBus(), policy)
+
+
+class TestPolicyValidation:
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ConfigError):
+            BusArbiter(FakeBus(), "lottery")
+
+
+class TestRoundRobin:
+    def test_rotates_among_ready_initiators(self):
+        arbiter = make_arbiter()
+        names = ("a", "b", "c")
+        for name in names:
+            arbiter.add_initiator(Requester(), name=name)
+        winners = [arbiter.tick_bus(cycle) for cycle in range(6)]
+        assert winners == ["a", "b", "c", "a", "b", "c"]
+
+    def test_skips_idle_initiators(self):
+        arbiter = make_arbiter()
+        idle = Requester(ready=False)
+        busy = Requester()
+        arbiter.add_initiator(idle, name="idle")
+        arbiter.add_initiator(busy, name="busy")
+        assert [arbiter.tick_bus(c) for c in range(3)] == ["busy"] * 3
+        assert idle.granted == []
+
+    def test_no_starvation_under_saturation(self):
+        arbiter = make_arbiter()
+        requesters = [Requester() for _ in range(4)]
+        for i, requester in enumerate(requesters):
+            arbiter.add_initiator(requester, name=f"core{i}")
+        for cycle in range(40):
+            arbiter.tick_bus(cycle)
+        assert all(count == 10 for count in arbiter.grants.values())
+
+    def test_idle_cycle_returns_none(self):
+        arbiter = make_arbiter()
+        arbiter.add_initiator(Requester(ready=False), name="idle")
+        assert arbiter.tick_bus(0) is None
+        assert arbiter.grants["idle"] == 0
+
+
+class TestPriorityPolicy:
+    def test_registration_order_wins(self):
+        arbiter = make_arbiter("priority")
+        first = Requester()
+        second = Requester()
+        arbiter.add_initiator(first, name="first")
+        arbiter.add_initiator(second, name="second")
+        assert [arbiter.tick_bus(c) for c in range(4)] == ["first"] * 4
+        assert second.granted == []  # daisy-chain starvation is the model
+
+    def test_later_slot_runs_when_front_is_idle(self):
+        arbiter = make_arbiter("priority")
+        arbiter.add_initiator(Requester(ready=False), name="first")
+        arbiter.add_initiator(Requester(), name="second")
+        assert arbiter.tick_bus(0) == "second"
+
+
+class TestPriorityClasses:
+    def test_lower_class_preempts_every_cycle(self):
+        # Refill registers at priority 0 and must beat any core.
+        arbiter = make_arbiter()
+        refill = Requester()
+        core = Requester()
+        arbiter.add_initiator(refill, priority=0, name="refill")
+        arbiter.add_initiator(core, priority=1, name="core0")
+        assert [arbiter.tick_bus(c) for c in range(3)] == ["refill"] * 3
+        assert core.granted == []
+
+    def test_falls_through_to_next_class(self):
+        arbiter = make_arbiter()
+        arbiter.add_initiator(Requester(ready=False), priority=0, name="refill")
+        core = Requester()
+        arbiter.add_initiator(core, priority=1, name="core0")
+        assert arbiter.tick_bus(5) == "core0"
+        assert core.granted == [5]
+
+
+class TestAccounting:
+    def test_bus_ticks_before_any_grant(self):
+        bus = FakeBus()
+        arbiter = BusArbiter(bus, "round_robin")
+        arbiter.add_initiator(Requester(), name="a")
+        arbiter.tick_bus(3)
+        assert bus.ticks == [3]
+
+    def test_grants_count_per_name(self):
+        arbiter = make_arbiter()
+        arbiter.add_initiator(Requester(), name="a")
+        arbiter.add_initiator(Requester(ready=False), name="b")
+        for cycle in range(5):
+            arbiter.tick_bus(cycle)
+        assert arbiter.grants == {"a": 5, "b": 0}

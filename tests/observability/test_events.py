@@ -93,7 +93,7 @@ class TestJsonlSink:
         record = stream.getvalue().strip()
         assert record == (
             '{"event":"FlushCommitted","cycle":9,"job":"fig5a-csb-1",'
-            '"address":256,"useful_bytes":32,"stores":4}'
+            '"address":256,"useful_bytes":32,"stores":4,"core_id":0}'
         )
         assert json.loads(record)["stores"] == 4
         assert sink.written == 1

@@ -1,0 +1,200 @@
+"""SMP system construction, per-core scheduling, and cross-core CSB
+conflicts.
+
+The single-core pins here guard the refactor's central promise: a
+``num_cores=1`` system is cycle-for-cycle and counter-for-counter the
+machine the pre-SMP simulator built (the full-figure equivalence is
+enforced by ``csb-figures --all --check expected_results``; these tests
+keep the fast suite sensitive to the same property).
+"""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.isa.assembler import assemble
+from repro.memory.layout import IO_COMBINING_BASE
+from repro.observability.sinks import RingBufferSink
+from repro.sim.system import System
+from repro.workloads.lockbench import DEFAULT_LOCK_ADDR, locked_access_kernel
+from repro.workloads.storebw import store_kernel_csb
+from tests.conftest import make_config, run_asm
+
+LINE = IO_COMBINING_BASE
+
+
+def make_smp(num_cores, **kwargs):
+    return System(make_config(num_cores=num_cores, **kwargs))
+
+
+class TestConstruction:
+    def test_per_core_hardware_shared_backbone(self):
+        system = make_smp(4)
+        assert len(system.cores) == len(system.units) == len(system.buffers) == 4
+        # One CSB, one bus, one hierarchy for the whole machine.
+        assert all(unit.csb is system.csb for unit in system.units)
+        assert all(unit.bus is system.bus for unit in system.units)
+        assert [core.core_id for core in system.cores] == [0, 1, 2, 3]
+
+    def test_singular_aliases_are_core_zero(self):
+        system = make_smp(2)
+        assert system.core is system.cores[0]
+        assert system.unit is system.units[0]
+        assert system.buffer is system.buffers[0]
+
+    def test_arbiter_has_one_slot_per_core(self):
+        system = make_smp(3)
+        expected = {"core0", "core1", "core2"}
+        if system.refill_engine is not None:
+            expected.add("refill")
+        assert set(system.arbiter.grants) == expected
+
+    def test_num_cores_must_be_positive(self):
+        with pytest.raises(ConfigError):
+            make_smp(0)
+
+
+class TestProcessPlacement:
+    def test_round_robin_distribution_by_default(self):
+        system = make_smp(2)
+        for _ in range(4):
+            system.add_process(assemble("halt"))
+        assert [len(q.processes) for q in system.scheduler.queues] == [2, 2]
+
+    def test_explicit_core_id_pins(self):
+        system = make_smp(2)
+        context = system.add_process(assemble("halt"), core_id=1)
+        assert system.scheduler.queues[1].processes == [context]
+        assert system.scheduler.queues[0].processes == []
+
+    def test_core_id_out_of_range_rejected(self):
+        system = make_smp(2)
+        with pytest.raises(ConfigError):
+            system.add_process(assemble("halt"), core_id=2)
+
+
+class TestSingleCorePins:
+    """Known-good single-core numbers (the pre-SMP machine's)."""
+
+    def test_csb_store_kernel_cycles_and_counters(self):
+        system = run_asm(store_kernel_csb(64, 64))
+        assert system.cycle == 67
+        counters = system.stats.as_dict()
+        assert counters["csb.stores"] == 8
+        assert counters["csb.flushes"] == 1
+        assert counters["csb.sequences_started"] == 1
+        assert counters["bus.transactions"] == 1
+        assert counters["bus.bytes_wire"] == 64
+        assert counters["core.retired"] == 18
+
+    def test_locked_access_kernel_cycles(self):
+        system = run_asm(locked_access_kernel(4), warm=[DEFAULT_LOCK_ADDR])
+        assert system.cycle == 55
+        assert system.stats.get("bus.transactions") == 4
+
+
+class TestTwoCoreExecution:
+    def test_both_cores_run_to_completion(self):
+        system = make_smp(2)
+        a = system.add_process(assemble("set 7, %o1\nhalt"))
+        b = system.add_process(assemble("set 9, %o1\nhalt"))
+        system.run(max_cycles=10_000)
+        assert a.registers.read("%o1") == 7
+        assert b.registers.read("%o1") == 9
+
+    def test_parallel_speedup_over_one_core(self):
+        # The same two compute-bound programs finish sooner on two cores
+        # than time-shared on one.
+        spin = "set 200, %l1\n.S:\nsub %l1, 1, %l1\nbrnz %l1, .S\nhalt"
+
+        def total(num_cores):
+            system = make_smp(num_cores, quantum=100)
+            system.add_process(assemble(spin))
+            system.add_process(assemble(spin))
+            system.run(max_cycles=100_000)
+            return system.cycle
+
+        assert total(2) < total(1)
+
+
+def _conflict_system():
+    """Core 0 combines four doublewords then flushes late; core 1's lone
+    mid-sequence store to the same line clears core 0's sequence."""
+    system = make_smp(2)
+    victim = "\n".join(
+        [
+            f"set {LINE}, %o1",
+            "stx %l0, [%o1+0]",
+            "stx %l0, [%o1+8]",
+            "stx %l0, [%o1+16]",
+            "stx %l0, [%o1+24]",
+            "set 100, %l6",       # hold the flush until core 1 has intruded
+            ".D:",
+            "sub %l6, 1, %l6",
+            "brnz %l6, .D",
+            "set 4, %l4",
+            "swap [%o1], %l4",    # conditional flush, expected = 4
+            "halt",
+        ]
+    )
+    intruder = "\n".join(
+        [
+            "set 30, %l1",        # land after core 0's stores, before its flush
+            ".S:",
+            "sub %l1, 1, %l1",
+            "brnz %l1, .S",
+            f"set {LINE}, %o1",
+            "stx %l0, [%o1+32]",
+            "halt",
+        ]
+    )
+    system.add_process(assemble(victim, name="victim"), core_id=0)
+    system.add_process(assemble(intruder, name="intruder"), core_id=1)
+    return system
+
+
+class TestCrossCoreConflict:
+    def test_interleaved_stores_abort_the_flush(self):
+        system = _conflict_system()
+        sink = system.attach_observer(RingBufferSink())
+        system.run(max_cycles=10_000)
+        aborts = sink.of_kind("ConflictAbort")
+        assert len(aborts) == 1
+        abort = aborts[0]
+        # Core 0 (pid 1) expected its 4 stores; the CSB actually held core
+        # 1's restarted sequence — exactly one store, so counter == 1.
+        assert abort.core_id == 0
+        assert abort.pid == 1
+        assert abort.expected == 4
+        assert abort.counter == 1
+        assert system.stats.get("csb.flush_conflicts") == 1
+        # Core 1's intrusion started a fresh sequence (core 0's + core 1's).
+        assert system.stats.get("csb.sequences_started") == 2
+
+    def test_flush_swap_returned_zero_to_the_victim(self):
+        system = _conflict_system()
+        system.run(max_cycles=10_000)
+        victim = system.scheduler.processes[0]
+        assert victim.registers.read("%l4") == 0  # CONFLICT, not 4
+
+
+class TestSchedulerRunnableCount:
+    def test_cached_count_tracks_halts(self):
+        system = System(make_config(quantum=50))
+        for _ in range(3):
+            system.add_process(
+                assemble("set 40, %l1\n.S:\nsub %l1, 1, %l1\nbrnz %l1, .S\nhalt")
+            )
+        queue = system.scheduler.queues[0]
+        assert queue._num_runnable == 3
+        while not system.scheduler.all_halted:
+            system.step()
+            assert queue._num_runnable == len(queue.runnable())
+        assert queue._num_runnable == 0
+
+    def test_quantum_switching_still_preempts(self):
+        system = System(make_config(quantum=60))
+        spin = "set 300, %l1\n.S:\nsub %l1, 1, %l1\nbrnz %l1, .S\nhalt"
+        system.add_process(assemble(spin))
+        system.add_process(assemble(spin))
+        system.run(max_cycles=100_000)
+        assert system.scheduler.context_switches > 2
