@@ -70,6 +70,10 @@ class TargetRegistry:
             return device.bus_read(address, size)
         return self._backing.read_bytes(address, size)
 
+    def device_at(self, address: int) -> Optional[BusTarget]:
+        """The device claiming ``address`` (None: plain backing memory)."""
+        return self._device_at(address)
+
     def _device_at(self, address: int) -> Optional[BusTarget]:
         for region, device in self._targets:
             if region.contains(address):
@@ -95,6 +99,10 @@ class SystemBus(abc.ABC):
         self.read_latency = read_latency
         #: Observability event bus; None (the default) means uninstrumented.
         self.events = None
+        #: Fault-injection plan; None (the default) means fault-free, and
+        #: every hook below guards on it so the clean path pays only the
+        #: ``is not None`` check (same discipline as ``events``).
+        self.faults = None
         self._next_start_allowed = 0
         self._busy_until = -1
         # Min-heap of (end_cycle, sequence, transaction) pending completion.
@@ -134,6 +142,23 @@ class SystemBus(abc.ABC):
             )
         if not self.can_issue(bus_cycle):
             return False
+        if self.faults is not None:
+            # A NACKed address cycle: the target refused the transaction,
+            # the initiator's existing retry machinery re-presents it on a
+            # later bus cycle.  Nothing else about the bus state changes.
+            if self.faults.bus_nack():
+                self.stats.bump("faults.bus_nack")
+                self._publish_fault("bus_nack", txn.address)
+                return False
+            # A slow-target stall stretches this transaction's wait phase;
+            # the concrete bus models fold ``fault_stall`` into both the
+            # end-cycle cost and the cycle breakdown.
+            txn.fault_stall = self.faults.bus_stall()
+            if txn.fault_stall:
+                self.stats.bump("faults.bus_stall")
+                self._publish_fault(
+                    "bus_stall", txn.address, cycles=txn.fault_stall
+                )
         start = bus_cycle
         end = self.transaction_end(txn, start)
         txn.start_cycle = start
@@ -143,6 +168,23 @@ class SystemBus(abc.ABC):
             end + 1 + self.config.turnaround,
             start + self.config.min_addr_delay,
         )
+        if self.faults is not None:
+            device = self.targets.device_at(txn.address)
+            if device is not None:
+                # A late positive acknowledgment from the target device:
+                # under strong ordering the next transaction may not issue
+                # until the ack arrives, so the flow-control window simply
+                # stretches.
+                delay = self.faults.device_timeout()
+                if delay:
+                    self._next_start_allowed += delay
+                    self.stats.bump("faults.device_timeout")
+                    note = getattr(device, "note_ack_delay", None)
+                    if note is not None:
+                        note(delay)
+                    self._publish_fault(
+                        "device_timeout", txn.address, cycles=delay
+                    )
         heapq.heappush(self._pending, (end, self._sequence, txn))
         self._sequence += 1
         self.stats.bump("bus.transactions")
@@ -164,6 +206,14 @@ class SystemBus(abc.ABC):
         if self.events is not None:
             self._publish_accept(txn, start, end)
         return True
+
+    def _publish_fault(self, site: str, address: int, cycles: int = 0) -> None:
+        """Publish a FaultInjected event when instrumentation is on."""
+        if self.events is None:
+            return
+        from repro.observability.events import FaultInjected
+
+        self.events.publish(FaultInjected(site, address=address, cycles=cycles))
 
     def _publish_accept(self, txn: BusTransaction, start: int, end: int) -> None:
         """Emit the observability view of an accepted transaction (kept

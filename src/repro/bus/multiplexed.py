@@ -23,17 +23,18 @@ class MultiplexedBus(SystemBus):
 
     def transaction_end(self, txn: BusTransaction, start: int) -> int:
         beats = self.config.data_beats(txn.size)
+        stall = txn.fault_stall
         if txn.kind == KIND_REFILL:
             # Split-transaction refill: the memory access time overlaps
             # other traffic; the bus pays only address + data beats.
-            return start + beats
+            return start + stall + beats
         if txn.is_read:
-            return start + 1 + self.read_latency + beats - 1
+            return start + 1 + self.read_latency + stall + beats - 1
         # Address cycle at `start`, data beats immediately after.
-        return start + beats
+        return start + stall + beats
 
     def cycle_breakdown(self, txn: BusTransaction) -> Tuple[int, int, int]:
         beats = self.config.data_beats(txn.size)
         if txn.is_read and txn.kind != KIND_REFILL:
-            return 1, self.read_latency, beats
-        return 1, 0, beats
+            return 1, self.read_latency + txn.fault_stall, beats
+        return 1, txn.fault_stall, beats

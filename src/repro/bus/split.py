@@ -21,18 +21,19 @@ class SplitBus(SystemBus):
 
     def transaction_end(self, txn: BusTransaction, start: int) -> int:
         beats = self.config.data_beats(txn.size)
+        stall = txn.fault_stall
         if txn.kind == KIND_REFILL:
             # Split-transaction refill: data beats only.
-            return start + beats - 1
+            return start + stall + beats - 1
         if txn.is_read:
             # Address at `start`, target access, then data beats.
-            return start + self.read_latency + beats - 1
-        return start + beats - 1
+            return start + self.read_latency + stall + beats - 1
+        return start + stall + beats - 1
 
     def cycle_breakdown(self, txn: BusTransaction) -> Tuple[int, int, int]:
         # The address transfer rides the separate address path, so it
         # costs nothing on the accounted (data) path.
         beats = self.config.data_beats(txn.size)
         if txn.is_read and txn.kind != KIND_REFILL:
-            return 0, self.read_latency, beats
-        return 0, 0, beats
+            return 0, self.read_latency + txn.fault_stall, beats
+        return 0, txn.fault_stall, beats

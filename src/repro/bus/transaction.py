@@ -47,6 +47,10 @@ class BusTransaction:
     on_complete: Optional[CompletionCallback] = field(default=None, repr=False)
     #: Initiating core (-1 for non-core initiators such as refill or DMA).
     core_id: int = -1
+    #: Injected extra target-wait cycles (repro.faults ``bus_stall``);
+    #: stamped by the bus at accept time, consumed by the concrete bus
+    #: models' cost and breakdown functions.  Always 0 when faults are off.
+    fault_stall: int = 0
     # Filled in by the bus when the transaction is accepted:
     start_cycle: Optional[int] = None
     end_cycle: Optional[int] = None

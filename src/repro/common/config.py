@@ -15,6 +15,7 @@ from typing import Optional, Tuple
 
 from repro.common.bitops import is_power_of_two
 from repro.common.errors import ConfigError
+from repro.faults.config import FaultConfig
 
 #: Doubleword size in bytes — the unit the microbenchmarks store in.
 DOUBLEWORD = 8
@@ -276,6 +277,10 @@ class SystemConfig:
     disables preemption), ``switch_penalty`` (context-switch cost in CPU
     cycles), ``bus_read_latency`` (target access time of a bus read, in
     bus cycles), and ``trace`` (record a per-instruction pipeline trace).
+
+    ``faults`` configures deterministic fault injection (see
+    :mod:`repro.faults`); the default has every rate at zero, and the
+    system then builds no fault plan at all.
     """
 
     core: CoreConfig = field(default_factory=CoreConfig)
@@ -283,6 +288,7 @@ class SystemConfig:
     bus: BusConfig = field(default_factory=BusConfig)
     uncached: UncachedBufferConfig = field(default_factory=UncachedBufferConfig)
     csb: CSBConfig = field(default_factory=CSBConfig)
+    faults: FaultConfig = field(default_factory=FaultConfig)
     num_cores: int = 1
     arbitration: str = "round_robin"
     quantum: Optional[int] = None

@@ -22,6 +22,7 @@ from repro.common.config import (
     UncachedBufferConfig,
 )
 from repro.common.errors import ConfigError
+from repro.faults.config import FaultConfig
 
 _SECTION_TYPES = {
     "core": CoreConfig,
@@ -29,6 +30,7 @@ _SECTION_TYPES = {
     "bus": BusConfig,
     "uncached": UncachedBufferConfig,
     "csb": CSBConfig,
+    "faults": FaultConfig,
 }
 
 #: Whole-system scalar knobs of :class:`SystemConfig` (everything that is

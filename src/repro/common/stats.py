@@ -53,6 +53,12 @@ COUNTER_NAMESPACE = frozenset(
         # refill.*: cache refills on the bus (refills_use_bus=True)
         "refill.requests",
         "refill.issued",
+        # faults.*: injected faults (repro.faults; zero when disabled)
+        "faults.bus_nack",
+        "faults.bus_stall",
+        "faults.device_timeout",
+        "faults.csb_spurious_abort",
+        "faults.refill_stall",
     }
 )
 

@@ -17,9 +17,20 @@ class Device(abc.ABC):
         self.name = name or type(self).__name__
         #: Observability event bus; None (the default) means uninstrumented.
         self.events = None
+        #: Fault-injection plan; None (the default) means fault-free.
+        self.faults = None
         self.writes = 0
         self.reads = 0
         self.bytes_written = 0
+        #: Injected ack-timeout bookkeeping (bus-side device_timeout faults
+        #: targeting this device's region).
+        self.ack_delays = 0
+        self.ack_delay_cycles = 0
+
+    def note_ack_delay(self, cycles: int) -> None:
+        """Record an injected late-acknowledgment affecting this device."""
+        self.ack_delays += 1
+        self.ack_delay_cycles += cycles
 
     def bus_write(self, address: int, data: bytes) -> None:
         self._check(address, len(data))

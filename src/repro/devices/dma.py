@@ -57,7 +57,12 @@ class DmaEngine(Device):
         self._busy_until = -1
         self._active: Optional[Tuple[int, int]] = None
         self._now = 0
+        self._attempts = 0
         self.transfers: List[Tuple[int, int, int]] = []  # (src, len, done_cycle)
+        #: Re-runs forced by injected completion faults.
+        self.retries = 0
+        #: Transfers abandoned after exhausting ``max_retries`` attempts.
+        self.failed = 0
 
     def handle_write(self, offset: int, data: bytes) -> None:
         value = int.from_bytes(data, "big")
@@ -96,6 +101,7 @@ class DmaEngine(Device):
         lines = (length + self.line_size - 1) // self.line_size
         self._busy_until = self._now + self.setup_cycles + lines * self.cycles_per_line
         self._active = (src, length)
+        self._attempts = 0
 
     @property
     def busy(self) -> bool:
@@ -105,11 +111,37 @@ class DmaEngine(Device):
         self._now = bus_cycle
         if self._active is not None and bus_cycle >= self._busy_until:
             src, length = self._active
+            if self.faults is not None and self.faults.dma_fault():
+                # The transfer failed at completion; the engine re-runs it
+                # from scratch after an exponentially growing hold-off,
+                # giving up once the retry budget is exhausted.
+                self._dma_fault(src, length, bus_cycle)
+                return
             payload = self.memory.read_bytes(src, length)
             if self.nic is not None:
                 self.nic.deliver_dma_payload(payload, bus_cycle)
             self.transfers.append((src, length, bus_cycle))
             self._active = None
+
+    def _dma_fault(self, src: int, length: int, bus_cycle: int) -> None:
+        """Handle one injected completion failure (see :meth:`tick`)."""
+        assert self.faults is not None
+        self._attempts += 1
+        if self.events is not None:
+            from repro.observability.events import FaultInjected
+
+            self.events.publish(FaultInjected("dma_fault", address=src))
+        if self._attempts >= self.faults.config.max_retries:
+            self.failed += 1
+            self._active = None
+            return
+        self.retries += 1
+        lines = (length + self.line_size - 1) // self.line_size
+        self._busy_until = (
+            bus_cycle
+            + (self.setup_cycles << self._attempts)
+            + lines * self.cycles_per_line
+        )
 
     def completion_cycle(self) -> Optional[int]:
         """Bus cycle the most recent transfer completed (None if none)."""

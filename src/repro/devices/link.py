@@ -2,16 +2,60 @@
 
 Models the cluster interconnect the paper's motivation assumes: packets
 leaving one node's NIC arrive in the peer's RX queue after a fixed wire
-latency (in bus cycles).  The link is full-duplex and lossless; NIC RX
-backpressure (a full RX queue) drops at the receiver and is counted there.
+latency (in bus cycles).  The link is full-duplex; NIC RX backpressure
+(a full RX queue) drops at the receiver and is counted there.
+
+Loss and recovery
+-----------------
+
+By default the wire is lossless and fire-and-forget: every injected
+packet is delivered exactly once, ``latency`` bus cycles later.  When a
+fault plan with a nonzero ``link_drop_rate`` is active (see
+:mod:`repro.faults` — the link inherits the plan from either NIC, which
+gets it from its system at attach time), the wire becomes lossy and the
+link runs a stop-and-wait ARQ protocol per direction:
+
+* data frames carry a monotonically increasing sequence number; at most
+  one frame per direction is unacknowledged at a time;
+* the receiver acknowledges every data frame (including duplicates,
+  whose payloads are deduplicated and dropped) and delivers a payload
+  only when its sequence number advances;
+* the sender retransmits on acknowledgment timeout with exponential
+  backoff, and abandons the packet (counted in :attr:`Link.lost`) once
+  the plan's ``max_retries`` budget is exhausted.
+
+Without ARQ a single dropped packet (or dropped acknowledgment) would
+hang a polling receiver forever — the failure mode
+tests/faults/test_device_retry.py pins.
 """
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from collections import deque
+from typing import Deque, List, Optional, Tuple
 
 from repro.common.errors import ConfigError
 from repro.devices.nic import NetworkInterface, Packet
+
+#: Wire frame: (arrival_cycle, kind, data_direction, seq, payload) where
+#: ``kind`` is "data" or "ack" and ``data_direction`` is the index of the
+#: end the *data* frame is (or was) heading to — an ack travels back to
+#: the opposite end.
+_Frame = Tuple[int, str, int, int, bytes]
+
+
+class _ArqSender:
+    """Stop-and-wait transmit state for one direction of the link."""
+
+    __slots__ = ("queue", "next_seq", "awaiting", "attempts", "deadline")
+
+    def __init__(self) -> None:
+        self.queue: Deque[bytes] = deque()
+        self.next_seq = 0
+        #: Sequence number of the unacknowledged frame (None: idle).
+        self.awaiting: Optional[int] = None
+        self.attempts = 0
+        self.deadline = 0
 
 
 class Link:
@@ -29,21 +73,60 @@ class Link:
             raise ConfigError("a link needs two distinct NICs")
         self.latency = latency
         self._ends = (nic_a, nic_b)
-        # (arrival_cycle, destination_index, payload), kept sorted by time.
+        #: Fault-injection plan; None means a lossless fire-and-forget
+        #: wire.  Lazily inherited from either NIC (set at attach time).
+        self.faults = None
+        # Legacy lossless path: (arrival_cycle, destination, payload).
         self._in_flight: List[Tuple[int, int, bytes]] = []
         self._now = 0
         self.delivered = 0
+        # ARQ state (used only on a lossy wire).
+        self._senders = (_ArqSender(), _ArqSender())
+        self._highest = [-1, -1]  # highest delivered seq per direction
+        self._wire: List[_Frame] = []
+        self.wire_drops = 0
+        self.retransmits = 0
+        self.duplicates = 0
+        self.lost = 0
         nic_a.egress = lambda packet: self._inject(packet, destination=1)
         nic_b.egress = lambda packet: self._inject(packet, destination=0)
 
+    # -- plan resolution -----------------------------------------------------
+
+    def _plan(self):
+        """The active fault plan, inherited from either NIC on first use."""
+        if self.faults is None:
+            for nic in self._ends:
+                if nic.faults is not None:
+                    self.faults = nic.faults
+                    break
+        return self.faults
+
+    @property
+    def _lossy(self) -> bool:
+        plan = self._plan()
+        return plan is not None and plan.config.link_drop_rate > 0.0
+
+    # -- injection -----------------------------------------------------------
+
     def _inject(self, packet: Packet, destination: int) -> None:
+        if self._lossy:
+            sender = self._senders[destination]
+            sender.queue.append(packet.payload)
+            self._pump(destination, self._now)
+            return
         self._in_flight.append(
             (self._now + self.latency, destination, packet.payload)
         )
 
+    # -- clocking ------------------------------------------------------------
+
     def tick(self, bus_cycle: int) -> None:
-        """Deliver every packet whose wire time has elapsed."""
+        """Deliver every frame whose wire time has elapsed."""
         self._now = bus_cycle
+        if self._lossy:
+            self._tick_arq(bus_cycle)
+            return
         if not self._in_flight:
             return
         remaining: List[Tuple[int, int, bytes]] = []
@@ -55,6 +138,111 @@ class Link:
                 remaining.append((arrival, destination, payload))
         self._in_flight = remaining
 
+    def _tick_arq(self, bus_cycle: int) -> None:
+        arrived = [f for f in self._wire if f[0] <= bus_cycle]
+        if arrived:
+            self._wire = [f for f in self._wire if f[0] > bus_cycle]
+        for _, kind, direction, seq, payload in arrived:
+            if kind == "data":
+                self._receive_data(direction, seq, payload, bus_cycle)
+            else:
+                self._receive_ack(direction, seq)
+        for direction in (0, 1):
+            sender = self._senders[direction]
+            if sender.awaiting is not None and bus_cycle >= sender.deadline:
+                self._retry(direction, bus_cycle)
+            self._pump(direction, bus_cycle)
+
+    # -- ARQ machinery --------------------------------------------------------
+
+    def _pump(self, direction: int, now: int) -> None:
+        """Start transmitting the head of the queue if the wire is idle."""
+        sender = self._senders[direction]
+        if sender.awaiting is not None or not sender.queue:
+            return
+        sender.awaiting = sender.next_seq
+        sender.attempts = 0
+        self._transmit(direction, now)
+
+    def _transmit(self, direction: int, now: int) -> None:
+        sender = self._senders[direction]
+        assert sender.awaiting is not None
+        if self.faults.link_drop():
+            self.wire_drops += 1
+            self._publish_drop()
+        else:
+            self._wire.append(
+                (
+                    now + self.latency,
+                    "data",
+                    direction,
+                    sender.awaiting,
+                    sender.queue[0],
+                )
+            )
+        sender.deadline = now + self._timeout(sender.attempts)
+
+    def _timeout(self, attempts: int) -> int:
+        """Ack deadline: round trip plus slop, doubling per attempt."""
+        return (2 * self.latency + 2) << attempts
+
+    def _retry(self, direction: int, now: int) -> None:
+        sender = self._senders[direction]
+        sender.attempts += 1
+        if sender.attempts >= self.faults.config.max_retries:
+            # Retry budget exhausted: abandon the packet.  The sequence
+            # number still advances, so the receiver (which dedups on
+            # seq monotonicity) accepts the next packet normally.
+            self.lost += 1
+            sender.queue.popleft()
+            sender.awaiting = None
+            sender.next_seq += 1
+            return
+        self.retransmits += 1
+        self._transmit(direction, now)
+
+    def _receive_data(
+        self, direction: int, seq: int, payload: bytes, now: int
+    ) -> None:
+        if seq > self._highest[direction]:
+            self._highest[direction] = seq
+            self._ends[direction].receive_packet(payload)
+            self.delivered += 1
+        else:
+            # Duplicate (the original ack was lost): drop the payload but
+            # re-acknowledge so the sender can make progress.
+            self.duplicates += 1
+        if self.faults.link_drop():
+            self.wire_drops += 1
+            self._publish_drop()
+        else:
+            self._wire.append((now + self.latency, "ack", direction, seq, b""))
+
+    def _receive_ack(self, direction: int, seq: int) -> None:
+        sender = self._senders[direction]
+        if sender.awaiting != seq:
+            return  # stale ack for an already-resolved frame
+        sender.queue.popleft()
+        sender.awaiting = None
+        sender.next_seq += 1
+
+    def _publish_drop(self) -> None:
+        for nic in self._ends:
+            if nic.events is not None:
+                from repro.observability.events import FaultInjected
+
+                nic.events.publish(FaultInjected("link_drop"))
+                return
+
+    # -- introspection ---------------------------------------------------------
+
     @property
     def in_flight(self) -> int:
-        return len(self._in_flight)
+        """Frames on the wire plus packets awaiting acknowledgment (the
+        cluster drain condition: zero means the link has nothing left to
+        deliver, retransmit, or abandon)."""
+        return (
+            len(self._in_flight)
+            + len(self._wire)
+            + sum(len(sender.queue) for sender in self._senders)
+        )

@@ -69,6 +69,10 @@ class _PendingDescriptor:
     payload: bytes
     inline: bool
     pushed_at: int
+    #: Failed serialization attempts so far (fault injection only).
+    attempts: int = 0
+    #: Earliest bus cycle the next attempt may start (retry backoff).
+    not_before: int = 0
 
 
 class NetworkInterface(Device):
@@ -92,6 +96,10 @@ class NetworkInterface(Device):
         self._now = 0
         self.sent: List[Packet] = []
         self.dropped = 0
+        #: Serialization retries forced by injected TX faults.
+        self.tx_retries = 0
+        #: Descriptors abandoned after exhausting ``max_retries`` attempts.
+        self.tx_failed = 0
         #: Packets whose serialization is still in flight: (done_cycle, pkt).
         self._in_flight: List[tuple] = []
         #: Called with each Packet when its serialization completes.
@@ -165,21 +173,52 @@ class NetworkInterface(Device):
 
     def tick(self, bus_cycle: int) -> None:
         self._now = bus_cycle
-        if self._fifo and bus_cycle > self._tx_busy_until:
+        if (
+            self._fifo
+            and bus_cycle > self._tx_busy_until
+            and bus_cycle >= self._fifo[0].not_before
+        ):
             descriptor = self._fifo.popleft()
             self._tx_busy_until = bus_cycle + self.tx_cycles - 1
-            packet = Packet(
-                payload=descriptor.payload,
-                inline=descriptor.inline,
-                pushed_at=descriptor.pushed_at,
-                sent_at=bus_cycle,
-            )
-            self.sent.append(packet)
-            self._in_flight.append((bus_cycle + self.tx_cycles, packet))
+            if self.faults is not None and self.faults.nic_tx_fault():
+                # The serialization attempt failed on the wire side.  The
+                # wire time is spent either way; the descriptor goes back
+                # to the head of the FIFO (packets stay ordered) with an
+                # exponentially growing hold-off, until the retry budget
+                # runs out and the packet is abandoned.
+                self._tx_fault(descriptor, bus_cycle)
+            else:
+                packet = Packet(
+                    payload=descriptor.payload,
+                    inline=descriptor.inline,
+                    pushed_at=descriptor.pushed_at,
+                    sent_at=bus_cycle,
+                )
+                self.sent.append(packet)
+                self._in_flight.append((bus_cycle + self.tx_cycles, packet))
         while self._in_flight and self._in_flight[0][0] <= bus_cycle:
             _, packet = self._in_flight.pop(0)
             if self.egress is not None:
                 self.egress(packet)
+
+    def _tx_fault(self, descriptor: _PendingDescriptor, bus_cycle: int) -> None:
+        """Handle one injected serialization failure (see :meth:`tick`)."""
+        assert self.faults is not None
+        descriptor.attempts += 1
+        if self.events is not None:
+            from repro.observability.events import FaultInjected
+
+            self.events.publish(
+                FaultInjected("nic_tx_fault", address=self.region.base)
+            )
+        if descriptor.attempts >= self.faults.config.max_retries:
+            self.tx_failed += 1
+            return
+        self.tx_retries += 1
+        descriptor.not_before = bus_cycle + self.tx_cycles * (
+            1 << descriptor.attempts
+        )
+        self._fifo.appendleft(descriptor)
 
     # -- receive side -----------------------------------------------------------
 

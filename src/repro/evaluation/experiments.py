@@ -72,6 +72,7 @@ def _extension_registry() -> Dict[str, TableFactory]:
     )
     from repro.evaluation.blockstore import blockstore_table
     from repro.evaluation.crossover import crossover_table
+    from repro.evaluation.fault_sweep import fault_sweep_table
     from repro.evaluation.policy_comparison import policy_table
     from repro.evaluation.loaded_bus import loaded_bus_table, miss_interleaved_table
     from repro.evaluation.rtt import rtt_table
@@ -110,6 +111,7 @@ def _extension_registry() -> Dict[str, TableFactory]:
         "sensitivity-width": lambda runner=None: width_sensitivity_table(
             runner=runner
         ),
+        "fault-sweep": _ignores_runner(fault_sweep_table),
         "smp-contention": _ignores_runner(smp_contention_table),
         "sync-mechanisms": _ignores_runner(sync_mechanism_table),
         "sensitivity-ratio": lambda runner=None: ratio_sensitivity_table(

@@ -1,0 +1,14 @@
+"""Deterministic fault injection (see docs/faults.md).
+
+:class:`FaultConfig` describes a fault campaign (seed + per-site rates)
+and lives inside :class:`~repro.common.config.SystemConfig`;
+:class:`FaultPlan` is the runtime scheduler a system builds from it and
+threads through the bus, the CSB, the refill engine, and every attached
+device.  With the default (all-zero) config no plan is built at all and
+the simulator is byte-identical to the fault-free implementation.
+"""
+
+from repro.faults.config import RATE_FIELDS, FaultConfig
+from repro.faults.plan import FaultPlan
+
+__all__ = ["FaultConfig", "FaultPlan", "RATE_FIELDS"]

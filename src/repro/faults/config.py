@@ -1,0 +1,109 @@
+"""Fault-injection configuration: every injectable failure, as data.
+
+The paper's CSB is defined by its *failure* path — the conditional flush
+fails on conflict and software retries — so the simulator must be able to
+provoke failures everywhere, not only where a workload happens to create
+them.  :class:`FaultConfig` is the serializable description of a fault
+campaign: a seed plus a rate (and, where it matters, a duration) per
+injection site.  It lives inside
+:class:`~repro.common.config.SystemConfig`, travels through
+:mod:`repro.common.serialize` with every other knob, and therefore keys
+the content-addressed result cache — a faulted run can never alias a
+fault-free one.
+
+The default config has every rate at zero and :attr:`FaultConfig.enabled`
+False; a :class:`~repro.sim.system.System` built from it installs **no**
+fault plan at all, so the fault layer costs nothing when off (the same
+``is None`` discipline the observability event bus uses).
+
+Injection sites (see docs/faults.md for the full taxonomy):
+
+====================  =======================================================
+``bus_nack``          the bus refuses an otherwise-acceptable transaction at
+                      its address cycle; the initiator retries next cycle
+``bus_stall``         a transaction's target inserts extra wait cycles
+``device_timeout``    a device's positive acknowledgment is late, stalling
+                      the strongly-ordered uncached stream behind it
+``link_drop``         a link packet (or its ack) vanishes on the wire
+``csb_spurious_abort``a conditional flush that *would* have matched aborts
+                      anyway; software's retry loop must mask it
+``refill_stall``      a queued cache-line refill transiently cannot issue
+``nic_tx_fault``      a NIC transmit fails serialization and must be
+                      retried by the NIC's backoff state machine
+``dma_fault``         a DMA transfer fails at completion and the engine
+                      re-runs it after backoff
+====================  =======================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigError
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ConfigError(message)
+
+
+#: Every injection-site rate field of :class:`FaultConfig`, in a fixed
+#: order (the per-site random streams are keyed by these names).
+RATE_FIELDS = (
+    "bus_nack_rate",
+    "bus_stall_rate",
+    "device_timeout_rate",
+    "link_drop_rate",
+    "csb_spurious_abort_rate",
+    "refill_stall_rate",
+    "nic_tx_fault_rate",
+    "dma_fault_rate",
+)
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """One deterministic fault campaign.
+
+    ``seed`` feeds the per-site random streams; two runs with equal
+    configs (seed included) inject byte-identical fault sequences.  Rates
+    are per-opportunity probabilities in ``[0, 1]``; the ``*_cycles``
+    knobs size the injected delays.  ``max_retries`` bounds every device
+    retry state machine (NIC retransmit, DMA re-run, link ARQ) before the
+    device gives up and counts the operation as lost.
+    """
+
+    seed: int = 0
+    bus_nack_rate: float = 0.0
+    bus_stall_rate: float = 0.0
+    bus_stall_cycles: int = 2
+    device_timeout_rate: float = 0.0
+    device_timeout_cycles: int = 8
+    link_drop_rate: float = 0.0
+    csb_spurious_abort_rate: float = 0.0
+    refill_stall_rate: float = 0.0
+    refill_stall_cycles: int = 4
+    nic_tx_fault_rate: float = 0.0
+    dma_fault_rate: float = 0.0
+    max_retries: int = 8
+
+    def __post_init__(self) -> None:
+        for name in RATE_FIELDS:
+            rate = getattr(self, name)
+            _require(
+                isinstance(rate, (int, float)) and 0.0 <= rate <= 1.0,
+                f"{name} must be a probability in [0, 1], got {rate!r}",
+            )
+        _require(self.bus_stall_cycles >= 1, "bus_stall_cycles must be >= 1")
+        _require(
+            self.device_timeout_cycles >= 1, "device_timeout_cycles must be >= 1"
+        )
+        _require(
+            self.refill_stall_cycles >= 1, "refill_stall_cycles must be >= 1"
+        )
+        _require(self.max_retries >= 1, "max_retries must be >= 1")
+
+    @property
+    def enabled(self) -> bool:
+        """True when any injection site has a nonzero rate."""
+        return any(getattr(self, name) > 0.0 for name in RATE_FIELDS)

@@ -1,0 +1,99 @@
+"""The runtime fault plan: seeded per-site random streams plus accounting.
+
+A :class:`FaultPlan` is built once per :class:`~repro.sim.system.System`
+(only when its :class:`~repro.faults.config.FaultConfig` has a nonzero
+rate) and handed to every injectable component — the bus, the CSB, the
+refill engine, and each attached device.  Every injection *site* draws
+from its own ``random.Random`` stream, seeded by ``(seed, site name)``:
+
+* determinism — the same config replays the same fault sequence down to
+  the cycle, regardless of which other sites are enabled;
+* independence — turning one fault type on cannot perturb the draw
+  sequence (and therefore the injected schedule) of another.
+
+A draw happens only at a real opportunity (a transaction about to be
+accepted, a flush about to match, a packet entering the wire), so the
+injected fault *count* scales with the traffic each discipline actually
+generates — which is exactly what the ``fault-sweep`` experiment measures.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict
+
+from repro.faults.config import FaultConfig
+
+
+class FaultPlan:
+    """Deterministic, seeded fault scheduler (see module docstring)."""
+
+    def __init__(self, config: FaultConfig) -> None:
+        self.config = config
+        self._streams: Dict[str, random.Random] = {}
+        #: Injected-fault counts per site name (always present, zero when
+        #: a site never fired); surfaced as
+        #: :attr:`~repro.observability.metrics.MetricsSnapshot.fault_injections`.
+        self.injected: Dict[str, int] = {}
+
+    def _fires(self, site: str, rate: float) -> bool:
+        if rate <= 0.0:
+            return False
+        stream = self._streams.get(site)
+        if stream is None:
+            # Seeding with a string is deterministic (SHA-512 based) and
+            # keys each site's stream off the campaign seed.
+            stream = random.Random(f"{self.config.seed}:{site}")
+            self._streams[site] = stream
+        if stream.random() >= rate:
+            return False
+        self.injected[site] = self.injected.get(site, 0) + 1
+        return True
+
+    # -- injection sites ----------------------------------------------------
+
+    def bus_nack(self) -> bool:
+        """Should the bus NACK the transaction it is about to accept?"""
+        return self._fires("bus_nack", self.config.bus_nack_rate)
+
+    def bus_stall(self) -> int:
+        """Extra target wait cycles for the transaction being accepted."""
+        if self._fires("bus_stall", self.config.bus_stall_rate):
+            return self.config.bus_stall_cycles
+        return 0
+
+    def device_timeout(self) -> int:
+        """Extra cycles before a device's positive ack (0 = on time)."""
+        if self._fires("device_timeout", self.config.device_timeout_rate):
+            return self.config.device_timeout_cycles
+        return 0
+
+    def link_drop(self) -> bool:
+        """Should this link packet (or ack) be dropped on the wire?"""
+        return self._fires("link_drop", self.config.link_drop_rate)
+
+    def csb_spurious_abort(self) -> bool:
+        """Should a conditional flush that matched abort anyway?"""
+        return self._fires(
+            "csb_spurious_abort", self.config.csb_spurious_abort_rate
+        )
+
+    def refill_stall(self) -> int:
+        """Extra bus cycles before a queued refill may issue."""
+        if self._fires("refill_stall", self.config.refill_stall_rate):
+            return self.config.refill_stall_cycles
+        return 0
+
+    def nic_tx_fault(self) -> bool:
+        """Should this NIC packet fail serialization (forcing a retry)?"""
+        return self._fires("nic_tx_fault", self.config.nic_tx_fault_rate)
+
+    def dma_fault(self) -> bool:
+        """Should this DMA transfer fail at completion (forcing a re-run)?"""
+        return self._fires("dma_fault", self.config.dma_fault_rate)
+
+    # -- accounting ---------------------------------------------------------
+
+    @property
+    def total_injected(self) -> int:
+        return sum(self.injected.values())

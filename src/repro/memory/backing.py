@@ -75,3 +75,15 @@ class BackingStore:
     def touched_bytes(self) -> int:
         """Bytes of host memory allocated so far (for tests/diagnostics)."""
         return len(self._chunks) * _CHUNK_SIZE
+
+    def snapshot(self) -> Dict[int, bytes]:
+        """Canonical image of all nonzero memory: chunk base address ->
+        chunk bytes.  All-zero chunks are omitted, so two stores that
+        merely *touched* different addresses but hold identical contents
+        compare equal — the final-memory equivalence the differential
+        harness asserts."""
+        return {
+            key << _CHUNK_BITS: bytes(chunk)
+            for key, chunk in sorted(self._chunks.items())
+            if any(chunk)
+        }

@@ -28,7 +28,15 @@ class RefillEngine:
         self.bus = bus
         self.line_size = line_size
         self.stats = stats
+        #: Observability event bus; None (the default) means uninstrumented.
+        self.events = None
+        #: Fault-injection plan; None (the default) means fault-free.
+        self.faults = None
         self._pending: Deque[int] = deque()
+        # Transient-stall bookkeeping: one fault draw per queue head, made
+        # when the head is first considered for issue.
+        self._head_drawn = False
+        self._stall_until = -1
 
     def request(self, address: int) -> None:
         """Queue a refill for the line containing ``address``."""
@@ -41,6 +49,26 @@ class RefillEngine:
         when a transaction started (the uncached path then yields)."""
         if not self._pending:
             return False
+        if self.faults is not None:
+            if not self._head_drawn:
+                # One draw per refill: does the memory controller hiccup?
+                self._head_drawn = True
+                stall = self.faults.refill_stall()
+                if stall:
+                    self._stall_until = bus_cycle + stall
+                    self.stats.bump("faults.refill_stall")
+                    if self.events is not None:
+                        from repro.observability.events import FaultInjected
+
+                        self.events.publish(
+                            FaultInjected(
+                                "refill_stall",
+                                address=self._pending[0],
+                                cycles=stall,
+                            )
+                        )
+            if bus_cycle < self._stall_until:
+                return False
         txn = BusTransaction(
             address=self._pending[0],
             size=self.line_size,
@@ -49,6 +77,8 @@ class RefillEngine:
         if not self.bus.try_issue(txn, bus_cycle):
             return False
         self._pending.popleft()
+        self._head_drawn = False
+        self._stall_until = -1
         self.stats.bump("refill.issued")
         return True
 

@@ -35,6 +35,7 @@ ContextSwitch        scheduler — a new process was installed
 PipelineSquash       core — a precise interrupt squashed in-flight work
 DeviceWrite          device — a bus write reached the device
 DeviceRead           device — a bus read was served by the device
+FaultInjected        fault plan — an injected fault fired at some site
 ===================  ========================================================
 """
 
@@ -233,3 +234,20 @@ class DeviceRead(Event):
     device: str
     address: int
     size: int
+
+
+# -- fault injection ----------------------------------------------------------
+
+
+@dataclass
+class FaultInjected(Event):
+    """An injected fault fired (see :mod:`repro.faults`).
+
+    ``site`` names the injection point (``bus_nack``, ``link_drop``,
+    ``csb_spurious_abort``, ...); ``address`` is the affected address
+    where one exists (0 otherwise); ``cycles`` is the injected delay for
+    stall-type faults (0 for drop/abort faults)."""
+
+    site: str
+    address: int = 0
+    cycles: int = 0

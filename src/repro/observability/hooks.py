@@ -99,5 +99,7 @@ class Observability:
             core.events = bus
         system.hierarchy.events = bus
         system.scheduler.events = bus
+        if system.refill_engine is not None:
+            system.refill_engine.events = bus
         for device in system.devices:
             device.events = bus

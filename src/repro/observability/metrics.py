@@ -33,6 +33,8 @@ class MetricsSnapshot:
     store_window_bytes: int
     store_bandwidth: float
     per_core: Dict[int, Dict[str, int]] = field(default_factory=dict)
+    #: Injected-fault counts per site (empty when fault injection is off).
+    fault_injections: Dict[str, int] = field(default_factory=dict)
     extra: Dict[str, Any] = field(default_factory=dict)
 
     @classmethod
@@ -64,6 +66,11 @@ class MetricsSnapshot:
             store_window_bytes=window.total_bytes,
             store_bandwidth=window.bytes_per_cycle,
             per_core={core: dict(entry) for core, entry in per_core.items()},
+            fault_injections=(
+                dict(system.faults.injected)
+                if getattr(system, "faults", None) is not None
+                else {}
+            ),
             extra=dict(extra),
         )
 
@@ -93,5 +100,6 @@ class MetricsSnapshot:
                 str(core): dict(entry)
                 for core, entry in self.per_core.items()
             },
+            "fault_injections": dict(self.fault_injections),
             "extra": dict(self.extra),
         }

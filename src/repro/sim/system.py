@@ -120,6 +120,19 @@ class System:
             self.cores, self.config.quantum, self.config.switch_penalty
         )
         self.devices: List[Device] = []
+        # Fault injection (repro.faults): a plan exists only when at least
+        # one rate is nonzero, so fault-free runs keep every hook on its
+        # ``faults is None`` fast path and stay byte-identical to a build
+        # without the subsystem.
+        self.faults = None
+        if self.config.faults.enabled:
+            from repro.faults.plan import FaultPlan
+
+            self.faults = FaultPlan(self.config.faults)
+            self.bus.faults = self.faults
+            self.csb.faults = self.faults
+            if self.refill_engine is not None:
+                self.refill_engine.faults = self.faults
         self.observability = Observability(self)
         self.cycle = 0
         self._next_pid = 1
@@ -157,6 +170,7 @@ class System:
             raise ConfigError(f"device {device.name!r} must live in uncached space")
         self.targets.register(region, device)
         self.devices.append(device)
+        device.faults = self.faults
         self.observability.wire_device(device)
         return device
 

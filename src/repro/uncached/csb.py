@@ -81,6 +81,8 @@ class ConditionalStoreBuffer:
         self.stats = stats
         #: Observability event bus; None (the default) means uninstrumented.
         self.events = None
+        #: Fault-injection plan; None (the default) means fault-free.
+        self.faults = None
         self._line_addr: Optional[int] = None
         self._pid: Optional[int] = None
         self._data = bytearray(config.line_size)
@@ -149,6 +151,17 @@ class ConditionalStoreBuffer:
             and pid == self._pid
             and (not self.config.check_address or line == self._line_addr)
         )
+        if matches and self.faults is not None and self.faults.csb_spurious_abort():
+            # Injected transient conflict: the flush fails even though the
+            # sequence was clean.  Software's retry loop (reissue the stores
+            # and swap again) recovers — exactly the path the paper's
+            # conditional protocol is designed around.
+            self.stats.bump("faults.csb_spurious_abort")
+            if self.events is not None:
+                from repro.observability.events import FaultInjected
+
+                self.events.publish(FaultInjected("csb_spurious_abort", address=line))
+            matches = False
         if not matches:
             if self.events is not None:
                 from repro.observability.events import ConflictAbort

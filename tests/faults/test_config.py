@@ -1,0 +1,131 @@
+"""FaultConfig validation and FaultPlan stream determinism/independence."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.faults import FaultConfig, FaultPlan
+from repro.faults.config import RATE_FIELDS
+
+
+def test_default_config_is_disabled():
+    assert not FaultConfig().enabled
+
+
+@pytest.mark.parametrize("field", RATE_FIELDS)
+def test_any_nonzero_rate_enables(field):
+    assert FaultConfig(**{field: 0.5}).enabled
+
+
+@pytest.mark.parametrize("bad", (-0.1, 1.5, "lots", None))
+@pytest.mark.parametrize("field", RATE_FIELDS)
+def test_rates_must_be_probabilities(field, bad):
+    with pytest.raises(ConfigError):
+        FaultConfig(**{field: bad})
+
+
+@pytest.mark.parametrize(
+    "field",
+    ("bus_stall_cycles", "device_timeout_cycles", "refill_stall_cycles",
+     "max_retries"),
+)
+def test_durations_must_be_positive(field):
+    with pytest.raises(ConfigError):
+        FaultConfig(**{field: 0})
+
+
+def _draws(plan, n=200):
+    """A reproducible transcript of every site's fire/duration decisions."""
+    out = []
+    for _ in range(n):
+        out.append(
+            (
+                plan.bus_nack(),
+                plan.bus_stall(),
+                plan.device_timeout(),
+                plan.link_drop(),
+                plan.csb_spurious_abort(),
+                plan.refill_stall(),
+                plan.nic_tx_fault(),
+                plan.dma_fault(),
+            )
+        )
+    return out
+
+
+def test_same_seed_same_schedule():
+    config = FaultConfig(
+        seed=11,
+        bus_nack_rate=0.3,
+        bus_stall_rate=0.2,
+        device_timeout_rate=0.1,
+        link_drop_rate=0.25,
+        csb_spurious_abort_rate=0.15,
+        refill_stall_rate=0.05,
+        nic_tx_fault_rate=0.2,
+        dma_fault_rate=0.1,
+    )
+    a, b = FaultPlan(config), FaultPlan(config)
+    assert _draws(a) == _draws(b)
+    assert a.injected == b.injected
+    assert a.total_injected == sum(a.injected.values())
+
+
+def test_different_seeds_differ():
+    kwargs = dict(bus_nack_rate=0.3, link_drop_rate=0.3)
+    a = FaultPlan(FaultConfig(seed=1, **kwargs))
+    b = FaultPlan(FaultConfig(seed=2, **kwargs))
+    assert _draws(a) != _draws(b)
+
+
+def test_sites_draw_from_independent_streams():
+    """Enabling a second site must not perturb the first site's schedule."""
+    alone = FaultPlan(FaultConfig(seed=5, bus_nack_rate=0.3))
+    both = FaultPlan(
+        FaultConfig(seed=5, bus_nack_rate=0.3, csb_spurious_abort_rate=0.9)
+    )
+    schedule_alone = []
+    schedule_both = []
+    for _ in range(500):
+        schedule_alone.append(alone.bus_nack())
+        schedule_both.append(both.bus_nack())
+        # Interleave heavy drawing on the other site.
+        both.csb_spurious_abort()
+        both.csb_spurious_abort()
+    assert schedule_alone == schedule_both
+
+
+def test_zero_rate_never_fires_and_never_draws():
+    plan = FaultPlan(FaultConfig(seed=3))
+    for _ in range(100):
+        assert not plan.bus_nack()
+        assert plan.bus_stall() == 0
+        assert plan.device_timeout() == 0
+        assert not plan.link_drop()
+    assert plan.injected == {}
+    assert plan.total_injected == 0
+    assert plan._streams == {}  # rate 0: no stream is even created
+
+
+def test_injected_counts_match_fires():
+    plan = FaultPlan(FaultConfig(seed=9, bus_nack_rate=0.4))
+    fires = sum(plan.bus_nack() for _ in range(1000))
+    assert fires > 0
+    assert plan.injected == {"bus_nack": fires}
+
+
+def test_durations_come_from_config():
+    config = FaultConfig(
+        seed=2,
+        bus_stall_rate=1.0,
+        device_timeout_rate=1.0,
+        refill_stall_rate=1.0,
+        bus_stall_cycles=3,
+        device_timeout_cycles=17,
+        refill_stall_cycles=5,
+    )
+    plan = FaultPlan(config)
+    assert plan.bus_stall() == 3
+    assert plan.device_timeout() == 17
+    assert plan.refill_stall() == 5

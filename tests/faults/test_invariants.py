@@ -1,0 +1,125 @@
+"""Conservation-law invariants over the experiment registry.
+
+Two bookkeeping identities must survive every workload — and every
+injected fault, since faults redistribute cycles but may not create or
+destroy them:
+
+* the bus-cycle decomposition is exhaustive and disjoint:
+  ``address + data + wait + turnaround + idle == total``
+  (:meth:`BusCycleAccount.checks_out`), and the per-core busy cycles sum
+  to the whole-run busy figure;
+* the per-core sections of a :class:`MetricsSnapshot` sum to its global
+  counters (transaction count, wire bytes, useful bytes).
+
+The profiled figure experiments are checked through their registered
+jobs; the extension studies (which do not decompose into independent
+jobs) are covered by live representative systems, including faulted and
+SMP ones.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation.fault_sweep import fault_sweep_system
+from repro.evaluation.panels import FIG3_PANELS, FIG4_PANELS
+from repro.evaluation.smp_contention import smp_contention_system
+from repro.observability.profile import profile_job, profile_jobs
+from repro.observability.report import BusCycleReporter
+
+PROFILED_EXPERIMENTS = (
+    tuple(f"fig3{panel}" for panel in FIG3_PANELS)
+    + tuple(f"fig4{panel}" for panel in FIG4_PANELS)
+    + ("fig5a", "fig5b")
+)
+
+
+@pytest.mark.parametrize("experiment_id", PROFILED_EXPERIMENTS)
+def test_every_profiled_experiment_conserves_bus_cycles(experiment_id):
+    for scheme, job in profile_jobs(experiment_id):
+        account = profile_job(job)
+        assert account.checks_out(), (experiment_id, scheme, account)
+        assert account.transactions > 0, (experiment_id, scheme)
+        assert account.busy == account.address + account.data + account.wait
+        assert 0.0 < account.utilization <= 1.0
+        assert 0.0 < account.efficiency <= 1.0
+
+
+def _observed_run(system, max_cycles=50_000_000):
+    reporter = BusCycleReporter()
+    system.attach_observer(reporter)
+    system.run(max_cycles=max_cycles)
+    return system, reporter.account(), reporter
+
+
+def _assert_account(account):
+    assert account.checks_out(), account
+    assert account.transactions > 0
+    assert min(
+        account.address,
+        account.data,
+        account.wait,
+        account.turnaround,
+        account.idle,
+    ) >= 0
+
+
+def _assert_per_core_sums(system, account, reporter):
+    snapshot = system.metrics()
+    per_core = snapshot.per_core
+    assert (
+        sum(e["transactions"] for e in per_core.values())
+        == snapshot.bus_transactions
+        == account.transactions
+    )
+    assert sum(e["wire_bytes"] for e in per_core.values()) == sum(
+        snapshot.wire_bytes_by_kind.values()
+    )
+    assert sum(e["useful_bytes"] for e in per_core.values()) == sum(
+        r.useful_bytes for r in system.stats.transactions
+    )
+    # The reporter's per-core view agrees with the stats collector's.
+    breakdown = reporter.core_breakdown()
+    assert sum(e["busy_cycles"] for e in breakdown.values()) == (
+        system.stats.bus_busy_cycles()
+    )
+    for core, entry in breakdown.items():
+        assert per_core[core]["transactions"] == entry["transactions"]
+        assert per_core[core]["wire_bytes"] == entry["wire_bytes"]
+
+
+@pytest.mark.parametrize("mechanism", ("lock", "csb"))
+@pytest.mark.parametrize("rate", (0.0, 0.1))
+def test_fault_sweep_runs_conserve_bus_cycles(mechanism, rate):
+    """Injected NACKs, stalls, and timeouts reshuffle the decomposition
+    but the identity holds at every fault rate."""
+    system, account, reporter = _observed_run(
+        fault_sweep_system(mechanism, rate, seed=7)
+    )
+    _assert_account(account)
+    _assert_per_core_sums(system, account, reporter)
+    if rate > 0.0:
+        assert system.metrics().fault_injections
+
+
+@pytest.mark.parametrize("mechanism", ("lock", "csb"))
+def test_smp_contention_conserves_bus_cycles(mechanism):
+    system, account, reporter = _observed_run(
+        smp_contention_system(mechanism, num_cores=2, iterations=3)
+    )
+    _assert_account(account)
+    _assert_per_core_sums(system, account, reporter)
+    cores = {c for c in system.metrics().per_core if c >= 0}
+    assert cores == {0, 1}
+
+
+def test_injected_stall_cycles_stay_inside_the_window():
+    """A bus_stall fault stretches a transaction's wait bucket; the
+    faulted account still decomposes exactly, and its busy share can
+    only grow relative to the fault-free run of the same workload."""
+    _, clean, _ = _observed_run(fault_sweep_system("lock", 0.0, seed=7))
+    _, faulted, _ = _observed_run(fault_sweep_system("lock", 0.1, seed=7))
+    _assert_account(clean)
+    _assert_account(faulted)
+    assert faulted.wait >= clean.wait
+    assert faulted.total > clean.total

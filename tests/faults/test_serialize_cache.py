@@ -1,0 +1,94 @@
+"""Fault configs must travel with the system config and key the cache.
+
+The content-addressed result cache hashes the *whole* serialized
+SystemConfig; these tests pin the two properties that make cached fault
+campaigns safe: the faults section round-trips losslessly, and any
+change to it (enabling, reseeding, re-rating) yields a distinct job key —
+a faulted run can never alias a fault-free one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.common.config import SystemConfig
+from repro.common.errors import ConfigError
+from repro.common.serialize import (
+    config_from_dict,
+    config_from_json,
+    config_to_dict,
+    config_to_json,
+)
+from repro.evaluation.runner import SimJob, job_key
+from repro.faults import FaultConfig
+
+FAULTED = FaultConfig(
+    seed=7,
+    bus_nack_rate=0.1,
+    bus_stall_rate=0.05,
+    bus_stall_cycles=4,
+    device_timeout_rate=0.02,
+    link_drop_rate=0.3,
+    max_retries=5,
+)
+
+
+def test_faults_section_round_trips():
+    config = SystemConfig(faults=FAULTED)
+    rebuilt = config_from_dict(config_to_dict(config))
+    assert rebuilt == config
+    assert rebuilt.faults == FAULTED
+
+
+def test_default_faults_round_trip_disabled():
+    rebuilt = config_from_dict(config_to_dict(SystemConfig()))
+    assert rebuilt.faults == FaultConfig()
+    assert not rebuilt.faults.enabled
+
+
+def test_json_round_trip():
+    config = SystemConfig(faults=FAULTED)
+    assert config_from_json(config_to_json(config)) == config
+
+
+def test_unknown_fault_field_rejected():
+    data = config_to_dict(SystemConfig())
+    data["faults"]["gamma_ray_rate"] = 0.5
+    with pytest.raises(ConfigError):
+        config_from_dict(data)
+
+
+def test_invalid_fault_rate_rejected_on_the_way_in():
+    data = config_to_dict(SystemConfig())
+    data["faults"]["bus_nack_rate"] = 2.0
+    with pytest.raises(ConfigError):
+        config_from_dict(data)
+
+
+def _job(faults):
+    return SimJob(
+        config=SystemConfig(faults=faults),
+        kernel="halt",
+        measurement="span",
+        args=("a", "b"),
+        name="probe",
+    )
+
+
+def test_job_key_is_stable():
+    job = _job(FAULTED)
+    assert job_key(job) == job_key(job)
+    assert job_key(job) == job_key(_job(FAULTED))
+
+
+def test_job_key_never_aliases_fault_campaigns():
+    """Off, seed 7, seed 8, and a different rate: four distinct keys."""
+    keys = {
+        job_key(_job(FaultConfig())),
+        job_key(_job(replace(FAULTED, seed=7))),
+        job_key(_job(replace(FAULTED, seed=8))),
+        job_key(_job(replace(FAULTED, bus_nack_rate=0.2))),
+    }
+    assert len(keys) == 4
