@@ -1,0 +1,176 @@
+#!/usr/bin/env python
+"""Export (and regression-check) simulator speed benchmarks.
+
+``run`` executes ``benchmarks/test_simulator_speed.py`` under
+pytest-benchmark, condenses the raw report into a small, diff-friendly
+JSON document, and writes it to ``BENCH_<pr>.json``::
+
+    python benchmarks/export_bench.py run --pr 6
+
+``check`` re-runs the same benchmarks and compares the *detailed-tier*
+throughput (simulated instructions per host second through the full
+out-of-order core) against a committed baseline, failing when it has
+regressed by more than ``--threshold`` (default 15%)::
+
+    python benchmarks/export_bench.py check --baseline benchmarks/BENCH_6.json
+
+Only the detailed-core number gates: it is the throughput every
+experiment pays, and the quantity the hot-loop hoists and the tiered
+engine exist to respect.  The other benchmarks (SMP, fault-injected,
+fast-forward, sampled, sweep) are recorded for history but advisory, as
+their wall-clock cost varies more across hosts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BENCH_FILE = os.path.join(REPO_ROOT, "benchmarks", "test_simulator_speed.py")
+
+#: Simulated instructions retired by the fixed-work benchmarks, used to
+#: convert mean wall-clock seconds into instructions per second.  These
+#: mirror the loop bounds in test_simulator_speed.py.
+INSTRUCTION_COUNTS = {
+    "test_core_instruction_throughput": 2000 * 4 + 3,
+    "test_fast_forward_throughput": 20000 * 4 + 3,
+}
+
+#: The benchmark whose regression fails ``check``.
+GATED = "test_core_instruction_throughput"
+
+
+def _run_benchmarks() -> dict:
+    """Run the speed benchmarks, returning pytest-benchmark's raw report."""
+    with tempfile.TemporaryDirectory() as tmp:
+        report_path = os.path.join(tmp, "report.json")
+        env = dict(os.environ)
+        src = os.path.join(REPO_ROOT, "src")
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (src, REPO_ROOT, env.get("PYTHONPATH")) if p
+        )
+        result = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "pytest",
+                BENCH_FILE,
+                "--benchmark-only",
+                f"--benchmark-json={report_path}",
+                "-q",
+            ],
+            cwd=REPO_ROOT,
+            env=env,
+        )
+        if result.returncode != 0:
+            raise SystemExit(f"benchmark run failed (exit {result.returncode})")
+        with open(report_path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+
+
+def _condense(report: dict, pr: int) -> dict:
+    """The committed document: per-benchmark stats plus derived rates."""
+    benchmarks = {}
+    for bench in report["benchmarks"]:
+        stats = bench["stats"]
+        benchmarks[bench["name"]] = {
+            "mean": stats["mean"],
+            "stddev": stats["stddev"],
+            "rounds": stats["rounds"],
+        }
+    derived = {}
+    for name, instructions in INSTRUCTION_COUNTS.items():
+        if name in benchmarks and benchmarks[name]["mean"] > 0:
+            rate = instructions / benchmarks[name]["mean"]
+            key = (
+                "detailed_core_ips"
+                if name == GATED
+                else "fast_forward_ips"
+            )
+            derived[key] = rate
+    if "detailed_core_ips" in derived and "fast_forward_ips" in derived:
+        derived["ff_speedup"] = (
+            derived["fast_forward_ips"] / derived["detailed_core_ips"]
+        )
+    return {
+        "pr": pr,
+        "machine": report.get("machine_info", {}).get("node", ""),
+        "benchmarks": benchmarks,
+        "derived": derived,
+    }
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    document = _condense(_run_benchmarks(), args.pr)
+    out = args.out or os.path.join(
+        REPO_ROOT, "benchmarks", f"BENCH_{args.pr}.json"
+    )
+    with open(out, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {out}")
+    for key, value in sorted(document["derived"].items()):
+        print(f"  {key}: {value:,.0f}" if value > 100 else f"  {key}: {value:.2f}")
+    return 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    with open(args.baseline, "r", encoding="utf-8") as handle:
+        baseline = json.load(handle)
+    current = _condense(_run_benchmarks(), baseline.get("pr", 0))
+    base_ips = baseline["derived"]["detailed_core_ips"]
+    current_ips = current["derived"]["detailed_core_ips"]
+    change = (current_ips - base_ips) / base_ips
+    print(
+        f"detailed-tier throughput: {current_ips:,.0f} instr/s "
+        f"(baseline {base_ips:,.0f}, {change:+.1%})"
+    )
+    for name, stats in sorted(current["benchmarks"].items()):
+        base = baseline["benchmarks"].get(name)
+        note = ""
+        if base and base["mean"] > 0:
+            note = f"  ({stats['mean'] / base['mean'] - 1.0:+.1%} vs baseline)"
+        print(f"  {name}: {stats['mean'] * 1e3:.1f} ms{note}")
+    if change < -args.threshold:
+        print(
+            f"FAIL: throughput regressed more than {args.threshold:.0%}",
+            file=sys.stderr,
+        )
+        return 1
+    print("OK")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    sub = parser.add_subparsers(dest="command", required=True)
+    run_parser = sub.add_parser("run", help="run benchmarks and write BENCH_<pr>.json")
+    run_parser.add_argument("--pr", type=int, default=6, help="PR number tag")
+    run_parser.add_argument("--out", help="output path (default benchmarks/BENCH_<pr>.json)")
+    check_parser = sub.add_parser(
+        "check", help="fail if detailed throughput regressed vs a baseline"
+    )
+    check_parser.add_argument(
+        "--baseline",
+        default=os.path.join(REPO_ROOT, "benchmarks", "BENCH_6.json"),
+        help="committed baseline JSON (default benchmarks/BENCH_6.json)",
+    )
+    check_parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.15,
+        help="maximum tolerated fractional regression (default 0.15)",
+    )
+    args = parser.parse_args(argv)
+    if args.command == "run":
+        return _cmd_run(args)
+    return _cmd_check(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -47,6 +47,108 @@ def test_uncached_store_stream_throughput(benchmark):
     assert transactions > 0
 
 
+def test_smp_instruction_throughput(benchmark):
+    """Four cores contending on the shared bus and CSB — the hot path the
+    Cluster/System stepper hoists target."""
+    from repro.workloads.smp import smp_csb_kernel
+    from repro.memory.layout import IO_COMBINING_BASE
+
+    programs = [
+        assemble(
+            smp_csb_kernel(
+                8,
+                IO_COMBINING_BASE,
+                stagger=core * 40,
+                backoff_base=2 * core + 1,
+                backoff_cap=64 * (core + 1),
+            ),
+            name=f"core{core}",
+        )
+        for core in range(4)
+    ]
+
+    def run():
+        system = System(make_config(num_cores=4))
+        for core_id, program in enumerate(programs):
+            system.add_process(program, core_id=core_id)
+        system.run()
+        return sum(p.retired_instructions for p in system.scheduler.processes)
+
+    retired = benchmark(run)
+    assert retired > 0
+
+
+def test_fault_injected_throughput(benchmark):
+    """Detailed run with the fault plan active: bus NACK/stall injection
+    plus device-free retry bookkeeping on the uncached store stream."""
+    from repro.faults.config import FaultConfig
+    from repro.workloads.storebw import store_kernel_csb
+
+    program = assemble(store_kernel_csb(4096, 64))
+    faults = FaultConfig(
+        seed=7, bus_nack_rate=0.01, bus_stall_rate=0.02, bus_stall_cycles=3
+    )
+
+    def run():
+        system = System(make_config(faults=faults))
+        system.add_process(program)
+        system.run()
+        return system.scheduler.processes[0].retired_instructions
+
+    retired = benchmark(run)
+    assert retired > 0
+
+
+def test_fast_forward_throughput(benchmark):
+    """The functional tier alone: instructions per second through the
+    pre-decoded closure interpreter (no ROB, no per-cycle events)."""
+    from repro.sim.fastforward import FastForwarder
+
+    source = (
+        "set 20000, %o1\n"
+        "set 0, %o2\n"
+        "loop: add %o2, 1, %o2\n"
+        "xor %o2, %o1, %o3\n"
+        "sub %o1, 1, %o1\n"
+        "brnz %o1, loop\n"
+        "halt"
+    )
+    program = assemble(source)
+
+    def run():
+        system = System(make_config())
+        system.add_process(program)
+        system.step()  # install the context; pipeline still drained
+        return FastForwarder(system).fast_forward(10**9)
+
+    executed = benchmark(run)
+    assert executed == 20000 * 4 + 3
+
+
+def test_sampled_tier_throughput(benchmark):
+    """The full tiered engine on a Figure 3 style store kernel: detailed
+    windows + fast-forward gaps, end to end through run_sampled."""
+    import dataclasses
+
+    from repro.common.config import SamplingConfig
+    from repro.sim.sampling import run_sampled
+    from repro.workloads.storebw import store_kernel_csb
+
+    program = assemble(store_kernel_csb(65536, 64))
+    config = dataclasses.replace(
+        make_config(), sampling=SamplingConfig(enabled=True)
+    )
+
+    def run():
+        system = System(config)
+        system.add_process(program)
+        run_sampled(system)
+        return len(system.sampling_report.windows)
+
+    windows = benchmark(run)
+    assert windows >= 2
+
+
 def test_sweep_throughput(benchmark):
     """End-to-end sweep cost through the SweepRunner job path: one
     Figure 3 scheme row (seven transfer sizes) resolved serially with no

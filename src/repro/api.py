@@ -52,6 +52,8 @@ class RunResult:
     system: System
     stats: StatsCollector
     metrics: MetricsSnapshot
+    #: The sampled-execution report, or None for a fully detailed run.
+    sampling: "Optional[object]" = None
 
     @property
     def store_bandwidth(self) -> float:
@@ -59,9 +61,16 @@ class RunResult:
         paper's Figure 3/4 metric)."""
         return self.system.store_bandwidth
 
-    def span(self, start_label: str, end_label: str) -> int:
-        """CPU cycles between two ``mark`` instructions (Figure 5)."""
-        return self.system.span(start_label, end_label)
+    def span(self, start_label: str, end_label: str) -> float:
+        """CPU cycles between two ``mark`` instructions (Figure 5).
+
+        For a sampled run the span is reconstructed (skipped instructions
+        charged at the sampled CPI) and may be fractional.
+        """
+        raw = self.system.span(start_label, end_label)
+        if self.sampling is not None:
+            return self.sampling.estimate_span(raw, start_label, end_label)
+        return raw
 
 
 def simulate(
@@ -93,9 +102,17 @@ def simulate(
         system.add_process(source)
     for address in warm:
         system.hierarchy.warm(address)
-    stats = system.run(max_cycles=max_cycles)
+    if system.config.sampling.enabled:
+        from repro.sim.sampling import run_sampled
+
+        stats = run_sampled(system, max_cycles=max_cycles)
+    else:
+        stats = system.run(max_cycles=max_cycles)
     return RunResult(
-        system=system, stats=stats, metrics=MetricsSnapshot.from_system(system)
+        system=system,
+        stats=stats,
+        metrics=MetricsSnapshot.from_system(system),
+        sampling=system.sampling_report,
     )
 
 

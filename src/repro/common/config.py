@@ -266,6 +266,48 @@ class CSBConfig:
         _require(self.flush_latency >= 1, "flush_latency must be >= 1")
 
 
+#: Confidence levels the sampling report knows z-scores for (no scipy in
+#: the toolchain, so the table is explicit).
+CONFIDENCE_LEVELS: Tuple[float, ...] = (0.90, 0.95, 0.99)
+
+
+@dataclass(frozen=True)
+class SamplingConfig:
+    """SMARTS-style tiered execution (fast-forward + sampled windows).
+
+    When ``enabled``, the system alternates three phases instead of
+    running every cycle through the detailed out-of-order model:
+
+    * **fast-forward** — ``ff_instructions`` retired through the
+      functional interpreter (:mod:`repro.sim.fastforward`), which
+      advances architectural state only (no cycles, no stats);
+    * **detailed warm-up** — ``warmup_cycles`` of full-detail simulation
+      to re-warm timing state (caches, buffers, bus) before measuring;
+    * **detailed measurement** — ``window_cycles`` of full-detail
+      simulation whose per-window metric deltas become one sample.
+
+    Window samples aggregate into estimates with a ``confidence``-level
+    interval (see :mod:`repro.sim.sampling`).  The section is part of
+    :class:`SystemConfig`, so result-cache keys change automatically
+    whenever any sampling knob changes.
+    """
+
+    enabled: bool = False
+    ff_instructions: int = 2000
+    warmup_cycles: int = 2000
+    window_cycles: int = 4000
+    confidence: float = 0.95
+
+    def __post_init__(self) -> None:
+        _require(self.ff_instructions >= 1, "ff_instructions must be >= 1")
+        _require(self.warmup_cycles >= 0, "warmup_cycles must be >= 0")
+        _require(self.window_cycles >= 1, "window_cycles must be >= 1")
+        _require(
+            self.confidence in CONFIDENCE_LEVELS,
+            f"confidence must be one of {CONFIDENCE_LEVELS}",
+        )
+
+
 @dataclass(frozen=True)
 class SystemConfig:
     """Everything needed to build one simulated system.
@@ -289,6 +331,7 @@ class SystemConfig:
     uncached: UncachedBufferConfig = field(default_factory=UncachedBufferConfig)
     csb: CSBConfig = field(default_factory=CSBConfig)
     faults: FaultConfig = field(default_factory=FaultConfig)
+    sampling: SamplingConfig = field(default_factory=SamplingConfig)
     num_cores: int = 1
     arbitration: str = "round_robin"
     quantum: Optional[int] = None
@@ -320,6 +363,19 @@ class SystemConfig:
             self.uncached.combine_block <= self.memory.line_size,
             "uncached combining block cannot exceed the cache line",
         )
+        if self.sampling.enabled:
+            _require(
+                self.num_cores == 1,
+                "sampled execution supports single-core systems only",
+            )
+            _require(
+                self.quantum is None,
+                "sampled execution is incompatible with preemptive quanta",
+            )
+            _require(
+                not self.faults.enabled,
+                "sampled execution is incompatible with fault injection",
+            )
 
     def with_line_size(self, line_size: int) -> "SystemConfig":
         """Derive a config with a different cache-line size everywhere."""

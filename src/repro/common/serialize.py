@@ -18,6 +18,7 @@ from repro.common.config import (
     CoreConfig,
     CSBConfig,
     MemoryHierarchyConfig,
+    SamplingConfig,
     SystemConfig,
     UncachedBufferConfig,
 )
@@ -31,6 +32,7 @@ _SECTION_TYPES = {
     "uncached": UncachedBufferConfig,
     "csb": CSBConfig,
     "faults": FaultConfig,
+    "sampling": SamplingConfig,
 }
 
 #: Whole-system scalar knobs of :class:`SystemConfig` (everything that is

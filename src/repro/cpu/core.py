@@ -164,6 +164,21 @@ class Core:
     def halted(self) -> bool:
         return self.context is None or self.context.halted
 
+    @property
+    def link_address(self) -> Optional[int]:
+        """The load-linked link register: linked line address or None.
+
+        Architectural state the tiered execution engine carries across the
+        detailed/fast-forward boundary (``install_context`` deliberately
+        breaks the link, so a hand-off that preserves it must restore it
+        through the setter afterwards).
+        """
+        return self._link
+
+    @link_address.setter
+    def link_address(self, value: Optional[int]) -> None:
+        self._link = value
+
     # -- main clock ----------------------------------------------------------------
 
     def tick(self, now: int) -> None:
@@ -191,18 +206,27 @@ class Core:
 
     def _dispatch(self, now: int) -> None:
         assert self.context is not None
-        budget = self.config.dispatch_width
+        # Hot loop: config limits, queues, and the (usually-None) trace are
+        # hoisted to locals instead of being re-resolved per instruction.
+        config = self.config
+        rob = self._rob
+        memq = self._memq
+        rob_entries = config.rob_entries
+        memq_entries = config.memq_entries
+        fetch = self.context.program.fetch
+        trace = self.trace
+        budget = config.dispatch_width
         while budget > 0:
-            if len(self._rob) >= self.config.rob_entries:
+            if len(rob) >= rob_entries:
                 self.stats.bump("core.rob_full_stalls")
                 return
-            instr = self.context.program.fetch(self._spec_pc)
+            instr = fetch(self._spec_pc)
             if instr is None:
                 raise SimulationError(
                     f"fetch ran past the program end at pc={self._spec_pc}"
                 )
             if instr.is_mem and not instr.is_membar:
-                if len(self._memq) >= self.config.memq_entries:
+                if len(memq) >= memq_entries:
                     self.stats.bump("core.memq_full_stalls")
                     return
             flight = InFlight(self._next_seq(), instr, self._spec_pc, now)
@@ -211,13 +235,13 @@ class Core:
                 self.stats.bump("core.frontend_value_stalls")
                 return
             self._apply_dispatch_effects(flight)
-            if self.trace is not None:
-                self.trace.record(now, "dispatch", flight.seq, flight.pc, instr)
+            if trace is not None:
+                trace.record(now, "dispatch", flight.seq, flight.pc, instr)
             if not instr.is_branch:
                 self._spec_pc = flight.pc + 1
-            self._rob.append(flight)
+            rob.append(flight)
             if instr.is_mem and not instr.is_membar:
-                self._memq.append(flight)
+                memq.append(flight)
             elif not (instr.is_mark or instr.is_halt or instr.is_membar):
                 if instr.fu == "none":
                     flight.issued = True  # nothing to issue (no FU class)

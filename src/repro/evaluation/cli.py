@@ -100,6 +100,27 @@ def _parser() -> argparse.ArgumentParser:
         help="neither read nor write the result cache",
     )
     parser.add_argument(
+        "--tier",
+        choices=("detailed", "sampled"),
+        default="detailed",
+        help=(
+            "execution tier: 'detailed' (default) is the full "
+            "cycle-accurate model; 'sampled' alternates functional "
+            "fast-forward with cycle-accurate measurement windows "
+            "(faster, statistical — see docs/modeling.md)"
+        ),
+    )
+    parser.add_argument(
+        "--sample",
+        action="append",
+        metavar="KEY=VALUE",
+        help=(
+            "override a sampling parameter (repeatable; implies "
+            "--tier sampled): ff_instructions, warmup_cycles, "
+            "window_cycles, confidence"
+        ),
+    )
+    parser.add_argument(
         "--quiet",
         action="store_true",
         help="suppress per-experiment progress on stderr",
@@ -121,6 +142,40 @@ def _parser() -> argparse.ArgumentParser:
         ),
     )
     return parser
+
+
+#: ``--sample`` keys and their parsers.
+_SAMPLE_FIELDS = {
+    "ff_instructions": int,
+    "warmup_cycles": int,
+    "window_cycles": int,
+    "confidence": float,
+}
+
+
+def _sampling_from_args(args: argparse.Namespace):
+    """The :class:`SamplingConfig` override the flags describe, or None."""
+    if args.tier != "sampled" and not args.sample:
+        return None
+    from repro.common.config import SamplingConfig
+    from repro.common.errors import ConfigError
+
+    overrides = {}
+    for item in args.sample or []:
+        key, sep, raw = item.partition("=")
+        if not sep or key not in _SAMPLE_FIELDS:
+            raise SystemExit(
+                f"error: --sample expects KEY=VALUE with KEY in "
+                f"{sorted(_SAMPLE_FIELDS)}, got {item!r}"
+            )
+        try:
+            overrides[key] = _SAMPLE_FIELDS[key](raw)
+        except ValueError:
+            raise SystemExit(f"error: --sample {key}: bad value {raw!r}")
+    try:
+        return SamplingConfig(enabled=True, **overrides)
+    except ConfigError as exc:
+        raise SystemExit(f"error: {exc}")
 
 
 def _make_runner(
@@ -148,6 +203,18 @@ def _make_runner(
         progress=progress,
         observer_factory=observer_factory,
         collect_metrics=bool(args.metrics_out),
+        sampling=_sampling_from_args(args),
+    )
+
+
+def _table_variant(runner: SweepRunner) -> str:
+    """Whole-table cache variant tag: the serialized sampling override."""
+    if runner.sampling is None:
+        return ""
+    import dataclasses
+
+    return "sampled:" + json.dumps(
+        dataclasses.asdict(runner.sampling), sort_keys=True
     )
 
 
@@ -157,7 +224,7 @@ def _resolve_table(experiment_id: str, runner: SweepRunner) -> Table:
     observed mode (tracing/metrics) the table cache is bypassed so every
     job actually simulates."""
     cache = None if runner.observed else runner.cache
-    key = experiment_key(experiment_id)
+    key = experiment_key(experiment_id, variant=_table_variant(runner))
     if cache is not None:
         cached = cache.get_table(key)
         if cached is not None:

@@ -35,10 +35,10 @@ import hashlib
 import json
 import os
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable, List, Optional, Sequence, Tuple, Union
 
-from repro.common.config import SystemConfig
+from repro.common.config import SamplingConfig, SystemConfig
 from repro.common.errors import ConfigError
 from repro.common.serialize import config_to_dict
 from repro.common.tables import Table
@@ -105,14 +105,25 @@ def execute_job(job: SimJob, observers: Sequence = ()) -> Result:
 
 
 def run_system(job: SimJob, observers: Sequence = ()) -> System:
-    """Build and run ``job``'s system, returning it for inspection."""
+    """Build and run ``job``'s system, returning it for inspection.
+
+    When the job's config enables sampling, the run goes through the
+    tiered execution engine (:func:`repro.sim.sampling.run_sampled`);
+    otherwise this is exactly ``System.run`` — sampling disabled means the
+    detailed code path is untouched, byte for byte.
+    """
     system = System(job.config)
     for sink in observers:
         system.attach_observer(sink)
     system.add_process(assemble(job.kernel, name=job.name or "job"))
     for address in job.warm:
         system.hierarchy.warm(address)
-    system.run()
+    if job.config.sampling.enabled:
+        from repro.sim.sampling import run_sampled
+
+        run_sampled(system)
+    else:
+        system.run()
     return system
 
 
@@ -120,7 +131,13 @@ def _measure(system: System, job: SimJob) -> Result:
     if job.measurement == "store_bandwidth":
         return system.store_bandwidth
     start, end = job.args
-    return system.span(start, end)
+    raw = system.span(start, end)
+    report = system.sampling_report
+    if report is not None:
+        # Sampled run: mark cycles freeze during fast-forward, so the raw
+        # span misses skipped work; reconstruct it at the sampled CPI.
+        return report.estimate_span(raw, start, end)
+    return raw
 
 
 def _digest(document: dict) -> str:
@@ -142,7 +159,7 @@ def job_key(job: SimJob) -> str:
     )
 
 
-def experiment_key(experiment_id: str) -> str:
+def experiment_key(experiment_id: str, variant: str = "") -> str:
     """Cache key for a whole experiment table.
 
     Some studies are not decomposable into independent :class:`SimJob`
@@ -150,15 +167,18 @@ def experiment_key(experiment_id: str) -> str:
     so the CLI caches their finished tables instead.  The key carries no
     config content — only the :data:`SIM_VERSION` discipline protects
     these entries, which is the same contract the job-level cache states
-    for simulator changes.
+    for simulator changes.  ``variant`` distinguishes alternative
+    executions of the same experiment (the CLI passes the serialized
+    sampling override here, so sampled tables never alias detailed ones).
     """
-    return _digest(
-        {
-            "version": SIM_VERSION,
-            "kind": "experiment-table",
-            "experiment": experiment_id,
-        }
-    )
+    document = {
+        "version": SIM_VERSION,
+        "kind": "experiment-table",
+        "experiment": experiment_id,
+    }
+    if variant:
+        document["variant"] = variant
+    return _digest(document)
 
 
 class ResultCache:
@@ -245,6 +265,13 @@ class SweepRunner:
     fresh, serially, in-process — sinks cannot be fed from the cache or
     pickled into a worker.  Measurements are unchanged either way
     (tracing is passive), so the cache is still *written*.
+
+    Tiered execution: ``sampling`` (a :class:`SamplingConfig` with
+    ``enabled=True``) rewrites every eligible job to run through the
+    sampled engine.  The rewrite happens *before* cache-key computation,
+    so sampled results and detailed results occupy disjoint cache
+    entries.  Jobs a sampled system cannot represent (SMP, preemptive
+    quanta, fault injection) silently keep their detailed configuration.
     """
 
     def __init__(
@@ -254,6 +281,7 @@ class SweepRunner:
         progress: Optional[ProgressFn] = None,
         observer_factory: Optional[Callable[[SimJob], Sequence]] = None,
         collect_metrics: bool = False,
+        sampling: Optional[SamplingConfig] = None,
     ) -> None:
         if jobs < 1:
             raise ConfigError("SweepRunner needs at least one job slot")
@@ -262,9 +290,21 @@ class SweepRunner:
         self.progress = progress
         self.observer_factory = observer_factory
         self.collect_metrics = collect_metrics
+        self.sampling = sampling
         #: job name -> MetricsSnapshot (populated when collect_metrics).
         self.metrics: dict = {}
         self.simulated = 0
+
+    def _with_sampling(self, job: SimJob) -> SimJob:
+        if self.sampling is None or not self.sampling.enabled:
+            return job
+        try:
+            return replace(
+                job, config=replace(job.config, sampling=self.sampling)
+            )
+        except ConfigError:
+            # Ineligible for sampling (SMP, quantum, faults): full detail.
+            return job
 
     @property
     def observed(self) -> bool:
@@ -273,7 +313,7 @@ class SweepRunner:
 
     def run(self, jobs: Sequence[SimJob]) -> List[Result]:
         """Resolve every job; results are returned in input order."""
-        jobs = list(jobs)
+        jobs = [self._with_sampling(job) for job in jobs]
         total = len(jobs)
         results: List[Optional[Result]] = [None] * total
         pending: List[Tuple[int, SimJob]] = []

@@ -79,6 +79,20 @@ class Program:
     def finalized(self) -> bool:
         return self._finalized
 
+    def content_key(self) -> tuple:
+        """Hashable identity of the finalized instruction stream.
+
+        Instructions are frozen dataclasses and labels resolve to indices,
+        so two programs with equal keys decode identically — the
+        fast-forward tier uses this to cache pre-decoded programs.
+        """
+        if not self._finalized:
+            raise ProgramError("content_key requires a finalized program")
+        return (
+            tuple(self._instructions),
+            tuple(sorted(self._labels.items())),
+        )
+
     def target_of(self, instruction: BranchInstruction) -> int:
         """Resolved index of a branch's target label."""
         try:

@@ -97,6 +97,16 @@ class RegisterFile:
             return  # %g0 is hardwired to zero; writes are discarded.
         self._values[name] = value & MASK64
 
+    @property
+    def raw_values(self) -> Dict[str, int]:
+        """The live name -> value mapping (fast-forward tier hot path).
+
+        Callers must preserve the file's invariants: canonical names only,
+        values masked to 64 bits, ``r0`` never written (reading it is safe —
+        it is always zero in the mapping).
+        """
+        return self._values
+
     def snapshot(self) -> Dict[str, int]:
         """Copy of the full register state (for context switches and tests)."""
         return dict(self._values)

@@ -8,6 +8,9 @@ the kernels use).
 
 from __future__ import annotations
 
+from functools import partial
+from typing import Callable, Dict
+
 from repro.common.errors import SimulationError
 
 MASK64 = (1 << 64) - 1
@@ -72,6 +75,26 @@ def fp_alu(op: str, a: int, b: int) -> int:
     if op == "fmul":
         return (a * b) & MASK64
     raise SimulationError(f"unknown FP op {op!r}")
+
+
+#: Integer ALU mnemonics :func:`alu` implements.
+ALU_OP_NAMES = ("add", "sub", "and", "or", "xor", "sll", "srl", "sra", "mulx")
+
+#: FP mnemonics :func:`fp_alu` implements.
+FP_OP_NAMES = ("fmov", "fadd", "fsub", "fmul")
+
+#: Table-driven dispatch over the same helpers: mnemonic -> a two-operand
+#: callable.  The fast-forward decoder binds the callable once per decoded
+#: instruction instead of re-branching on the mnemonic string every
+#: execution, and because each entry is a partial application of
+#: :func:`alu`/:func:`fp_alu` the functional results are the detailed
+#: core's results by construction.
+ALU_OPS: Dict[str, Callable[[int, int], int]] = {
+    op: partial(alu, op) for op in ALU_OP_NAMES
+}
+FP_OPS: Dict[str, Callable[[int, int], int]] = {
+    op: partial(fp_alu, op) for op in FP_OP_NAMES
+}
 
 
 def compare(a: int, b: int) -> int:

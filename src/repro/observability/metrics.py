@@ -42,6 +42,9 @@ class MetricsSnapshot:
         """Capture ``system``'s statistics (call after ``run()``)."""
         stats = system.stats
         window = stats.uncached_store_window
+        report = getattr(system, "sampling_report", None)
+        if report is not None and "sampling" not in extra:
+            extra = {**extra, "sampling": report.to_dict()}
         per_core = stats.transactions_by_core()
         for queue in system.scheduler.queues:
             entry = per_core.setdefault(

@@ -87,12 +87,15 @@ class CoreScheduler:
     def tick(self, now: int) -> None:
         if not self._processes:
             return
+        # Hot path (once per simulated CPU cycle): one attribute load for
+        # the core, and the common no-quantum case falls straight through.
+        core = self.core
         # Waiting out the switch penalty?
         if self._switch_at is not None:
             if now >= self._switch_at:
                 self._install_next(now)
             return
-        current = self.core.context
+        current = core.context
         if current is None:
             self._begin_switch(now, immediate=True)
             return
@@ -104,7 +107,7 @@ class CoreScheduler:
                 self._begin_switch(now, immediate=True)
             return
         if self._draining:
-            if self.core.drained:
+            if core.drained:
                 self._draining = False
                 self._switch_at = now + self.switch_penalty
             return
@@ -115,8 +118,26 @@ class CoreScheduler:
         ):
             # Precise timer interrupt: unretired work is squashed and will
             # re-execute when this process is rescheduled.
-            self.core.interrupt()
+            core.interrupt()
             self._draining = True
+
+    def reinstall(self, context: ProcessContext) -> None:
+        """Re-install ``context`` after a fast-forward hand-off.
+
+        The fast-forward tier advances the *currently installed* context
+        functionally (pipeline drained first), so the core's speculative
+        fetch pointer is stale when detailed execution resumes.  Reinstalling
+        refreshes it from ``context.pc`` without charging a context switch —
+        architecturally no switch happened.
+        """
+        if context not in self._processes:
+            raise ConfigError("cannot reinstall a context this queue does not own")
+        self._switch_at = None
+        self._draining = False
+        self._current_index = self._processes.index(context)
+        self.core.install_context(context)
+        self._current_live = not context.halted
+        self._quantum_start = self.core.now
 
     def _begin_switch(self, now: int, immediate: bool) -> None:
         if immediate:

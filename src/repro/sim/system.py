@@ -136,6 +136,11 @@ class System:
         self.observability = Observability(self)
         self.cycle = 0
         self._next_pid = 1
+        # Tiered execution: the prebound one-cycle stepper (built lazily by
+        # run_window) and the sampling controller's report, attached by
+        # repro.sim.sampling.run_sampled after a sampled run.
+        self._stepper = None
+        self.sampling_report = None
 
     # -- construction -----------------------------------------------------------
 
@@ -274,6 +279,80 @@ class System:
         """Advance exactly ``count`` CPU cycles (for incremental tests)."""
         for _ in range(count):
             self.step()
+
+    def make_stepper(self):
+        """Build a zero-argument closure advancing one CPU cycle.
+
+        Cycle-for-cycle identical to :meth:`step`, but every component tick
+        is bound once instead of being re-resolved through attribute chains
+        each cycle — the same hoisting :meth:`run` does, packaged for
+        callers that interleave their own logic with the clock (the
+        sampling controller, :class:`~repro.sim.cluster.Cluster`).  The
+        device list is captured by reference, so devices attached later are
+        still ticked.
+        """
+        arbiter_tick = self.arbiter.tick_bus
+        devices = self.devices
+        ratio = self.config.bus.cpu_ratio
+        if len(self.cores) == 1:
+            unit_tick = self.unit.tick_cpu
+            core_tick = self.core.tick
+            scheduler_tick = self.scheduler.queues[0].tick
+
+            def step_scalar() -> None:
+                cycle = self.cycle
+                unit_tick(cycle)
+                if cycle % ratio == 0:
+                    bus_cycle = cycle // ratio
+                    arbiter_tick(bus_cycle)
+                    if devices:
+                        for device in devices:
+                            device.tick(bus_cycle)
+                core_tick(cycle)
+                scheduler_tick(cycle)
+                self.cycle = cycle + 1
+
+            return step_scalar
+        unit_ticks = [unit.tick_cpu for unit in self.units]
+        core_ticks = [core.tick for core in self.cores]
+        scheduler_tick = self.scheduler.tick
+
+        def step_smp() -> None:
+            cycle = self.cycle
+            for tick in unit_ticks:
+                tick(cycle)
+            if cycle % ratio == 0:
+                bus_cycle = cycle // ratio
+                arbiter_tick(bus_cycle)
+                for device in devices:
+                    device.tick(bus_cycle)
+            for tick in core_ticks:
+                tick(cycle)
+            scheduler_tick(cycle)
+            self.cycle = cycle + 1
+
+        return step_smp
+
+    def run_window(self, cycles: int) -> int:
+        """Advance up to ``cycles`` CPU cycles, stopping early when finished.
+
+        Returns the number of cycles actually run.  This is the detailed
+        tier's entry point for the sampling controller: unlike :meth:`run`
+        it stops at a fixed horizon so measurement windows have exact,
+        config-determined extents.
+        """
+        stepper = self._stepper
+        if stepper is None:
+            stepper = self._stepper = self.make_stepper()
+        scheduler = self.scheduler
+        quiescent = self._quiescent
+        ran = 0
+        while ran < cycles:
+            if scheduler.all_halted and quiescent():
+                break
+            stepper()
+            ran += 1
+        return ran
 
     def _quiescent(self) -> bool:
         """Every uncached unit drained (shared-bus drain checked by each)."""

@@ -234,6 +234,37 @@ class ConditionalStoreBuffer:
             raise SimulationError("no pending CSB burst")
         return self._pending.popleft()
 
+    # -- architectural state hand-off (tiered execution) ------------------------
+
+    def export_state(self) -> tuple:
+        """Architectural snapshot for the fast-forward tier.
+
+        Only legal at a quiescent point: a flushed-but-unsent burst is
+        timing state the functional tier cannot carry.
+        """
+        if self._pending:
+            raise SimulationError("CSB state export with bursts in flight")
+        return (
+            self._line_addr,
+            self._pid,
+            bytes(self._data),
+            tuple(self._valid),
+            self._hit_counter,
+        )
+
+    def import_state(self, state: tuple) -> None:
+        """Restore a snapshot produced by :meth:`export_state`."""
+        if self._pending:
+            raise SimulationError("CSB state import with bursts in flight")
+        line_addr, pid, data, valid, hit_counter = state
+        if len(data) != self.config.line_size:
+            raise SimulationError("CSB snapshot line size mismatch")
+        self._line_addr = line_addr
+        self._pid = pid
+        self._data[:] = data
+        self._valid[:] = valid
+        self._hit_counter = hit_counter
+
     # -- introspection (tests, diagnostics) -------------------------------------
 
     @property
