@@ -32,7 +32,9 @@ from repro.common.config import (
     CacheConfig,
     CoreConfig,
     CSBConfig,
+    MemoryConfig,
     MemoryHierarchyConfig,
+    SamplingConfig,
     SystemConfig,
     UncachedBufferConfig,
 )
@@ -48,8 +50,10 @@ __all__ = [
     "CSBConfig",
     "CacheConfig",
     "CoreConfig",
+    "MemoryConfig",
     "MemoryHierarchyConfig",
     "Program",
+    "SamplingConfig",
     "ReproError",
     "RunResult",
     "System",

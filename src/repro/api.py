@@ -18,6 +18,13 @@ Example::
     result = simulate(SystemConfig(), store_kernel_csb(256, line_size=64))
     print(result.store_bandwidth, result.metrics.counters["csb.flushes"])
 
+Both entry points take **one** configuration argument: a full
+:class:`~repro.common.config.SystemConfig`, or a plain mapping of
+per-section overrides merged over the defaults::
+
+    result = simulate({"mem": {"enabled": True, "mshrs": 8}}, kernel)
+    table = run_experiment("crossover", {"bus": {"cpu_ratio": 4}})
+
 Observability plugs in through ``observers``::
 
     from repro.observability import RingBufferSink
@@ -29,10 +36,22 @@ Observability plugs in through ``observers``::
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Iterable, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.common.config import SystemConfig
+from repro.common.errors import ConfigError
+from repro.common.serialize import apply_overrides
 from repro.common.stats import StatsCollector
 from repro.isa.assembler import assemble
 from repro.isa.program import Program
@@ -44,6 +63,29 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.common.tables import Table
     from repro.evaluation.runner import SweepRunner
 
+#: What the unified entry points accept as "the configuration": a full
+#: SystemConfig, a mapping of per-section overrides, or None (defaults).
+ConfigLike = Union[SystemConfig, Mapping, None]
+
+
+def resolve_config(config: ConfigLike) -> SystemConfig:
+    """Normalize a :data:`ConfigLike` into a validated SystemConfig.
+
+    A mapping is treated as partial overrides merged over the defaults
+    (section -> {field: value}, exactly the shape
+    :func:`~repro.common.serialize.config_to_dict` emits).
+    """
+    if config is None:
+        return SystemConfig()
+    if isinstance(config, SystemConfig):
+        return config
+    if isinstance(config, Mapping):
+        return apply_overrides(SystemConfig(), config)
+    raise ConfigError(
+        f"expected a SystemConfig, an overrides mapping, or None; "
+        f"got {type(config).__name__}"
+    )
+
 
 @dataclass(frozen=True)
 class RunResult:
@@ -54,6 +96,10 @@ class RunResult:
     metrics: MetricsSnapshot
     #: The sampled-execution report, or None for a fully detailed run.
     sampling: "Optional[object]" = None
+    #: Human-readable reason the run fell back from sampled to detailed
+    #: execution (None when no fallback happened).  Sweeps record the
+    #: same information in ``SweepRunner.sampling_fallbacks``.
+    sampling_fallback: Optional[str] = None
 
     @property
     def store_bandwidth(self) -> float:
@@ -74,8 +120,8 @@ class RunResult:
 
 
 def simulate(
-    config: Optional[SystemConfig] = None,
-    program: "Program | str | None" = None,
+    config: "ConfigLike | Program | str" = None,
+    program: "Program | str | SystemConfig | Mapping | None" = None,
     *,
     programs: Sequence["Program | str"] = (),
     observers: Iterable[EventSink] = (),
@@ -84,13 +130,44 @@ def simulate(
 ) -> RunResult:
     """Build a system, run kernel(s) to completion, return the result.
 
-    ``program`` (or each element of ``programs`` for multi-process runs)
-    is an assembled :class:`~repro.isa.program.Program` or kernel source
-    text, assembled on the fly.  ``observers`` are event sinks attached
-    before the run; ``warm`` lists addresses pre-loaded into the caches
-    (e.g. a lock variable).
+    ``config`` is a :class:`~repro.common.config.SystemConfig`, a mapping
+    of per-section overrides (``{"mem": {"enabled": True}}``), or None
+    for the defaults.  ``program`` (or each element of ``programs`` for
+    multi-process runs) is an assembled
+    :class:`~repro.isa.program.Program` or kernel source text, assembled
+    on the fly.  ``observers`` are event sinks attached before the run;
+    ``warm`` lists addresses pre-loaded into the caches — the hierarchy
+    *and* the data cache when one is configured (e.g. a lock variable).
+
+    Deprecated (one release): ``simulate(program, config)`` — the
+    pre-MemoryConfig argument order — still works with a warning.
+
+    When an *overrides mapping* requests sampling but the rest of the
+    overrides make the run ineligible (SMP, preemptive quanta, faults,
+    the data cache), the run falls back to detailed execution and the
+    reason lands in :attr:`RunResult.sampling_fallback`.  A full
+    SystemConfig never falls back — it validates at construction.
     """
-    system = System(config)
+    if isinstance(config, (Program, str)):
+        warnings.warn(
+            "simulate(program, config) is deprecated; pass the "
+            "configuration first: simulate(config, program)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        config, program = program, config
+    fallback: Optional[str] = None
+    try:
+        resolved = resolve_config(config)
+    except ConfigError as error:
+        if not (isinstance(config, Mapping) and "sampling" in config):
+            raise
+        # Sampling was an overlay on an otherwise-valid request: drop it,
+        # run detailed, and report why (mirrors SweepRunner's fallback).
+        stripped = {k: v for k, v in config.items() if k != "sampling"}
+        resolved = resolve_config(stripped)
+        fallback = str(error)
+    system = System(resolved)
     for sink in observers:
         system.attach_observer(sink)
     sources = list(programs)
@@ -101,7 +178,7 @@ def simulate(
             source = assemble(source)
         system.add_process(source)
     for address in warm:
-        system.hierarchy.warm(address)
+        system.warm(address)
     if system.config.sampling.enabled:
         from repro.sim.sampling import run_sampled
 
@@ -113,6 +190,7 @@ def simulate(
         stats=stats,
         metrics=MetricsSnapshot.from_system(system),
         sampling=system.sampling_report,
+        sampling_fallback=fallback,
     )
 
 
@@ -124,9 +202,51 @@ def experiments() -> List[str]:
 
 
 def run_experiment(
-    experiment_id: str, runner: "Optional[SweepRunner]" = None
+    experiment_id: str,
+    config: "ConfigLike | SweepRunner" = None,
+    *,
+    runner: "Optional[SweepRunner]" = None,
 ) -> "Table":
-    """Regenerate one figure/table (see :func:`experiments` for ids)."""
-    from repro.evaluation.experiments import run_experiment as _run
+    """Regenerate one figure/table (see :func:`experiments` for ids).
 
+    ``config`` takes the same shapes as :func:`simulate`: a mapping of
+    per-section overrides (``{"mem": {"enabled": True}}``) merged over
+    every simulation point's own configuration, a full SystemConfig
+    (which pins *every* section — it collapses a sweep's varying
+    dimension, so overrides mappings are usually what you want), or
+    None.  Overrides ride on the runner, so they reach sweep-style
+    experiments; single-run studies that ignore the runner are
+    unaffected.
+
+    Deprecated (one release): ``run_experiment(id, runner)`` — the
+    runner as second positional — still works with a warning.
+    """
+    from repro.common.serialize import config_to_dict
+    from repro.evaluation.experiments import run_experiment as _run
+    from repro.evaluation.runner import SweepRunner as _SweepRunner
+    from repro.evaluation.runner import default_runner
+
+    if isinstance(config, _SweepRunner):
+        warnings.warn(
+            "run_experiment(id, runner) is deprecated; pass the runner "
+            "by keyword: run_experiment(id, runner=...)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        config, runner = None, config
+    if config is not None:
+        if isinstance(config, SystemConfig):
+            overrides = config_to_dict(config)
+        elif isinstance(config, Mapping):
+            overrides = dict(config)
+        else:
+            raise ConfigError(
+                f"expected a SystemConfig, an overrides mapping, or None; "
+                f"got {type(config).__name__}"
+            )
+        # Fail fast on unknown sections/fields before any simulation runs.
+        apply_overrides(SystemConfig(), overrides)
+        if runner is None:
+            runner = default_runner()
+        runner.overrides = overrides
     return _run(experiment_id, runner)

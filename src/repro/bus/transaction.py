@@ -23,6 +23,9 @@ KIND_CSB_FLUSH = "csb_flush"
 KIND_REFILL = "refill"
 #: A synchronization broadcast (e.g. a store-conditional's bus transaction).
 KIND_SYNC = "sync"
+#: A dirty cache-line write-back to main memory (only present when the
+#: data cache is configured to occupy the bus with its evictions).
+KIND_WRITEBACK = "writeback"
 
 _KINDS = (
     KIND_UNCACHED_STORE,
@@ -30,6 +33,7 @@ _KINDS = (
     KIND_CSB_FLUSH,
     KIND_REFILL,
     KIND_SYNC,
+    KIND_WRITEBACK,
 )
 
 CompletionCallback = Callable[[int], None]
@@ -82,7 +86,7 @@ class BusTransaction:
 
     @property
     def is_write(self) -> bool:
-        return self.kind in (KIND_UNCACHED_STORE, KIND_CSB_FLUSH)
+        return self.kind in (KIND_UNCACHED_STORE, KIND_CSB_FLUSH, KIND_WRITEBACK)
 
     @property
     def is_read(self) -> bool:

@@ -266,6 +266,66 @@ class CSBConfig:
         _require(self.flush_latency >= 1, "flush_latency must be >= 1")
 
 
+#: Legal write policies for the non-blocking data cache.
+WRITE_POLICIES: Tuple[str, ...] = ("writeback", "writethrough")
+
+
+@dataclass(frozen=True)
+class MemoryConfig:
+    """The non-blocking, write-allocate data cache in front of the hierarchy.
+
+    When ``enabled``, each core gets its own set-associative D-cache with an
+    MSHR file: a primary miss allocates an MSHR and the core's memory
+    operation stalls until the refill lands; secondary misses to the same
+    line merge into the existing MSHR; once all ``mshrs`` entries are busy,
+    further misses stall at issue (capacity stall).  ``write_policy``
+    selects write-back (dirty victims generate line write-back traffic on
+    eviction) or write-through (every store hit also pays the memory
+    latency, no dirty victims).  With ``bus_traffic`` the refill and
+    write-back line transfers occupy the shared system bus through the
+    arbiter — refills at priority class 0, write-backs at class 2 — instead
+    of completing silently at fixed latency.
+
+    The section is part of :class:`SystemConfig`, exactly like
+    :class:`SamplingConfig`, so result-cache keys change automatically
+    whenever any cache knob changes.  The default is ``enabled=False``, and
+    a disabled cache leaves every simulated cycle byte-identical to the
+    historical uncached-path machine.
+    """
+
+    enabled: bool = False
+    size_bytes: int = 16 * 1024
+    line_size: int = 64
+    associativity: int = 2
+    hit_latency: int = 1
+    miss_latency: int = 100
+    mshrs: int = 4
+    write_policy: str = "writeback"
+    bus_traffic: bool = True
+
+    def __post_init__(self) -> None:
+        _require(is_power_of_two(self.size_bytes), "cache size must be a power of two")
+        _require(is_power_of_two(self.line_size), "line size must be a power of two")
+        _require(self.associativity >= 1, "associativity must be >= 1")
+        _require(self.hit_latency >= 1, "hit_latency must be >= 1")
+        _require(self.miss_latency >= 1, "miss_latency must be >= 1")
+        _require(self.mshrs >= 1, "need at least one MSHR")
+        _require(
+            self.write_policy in WRITE_POLICIES,
+            f"write_policy must be one of {WRITE_POLICIES}",
+        )
+        sets = self.size_bytes // (self.line_size * self.associativity)
+        _require(sets >= 1, "cache has no sets; check size/line/assoc")
+        _require(
+            is_power_of_two(sets),
+            "number of sets must be a power of two (size / line / assoc)",
+        )
+
+    @property
+    def num_sets(self) -> int:
+        return self.size_bytes // (self.line_size * self.associativity)
+
+
 #: Confidence levels the sampling report knows z-scores for (no scipy in
 #: the toolchain, so the table is explicit).
 CONFIDENCE_LEVELS: Tuple[float, ...] = (0.90, 0.95, 0.99)
@@ -332,6 +392,7 @@ class SystemConfig:
     csb: CSBConfig = field(default_factory=CSBConfig)
     faults: FaultConfig = field(default_factory=FaultConfig)
     sampling: SamplingConfig = field(default_factory=SamplingConfig)
+    mem: MemoryConfig = field(default_factory=MemoryConfig)
     num_cores: int = 1
     arbitration: str = "round_robin"
     quantum: Optional[int] = None
@@ -363,7 +424,16 @@ class SystemConfig:
             self.uncached.combine_block <= self.memory.line_size,
             "uncached combining block cannot exceed the cache line",
         )
+        if self.mem.enabled:
+            _require(
+                self.mem.line_size == self.memory.line_size,
+                "data cache line size must match the hierarchy line size",
+            )
         if self.sampling.enabled:
+            _require(
+                not self.mem.enabled,
+                "sampled execution does not model the data cache yet",
+            )
             _require(
                 self.num_cores == 1,
                 "sampled execution supports single-core systems only",
@@ -385,6 +455,7 @@ class SystemConfig:
                 line_size, self.memory.miss_latency
             ),
             csb=replace(self.csb, line_size=line_size),
+            mem=replace(self.mem, line_size=line_size),
             bus=replace(self.bus, max_burst_bytes=max(self.bus.max_burst_bytes, line_size)),
             uncached=replace(
                 self.uncached,

@@ -17,6 +17,7 @@ from repro.common.config import (
     CacheConfig,
     CoreConfig,
     CSBConfig,
+    MemoryConfig,
     MemoryHierarchyConfig,
     SamplingConfig,
     SystemConfig,
@@ -33,6 +34,7 @@ _SECTION_TYPES = {
     "csb": CSBConfig,
     "faults": FaultConfig,
     "sampling": SamplingConfig,
+    "mem": MemoryConfig,
 }
 
 #: Whole-system scalar knobs of :class:`SystemConfig` (everything that is
@@ -84,6 +86,81 @@ def _build(cls, values: Dict[str, Any], where: str):
             value = _build(CacheConfig, value, where=f"{where}.{key}")
         kwargs[key] = value
     return cls(**kwargs)
+
+
+def apply_overrides(
+    config: SystemConfig, overrides: Dict[str, Any]
+) -> SystemConfig:
+    """Apply a (possibly nested, possibly partial) overrides mapping.
+
+    ``overrides`` uses the same shape as :func:`config_to_dict`, but every
+    section and field is optional: ``{"mem": {"enabled": True}}`` changes
+    one knob and keeps everything else from ``config``.  Unknown sections
+    or fields are errors, exactly as in :func:`config_from_dict`.
+    """
+    if not isinstance(overrides, dict):
+        raise ConfigError("config overrides must be a mapping")
+    merged = config_to_dict(config)
+    unknown = set(overrides) - set(_SECTION_TYPES) - set(_SCALAR_FIELDS)
+    if unknown:
+        raise ConfigError(f"unknown config sections: {sorted(unknown)}")
+    for name, value in overrides.items():
+        if name in _SECTION_TYPES and isinstance(value, dict):
+            section = dict(merged[name])
+            for key, sub in value.items():
+                if key in ("l1", "l2") and isinstance(sub, dict):
+                    sub = {**section[key], **sub}
+                section[key] = sub
+            merged[name] = section
+        else:
+            merged[name] = value
+    return config_from_dict(merged)
+
+
+def parse_field_assignment(cls, item: str, where: str):
+    """Parse one ``KEY=VALUE`` CLI token against a config dataclass.
+
+    The shared helper behind ``--sample``, ``--mem``, and friends: ``KEY``
+    must name a field of ``cls``; ``VALUE`` is coerced to that field's
+    default-value type (bool accepts true/false/1/0/yes/no/on/off).
+    Returns ``(field_name, coerced_value)``.
+    """
+    key, sep, raw = item.partition("=")
+    if not sep or not key:
+        raise ConfigError(f"{where} expects KEY=VALUE, got {item!r}")
+    defaults = {f.name: f.default for f in dataclasses.fields(cls)}
+    if key not in defaults:
+        raise ConfigError(
+            f"{where}: unknown field {key!r} (one of {sorted(defaults)})"
+        )
+    default = defaults[key]
+    try:
+        if isinstance(default, bool):
+            lowered = raw.strip().lower()
+            if lowered in ("1", "true", "yes", "on"):
+                value: Any = True
+            elif lowered in ("0", "false", "no", "off"):
+                value = False
+            else:
+                raise ValueError(f"not a boolean: {raw!r}")
+        elif isinstance(default, int):
+            value = int(raw)
+        elif isinstance(default, float):
+            value = float(raw)
+        else:
+            value = raw
+    except ValueError as exc:
+        raise ConfigError(f"{where} {key}: {exc}") from exc
+    return key, value
+
+
+def parse_field_assignments(cls, items, where: str) -> Dict[str, Any]:
+    """Fold many ``KEY=VALUE`` tokens into one field dict (later wins)."""
+    fields: Dict[str, Any] = {}
+    for item in items:
+        key, value = parse_field_assignment(cls, item, where)
+        fields[key] = value
+    return fields
 
 
 def config_to_json(config: SystemConfig, indent: int = 2) -> str:

@@ -30,6 +30,7 @@ COUNTER_NAMESPACE = frozenset(
         "core.retired",
         "core.branches",
         "core.cached_loads",
+        "core.cached_stores",
         "core.cached_swaps",
         "core.sc_failures",
         "core.squashed",
@@ -50,9 +51,13 @@ COUNTER_NAMESPACE = frozenset(
         "uncached.stores_combined",
         "uncached.block_stores",
         "uncached.full_stalls",
-        # refill.*: cache refills on the bus (refills_use_bus=True)
+        # refill.*: cache refills on the bus (refills_use_bus=True, or
+        # the D-cache with mem.bus_traffic)
         "refill.requests",
         "refill.issued",
+        # writeback.*: dirty-victim write-backs from the D-cache
+        "writeback.requests",
+        "writeback.issued",
         # faults.*: injected faults (repro.faults; zero when disabled)
         "faults.bus_nack",
         "faults.bus_stall",

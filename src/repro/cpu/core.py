@@ -73,12 +73,17 @@ class Core:
         stats: StatsCollector,
         trace: Optional[PipelineTrace] = None,
         core_id: int = 0,
+        dcache=None,
     ) -> None:
         self.config = config
         self.core_id = core_id
         self.trace = trace
         #: Observability event bus; None (the default) means uninstrumented.
         self.events = None
+        #: The non-blocking D-cache (repro.memory.dcache), or None — the
+        #: default — in which case every cached access takes the historical
+        #: blocking-hierarchy path, byte-identically.
+        self.dcache = dcache
         self.hierarchy = hierarchy
         self.tlb = tlb
         self.unit = uncached_unit
@@ -520,12 +525,25 @@ class Core:
                 continue
             if self._older_store_blocks(flight):
                 continue
-            if not self.fus.acquire("cache"):
-                continue
             assert flight.address is not None
-            latency = self.hierarchy.access_latency(flight.address, is_write=False)
+            if self.dcache is not None:
+                # Non-blocking cache: a primary miss allocates an MSHR and
+                # the load sleeps until the refill's precomputed arrival; a
+                # capacity stall (all MSHRs busy) retries next cycle before
+                # consuming a cache port.
+                if not self.dcache.can_accept(flight.address, now):
+                    continue
+                if not self.fus.acquire("cache"):
+                    continue
+                ready = self.dcache.access(flight.address, False, now)
+            else:
+                if not self.fus.acquire("cache"):
+                    continue
+                latency = self.hierarchy.access_latency(
+                    flight.address, is_write=False
+                )
+                ready = now + latency
             flight.mem_state = MemState.ACCESSING
-            ready = now + latency
             flight.ready_at = ready
             self._ready[flight.seq] = ready
             if self.trace is not None:
@@ -638,6 +656,8 @@ class Core:
                 if head.mem_state is not MemState.DONE:
                     return False
                 assert head.address is not None
+                if self.dcache is not None:
+                    return self._retire_cached_store_dcache(head, now)
                 # Commit: the timing-plane cache access happens now; the
                 # functional write already happened at dispatch.
                 self.hierarchy.access_latency(head.address, is_write=True)
@@ -652,17 +672,50 @@ class Core:
             return True
         return self._retire_uncached(head, now)
 
+    def _retire_cached_store_dcache(self, head: InFlight, now: int) -> bool:
+        """Commit a cached store through the non-blocking D-cache.
+
+        A store hit retires after the hit latency; a store miss allocates
+        an MSHR (write-allocate) and blocks retirement until the refill
+        lands — the emergent store-miss cost the crossover experiment
+        measures.  ``cache_issued`` guards against re-entering the cache
+        on the retry polls while the miss is outstanding.
+        """
+        assert head.address is not None
+        if not head.cache_issued:
+            if not self.dcache.can_accept(head.address, now):
+                return False
+            if not self.fus.acquire("cache"):
+                return False
+            ready = self.dcache.access(head.address, True, now)
+            head.cache_issued = True
+            head.ready_at = ready
+            self._ready[head.seq] = ready
+            self.stats.bump("core.cached_stores")
+        if head.ready_at is not None and head.ready_at > now:
+            return False
+        self._commit(head, now)
+        return True
+
     def _retire_cached_swap(self, head: InFlight, now: int) -> bool:
         if head.mem_state is MemState.WAITING:
             if not head.timing_ready(self._ready, now):
                 return False
-            if not self.fus.acquire("cache"):
-                return False
             assert head.address is not None
-            latency = self.hierarchy.access_latency(head.address, is_write=True)
+            if self.dcache is not None:
+                if not self.dcache.can_accept(head.address, now):
+                    return False
+                if not self.fus.acquire("cache"):
+                    return False
+                ready = self.dcache.access(head.address, True, now)
+            else:
+                if not self.fus.acquire("cache"):
+                    return False
+                latency = self.hierarchy.access_latency(head.address, is_write=True)
+                ready = now + latency
             head.mem_state = MemState.ACCESSING
-            head.ready_at = now + latency
-            self._ready[head.seq] = now + latency
+            head.ready_at = ready
+            self._ready[head.seq] = ready
             self.stats.bump("core.cached_swaps")
             if self.events is not None:
                 from repro.observability.events import LockAcquire
@@ -700,13 +753,21 @@ class Core:
                 self._commit(head, now)
                 self.stats.bump("core.sc_failures")
                 return True
-            if not self.fus.acquire("cache"):
-                return False
             assert head.address is not None
-            latency = self.hierarchy.access_latency(head.address, is_write=True)
+            if self.dcache is not None:
+                if not self.dcache.can_accept(head.address, now):
+                    return False
+                if not self.fus.acquire("cache"):
+                    return False
+                ready = self.dcache.access(head.address, True, now)
+            else:
+                if not self.fus.acquire("cache"):
+                    return False
+                latency = self.hierarchy.access_latency(head.address, is_write=True)
+                ready = now + latency
             head.mem_state = MemState.ACCESSING
-            head.ready_at = now + latency
-            self._ready[head.seq] = now + latency
+            head.ready_at = ready
+            self._ready[head.seq] = ready
             return False
         if head.mem_state is MemState.ACCESSING:
             assert head.ready_at is not None

@@ -48,6 +48,7 @@ class InFlight:
         "swap_expected",
         "dep_list",
         "stall_until",
+        "cache_issued",
     )
 
     def __init__(
@@ -78,6 +79,9 @@ class InFlight:
         self.dep_list: Tuple[int, ...] = ()
         #: issue-stage skip hint: no producer can be ready before this cycle
         self.stall_until = 0
+        #: a retiring cached store already entered the D-cache (guards the
+        #: non-blocking-cache commit path against double accesses)
+        self.cache_issued = False
 
     def timing_ready(self, ready: Dict[int, int], now: int) -> bool:
         """True when every producer's result is timing-available by ``now``."""

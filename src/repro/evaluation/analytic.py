@@ -13,7 +13,9 @@ cases the processor at ratio >= 2 keeps the bus saturated.
 
 from __future__ import annotations
 
-from repro.common.config import BusConfig
+from typing import Sequence, Tuple
+
+from repro.common.config import BusConfig, MemoryConfig
 from repro.common.errors import ConfigError
 
 
@@ -70,3 +72,58 @@ def combining_steady_bandwidth(bus: BusConfig, block_size: int) -> float:
     take effect (paper §4.3.1).
     """
     return block_size / start_period(bus, block_size)
+
+
+# -- cached-average-write-latency (CAWL) model ---------------------------------
+#
+# The D-cache counterpart of the bandwidth formulas above: the expected
+# cost of a serialized cached-store stream as a function of the cache
+# geometry, the paper's "caching the I/O space" contrast.  A write-back
+# write-allocate cache pays the miss latency once per line and the hit
+# latency for every store after it; a write-through cache with no write
+# buffer (MemoryConfig's write-through model) pays the full memory write
+# on *every* store, hit or miss — which is exactly why the paper's
+# combining schemes exist.
+
+
+def cached_write_latency(mem: MemoryConfig, hit_ratio: float) -> float:
+    """Expected CPU cycles per serialized cached store at ``hit_ratio``."""
+    if not 0.0 <= hit_ratio <= 1.0:
+        raise ConfigError("hit_ratio must be within [0, 1]")
+    if mem.write_policy == "writethrough":
+        return float(mem.miss_latency)
+    return hit_ratio * mem.hit_latency + (1.0 - hit_ratio) * mem.miss_latency
+
+
+def write_run_cycles(mem: MemoryConfig, lines: int, stores_per_line: int) -> int:
+    """Predicted cycles for a serialized store sweep over ``lines`` cold
+    lines, ``stores_per_line`` stores each (write-allocate: the first
+    store per line misses, the rest hit)."""
+    if lines < 1 or stores_per_line < 1:
+        raise ConfigError("need at least one line and one store per line")
+    if mem.write_policy == "writethrough":
+        return lines * stores_per_line * mem.miss_latency
+    return lines * (mem.miss_latency + (stores_per_line - 1) * mem.hit_latency)
+
+
+def fit_linear(xs: Sequence[float], ys: Sequence[float]) -> Tuple[float, float]:
+    """Closed-form least-squares line fit; returns ``(intercept, slope)``.
+
+    Hand-rolled (two passes, no numpy) so the evaluation harness can
+    recover effective latencies from simulated sweeps: fitting measured
+    run cycles against the number of cold lines touched yields a slope of
+    ``miss_latency + (stores_per_line - 1) * hit_latency`` per
+    :func:`write_run_cycles`, which the validation test compares against
+    the configured :class:`~repro.common.config.MemoryConfig`.
+    """
+    n = len(xs)
+    if n != len(ys) or n < 2:
+        raise ConfigError("need at least two (x, y) samples of equal length")
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    sxx = sum((x - mean_x) ** 2 for x in xs)
+    if sxx == 0:
+        raise ConfigError("x samples are all identical; slope is undefined")
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    slope = sxy / sxx
+    return mean_y - slope * mean_x, slope

@@ -6,6 +6,7 @@ Examples::
     csb-figures fig3c fig5a
     csb-figures --all --out results/ --jobs 4
     csb-figures --all --check expected_results --no-cache
+    csb-figures cached-crossover --mem mshrs=8 --mem miss_latency=400
     csb-figures fig3c --trace-events trace.jsonl --metrics-out metrics.json
     csb-figures profile fig3c
     csb-figures lint --format json
@@ -121,6 +122,18 @@ def _parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--mem",
+        action="append",
+        metavar="KEY=VALUE",
+        help=(
+            "enable the non-blocking data cache and override a "
+            "MemoryConfig parameter (repeatable): size_bytes, line_size, "
+            "associativity, hit_latency, miss_latency, mshrs, "
+            "write_policy, bus_traffic; '--mem enabled=true' enables it "
+            "with the defaults"
+        ),
+    )
+    parser.add_argument(
         "--quiet",
         action="store_true",
         help="suppress per-experiment progress on stderr",
@@ -144,13 +157,21 @@ def _parser() -> argparse.ArgumentParser:
     return parser
 
 
-#: ``--sample`` keys and their parsers.
-_SAMPLE_FIELDS = {
-    "ff_instructions": int,
-    "warmup_cycles": int,
-    "window_cycles": int,
-    "confidence": float,
-}
+def _section_from_flags(cls, items, flag: str, **defaults):
+    """Fold repeatable ``KEY=VALUE`` flags into one config-section
+    instance — the single parser behind ``--sample`` and ``--mem``
+    (``--tier sampled`` feeds the same path with no flags).  ``defaults``
+    fill in fields the flags left unset (e.g. ``enabled=True``)."""
+    from repro.common.errors import ConfigError
+    from repro.common.serialize import parse_field_assignments
+
+    try:
+        fields = parse_field_assignments(cls, items or [], flag)
+        for key, value in defaults.items():
+            fields.setdefault(key, value)
+        return cls(**fields)
+    except ConfigError as exc:
+        raise SystemExit(f"error: {exc}")
 
 
 def _sampling_from_args(args: argparse.Namespace):
@@ -158,24 +179,33 @@ def _sampling_from_args(args: argparse.Namespace):
     if args.tier != "sampled" and not args.sample:
         return None
     from repro.common.config import SamplingConfig
-    from repro.common.errors import ConfigError
 
-    overrides = {}
-    for item in args.sample or []:
-        key, sep, raw = item.partition("=")
-        if not sep or key not in _SAMPLE_FIELDS:
-            raise SystemExit(
-                f"error: --sample expects KEY=VALUE with KEY in "
-                f"{sorted(_SAMPLE_FIELDS)}, got {item!r}"
-            )
-        try:
-            overrides[key] = _SAMPLE_FIELDS[key](raw)
-        except ValueError:
-            raise SystemExit(f"error: --sample {key}: bad value {raw!r}")
+    return _section_from_flags(
+        SamplingConfig, args.sample, "--sample", enabled=True
+    )
+
+
+def _mem_from_args(args: argparse.Namespace):
+    """The partial ``mem`` overrides dict ``--mem`` describes, or None.
+
+    Any ``--mem`` flag enables the data cache unless it explicitly says
+    ``enabled=false`` (useful to assert the cache-off baseline).  Only
+    the fields actually given travel in the override, so sweeps that
+    vary the line size keep each point's own ``mem.line_size``.
+    """
+    if not args.mem:
+        return None
+    from repro.common.config import MemoryConfig
+    from repro.common.errors import ConfigError
+    from repro.common.serialize import parse_field_assignments
+
     try:
-        return SamplingConfig(enabled=True, **overrides)
+        fields = parse_field_assignments(MemoryConfig, args.mem, "--mem")
+        fields.setdefault("enabled", True)
+        MemoryConfig(**fields)  # fail fast on invalid combinations
     except ConfigError as exc:
         raise SystemExit(f"error: {exc}")
+    return fields
 
 
 def _make_runner(
@@ -197,6 +227,9 @@ def _make_runner(
         def observer_factory(job):
             return [JsonlSink(trace_stream, extra={"job": job.name})]
 
+    mem = _mem_from_args(args)
+    overrides = {"mem": mem} if mem is not None else None
+    log = (lambda message: None) if args.quiet else None
     return SweepRunner(
         jobs=args.jobs,
         cache=cache,
@@ -204,18 +237,28 @@ def _make_runner(
         observer_factory=observer_factory,
         collect_metrics=bool(args.metrics_out),
         sampling=_sampling_from_args(args),
+        overrides=overrides,
+        log=log,
     )
 
 
 def _table_variant(runner: SweepRunner) -> str:
-    """Whole-table cache variant tag: the serialized sampling override."""
-    if runner.sampling is None:
-        return ""
+    """Whole-table cache variant tag: the serialized sampling and config
+    overrides, so sampled/cached-memory tables never alias detailed
+    ones in the whole-table cache."""
     import dataclasses
 
-    return "sampled:" + json.dumps(
-        dataclasses.asdict(runner.sampling), sort_keys=True
-    )
+    parts = []
+    if runner.sampling is not None:
+        parts.append(
+            "sampled:"
+            + json.dumps(dataclasses.asdict(runner.sampling), sort_keys=True)
+        )
+    if runner.overrides:
+        parts.append(
+            "overrides:" + json.dumps(runner.overrides, sort_keys=True)
+        )
+    return ";".join(parts)
 
 
 def _resolve_table(experiment_id: str, runner: SweepRunner) -> Table:

@@ -19,9 +19,9 @@ payload queued for transmission — for three send paths:
 
 from __future__ import annotations
 
-from typing import Iterable, List, Tuple
+from typing import Iterable, List, Optional, Tuple
 
-from repro.common.config import DOUBLEWORD
+from repro.common.config import DOUBLEWORD, SystemConfig
 from repro.common.errors import ConfigError
 from repro.common.tables import Table
 from repro.devices.dma import DmaEngine
@@ -91,8 +91,10 @@ def _csb_multi_line_kernel(payload_bytes: int, nic_base: int, line_size: int) ->
     return "\n".join(lines)
 
 
-def _build_system(method: str) -> Tuple[System, NetworkInterface]:
-    system = System()
+def _build_system(
+    method: str, config: Optional[SystemConfig] = None
+) -> Tuple[System, NetworkInterface]:
+    system = System(config)
     if method == "csb":
         region = Region(
             _NIC_COMBINING, 128 * 1024, PageAttr.UNCACHED_COMBINING, "nic"
@@ -119,13 +121,23 @@ def _build_system(method: str) -> Tuple[System, NetworkInterface]:
     return system, nic
 
 
-def send_latency(method: str, payload_bytes: int) -> int:
-    """CPU cycles from send start until the NIC holds the full payload."""
+def send_latency(
+    method: str,
+    payload_bytes: int,
+    config: Optional[SystemConfig] = None,
+    warm_lock: bool = True,
+) -> int:
+    """CPU cycles from send start until the NIC holds the full payload.
+
+    ``config`` overrides the machine (e.g. the cached-crossover study
+    enables the D-cache); ``warm_lock=False`` leaves the PIO path's lock
+    line cold, so the first acquire misses.
+    """
     if method not in METHODS:
         raise ConfigError(f"unknown send method {method!r}")
     if payload_bytes % DOUBLEWORD:
         raise ConfigError("payload must be a doubleword multiple")
-    system, nic = _build_system(method)
+    system, nic = _build_system(method, config)
     line_size = system.config.csb.line_size
     if method == "pio_locked":
         source = pio_send_kernel(
@@ -137,8 +149,8 @@ def send_latency(method: str, payload_bytes: int) -> int:
         system.backing.fill(_PAYLOAD_SRC, payload_bytes, 0xA5)
         source = dma_send_kernel(_PAYLOAD_SRC, payload_bytes, _DMA_BASE)
     process = system.add_process(assemble(source, name=f"{method}-{payload_bytes}"))
-    if method == "pio_locked":
-        system.hierarchy.warm(DEFAULT_LOCK_ADDR)
+    if method == "pio_locked" and warm_lock:
+        system.warm(DEFAULT_LOCK_ADDR)
     system.run()
     if method == "csb" and payload_bytes <= line_size:
         packets = [p for p in nic.sent if p.inline]

@@ -71,6 +71,7 @@ def _extension_registry() -> Dict[str, TableFactory]:
         line_buffer_table,
     )
     from repro.evaluation.blockstore import blockstore_table
+    from repro.evaluation.cached_crossover import cached_crossover_table
     from repro.evaluation.crossover import crossover_table
     from repro.evaluation.fault_sweep import fault_sweep_table
     from repro.evaluation.policy_comparison import policy_table
@@ -88,6 +89,9 @@ def _extension_registry() -> Dict[str, TableFactory]:
         "loaded-bus": _ignores_runner(loaded_bus_table),
         "loaded-bus-misses": _ignores_runner(miss_interleaved_table),
         "crossover": _ignores_runner(crossover_table),
+        "cached-crossover": lambda runner=None: cached_crossover_table(
+            runner=runner
+        ),
         "policies-sequential": lambda runner=None: policy_table(
             interleaved=False, runner=runner
         ),

@@ -34,13 +34,14 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import sys
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, replace
-from typing import Callable, List, Optional, Sequence, Tuple, Union
+from typing import Callable, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.common.config import SamplingConfig, SystemConfig
 from repro.common.errors import ConfigError
-from repro.common.serialize import config_to_dict
+from repro.common.serialize import apply_overrides, config_to_dict
 from repro.common.tables import Table
 from repro.isa.assembler import assemble
 from repro.sim.system import System
@@ -57,6 +58,12 @@ Result = Union[int, float]
 
 #: Progress callback: (completed jobs so far, total jobs in this sweep).
 ProgressFn = Callable[[int, int], None]
+
+
+def _stderr_note(message: str) -> None:
+    """Default SweepRunner log sink: one line to stderr (never stdout —
+    table output must stay byte-identical)."""
+    print(message, file=sys.stderr)
 
 
 @dataclass(frozen=True)
@@ -117,7 +124,7 @@ def run_system(job: SimJob, observers: Sequence = ()) -> System:
         system.attach_observer(sink)
     system.add_process(assemble(job.kernel, name=job.name or "job"))
     for address in job.warm:
-        system.hierarchy.warm(address)
+        system.warm(address)
     if job.config.sampling.enabled:
         from repro.sim.sampling import run_sampled
 
@@ -271,7 +278,18 @@ class SweepRunner:
     sampled engine.  The rewrite happens *before* cache-key computation,
     so sampled results and detailed results occupy disjoint cache
     entries.  Jobs a sampled system cannot represent (SMP, preemptive
-    quanta, fault injection) silently keep their detailed configuration.
+    quanta, fault injection, the data cache) keep their detailed
+    configuration — each such fallback is recorded in
+    :attr:`sampling_fallbacks` as ``(job name, reason)`` and announced
+    once through ``log`` (stderr by default), so a "sampled" sweep can
+    never silently run detailed jobs.
+
+    Config overrides: ``overrides`` (the mapping shape
+    :func:`~repro.common.serialize.apply_overrides` takes, e.g.
+    ``{"mem": {"enabled": True}}``) is merged over every job's own
+    configuration before cache keys are computed.  This is how
+    ``repro.api.run_experiment(id, config)`` and the CLI's ``--mem``
+    reach each simulation point of a sweep.
     """
 
     def __init__(
@@ -282,6 +300,8 @@ class SweepRunner:
         observer_factory: Optional[Callable[[SimJob], Sequence]] = None,
         collect_metrics: bool = False,
         sampling: Optional[SamplingConfig] = None,
+        overrides: Optional[Mapping] = None,
+        log: Optional[Callable[[str], None]] = None,
     ) -> None:
         if jobs < 1:
             raise ConfigError("SweepRunner needs at least one job slot")
@@ -291,9 +311,19 @@ class SweepRunner:
         self.observer_factory = observer_factory
         self.collect_metrics = collect_metrics
         self.sampling = sampling
+        self.overrides = dict(overrides) if overrides else None
+        self.log = log if log is not None else _stderr_note
         #: job name -> MetricsSnapshot (populated when collect_metrics).
         self.metrics: dict = {}
         self.simulated = 0
+        #: (job name, reason) for every job that requested sampling but
+        #: had to run detailed.
+        self.sampling_fallbacks: List[Tuple[str, str]] = []
+
+    def _with_overrides(self, job: SimJob) -> SimJob:
+        if not self.overrides:
+            return job
+        return replace(job, config=apply_overrides(job.config, self.overrides))
 
     def _with_sampling(self, job: SimJob) -> SimJob:
         if self.sampling is None or not self.sampling.enabled:
@@ -302,8 +332,16 @@ class SweepRunner:
             return replace(
                 job, config=replace(job.config, sampling=self.sampling)
             )
-        except ConfigError:
-            # Ineligible for sampling (SMP, quantum, faults): full detail.
+        except ConfigError as error:
+            # Ineligible for sampling (SMP, quantum, faults, data cache):
+            # run full detail, and say so — a sampled sweep that quietly
+            # simulates detailed jobs misreports its own speedup.
+            name = job.name or f"job {job_key(job)[:12]}"
+            self.sampling_fallbacks.append((name, str(error)))
+            self.log(
+                f"note: {name} is ineligible for sampling and runs at "
+                f"the detailed tier ({error})"
+            )
             return job
 
     @property
@@ -313,7 +351,7 @@ class SweepRunner:
 
     def run(self, jobs: Sequence[SimJob]) -> List[Result]:
         """Resolve every job; results are returned in input order."""
-        jobs = [self._with_sampling(job) for job in jobs]
+        jobs = [self._with_sampling(self._with_overrides(job)) for job in jobs]
         total = len(jobs)
         results: List[Optional[Result]] = [None] * total
         pending: List[Tuple[int, SimJob]] = []

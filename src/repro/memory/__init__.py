@@ -24,6 +24,7 @@ from repro.memory.layout import (
 )
 from repro.memory.tlb import AttributeTLB
 from repro.memory.cache import CacheLevel, LineState
+from repro.memory.dcache import MSHR, DataCache, DLineState, wire_peers
 from repro.memory.hierarchy import MemoryHierarchy
 
 __all__ = [
@@ -31,6 +32,9 @@ __all__ = [
     "AttributeTLB",
     "BackingStore",
     "CacheLevel",
+    "DataCache",
+    "DLineState",
+    "MSHR",
     "DEFAULT_PAGE_SIZE",
     "DRAM_BASE",
     "DRAM_SIZE",
@@ -43,4 +47,5 @@ __all__ = [
     "PageAttr",
     "Region",
     "default_address_space",
+    "wire_peers",
 ]

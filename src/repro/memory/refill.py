@@ -14,11 +14,12 @@ store bandwidth.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque
+from typing import Deque, Tuple
 
 from repro.common.stats import StatsCollector
 from repro.bus.base import SystemBus
-from repro.bus.transaction import BusTransaction, KIND_REFILL
+from repro.bus.transaction import BusTransaction, KIND_REFILL, KIND_WRITEBACK
+from repro.memory.backing import BackingStore
 
 
 class RefillEngine:
@@ -80,6 +81,69 @@ class RefillEngine:
         self._head_drawn = False
         self._stall_until = -1
         self.stats.bump("refill.issued")
+        return True
+
+    @property
+    def pending(self) -> int:
+        return len(self._pending)
+
+
+class WritebackEngine:
+    """Queues dirty-victim line write-backs and drives them onto the bus.
+
+    The counterpart of :class:`RefillEngine` for the other half of cache
+    miss traffic: when the data cache evicts a dirty line (and
+    ``MemoryConfig.bus_traffic`` is on), the line's bytes travel to main
+    memory as a :data:`~repro.bus.transaction.KIND_WRITEBACK` burst.  The
+    engine sits at arbiter priority class 2 — *below* refills and the
+    cores — because a write-back is never on any operation's critical
+    path: the victim's data was snapshotted at eviction time, so draining
+    late only delays bus availability, never correctness.
+    """
+
+    def __init__(
+        self,
+        bus: SystemBus,
+        line_size: int,
+        stats: StatsCollector,
+        backing: BackingStore,
+    ) -> None:
+        self.bus = bus
+        self.line_size = line_size
+        self.stats = stats
+        self.backing = backing
+        #: Observability event bus; None (the default) means uninstrumented.
+        self.events = None
+        self._pending: Deque[Tuple[int, bytes]] = deque()
+
+    def request(self, address: int) -> None:
+        """Queue a write-back of the line containing ``address``.
+
+        The line's bytes are snapshotted now — eviction time — so the
+        transaction carries what the cache held, however late the bus
+        grants it.
+        """
+        line = address - (address % self.line_size)
+        data = self.backing.read_bytes(line, self.line_size)
+        self._pending.append((line, data))
+        self.stats.bump("writeback.requests")
+
+    def tick_bus(self, bus_cycle: int) -> bool:
+        """Issue the oldest pending write-back if the bus allows.  Returns
+        True when a transaction started (lower-priority traffic yields)."""
+        if not self._pending:
+            return False
+        line, data = self._pending[0]
+        txn = BusTransaction(
+            address=line,
+            size=self.line_size,
+            kind=KIND_WRITEBACK,
+            data=data,
+        )
+        if not self.bus.try_issue(txn, bus_cycle):
+            return False
+        self._pending.popleft()
+        self.stats.bump("writeback.issued")
         return True
 
     @property

@@ -30,7 +30,9 @@ BusAddressCycle      bus — one address cycle (multiplexed path only)
 BusDataCycle         bus — one data beat
 Turnaround           bus — mandatory idle cycles after a transaction
 LockAcquire          core — a cached atomic swap began (a lock acquire)
-CacheMiss            memory hierarchy — an access missed a cache level
+CacheMiss            memory hierarchy / D-cache — an access missed
+CacheRefill          D-cache — a refill installed a line
+CacheWriteback       D-cache — a dirty victim left for main memory
 ContextSwitch        scheduler — a new process was installed
 PipelineSquash       core — a precise interrupt squashed in-flight work
 DeviceWrite          device — a bus write reached the device
@@ -195,10 +197,29 @@ class LockAcquire(Event):
 @dataclass
 class CacheMiss(Event):
     """A cached access missed; ``level`` is the deepest level that
-    missed (``l1``: served by the L2, ``l2``: went to main memory)."""
+    missed (``l1``: served by the L2, ``l2``: went to main memory, or a
+    D-cache name like ``dcache0`` for a non-blocking-cache primary miss)."""
 
     address: int
     level: str
+
+
+@dataclass
+class CacheRefill(Event):
+    """A data-cache refill landed and installed its line.  ``cache`` is
+    the owning cache's name (``dcache<core>``)."""
+
+    address: int
+    cache: str
+
+
+@dataclass
+class CacheWriteback(Event):
+    """A dirty victim was evicted from a data cache and queued for main
+    memory (bus traffic only when ``MemoryConfig.bus_traffic`` is on)."""
+
+    address: int
+    cache: str
 
 
 @dataclass

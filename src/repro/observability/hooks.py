@@ -101,5 +101,9 @@ class Observability:
         system.scheduler.events = bus
         if system.refill_engine is not None:
             system.refill_engine.events = bus
+        for dcache in system.dcaches:
+            dcache.events = bus
+        if system.writeback_engine is not None:
+            system.writeback_engine.events = bus
         for device in system.devices:
             device.events = bus

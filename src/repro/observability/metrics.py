@@ -35,6 +35,9 @@ class MetricsSnapshot:
     per_core: Dict[int, Dict[str, int]] = field(default_factory=dict)
     #: Injected-fault counts per site (empty when fault injection is off).
     fault_injections: Dict[str, int] = field(default_factory=dict)
+    #: Data-cache counters summed over all cores (empty when the
+    #: non-blocking D-cache is disabled).
+    cache: Dict[str, int] = field(default_factory=dict)
     extra: Dict[str, Any] = field(default_factory=dict)
 
     @classmethod
@@ -74,8 +77,19 @@ class MetricsSnapshot:
                 if getattr(system, "faults", None) is not None
                 else {}
             ),
+            cache=cls._cache_counters(system),
             extra=dict(extra),
         )
+
+    @staticmethod
+    def _cache_counters(system: "System") -> Dict[str, int]:
+        """Sum D-cache counters over all cores ({} when caching is off)."""
+        dcaches = getattr(system, "dcaches", ())
+        totals: Dict[str, int] = {}
+        for dcache in dcaches:
+            for key, value in dcache.counters().items():
+                totals[key] = totals.get(key, 0) + value
+        return totals
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-serializable document (histogram keys become strings)."""
@@ -104,5 +118,6 @@ class MetricsSnapshot:
                 for core, entry in self.per_core.items()
             },
             "fault_injections": dict(self.fault_injections),
+            "cache": dict(self.cache),
             "extra": dict(self.extra),
         }

@@ -91,6 +91,36 @@ class System:
                 self.bus, self.config.memory.line_size, self.stats
             )
             self.hierarchy.refill_hook = self.refill_engine.request
+        # The non-blocking D-cache (MemoryConfig): one per core, sharing
+        # one refill engine (arbiter class 0) and one write-back engine
+        # (class 2) when cache traffic occupies the bus.  Disabled — the
+        # default — the list is empty and every cached access takes the
+        # historical blocking-hierarchy path, byte-identically.
+        self.dcaches: List = []
+        self.writeback_engine = None
+        if self.config.mem.enabled:
+            from repro.memory.dcache import DataCache, wire_peers
+
+            self.dcaches = [
+                DataCache(self.config.mem, name=f"dcache{i}")
+                for i in range(num_cores)
+            ]
+            wire_peers(self.dcaches)
+            if self.config.mem.bus_traffic:
+                from repro.memory.refill import RefillEngine, WritebackEngine
+
+                if self.refill_engine is None:
+                    self.refill_engine = RefillEngine(
+                        self.bus, self.config.mem.line_size, self.stats
+                    )
+                self.writeback_engine = WritebackEngine(
+                    self.bus, self.config.mem.line_size, self.stats, self.backing
+                )
+                for dcache in self.dcaches:
+                    dcache.refill_hook = self.refill_engine.request
+                    dcache.writeback_hook = self.writeback_engine.request
+            for unit in self.units:
+                unit.csb_invalidate = self._csb_invalidate
         self.arbiter = BusArbiter(self.bus, self.config.arbitration)
         if self.refill_engine is not None:
             # Memory traffic stalls whole cores, so refills outrank
@@ -98,6 +128,13 @@ class System:
             self.arbiter.add_initiator(self.refill_engine, priority=0, name="refill")
         for i, unit in enumerate(self.units):
             self.arbiter.add_initiator(unit, priority=1, name=f"core{i}")
+        if self.writeback_engine is not None:
+            # Write-backs are never on a core's critical path (the victim's
+            # bytes were snapshotted at eviction), so they yield to both
+            # refills and programmed I/O.
+            self.arbiter.add_initiator(
+                self.writeback_engine, priority=2, name="writeback"
+            )
         self.trace = PipelineTrace() if self.config.trace else None
         self.cores: List[Core] = [
             Core(
@@ -108,6 +145,7 @@ class System:
                 self.stats,
                 trace=self.trace,
                 core_id=i,
+                dcache=self.dcaches[i] if self.dcaches else None,
             )
             for i in range(num_cores)
         ]
@@ -230,7 +268,10 @@ class System:
             unit_tick = self.unit.tick_cpu
             core_tick = self.core.tick
             scheduler_tick = scheduler.queues[0].tick
-            quiescent = self.unit.quiescent
+            # With cache bus traffic the refill/write-back engines may hold
+            # queued transactions after the core halts; the D-cache-enabled
+            # system drains them through the full quiescence check.
+            quiescent = self._quiescent if self.dcaches else self.unit.quiescent
             try:
                 while not (scheduler.all_halted and quiescent()):
                     if cycle >= max_cycles:
@@ -355,11 +396,39 @@ class System:
         return ran
 
     def _quiescent(self) -> bool:
-        """Every uncached unit drained (shared-bus drain checked by each)."""
+        """Every uncached unit drained (shared-bus drain checked by each),
+        and — when the D-cache occupies the bus — its engines drained too."""
         for unit in self.units:
             if not unit.quiescent():
                 return False
+        if self.dcaches:
+            # Outstanding refills must land (installing their lines and
+            # generating any dirty-victim write-backs) before the machine
+            # is done; the units tick first each cycle, so unit 0's clock
+            # is the current CPU cycle.
+            now = self.units[0]._now
+            for dcache in self.dcaches:
+                dcache.drain(now)
+                if not dcache.quiescent():
+                    return False
+            if self.writeback_engine is not None and self.writeback_engine.pending:
+                return False
+            if self.refill_engine is not None and self.refill_engine.pending:
+                return False
         return True
+
+    def _csb_invalidate(self, address: int, size: int) -> None:
+        """Invalidate-on-CSB-write: a committed CSB burst drops every
+        covered line from every core's D-cache."""
+        for dcache in self.dcaches:
+            dcache.invalidate_span(address, size)
+
+    def warm(self, address: int) -> None:
+        """Install a line everywhere it could hit: the blocking hierarchy
+        and — when enabled — every core's D-cache (e.g. a warm lock)."""
+        self.hierarchy.warm(address)
+        for dcache in self.dcaches:
+            dcache.warm(address)
 
     @property
     def finished(self) -> bool:

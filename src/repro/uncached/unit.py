@@ -63,6 +63,10 @@ class UncachedUnit:
         self._now = 0
         #: Optional RefillEngine with bus priority over the uncached path.
         self.refill_engine = None
+        #: Called with ``(address, size)`` when a CSB burst issues; wired
+        #: to the data caches' invalidate-on-CSB-write coherence rule
+        #: (None — the default — when the D-cache is disabled).
+        self.csb_invalidate = None
         # (due_cpu_cycle, callback, value) for CSB flush results.
         self._scheduled: List[Tuple[int, ValueCallback, int]] = []
         # Sequence number attached to the oldest pending CSB burst.
@@ -251,6 +255,8 @@ class UncachedUnit:
         if self.bus.try_issue(txn, bus_cycle):
             self.csb.pop_burst()
             self._csb_burst_seqs.pop(0)
+            if self.csb_invalidate is not None:
+                self.csb_invalidate(txn.address, txn.size)
             return True
         return False
 

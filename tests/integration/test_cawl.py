@@ -1,0 +1,100 @@
+"""The cached-average-write-latency model against the simulator.
+
+A serialized cached-store sweep over N cold lines should cost
+``miss_latency + (stores_per_line - 1) * hit_latency`` per line (plus a
+small constant pipeline overhead per store); fitting the simulated spans
+against N must recover that slope.  The fit itself is the hand-rolled
+closed-form least squares in :mod:`repro.evaluation.analytic`.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.config import MemoryConfig, SystemConfig
+from repro.common.errors import ConfigError
+from repro.evaluation.analytic import (
+    cached_write_latency,
+    fit_linear,
+    write_run_cycles,
+)
+from repro.isa.assembler import assemble
+from repro.sim.system import System
+
+BASE = 0x8000
+
+
+def _sweep_span(lines, per_line, mem):
+    source = ["mark 1"]
+    for i in range(lines):
+        source.append(f"set {BASE + i * mem.line_size}, %o0")
+        for j in range(per_line):
+            source.append(f"stx %g0, [%o0+{j * 8}]")
+    source += ["mark 2", "halt"]
+    system = System(SystemConfig(mem=mem))
+    system.add_process(assemble("\n".join(source)))
+    system.run()
+    return system.span("1", "2")
+
+
+class TestFitLinear:
+    def test_exact_line_recovered(self):
+        intercept, slope = fit_linear([1, 2, 3, 4], [5, 7, 9, 11])
+        assert intercept == pytest.approx(3.0)
+        assert slope == pytest.approx(2.0)
+
+    def test_degenerate_inputs_rejected(self):
+        with pytest.raises(ConfigError):
+            fit_linear([1], [2])
+        with pytest.raises(ConfigError):
+            fit_linear([1, 1], [2, 3])
+        with pytest.raises(ConfigError):
+            fit_linear([1, 2], [1, 2, 3])
+
+
+class TestModel:
+    def test_expected_latency_blends_hit_and_miss(self):
+        mem = MemoryConfig(enabled=True)
+        assert cached_write_latency(mem, 1.0) == mem.hit_latency
+        assert cached_write_latency(mem, 0.0) == mem.miss_latency
+        assert cached_write_latency(mem, 0.75) == pytest.approx(
+            0.75 * mem.hit_latency + 0.25 * mem.miss_latency
+        )
+
+    def test_writethrough_is_flat_at_miss_latency(self):
+        mem = MemoryConfig(enabled=True, write_policy="writethrough")
+        assert cached_write_latency(mem, 1.0) == mem.miss_latency
+        assert write_run_cycles(mem, 4, 4) == 16 * mem.miss_latency
+
+    def test_validation(self):
+        mem = MemoryConfig(enabled=True)
+        with pytest.raises(ConfigError):
+            cached_write_latency(mem, 1.5)
+        with pytest.raises(ConfigError):
+            write_run_cycles(mem, 0, 1)
+
+
+class TestSimulatorCrosscheck:
+    @pytest.mark.parametrize("per_line", [1, 4])
+    def test_fitted_slope_matches_writeback_model(self, per_line):
+        mem = MemoryConfig(enabled=True)
+        xs = [4, 8, 16, 32]
+        ys = [_sweep_span(lines, per_line, mem) for lines in xs]
+        _, slope = fit_linear(xs, ys)
+        predicted = write_run_cycles(mem, 1, per_line)
+        # Per-store frontend/retire overhead rides on top of the model;
+        # the memory component must dominate and match within 15%.
+        assert slope == pytest.approx(predicted, rel=0.15)
+
+    def test_writethrough_slope_near_per_store_miss_latency(self):
+        mem = MemoryConfig(enabled=True, write_policy="writethrough")
+        xs = [4, 8, 16]
+        ys = [_sweep_span(lines, 4, mem) for lines in xs]
+        _, slope = fit_linear(xs, ys)
+        assert slope == pytest.approx(write_run_cycles(mem, 1, 4), rel=0.15)
+
+    def test_policies_ordered_as_predicted(self):
+        wb = MemoryConfig(enabled=True)
+        wt = MemoryConfig(enabled=True, write_policy="writethrough")
+        assert write_run_cycles(wt, 8, 4) > write_run_cycles(wb, 8, 4)
+        assert _sweep_span(8, 4, wt) > _sweep_span(8, 4, wb)

@@ -1,0 +1,208 @@
+"""The non-blocking D-cache wired into full systems.
+
+Covers the MemoryConfig integration points end to end: the cache-off
+byte-identity guarantee, the emergent hit/miss timing on the cached
+store/load/swap paths, dirty-victim write-back traffic on the shared bus,
+SMP per-core caches with the invalidate mesh, and the
+invalidate-on-CSB-write coherence rule.
+"""
+
+from dataclasses import replace
+
+from repro.common.config import MemoryConfig, SystemConfig
+from repro.isa.assembler import assemble
+from repro.memory.layout import IO_COMBINING_BASE
+from repro.sim.system import System
+from repro.workloads.storebw import store_kernel_csb
+
+BASE = 0x8000
+
+
+def cached_config(num_cores=1, **mem_kwargs):
+    mem_kwargs.setdefault("enabled", True)
+    return SystemConfig(num_cores=num_cores, mem=MemoryConfig(**mem_kwargs))
+
+
+def run_source(source, config=None):
+    system = System(config)
+    system.add_process(assemble(source))
+    system.run()
+    return system
+
+
+def snapshot(system):
+    from repro.observability.metrics import MetricsSnapshot
+
+    return MetricsSnapshot.from_system(system).counters
+
+
+def store_sweep(lines, per_line=1, stride=64, base=BASE):
+    source = ["mark 1"]
+    for i in range(lines):
+        source.append(f"set {base + i * stride}, %o0")
+        for j in range(per_line):
+            source.append(f"stx %g0, [%o0+{j * 8}]")
+    source += ["mark 2", "halt"]
+    return "\n".join(source)
+
+
+class TestByteIdentity:
+    """mem.enabled=False (the default) must not move a single cycle."""
+
+    def test_disabled_config_builds_no_cache_hardware(self):
+        system = System()
+        assert system.dcaches == []
+        assert system.writeback_engine is None
+
+    def test_explicit_disabled_equals_default(self):
+        kernel = store_sweep(8) + "\n" + store_kernel_csb(256, 64)
+        baseline = run_source(kernel)
+        explicit = run_source(
+            kernel, replace(SystemConfig(), mem=MemoryConfig(enabled=False))
+        )
+        assert explicit.cycle == baseline.cycle
+        assert snapshot(explicit) == snapshot(baseline)
+
+
+class TestCachedTiming:
+    def test_cold_store_sweep_counts_one_miss_per_line(self):
+        system = run_source(store_sweep(8, per_line=4), cached_config())
+        cache = system.dcaches[0]
+        assert cache.misses == 8
+        assert cache.hits == 8 * 3
+        assert system.stats["core.cached_stores"] == 32
+
+    def test_misses_cost_miss_latency_per_line(self):
+        fast = run_source(store_sweep(4), cached_config())
+        slow = run_source(store_sweep(8), cached_config())
+        per_line = (
+            slow.span("1", "2") - fast.span("1", "2")
+        ) / 4
+        mem = cached_config().mem
+        assert mem.miss_latency <= per_line <= mem.miss_latency + 10
+
+    def test_warm_lines_hit(self):
+        config = cached_config()
+        system = System(config)
+        system.add_process(assemble(store_sweep(4)))
+        for i in range(4):
+            system.warm(BASE + i * 64)
+        system.run()
+        assert system.dcaches[0].misses == 0
+        assert system.dcaches[0].hits == 4
+
+    def test_writethrough_slower_than_writeback(self):
+        wb = run_source(
+            store_sweep(4, per_line=4), cached_config(write_policy="writeback")
+        )
+        wt = run_source(
+            store_sweep(4, per_line=4),
+            cached_config(write_policy="writethrough"),
+        )
+        assert wt.span("1", "2") > wb.span("1", "2")
+        assert wt.dcaches[0].writethroughs == 16
+        assert wt.dcaches[0].dirty_lines() == []
+
+
+class TestWritebackTraffic:
+    def test_dirty_victims_reach_the_bus(self):
+        # A direct-mapped 2-line cache + a 4-line dirty sweep forces
+        # dirty evictions; with bus_traffic on they must become
+        # write-back transactions, drained before the run completes.
+        config = cached_config(
+            size_bytes=128, line_size=64, associativity=1, mshrs=2
+        )
+        system = run_source(store_sweep(4), config)
+        cache = system.dcaches[0]
+        assert cache.writebacks >= 2
+        assert system.stats["writeback.requests"] == cache.writebacks
+        assert (
+            system.stats["writeback.issued"]
+            == system.stats["writeback.requests"]
+        )
+        assert system.writeback_engine.pending == 0
+
+    def test_bus_traffic_off_keeps_the_bus_silent(self):
+        config = cached_config(
+            size_bytes=128, line_size=64, associativity=1, bus_traffic=False
+        )
+        system = run_source(store_sweep(4), config)
+        assert system.dcaches[0].writebacks >= 2
+        assert system.stats["writeback.requests"] == 0
+        assert system.stats["refill.requests"] == 0
+
+
+class TestSMP:
+    def test_one_cache_per_core_with_peer_mesh(self):
+        system = System(cached_config(num_cores=3))
+        assert len(system.dcaches) == 3
+        for cache in system.dcaches:
+            assert len(cache.peers) == 2
+            assert cache not in cache.peers
+
+    def test_store_invalidates_the_other_cores_copy(self):
+        system = System(cached_config(num_cores=2))
+        system.add_process(assemble("halt"), core_id=1)
+        system.add_process(
+            assemble(f"set {BASE}, %o0\nstx %g0, [%o0]\nhalt"), core_id=0
+        )
+        system.dcaches[1].warm(BASE)
+        system.run()
+        assert system.dcaches[0].probe(BASE)
+        assert not system.dcaches[1].probe(BASE)
+        assert system.dcaches[1].coherence_invalidations == 1
+
+    def test_smp_cached_run_completes_with_traffic(self):
+        system = System(cached_config(num_cores=2))
+        for core_id in range(2):
+            system.add_process(
+                assemble(store_sweep(4, base=BASE + core_id * 0x1000)),
+                core_id=core_id,
+            )
+        system.run()
+        assert all(cache.misses == 4 for cache in system.dcaches)
+        assert system.stats["refill.requests"] == 8
+
+
+class TestCSBInvalidate:
+    def test_csb_burst_drops_cached_copies_of_the_flushed_span(self):
+        # The litmus for the invalidate-on-CSB-write rule: a line of the
+        # combining window is (artificially) resident in both D-caches;
+        # committing a CSB burst over it must drop every copy.
+        config = cached_config(num_cores=2)
+        system = System(config)
+        line = system.config.csb.line_size
+        kernel = store_kernel_csb(line, line)
+        system.add_process(assemble(kernel), core_id=0)
+        system.add_process(assemble("halt"), core_id=1)
+        for cache in system.dcaches:
+            cache.warm(IO_COMBINING_BASE)
+        system.run()
+        assert system.stats["csb.flushes"] >= 1
+        for cache in system.dcaches:
+            assert not cache.probe(IO_COMBINING_BASE)
+            assert cache.csb_invalidations >= 1
+
+
+class TestObservability:
+    def test_metrics_snapshot_carries_cache_counters(self):
+        from repro.observability.metrics import MetricsSnapshot
+
+        system = run_source(store_sweep(4), cached_config())
+        snapshot = MetricsSnapshot.from_system(system)
+        assert snapshot.cache["misses"] == 4
+        assert snapshot.to_dict()["cache"]["misses"] == 4
+
+    def test_cache_events_published(self):
+        from repro.observability.sinks import RingBufferSink
+
+        config = cached_config(size_bytes=128, associativity=1)
+        system = System(config)
+        sink = RingBufferSink()
+        system.attach_observer(sink)
+        system.add_process(assemble(store_sweep(4)))
+        system.run()
+        kinds = [type(event).__name__ for event in sink.events]
+        assert "CacheMiss" in kinds
+        assert "CacheRefill" in kinds
+        assert "CacheWriteback" in kinds
