@@ -31,7 +31,15 @@ from repro.analysis.findings import (
 )
 from repro.analysis.linter import RULES, all_rules, lint_program, lint_source
 from repro.analysis.protocol import LintContext, ProtocolAnalysis
-from repro.analysis.registry import LintTarget, iter_lint_targets, lint_targets
+from repro.analysis.registry import (
+    LintGroup,
+    LintTarget,
+    iter_lint_groups,
+    iter_lint_targets,
+    lint_groups,
+    lint_targets,
+)
+from repro.analysis.smp import check_unpaired_locks, lint_group
 
 __all__ = [
     "Analysis",
@@ -39,6 +47,7 @@ __all__ = [
     "ControlFlowGraph",
     "Finding",
     "LintContext",
+    "LintGroup",
     "LintTarget",
     "ProtocolAnalysis",
     "RULES",
@@ -46,8 +55,12 @@ __all__ = [
     "SEVERITY_WARNING",
     "all_rules",
     "build_cfg",
+    "check_unpaired_locks",
     "findings_to_json",
+    "iter_lint_groups",
     "iter_lint_targets",
+    "lint_group",
+    "lint_groups",
     "lint_program",
     "lint_source",
     "lint_targets",

@@ -45,16 +45,41 @@ class Finding:
             raise ValueError(f"unknown severity {self.severity!r}")
 
     def to_dict(self) -> Dict[str, Any]:
-        """Stable machine-readable shape (see docs/static_analysis.md)."""
+        """Stable machine-readable shape (see docs/static_analysis.md).
+
+        Every value is pinned to a plain JSON type here — severity through
+        the :data:`SEVERITIES` table, index through ``int`` — so the wire
+        shape cannot drift if the in-memory representation ever changes
+        (e.g. severities becoming an enum).
+        """
         return {
-            "rule": self.rule,
-            "severity": self.severity,
-            "index": self.index,
-            "instruction": self.instruction,
-            "message": self.message,
-            "hint": self.hint,
-            "program": self.program,
+            "rule": str(self.rule),
+            "severity": SEVERITIES[SEVERITIES.index(self.severity)],
+            "index": int(self.index),
+            "instruction": str(self.instruction),
+            "message": str(self.message),
+            "hint": str(self.hint),
+            "program": str(self.program),
         }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Finding":
+        """Inverse of :meth:`to_dict`; unknown keys are rejected so schema
+        drift fails loudly in round-trip tests."""
+        known = {"rule", "severity", "index", "instruction", "message",
+                 "hint", "program"}
+        extra = set(data) - known
+        if extra:
+            raise ValueError(f"unknown finding fields: {sorted(extra)}")
+        return cls(
+            rule=str(data["rule"]),
+            severity=str(data["severity"]),
+            index=int(data["index"]),
+            instruction=str(data["instruction"]),
+            message=str(data["message"]),
+            hint=str(data.get("hint", "")),
+            program=str(data.get("program", "")),
+        )
 
     def render(self) -> str:
         """One-line human-readable form."""
@@ -74,7 +99,10 @@ def sort_findings(findings: List[Finding]) -> List[Finding]:
 
 
 def findings_to_json(findings: List[Finding]) -> str:
-    """Render findings as a JSON array (sorted, two-space indent)."""
+    """Render findings as a JSON array (sorted findings, sorted keys,
+    two-space indent) — byte-stable for identical finding sets."""
     return json.dumps(
-        [finding.to_dict() for finding in sort_findings(findings)], indent=2
+        [finding.to_dict() for finding in sort_findings(findings)],
+        indent=2,
+        sort_keys=True,
     )

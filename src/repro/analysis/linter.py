@@ -42,6 +42,9 @@ RULES: Dict[str, str] = {
     "csb.split-sequence": SEVERITY_ERROR,
     "csb.no-retry": SEVERITY_ERROR,
     "csb.unflushed-window": SEVERITY_ERROR,
+    # Group rule (cross-program; emitted by repro.analysis.smp.lint_group,
+    # never by lint_program): an SMP lock handoff without membar pairing.
+    "smp.unpaired-lock": SEVERITY_ERROR,
     "cfg.unreachable": SEVERITY_WARNING,
     "reg.use-before-def": SEVERITY_WARNING,
 }

@@ -1,0 +1,72 @@
+"""Bounded model checker for the CSB protocol.
+
+Layers: :mod:`spec` (abstract operational model of cores + shared CSB),
+:mod:`explore` (bounded exhaustive search with partial-order reduction),
+:mod:`litmus` (the checked protocol properties), :mod:`compile` (lowering
+abstract ops to real assembly), :mod:`replay` (cross-validation against
+the detailed simulator), :mod:`promote` (counterexample → regression
+workload).
+"""
+
+from repro.analysis.mc.compile import full_source, step_source
+from repro.analysis.mc.explore import (
+    Budget,
+    CheckResult,
+    TraceStep,
+    Violation,
+    enumerate_schedules,
+    explore,
+    results_to_json,
+)
+from repro.analysis.mc.litmus import LitmusTest, get_test, litmus_tests
+from repro.analysis.mc.promote import (
+    complete_schedule,
+    promote_violation,
+    realize_schedule,
+    write_counterexamples,
+)
+from repro.analysis.mc.replay import (
+    Divergence,
+    ReplayReport,
+    replay_schedule,
+    replay_test,
+    watched_words,
+)
+from repro.analysis.mc.spec import (
+    MUTATIONS,
+    SPEC_REGS,
+    SpecMachine,
+    SpecProgram,
+    SpecState,
+    spec_program,
+)
+
+__all__ = [
+    "Budget",
+    "CheckResult",
+    "Divergence",
+    "LitmusTest",
+    "MUTATIONS",
+    "ReplayReport",
+    "SPEC_REGS",
+    "SpecMachine",
+    "SpecProgram",
+    "SpecState",
+    "TraceStep",
+    "Violation",
+    "complete_schedule",
+    "enumerate_schedules",
+    "explore",
+    "full_source",
+    "get_test",
+    "litmus_tests",
+    "promote_violation",
+    "realize_schedule",
+    "replay_schedule",
+    "replay_test",
+    "results_to_json",
+    "spec_program",
+    "step_source",
+    "watched_words",
+    "write_counterexamples",
+]

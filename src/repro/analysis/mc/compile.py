@@ -1,0 +1,133 @@
+"""Lower abstract litmus operations to real assembly.
+
+Two lowerings:
+
+* :func:`step_source` — one abstract op as a standalone mini-program
+  ending in ``halt``.  The replay driver runs litmus tests through the
+  detailed simulator *one abstract op at a time* (install, run to
+  quiescence, park), which is what makes a spec transition and a
+  simulator step comparable: the out-of-order core cannot speculate past
+  a step boundary, because the boundary is the end of the program.
+  Branches compile to a probe shape whose final program counter reveals
+  the taken/fall-through outcome (see :data:`BRANCH_TAKEN_PC`).
+
+* :func:`full_source` — a whole litmus program as one kernel, with the
+  abstract labels preserved as assembly labels.  This is what promoted
+  counterexample workloads register for linting and what a human pastes
+  into the simulator to reproduce a trace.
+
+Register convention: abstract programs use only ``%l0``–``%l7``
+(:data:`~repro.analysis.mc.spec.SPEC_REGS`); the lowering claims ``%o6``
+(value scratch) and ``%o7`` (address scratch).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.common.errors import ConfigError
+from repro.analysis.mc.spec import (
+    AddReg,
+    BranchNZ,
+    BranchZ,
+    CombStore,
+    CondFlush,
+    DevLoad,
+    DevStore,
+    Goto,
+    Halt,
+    LockRelease,
+    LockSwap,
+    Membar,
+    Op,
+    SetReg,
+    SpecProgram,
+)
+
+#: Scratch registers the lowering may clobber (never litmus state).
+SCRATCH_VALUE = "%o6"
+SCRATCH_ADDR = "%o7"
+
+#: Final ``context.pc`` of a step-program branch probe when the branch was
+#: taken.  The probe is ``branch .T`` / ``halt`` / ``.T: halt``; a retiring
+#: halt leaves ``context.pc`` at its own index *plus one* (commit advances
+#: the pc after the halt handler records it), so the fall-through halt at
+#: index 1 yields pc 2 and the taken-side halt at index 2 yields pc 3.
+BRANCH_TAKEN_PC = 3
+BRANCH_FALL_PC = 2
+
+
+def _body(op: Op) -> List[str]:
+    """The op's effect as instructions (no terminator, no branching)."""
+    if isinstance(op, SetReg):
+        return [f"set {op.value}, %{op.reg}"]
+    if isinstance(op, AddReg):
+        if op.delta >= 0:
+            return [f"add %{op.reg}, {op.delta}, %{op.reg}"]
+        return [f"sub %{op.reg}, {-op.delta}, %{op.reg}"]
+    if isinstance(op, Membar):
+        return ["membar"]
+    if isinstance(op, LockSwap):
+        return [
+            f"set {op.addr}, {SCRATCH_ADDR}",
+            f"set 1, %{op.reg}",
+            f"swap [{SCRATCH_ADDR}], %{op.reg}",
+        ]
+    if isinstance(op, LockRelease):
+        return [
+            f"set {op.addr}, {SCRATCH_ADDR}",
+            f"stx %g0, [{SCRATCH_ADDR}]",
+        ]
+    if isinstance(op, (CombStore, DevStore)):
+        return [
+            f"set {op.value}, {SCRATCH_VALUE}",
+            f"set {op.addr}, {SCRATCH_ADDR}",
+            f"stx {SCRATCH_VALUE}, [{SCRATCH_ADDR}]",
+        ]
+    if isinstance(op, CondFlush):
+        return [
+            f"set {op.addr}, {SCRATCH_ADDR}",
+            f"set {op.expected}, %{op.reg}",
+            f"swap [{SCRATCH_ADDR}], %{op.reg}",
+        ]
+    if isinstance(op, DevLoad):
+        return [
+            f"set {op.addr}, {SCRATCH_ADDR}",
+            f"ldx [{SCRATCH_ADDR}], %{op.reg}",
+        ]
+    raise ConfigError(f"op {op!r} has no straight-line body")
+
+
+def step_source(op: Op) -> str:
+    """One abstract op as a standalone program ending in ``halt``."""
+    if isinstance(op, Halt):
+        return "halt\n"
+    if isinstance(op, Goto):
+        lines = ["ba .T", "halt", ".T:", "halt"]
+    elif isinstance(op, BranchNZ):
+        lines = [f"brnz %{op.reg}, .T", "halt", ".T:", "halt"]
+    elif isinstance(op, BranchZ):
+        lines = [f"brz %{op.reg}, .T", "halt", ".T:", "halt"]
+    else:
+        lines = _body(op) + ["halt"]
+    return "\n".join(lines) + "\n"
+
+
+def full_source(program: SpecProgram) -> str:
+    """The whole litmus program as one kernel, labels preserved."""
+    by_index = {index: label for label, index in program.labels.items()}
+    lines: List[str] = []
+    for index, op in enumerate(program.ops):
+        if index in by_index:
+            lines.append(f"{by_index[index]}:")
+        if isinstance(op, Halt):
+            lines.append("halt")
+        elif isinstance(op, Goto):
+            lines.append(f"ba {op.target}")
+        elif isinstance(op, BranchNZ):
+            lines.append(f"brnz %{op.reg}, {op.target}")
+        elif isinstance(op, BranchZ):
+            lines.append(f"brz %{op.reg}, {op.target}")
+        else:
+            lines.extend(_body(op))
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,661 @@
+"""Litmus tests: tiny cross-core programs paired with assertions.
+
+Each test names a :class:`~repro.analysis.mc.spec.SpecMachine` setup plus
+two properties: an ``invariant`` checked at *every* reachable state (e.g.
+mutual exclusion, no torn pair ever visible in memory) and a ``final``
+property checked at fully halted states (e.g. eventual flush success, no
+lost stores).  ``caught_by`` lists the seeded spec mutations each test is
+known to expose — CI runs one of them to prove the checker can fail.
+
+Some tests are deliberately protocol-*violating* programs (a window left
+open at halt, a flush of another core's window): they verify the spec's
+conflict behavior and would not pass the PR-3 linter.  Only the two
+promoted counterexample workloads (``repro.workloads.counterexamples``)
+enter the lint registry, and those compile from lint-clean retry-loop
+tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from repro.common.errors import ConfigError
+from repro.memory.layout import DRAM_BASE, IO_COMBINING_BASE, IO_UNCACHED_BASE
+from repro.analysis.mc.explore import Budget, CheckResult, explore
+from repro.analysis.mc.spec import (
+    AddReg,
+    BranchNZ,
+    BranchZ,
+    CombStore,
+    CondFlush,
+    DevLoad,
+    DevStore,
+    Halt,
+    LockRelease,
+    LockSwap,
+    Membar,
+    SetReg,
+    SpecMachine,
+    SpecProgram,
+    SpecState,
+    spec_program,
+)
+
+#: Shared line size of every litmus machine (the simulator default).
+LINE_SIZE = 64
+
+#: Two distinct combining lines, one lock word, one device word.
+LINE0 = IO_COMBINING_BASE
+LINE1 = IO_COMBINING_BASE + LINE_SIZE
+LOCK = DRAM_BASE + 0x9000
+DEV = IO_UNCACHED_BASE + 0x100
+
+Property = Callable[[SpecMachine, SpecState], Optional[str]]
+
+
+@dataclass(frozen=True)
+class LitmusTest:
+    """One litmus test: programs, properties, and fault budget."""
+
+    name: str
+    description: str
+    programs: Tuple[SpecProgram, ...]
+    invariant: Optional[Property] = None
+    final: Optional[Property] = None
+    #: Spurious flush-abort (NACK) budget for the whole run.
+    max_nacks: int = 0
+    #: Mutations known to produce a violation on this test (asserted by CI).
+    caught_by: Tuple[str, ...] = field(default=())
+    #: Deterministic tests (no NACK branch) replay through the detailed
+    #: simulator schedule-for-schedule.
+    @property
+    def replayable(self) -> bool:
+        return self.max_nacks == 0
+
+    def machine(self, mutation: Optional[str] = None) -> SpecMachine:
+        return SpecMachine(
+            self.programs,
+            line_size=LINE_SIZE,
+            mutation=mutation,
+            max_nacks=self.max_nacks,
+        )
+
+    def run(
+        self,
+        budget: Optional[Budget] = None,
+        mutation: Optional[str] = None,
+    ) -> CheckResult:
+        """Explore this test's interleavings; see
+        :func:`repro.analysis.mc.explore.explore`."""
+        return explore(
+            self.machine(mutation),
+            test_name=self.name,
+            description=self.description,
+            invariant=self.invariant,
+            final=self.final,
+            budget=budget,
+            mutation=mutation,
+        )
+
+
+# -- property helpers -----------------------------------------------------------
+
+
+def _pair(state: SpecState, base: int) -> Tuple[int, int]:
+    return (state.word(base), state.word(base + 8))
+
+
+def _pair_atomic(
+    base: int, *images: Tuple[int, int]
+) -> Property:
+    """No reachable state may show a torn pair at ``base``: the two words
+    are either both zero or exactly one core's committed image."""
+    allowed = {(0, 0), *images}
+
+    def prop(machine: SpecMachine, state: SpecState) -> Optional[str]:
+        pair = _pair(state, base)
+        if pair not in allowed:
+            return (
+                f"torn pair at 0x{base:x}: saw {pair}, "
+                f"allowed {sorted(allowed)}"
+            )
+        return None
+
+    return prop
+
+
+def _all_of(*props: Property) -> Property:
+    def prop(machine: SpecMachine, state: SpecState) -> Optional[str]:
+        for candidate in props:
+            message = candidate(machine, state)
+            if message is not None:
+                return message
+        return None
+
+    return prop
+
+
+# -- the tests ------------------------------------------------------------------
+
+_TESTS: List[LitmusTest] = []
+
+
+def _register(test: LitmusTest) -> LitmusTest:
+    if any(existing.name == test.name for existing in _TESTS):
+        raise ConfigError(f"duplicate litmus test {test.name!r}")
+    _TESTS.append(test)
+    return test
+
+
+def _retry_pair(base: int, a: int, b: int) -> SpecProgram:
+    """The canonical lint-clean shape: two combining stores, a conditional
+    flush expecting 2 hits, and an unbounded retry on conflict (mirrors
+    ``contending_csb_kernel``)."""
+    return spec_program(
+        ".RETRY",
+        CombStore(base + 0, a),
+        CombStore(base + 8, b),
+        CondFlush(base, 2, "l6"),
+        BranchZ("l6", ".RETRY"),
+        Halt(),
+    )
+
+
+# 1. combining-order: stores may arrive in any order within the line; only
+# the count matters.  Catches lost-store.
+def _combining_order_final(machine: SpecMachine, state: SpecState) -> Optional[str]:
+    words = tuple(state.word(LINE0 + off) for off in (0, 8, 16))
+    if words != (0xC1, 0xC2, 0xC3):
+        return f"flushed line holds {words}, expected (0xc1, 0xc2, 0xc3)"
+    if any(state.word(LINE0 + off) for off in range(24, LINE_SIZE, 8)):
+        return "unwritten words of the flushed line are not zero-padded"
+    if state.reg(0, "l6") != 3:
+        return f"flush result {state.reg(0, 'l6')}, expected 3"
+    return None
+
+
+_register(
+    LitmusTest(
+        name="combining-order",
+        description="out-of-order combining stores flush as one full line",
+        programs=(
+            spec_program(
+                ".RETRY",
+                CombStore(LINE0 + 16, 0xC3),
+                CombStore(LINE0 + 0, 0xC1),
+                CombStore(LINE0 + 8, 0xC2),
+                CondFlush(LINE0, 3, "l6"),
+                BranchZ("l6", ".RETRY"),
+                Halt(),
+            ),
+        ),
+        final=_combining_order_final,
+        caught_by=("lost-store",),
+    )
+)
+
+
+# 2. flush-vs-flush conflict: two cores race retry loops on the same line;
+# memory only ever shows one core's atomic image.
+def _ff_conflict_final(machine: SpecMachine, state: SpecState) -> Optional[str]:
+    for core in (0, 1):
+        if state.reg(core, "l6") != 2:
+            return f"core {core} halted without a successful flush"
+    if _pair(state, LINE0) not in {(0xA0, 0xB0), (0xA1, 0xB1)}:
+        return f"final line image {_pair(state, LINE0)} is not one core's pair"
+    return None
+
+
+_register(
+    LitmusTest(
+        name="flush-flush-conflict",
+        description="same-line retry loops on two cores never tear the line",
+        programs=(
+            _retry_pair(LINE0, 0xA0, 0xB0),
+            _retry_pair(LINE0, 0xA1, 0xB1),
+        ),
+        invariant=_pair_atomic(LINE0, (0xA0, 0xB0), (0xA1, 0xB1)),
+        final=_ff_conflict_final,
+        caught_by=("lost-store",),
+    )
+)
+
+
+# 3. window-split-cross: a two-store window on core 0 races a one-store
+# window on core 1.  The pair must stay atomic even though core 1's flush
+# zero-pads the words core 0 wrote.  Catches skip-expected-check.
+def _split_cross_invariant(machine: SpecMachine, state: SpecState) -> Optional[str]:
+    torn = _pair_atomic(LINE0, (0xA0, 0xB0))(machine, state)
+    if torn is not None:
+        return torn
+    if state.word(LINE0 + 16) not in (0, 0xCC):
+        return f"word +16 holds {state.word(LINE0 + 16)}"
+    if state.word(LINE0) == 0xA0 and state.word(LINE0 + 16) == 0xCC:
+        return "both cores' images visible at once (bursts are full-line)"
+    return None
+
+
+def _split_cross_final(machine: SpecMachine, state: SpecState) -> Optional[str]:
+    image = tuple(state.word(LINE0 + off) for off in (0, 8, 16))
+    if image not in {(0xA0, 0xB0, 0), (0, 0, 0xCC)}:
+        return f"final line image {image} is not the last flusher's burst"
+    return None
+
+
+_register(
+    LitmusTest(
+        name="window-split-cross",
+        description="a combining window split across cores stays atomic",
+        programs=(
+            _retry_pair(LINE0, 0xA0, 0xB0),
+            spec_program(
+                ".RETRY",
+                CombStore(LINE0 + 16, 0xCC),
+                CondFlush(LINE0, 1, "l6"),
+                BranchZ("l6", ".RETRY"),
+                Halt(),
+            ),
+        ),
+        invariant=_split_cross_invariant,
+        final=_split_cross_final,
+        caught_by=("skip-expected-check",),
+    )
+)
+
+
+# 4. window-split-local: one core splits its own sequence across two lines;
+# the second store restarted the window, so a flush expecting the full
+# count must conflict.  Catches skip-expected-check (the CI seeded bug).
+def _split_local_final(machine: SpecMachine, state: SpecState) -> Optional[str]:
+    if state.reg(0, "l6") != 0:
+        return "flush of a split sequence succeeded (expected conflict)"
+    if state.word(LINE0) or state.word(LINE1):
+        return "a split sequence leaked stores into memory"
+    return None
+
+
+_register(
+    LitmusTest(
+        name="window-split-local",
+        description="a sequence split across lines never flushes",
+        programs=(
+            spec_program(
+                CombStore(LINE0, 0xA0),
+                CombStore(LINE1, 0xB1),
+                CondFlush(LINE1, 2, "l6"),
+                Halt(),
+            ),
+        ),
+        final=_split_local_final,
+        caught_by=("skip-expected-check",),
+    )
+)
+
+
+# 5. stale-line-flush: flushing a different line than the open window must
+# conflict.  Catches skip-line-check.
+def _stale_line_final(machine: SpecMachine, state: SpecState) -> Optional[str]:
+    if state.reg(0, "l6") != 0:
+        return "flush of the wrong line succeeded (expected conflict)"
+    if state.word(LINE0) or state.word(LINE1):
+        return "a wrong-line flush leaked stores into memory"
+    return None
+
+
+_register(
+    LitmusTest(
+        name="stale-line-flush",
+        description="a flush of the wrong line conflicts and clears",
+        programs=(
+            spec_program(
+                CombStore(LINE0, 0xAD),
+                CondFlush(LINE1, 1, "l6"),
+                Halt(),
+            ),
+        ),
+        final=_stale_line_final,
+        caught_by=("skip-line-check",),
+    )
+)
+
+
+# 6. conflict-clears: a conflicting flush must clear the buffer, so a
+# later store cannot resurrect the stale window.  Catches
+# no-clear-on-conflict.
+def _conflict_clears_final(machine: SpecMachine, state: SpecState) -> Optional[str]:
+    if state.reg(0, "l6") != 0 or state.reg(0, "l7") != 0:
+        return "a flush after a conflict saw stale window state"
+    if state.word(LINE0) or state.word(LINE0 + 8):
+        return "stale window contents reached memory"
+    return None
+
+
+_register(
+    LitmusTest(
+        name="conflict-clears",
+        description="a conflict abort clears the buffered line",
+        programs=(
+            spec_program(
+                CombStore(LINE0 + 0, 0xA1),
+                CondFlush(LINE0, 2, "l6"),
+                CombStore(LINE0 + 8, 0xB2),
+                CondFlush(LINE0, 2, "l7"),
+                Halt(),
+            ),
+        ),
+        final=_conflict_clears_final,
+        caught_by=("no-clear-on-conflict",),
+    )
+)
+
+
+# 7. flush-empty: a flush with no stores in flight always conflicts.
+def _flush_empty_final(machine: SpecMachine, state: SpecState) -> Optional[str]:
+    if state.reg(0, "l6") != 0:
+        return "an empty flush succeeded"
+    if state.word(LINE0):
+        return "an empty flush wrote memory"
+    return None
+
+
+_register(
+    LitmusTest(
+        name="flush-empty",
+        description="an empty conditional flush always conflicts",
+        programs=(
+            spec_program(CondFlush(LINE0, 1, "l6"), Halt()),
+        ),
+        final=_flush_empty_final,
+    )
+)
+
+
+# 8. pid-isolation: core 1 flushing core 0's window must conflict whatever
+# the interleaving — the process-ID check is what makes the CSB safe to
+# share without saving it on context switch.  Catches skip-pid-check.
+def _pid_isolation_invariant(machine: SpecMachine, state: SpecState) -> Optional[str]:
+    if state.word(LINE0):
+        return "another core's flush committed a window it does not own"
+    return None
+
+
+def _pid_isolation_final(machine: SpecMachine, state: SpecState) -> Optional[str]:
+    if state.reg(1, "l6") != 0:
+        return "core 1 successfully flushed core 0's window"
+    return None
+
+
+_register(
+    LitmusTest(
+        name="pid-isolation",
+        description="a flush only commits the issuing process's window",
+        programs=(
+            spec_program(CombStore(LINE0, 0xEE), Halt()),
+            spec_program(CondFlush(LINE0, 1, "l6"), Halt()),
+        ),
+        invariant=_pid_isolation_invariant,
+        final=_pid_isolation_final,
+        caught_by=("skip-pid-check",),
+    )
+)
+
+
+# 9/10. lock handoff + contention: swap-acquire spin loops.  The critical
+# section spans the ops between the acquire branch and the release.
+def _locked_dev_program(values: Tuple[int, ...]) -> SpecProgram:
+    items: List[object] = [
+        ".ACQ",
+        LockSwap(LOCK, "l5"),
+        BranchNZ("l5", ".ACQ"),
+        Membar(),
+    ]
+    for offset, value in enumerate(values):
+        items.append(DevStore(DEV + 8 * offset, value))
+    items.extend([Membar(), LockRelease(LOCK), Halt()])
+    return spec_program(*items)  # type: ignore[arg-type]
+
+
+def _mutex_invariant(n_stores: int) -> Property:
+    # Critical section: from the membar after the acquire through the
+    # release (op indices 2 .. 4 + n_stores on _locked_dev_program's shape).
+    cs_first, cs_last = 2, 4 + n_stores
+
+    def prop(machine: SpecMachine, state: SpecState) -> Optional[str]:
+        inside = [
+            core
+            for core in range(len(state.cores))
+            if not state.halted(core) and cs_first <= state.pc(core) <= cs_last
+        ]
+        if len(inside) > 1:
+            return f"mutual exclusion violated: cores {inside} in the CS"
+        return None
+
+    return prop
+
+
+def _lock_handoff_final(machine: SpecMachine, state: SpecState) -> Optional[str]:
+    if state.word(LOCK) != 0:
+        return "lock still held at halt"
+    if state.word(DEV) not in (0xC0, 0xC1):
+        return f"device word holds {state.word(DEV)}"
+    return None
+
+
+_register(
+    LitmusTest(
+        name="lock-handoff",
+        description="swap-acquire spin lock is mutually exclusive",
+        programs=(
+            _locked_dev_program((0xC0,)),
+            _locked_dev_program((0xC1,)),
+        ),
+        invariant=_mutex_invariant(1),
+        final=_lock_handoff_final,
+        caught_by=("lock-drop",),
+    )
+)
+
+
+def _lock_contend_final(machine: SpecMachine, state: SpecState) -> Optional[str]:
+    if state.word(LOCK) != 0:
+        return "lock still held at halt"
+    if _pair(state, DEV) not in {(0xD0, 0xE0), (0xD1, 0xE1)}:
+        return f"lock-protected pair torn: {_pair(state, DEV)}"
+    return None
+
+
+def _lock_contend_invariant(machine: SpecMachine, state: SpecState) -> Optional[str]:
+    mutex = _mutex_invariant(2)(machine, state)
+    if mutex is not None:
+        return mutex
+    inside = any(
+        not state.halted(core) and 2 <= state.pc(core) <= 6
+        for core in range(len(state.cores))
+    )
+    if not inside and _pair(state, DEV) not in {
+        (0, 0),
+        (0xD0, 0xE0),
+        (0xD1, 0xE1),
+    }:
+        return f"torn pair visible outside the CS: {_pair(state, DEV)}"
+    return None
+
+
+_register(
+    LitmusTest(
+        name="lock-contend-store",
+        description="a lock-protected pair is never torn outside the CS",
+        programs=(
+            _locked_dev_program((0xD0, 0xE0)),
+            _locked_dev_program((0xD1, 0xE1)),
+        ),
+        invariant=_lock_contend_invariant,
+        final=_lock_contend_final,
+        caught_by=("lock-drop",),
+    )
+)
+
+
+# 11. flush-vs-load-race: uncached loads bypass the CSB, so a reader racing
+# a flush sees each word either pre-flush (0) or post-flush — never a
+# partial word.  (The paper's refill-vs-flush shape, with the reader as
+# the refilling agent.)
+def _flush_load_final(machine: SpecMachine, state: SpecState) -> Optional[str]:
+    if state.reg(1, "l0") not in (0, 0xA7):
+        return f"reader saw torn word 0: {state.reg(1, 'l0'):#x}"
+    if state.reg(1, "l1") not in (0, 0xB7):
+        return f"reader saw torn word 8: {state.reg(1, 'l1'):#x}"
+    if state.reg(0, "l6") != 2 or _pair(state, LINE0) != (0xA7, 0xB7):
+        return "writer's flush did not commit its pair"
+    return None
+
+
+_register(
+    LitmusTest(
+        name="flush-vs-load-race",
+        description="a reader racing a flush sees whole words only",
+        programs=(
+            _retry_pair(LINE0, 0xA7, 0xB7),
+            spec_program(
+                DevLoad(LINE0 + 0, "l0"),
+                DevLoad(LINE0 + 8, "l1"),
+                Halt(),
+            ),
+        ),
+        invariant=_pair_atomic(LINE0, (0xA7, 0xB7)),
+        final=_flush_load_final,
+        caught_by=("lost-store",),
+    )
+)
+
+
+# 12. flush-flush-distinct-lines: contention on the *buffer*, not the
+# line — both cores eventually succeed.
+def _distinct_lines_final(machine: SpecMachine, state: SpecState) -> Optional[str]:
+    for core, base, pair in ((0, LINE0, (0xA0, 0xB0)), (1, LINE1, (0xA1, 0xB1))):
+        if state.reg(core, "l6") != 2:
+            return f"core {core} halted without a successful flush"
+        if _pair(state, base) != pair:
+            return f"line 0x{base:x} holds {_pair(state, base)}"
+    return None
+
+
+_register(
+    LitmusTest(
+        name="flush-flush-distinct-lines",
+        description="buffer contention on distinct lines still converges",
+        programs=(
+            _retry_pair(LINE0, 0xA0, 0xB0),
+            _retry_pair(LINE1, 0xA1, 0xB1),
+        ),
+        invariant=_all_of(
+            _pair_atomic(LINE0, (0xA0, 0xB0)),
+            _pair_atomic(LINE1, (0xA1, 0xB1)),
+        ),
+        final=_distinct_lines_final,
+        caught_by=("lost-store",),
+    )
+)
+
+
+# 13. mixed-lock-csb: the two synchronization disciplines don't interfere.
+def _mixed_final(machine: SpecMachine, state: SpecState) -> Optional[str]:
+    if state.word(LOCK) != 0:
+        return "lock still held at halt"
+    if _pair(state, DEV) != (0xD0, 0xE0):
+        return f"locked pair wrong: {_pair(state, DEV)}"
+    if state.reg(1, "l6") != 2 or _pair(state, LINE0) != (0xA1, 0xB1):
+        return "CSB pair wrong or flush never succeeded"
+    return None
+
+
+_register(
+    LitmusTest(
+        name="mixed-lock-csb",
+        description="lock traffic and CSB traffic do not interfere",
+        programs=(
+            _locked_dev_program((0xD0, 0xE0)),
+            _retry_pair(LINE0, 0xA1, 0xB1),
+        ),
+        invariant=_pair_atomic(LINE0, (0xA1, 0xB1)),
+        final=_mixed_final,
+        caught_by=("lost-store",),
+    )
+)
+
+
+# 14. nack-retry: one fault-injected spurious abort; the unbounded retry
+# loop still commits (eventual flush success under faults).
+def _nack_retry_final(machine: SpecMachine, state: SpecState) -> Optional[str]:
+    if state.reg(0, "l6") != 2 or _pair(state, LINE0) != (0xA5, 0xB5):
+        return "retry loop did not recover from the injected NACK"
+    return None
+
+
+_register(
+    LitmusTest(
+        name="nack-retry",
+        description="an injected NACK is absorbed by the retry loop",
+        programs=(_retry_pair(LINE0, 0xA5, 0xB5),),
+        invariant=_pair_atomic(LINE0, (0xA5, 0xB5)),
+        final=_nack_retry_final,
+        max_nacks=1,
+        caught_by=("lost-store",),
+    )
+)
+
+
+# 15. nack-exhaust: a *bounded* retry loop (3 attempts) still succeeds when
+# the fault budget (2 NACKs) is smaller than the attempt budget.
+def _nack_exhaust_final(machine: SpecMachine, state: SpecState) -> Optional[str]:
+    if state.reg(0, "l6") != 2:
+        return "bounded retry exhausted despite spare attempts"
+    if _pair(state, LINE0) != (0xA6, 0xB6):
+        return f"final pair wrong: {_pair(state, LINE0)}"
+    if state.reg(0, "l3") + state.nacks != 3:
+        return "attempt accounting inconsistent with injected NACKs"
+    return None
+
+
+_register(
+    LitmusTest(
+        name="nack-exhaust",
+        description="bounded retries beat a smaller NACK budget",
+        programs=(
+            spec_program(
+                SetReg("l3", 3),
+                ".RETRY",
+                CombStore(LINE0 + 0, 0xA6),
+                CombStore(LINE0 + 8, 0xB6),
+                CondFlush(LINE0, 2, "l6"),
+                BranchNZ("l6", ".DONE"),
+                AddReg("l3", -1),
+                BranchNZ("l3", ".RETRY"),
+                ".DONE",
+                Halt(),
+            ),
+        ),
+        invariant=_pair_atomic(LINE0, (0xA6, 0xB6)),
+        final=_nack_exhaust_final,
+        max_nacks=2,
+        caught_by=("lost-store",),
+    )
+)
+
+
+# -- registry -------------------------------------------------------------------
+
+
+def litmus_tests() -> List[LitmusTest]:
+    """Every litmus test, in stable registration order."""
+    return list(_TESTS)
+
+
+def get_test(name: str) -> LitmusTest:
+    for test in _TESTS:
+        if test.name == name:
+            return test
+    raise ConfigError(
+        f"unknown litmus test {name!r}; have {[t.name for t in _TESTS]}"
+    )

@@ -1,0 +1,115 @@
+"""Auto-promotion: turn checker counterexamples into regression workloads.
+
+A :class:`~repro.analysis.mc.explore.Violation` carries the interleaving
+that exposed it.  Promotion distills that to its schedule — the per-
+transition core id sequence — and wraps it as a
+:class:`~repro.workloads.counterexamples.CounterexampleWorkload`: a named,
+serializable artifact that (a) registers its compiled per-core programs
+as lint targets and (b) replays the interleaving through the spec and the
+detailed simulator as a permanent regression test.
+
+Because a violation is found on a *mutated* (or buggy) machine, its exact
+op-by-op trace may not exist on the correct machine (branch outcomes
+differ).  What is preserved is the scheduling decision sequence:
+:func:`realize_schedule` re-executes the core id sequence against any
+machine — running a core's pending local chain or its single shared op —
+and :func:`complete_schedule` extends it round-robin until every core
+halts, so the promoted schedule is always replayable end to end.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import List, Sequence, Tuple
+
+from repro.common.errors import ConfigError
+from repro.analysis.mc.explore import TraceStep, _local_chain
+from repro.analysis.mc.litmus import LitmusTest
+from repro.analysis.mc.spec import SpecMachine, SpecState, is_local
+
+#: Completion bound: transitions appended past the recorded schedule.
+_MAX_COMPLETION = 500
+
+
+def advance_core(
+    machine: SpecMachine, state: SpecState, core: int
+) -> Tuple[TraceStep, SpecState]:
+    """One scheduling decision: run ``core``'s local chain if its next op
+    is local, else its single (deterministic) shared op."""
+    if state.halted(core):
+        raise ConfigError(f"core {core} already halted")
+    if is_local(machine.next_op(state, core)):
+        return _local_chain(machine, state, core)
+    pc = state.pc(core)
+    steps = machine.step(state, core)
+    if len(steps) != 1:
+        raise ConfigError("cannot realize a schedule through a NACK branch")
+    label, new_state = steps[0]
+    return (TraceStep(core, (pc,), label), new_state)
+
+
+def realize_schedule(
+    machine: SpecMachine, cores: Sequence[int]
+) -> Tuple[List[TraceStep], SpecState]:
+    """Execute a core id sequence, returning the trace and final state."""
+    state = machine.initial_state()
+    trace: List[TraceStep] = []
+    for core in cores:
+        step, state = advance_core(machine, state, core)
+        trace.append(step)
+    return trace, state
+
+
+def complete_schedule(
+    machine: SpecMachine, cores: Sequence[int]
+) -> List[int]:
+    """Extend ``cores`` round-robin until every core halts."""
+    trace, state = realize_schedule(machine, list(cores))
+    completed = [step.core for step in trace]
+    for _ in range(_MAX_COMPLETION):
+        if state.all_halted:
+            return completed
+        core = min(machine.enabled(state))
+        step, state = advance_core(machine, state, core)
+        completed.append(core)
+    raise ConfigError(
+        f"schedule did not complete within {_MAX_COMPLETION} extra "
+        "transitions (livelocked litmus program?)"
+    )
+
+
+def promote_violation(test: LitmusTest, violation, mutation: str = "") -> "object":
+    """Build a :class:`CounterexampleWorkload` from a violation on ``test``.
+
+    ``mutation`` is the spec mutation the checker ran under (empty if the
+    violation was found on the unmutated spec).  The violation's schedule
+    is re-validated against the *correct* spec and completed so the
+    promoted workload replays end to end.
+    """
+    from repro.workloads.counterexamples import CounterexampleWorkload
+
+    machine = test.machine()
+    cores = complete_schedule(machine, violation.schedule)
+    return CounterexampleWorkload(
+        name=f"cx-{test.name}",
+        litmus=test.name,
+        description=(
+            f"promoted {violation.kind} counterexample: {violation.message}"
+        ),
+        schedule=tuple(cores),
+        found_with=mutation,
+    )
+
+
+def write_counterexamples(workloads: Sequence[object], directory: str) -> List[str]:
+    """Serialize promoted workloads as JSON files; returns the paths."""
+    os.makedirs(directory, exist_ok=True)
+    paths = []
+    for workload in workloads:
+        path = os.path.join(directory, f"{workload.name}.json")  # type: ignore[attr-defined]
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(workload.to_dict(), handle, indent=2, sort_keys=True)  # type: ignore[attr-defined]
+            handle.write("\n")
+        paths.append(path)
+    return paths

@@ -1,0 +1,544 @@
+"""Abstract operational model of cores + shared CSB + lock memory.
+
+This is the *specification* side of the bounded model checker: a small,
+sequentially consistent machine in which every abstract operation is one
+atomic step.  It mirrors the conditional-store-buffer protocol of
+:mod:`repro.uncached.csb` — combining windows keyed by (line, pid), the
+expected-hit-count conditional flush, conflict abort that clears the
+buffer, and optional fault-injected NACKs — but is deliberately written
+against *this file only*, with no imports from ``repro.sim`` or
+``repro.uncached``, so the detailed simulator can be checked against it
+rather than trusted (Cohen & Schirmer's store-buffer reduction shape:
+every implementation interleaving must be explainable by a spec
+interleaving).
+
+States are nested tuples (hashable, canonical by construction): per-core
+(pc, halted, registers), the shared CSB (line, owner, valid words, hit
+counter), and a sparse word-addressed memory covering locks, flushed
+combining lines, and plain device words.
+
+``SpecMachine.step`` is the transition relation.  It is deterministic
+except for the conditional flush, which — when the test's ``max_nacks``
+budget is not exhausted — also offers a fault branch modelling the CSB's
+spurious-abort NACK (``csb_spurious_abort`` in the detailed simulator).
+
+Seeded-bug **mutations** (``SpecMachine(mutation=...)``) each disable one
+protocol guard so CI can prove the checker actually catches violations:
+
+``skip-expected-check``
+    The flush no longer compares the hit counter with the expected count.
+``skip-pid-check``
+    The flush no longer verifies the window owner.
+``skip-line-check``
+    The flush no longer verifies the flushed line address.
+``no-clear-on-conflict``
+    A conflicting flush leaves the stale window in place.
+``lock-drop``
+    The lock swap returns the old value but never writes the lock word.
+``lost-store``
+    Combining stores bump the hit counter but drop their data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.common.errors import ConfigError
+
+#: Registers litmus programs may use.  The lowering in
+#: :mod:`repro.analysis.mc.compile` reserves %o6/%o7 as scratch, so the
+#: abstract register file is the SPARC local window.
+SPEC_REGS = tuple(f"l{i}" for i in range(8))
+
+#: Word granularity of the abstract machine (one ``stx``).
+WORD = 8
+
+#: Named protocol-guard mutations (see module docstring).
+MUTATIONS = (
+    "skip-expected-check",
+    "skip-pid-check",
+    "skip-line-check",
+    "no-clear-on-conflict",
+    "lock-drop",
+    "lost-store",
+)
+
+
+# -- abstract operations --------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SetReg:
+    """reg := value (core-local)."""
+
+    reg: str
+    value: int
+
+
+@dataclass(frozen=True)
+class AddReg:
+    """reg := reg + delta (core-local)."""
+
+    reg: str
+    delta: int
+
+
+@dataclass(frozen=True)
+class Goto:
+    """Unconditional jump to a label (core-local)."""
+
+    target: str
+
+
+@dataclass(frozen=True)
+class BranchNZ:
+    """Jump to the label when reg != 0 (core-local)."""
+
+    reg: str
+    target: str
+
+
+@dataclass(frozen=True)
+class BranchZ:
+    """Jump to the label when reg == 0 (core-local)."""
+
+    reg: str
+    target: str
+
+
+@dataclass(frozen=True)
+class LockSwap:
+    """reg := [addr]; [addr] := 1 — the atomic swap-acquire (shared)."""
+
+    addr: int
+    reg: str
+
+
+@dataclass(frozen=True)
+class LockRelease:
+    """[addr] := 0 — the store-release (shared)."""
+
+    addr: int
+
+
+@dataclass(frozen=True)
+class Membar:
+    """Memory barrier.  A no-op in the sequentially consistent spec; it
+    exists so litmus programs lower to membar-correct implementation
+    code (core-local)."""
+
+
+@dataclass(frozen=True)
+class CombStore:
+    """One combining store of ``value`` to a word in CSB space (shared)."""
+
+    addr: int
+    value: int
+
+
+@dataclass(frozen=True)
+class CondFlush:
+    """Conditional flush of ``addr``'s line expecting ``expected`` hits;
+    ``reg`` receives the swap result (``expected`` on success, 0 on
+    conflict) (shared)."""
+
+    addr: int
+    expected: int
+    reg: str
+
+
+@dataclass(frozen=True)
+class DevStore:
+    """Plain uncached device store of a word (shared)."""
+
+    addr: int
+    value: int
+
+
+@dataclass(frozen=True)
+class DevLoad:
+    """Plain uncached device load of a word into ``reg`` (shared)."""
+
+    addr: int
+    reg: str
+
+
+@dataclass(frozen=True)
+class Halt:
+    """Stop this core (core-local)."""
+
+
+Op = Union[
+    SetReg,
+    AddReg,
+    Goto,
+    BranchNZ,
+    BranchZ,
+    LockSwap,
+    LockRelease,
+    Membar,
+    CombStore,
+    CondFlush,
+    DevStore,
+    DevLoad,
+    Halt,
+]
+
+#: Core-local operations: they read and write only the issuing core's
+#: registers and program counter, so they commute with every operation of
+#: every other core — the partial-order reduction in the explorer chains
+#: them into a single transition.
+_LOCAL_OPS = (SetReg, AddReg, Goto, BranchNZ, BranchZ, Membar, Halt)
+
+
+def is_local(op: Op) -> bool:
+    return isinstance(op, _LOCAL_OPS)
+
+
+class SpecProgram:
+    """A finalized abstract program: ops plus a label table."""
+
+    def __init__(self, ops: Sequence[Op], labels: Dict[str, int]) -> None:
+        self.ops: Tuple[Op, ...] = tuple(ops)
+        self.labels = dict(labels)
+        for op in self.ops:
+            target = getattr(op, "target", None)
+            if target is not None and target not in self.labels:
+                raise ConfigError(f"undefined label {target!r}")
+            reg = getattr(op, "reg", None)
+            if reg is not None and reg not in SPEC_REGS:
+                raise ConfigError(
+                    f"spec programs may only use {SPEC_REGS}, got {reg!r}"
+                )
+        if not self.ops or not isinstance(self.ops[-1], Halt):
+            raise ConfigError("spec programs must end with Halt()")
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+
+def spec_program(*items: Union[Op, str]) -> SpecProgram:
+    """Build a program from ops interleaved with string labels::
+
+        spec_program(".RETRY", CombStore(a, 1), CondFlush(a, 1, "l6"),
+                     BranchZ("l6", ".RETRY"), Halt())
+    """
+    ops: List[Op] = []
+    labels: Dict[str, int] = {}
+    for item in items:
+        if isinstance(item, str):
+            if item in labels:
+                raise ConfigError(f"duplicate label {item!r}")
+            labels[item] = len(ops)
+        else:
+            ops.append(item)
+    return SpecProgram(ops, labels)
+
+
+# -- machine state --------------------------------------------------------------
+
+#: One core: (pc, halted, regs) with regs a sorted tuple of (name, value).
+CoreState = Tuple[int, bool, Tuple[Tuple[str, int], ...]]
+
+#: The shared CSB: (line base or None, owner core or None,
+#: sorted tuple of (word offset, value), hit counter).
+CsbState = Tuple[Optional[int], Optional[int], Tuple[Tuple[int, int], ...], int]
+
+#: Sparse memory: sorted tuple of (word address, value); absent words read 0.
+MemState = Tuple[Tuple[int, int], ...]
+
+
+@dataclass(frozen=True)
+class SpecState:
+    """One global state of the abstract machine (hashable, canonical)."""
+
+    cores: Tuple[CoreState, ...]
+    csb: CsbState
+    mem: MemState
+    nacks: int
+
+    def reg(self, core: int, name: str) -> int:
+        for reg, value in self.cores[core][2]:
+            if reg == name:
+                return value
+        return 0
+
+    def pc(self, core: int) -> int:
+        return self.cores[core][0]
+
+    def halted(self, core: int) -> bool:
+        return self.cores[core][1]
+
+    @property
+    def all_halted(self) -> bool:
+        return all(halted for _, halted, _ in self.cores)
+
+    def word(self, addr: int) -> int:
+        for address, value in self.mem:
+            if address == addr:
+                return value
+        return 0
+
+    def render(self) -> Dict[str, object]:
+        """JSON-friendly view (hex addresses, stable key order)."""
+        line, owner, words, counter = self.csb
+        return {
+            "cores": [
+                {
+                    "pc": pc,
+                    "halted": halted,
+                    "regs": {name: value for name, value in regs},
+                }
+                for pc, halted, regs in self.cores
+            ],
+            "csb": {
+                "line": None if line is None else f"0x{line:x}",
+                "owner": owner,
+                "words": {f"+{offset}": value for offset, value in words},
+                "counter": counter,
+            },
+            "mem": {f"0x{addr:x}": value for addr, value in self.mem},
+            "nacks": self.nacks,
+        }
+
+
+_EMPTY_CSB: CsbState = (None, None, (), 0)
+
+
+def _with_reg(
+    regs: Tuple[Tuple[str, int], ...], name: str, value: int
+) -> Tuple[Tuple[str, int], ...]:
+    return tuple(sorted({**dict(regs), name: value}.items()))
+
+
+def _with_word(mem: MemState, addr: int, value: int) -> MemState:
+    return tuple(sorted({**dict(mem), addr: value}.items()))
+
+
+class SpecMachine:
+    """The transition relation over :class:`SpecState`.
+
+    ``programs`` holds one :class:`SpecProgram` per core; the core index
+    doubles as the process ID the CSB tags windows with.  ``max_nacks``
+    bounds how many fault-injected spurious flush aborts the machine may
+    take across a whole run (0 = fault-free, fully deterministic).
+    """
+
+    def __init__(
+        self,
+        programs: Sequence[SpecProgram],
+        line_size: int = 64,
+        mutation: Optional[str] = None,
+        max_nacks: int = 0,
+    ) -> None:
+        if mutation is not None and mutation not in MUTATIONS:
+            raise ConfigError(
+                f"unknown spec mutation {mutation!r}; pick one of {MUTATIONS}"
+            )
+        if line_size % WORD:
+            raise ConfigError("line_size must be a multiple of the word size")
+        self.programs = list(programs)
+        self.line_size = line_size
+        self.mutation = mutation
+        self.max_nacks = max_nacks
+
+    # -- queries ----------------------------------------------------------------
+
+    def initial_state(self) -> SpecState:
+        return SpecState(
+            cores=tuple((0, False, ()) for _ in self.programs),
+            csb=_EMPTY_CSB,
+            mem=(),
+            nacks=0,
+        )
+
+    def enabled(self, state: SpecState) -> List[int]:
+        return [
+            core for core in range(len(self.programs)) if not state.halted(core)
+        ]
+
+    def next_op(self, state: SpecState, core: int) -> Op:
+        return self.programs[core].ops[state.pc(core)]
+
+    def _line_base(self, addr: int) -> int:
+        return addr & ~(self.line_size - 1)
+
+    # -- transition relation ----------------------------------------------------
+
+    def step(self, state: SpecState, core: int) -> List[Tuple[str, SpecState]]:
+        """All successors of ``state`` when ``core`` executes its next op.
+
+        Deterministic (a single successor) for every operation except a
+        matching conditional flush with NACK budget left, which also
+        offers the fault branch.
+        """
+        if state.halted(core):
+            raise ConfigError(f"core {core} is halted")
+        pc, _, regs = state.cores[core]
+        op = self.programs[core].ops[pc]
+        label = f"c{core}@{pc}: "
+
+        if isinstance(op, SetReg):
+            return [self._local(state, core, pc + 1,
+                                _with_reg(regs, op.reg, op.value),
+                                label + f"{op.reg}={op.value}")]
+        if isinstance(op, AddReg):
+            value = state.reg(core, op.reg) + op.delta
+            return [self._local(state, core, pc + 1,
+                                _with_reg(regs, op.reg, value),
+                                label + f"{op.reg}+={op.delta}")]
+        if isinstance(op, Goto):
+            target = self.programs[core].labels[op.target]
+            return [self._local(state, core, target, regs,
+                                label + f"goto {op.target}")]
+        if isinstance(op, (BranchNZ, BranchZ)):
+            value = state.reg(core, op.reg)
+            taken = value != 0 if isinstance(op, BranchNZ) else value == 0
+            target = self.programs[core].labels[op.target] if taken else pc + 1
+            kind = "brnz" if isinstance(op, BranchNZ) else "brz"
+            outcome = "taken" if taken else "fall"
+            return [self._local(state, core, target, regs,
+                                label + f"{kind} {op.reg} {outcome}")]
+        if isinstance(op, Membar):
+            return [self._local(state, core, pc + 1, regs, label + "membar")]
+        if isinstance(op, Halt):
+            cores = list(state.cores)
+            cores[core] = (pc, True, regs)
+            new = SpecState(tuple(cores), state.csb, state.mem, state.nacks)
+            return [(label + "halt", new)]
+
+        if isinstance(op, LockSwap):
+            old = state.word(op.addr)
+            mem = state.mem
+            if self.mutation != "lock-drop":
+                mem = _with_word(mem, op.addr, 1)
+            new = self._advance(state, core, pc + 1,
+                                _with_reg(regs, op.reg, old), mem=mem)
+            return [(label + f"swap[0x{op.addr:x}]->{old}", new)]
+        if isinstance(op, LockRelease):
+            mem = _with_word(state.mem, op.addr, 0)
+            new = self._advance(state, core, pc + 1, regs, mem=mem)
+            return [(label + f"release[0x{op.addr:x}]", new)]
+        if isinstance(op, DevStore):
+            mem = _with_word(state.mem, op.addr, op.value)
+            new = self._advance(state, core, pc + 1, regs, mem=mem)
+            return [(label + f"dev[0x{op.addr:x}]={op.value}", new)]
+        if isinstance(op, DevLoad):
+            value = state.word(op.addr)
+            new = self._advance(state, core, pc + 1,
+                                _with_reg(regs, op.reg, value))
+            return [(label + f"{op.reg}=dev[0x{op.addr:x}]->{value}", new)]
+        if isinstance(op, CombStore):
+            return [self._comb_store(state, core, pc, regs, op, label)]
+        if isinstance(op, CondFlush):
+            return self._cond_flush(state, core, pc, regs, op, label)
+        raise ConfigError(f"unhandled op {op!r}")  # pragma: no cover
+
+    # -- op helpers -------------------------------------------------------------
+
+    def _local(
+        self,
+        state: SpecState,
+        core: int,
+        pc: int,
+        regs: Tuple[Tuple[str, int], ...],
+        label: str,
+    ) -> Tuple[str, SpecState]:
+        return (label, self._advance(state, core, pc, regs))
+
+    def _advance(
+        self,
+        state: SpecState,
+        core: int,
+        pc: int,
+        regs: Tuple[Tuple[str, int], ...],
+        csb: Optional[CsbState] = None,
+        mem: Optional[MemState] = None,
+        nacks: Optional[int] = None,
+    ) -> SpecState:
+        cores = list(state.cores)
+        cores[core] = (pc, False, regs)
+        return SpecState(
+            tuple(cores),
+            state.csb if csb is None else csb,
+            state.mem if mem is None else mem,
+            state.nacks if nacks is None else nacks,
+        )
+
+    def _comb_store(
+        self,
+        state: SpecState,
+        core: int,
+        pc: int,
+        regs: Tuple[Tuple[str, int], ...],
+        op: CombStore,
+        label: str,
+    ) -> Tuple[str, SpecState]:
+        line = self._line_base(op.addr)
+        saved_line, owner, words, counter = state.csb
+        note = ""
+        if line != saved_line or core != owner:
+            # Conflict (or first store of a sequence): clear and restart —
+            # exactly ConditionalStoreBuffer.store's (line, pid) guard.
+            words, counter = (), 0
+            note = " (new window)"
+        offset = op.addr - line
+        if self.mutation != "lost-store":
+            words = tuple(sorted({**dict(words), offset: op.value}.items()))
+        csb = (line, core, words, counter + 1)
+        new = self._advance(state, core, pc + 1, regs, csb=csb)
+        return (label + f"csb[0x{op.addr:x}]={op.value}{note}", new)
+
+    def _cond_flush(
+        self,
+        state: SpecState,
+        core: int,
+        pc: int,
+        regs: Tuple[Tuple[str, int], ...],
+        op: CondFlush,
+        label: str,
+    ) -> List[Tuple[str, SpecState]]:
+        line = self._line_base(op.addr)
+        saved_line, owner, words, counter = state.csb
+        matches = counter > 0
+        if self.mutation != "skip-expected-check":
+            matches = matches and counter == op.expected
+        if self.mutation != "skip-pid-check":
+            matches = matches and owner == core
+        if self.mutation != "skip-line-check":
+            matches = matches and saved_line == line
+        successors: List[Tuple[str, SpecState]] = []
+        if matches:
+            # The burst pads the full line with zeros (the paper's defense
+            # against leaking a previous process's data), so every word of
+            # the flushed line is written, stored or not.
+            mem = state.mem
+            flush_base = saved_line if saved_line is not None else line
+            stored = dict(words)
+            for offset in range(0, self.line_size, WORD):
+                mem = _with_word(mem, flush_base + offset, stored.get(offset, 0))
+            new = self._advance(
+                state, core, pc + 1,
+                _with_reg(regs, op.reg, op.expected),
+                csb=_EMPTY_CSB, mem=mem,
+            )
+            successors.append(
+                (label + f"flush[0x{line:x}] exp={op.expected} ok", new)
+            )
+            if state.nacks < self.max_nacks:
+                # Fault branch: the injected spurious abort NACKs a clean
+                # sequence; the buffer clears and software must retry.
+                nacked = self._advance(
+                    state, core, pc + 1, _with_reg(regs, op.reg, 0),
+                    csb=_EMPTY_CSB, nacks=state.nacks + 1,
+                )
+                successors.append(
+                    (label + f"flush[0x{line:x}] exp={op.expected} NACK", nacked)
+                )
+            return successors
+        csb = state.csb if self.mutation == "no-clear-on-conflict" else _EMPTY_CSB
+        new = self._advance(
+            state, core, pc + 1, _with_reg(regs, op.reg, 0), csb=csb
+        )
+        return [(label + f"flush[0x{line:x}] exp={op.expected} conflict", new)]

@@ -64,6 +64,19 @@ class LintTarget:
     context: LintContext = field(default_factory=LintContext)
 
 
+@dataclass(frozen=True)
+class LintGroup:
+    """Programs that run together in one SMP experiment.
+
+    Group rules (``smp.*``, see :mod:`repro.analysis.smp`) reason across
+    the programs of one group — e.g. a lock one core takes and another
+    releases — which no single-program check can see.
+    """
+
+    name: str
+    targets: tuple
+
+
 def _storebw_targets() -> Iterator[LintTarget]:
     for size in TRANSFER_SIZES:
         yield LintTarget(
@@ -160,6 +173,15 @@ def _smp_targets() -> Iterator[LintTarget]:
         )
 
 
+def _counterexample_targets() -> Iterator[LintTarget]:
+    """Per-core programs of the promoted model-checker counterexamples."""
+    from repro.workloads.counterexamples import COUNTEREXAMPLES
+
+    for workload in COUNTEREXAMPLES:
+        for name, source in workload.sources():
+            yield LintTarget(name, source)
+
+
 def iter_lint_targets() -> Iterator[LintTarget]:
     """Every shipped kernel, across its parameter space, in stable order."""
     yield from _storebw_targets()
@@ -170,7 +192,54 @@ def iter_lint_targets() -> Iterator[LintTarget]:
     yield from _pingpong_targets()
     yield from _blockstore_targets()
     yield from _smp_targets()
+    yield from _counterexample_targets()
 
 
 def lint_targets() -> List[LintTarget]:
     return list(iter_lint_targets())
+
+
+def iter_lint_groups() -> Iterator[LintGroup]:
+    """Programs that execute together, for the cross-program group rules.
+
+    Covers the SMP experiments (every core of one run) and each promoted
+    counterexample workload (its per-core litmus programs).
+    """
+    for n in (1, 4, 8):
+        source = smp_locked_kernel(3, n_doublewords=n)
+        yield LintGroup(
+            f"smp-locked-{n}dw",
+            tuple(
+                LintTarget(f"smp-locked-{n}dw-core{core}", source)
+                for core in range(2)
+            ),
+        )
+    yield LintGroup(
+        "smp-csb",
+        tuple(
+            LintTarget(
+                f"smp-csb-core{core}",
+                smp_csb_kernel(
+                    3,
+                    IO_COMBINING_BASE,
+                    stagger=core * 40,
+                    backoff_base=2 * core + 1,
+                    backoff_cap=64 * (core + 1),
+                ),
+            )
+            for core in (0, 1, 7)
+        ),
+    )
+    from repro.workloads.counterexamples import COUNTEREXAMPLES
+
+    for workload in COUNTEREXAMPLES:
+        yield LintGroup(
+            workload.name,
+            tuple(
+                LintTarget(name, source) for name, source in workload.sources()
+            ),
+        )
+
+
+def lint_groups() -> List[LintGroup]:
+    return list(iter_lint_groups())

@@ -1,0 +1,211 @@
+"""Cross-program SMP lint: lock handoffs between cores of one experiment.
+
+The per-program protocol checks (:mod:`repro.analysis.protocol`) see one
+kernel at a time, so a lock acquired in one program and released in
+*another* — a handoff, the idiom SMP message-passing experiments use —
+looks to each side like an unmatched operation.  The group rule here
+checks the handoff itself:
+
+``smp.unpaired-lock``
+    A program takes a lock that a *different* program in the same SMP
+    experiment releases (or releases one another acquires), without
+    membar pairing: the acquirer must fence after its acquire and the
+    releaser before its release, or the hardware may order the handoff
+    before the data it protects (paper Figure 5 applied across cores).
+
+Membar pairing is judged syntactically — an acquire needs *some* membar
+at a later instruction index, a release *some* membar at an earlier one.
+That is deliberately coarse: a cross-core pairing claim cannot be
+path-sensitive in a single-program abstract interpretation, and the
+syntactic check is exactly what the shipped SMP kernels satisfy.
+
+Lock discovery is two-pass: each program is first solved alone to find
+its constant cached ``swap``/``sc`` targets, then every program is
+re-solved with the *union* of the group's lock addresses seeded, so a
+program that only ever releases a lock still classifies that store as a
+release rather than a plain cached store.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.cfg import build_cfg
+from repro.analysis.dataflow import Reporter, solve
+from repro.analysis.findings import Finding, sort_findings
+from repro.analysis.protocol import LintContext, ProtocolAnalysis
+from repro.isa.assembler import assemble
+from repro.isa.disassembler import disassemble_instruction
+from repro.isa.instructions import MembarInstruction
+from repro.isa.program import Program
+from repro.memory.layout import PageAttr
+
+#: Re-solve bound per program (mirrors the single-program lint driver).
+_MAX_LOCK_DISCOVERY_ROUNDS = 8
+
+
+class _LockEventCollector(ProtocolAnalysis):
+    """Protocol analysis that additionally records lock acquire/release
+    sites.  Events are (address, instruction index) pairs; recording is
+    idempotent so re-running the transfer function (the solver visits
+    blocks repeatedly) cannot duplicate them."""
+
+    def __init__(
+        self, context: LintContext, lock_addrs: Optional[Set[int]] = None
+    ) -> None:
+        super().__init__(context, lock_addrs)
+        self.acquires: Set[Tuple[int, int]] = set()
+        self.releases: Set[Tuple[int, int]] = set()
+
+    def _swap(self, index, instruction, state, report):
+        address = self._address_of(instruction, state)
+        attr = self._classify(address)
+        if attr is PageAttr.CACHED and address is not None:
+            pre = state.value_of(instruction.rd)
+            # Mirrors the superclass classification: swapping in a known
+            # zero is a release; anything else (including unknown) is an
+            # acquire attempt.
+            if pre == 0:
+                pass  # recorded via the _release hook below
+            else:
+                self.acquires.add((address, index))
+        return super()._swap(index, instruction, state, report)
+
+    def _release(self, index, address, state, report):
+        self.releases.add((address, index))
+        return super()._release(index, address, state, report)
+
+
+def _collect(
+    program: Program, context: LintContext, seed: Set[int]
+) -> _LockEventCollector:
+    """Solve ``program`` to a fixed point of lock-address discovery."""
+    cfg = build_cfg(program)
+    lock_addrs = set(seed)
+    for _ in range(_MAX_LOCK_DISCOVERY_ROUNDS):
+        collector = _LockEventCollector(context, lock_addrs)
+        solve(cfg, collector)
+        if collector.lock_addrs == lock_addrs:
+            break
+        lock_addrs = set(collector.lock_addrs)
+    return collector
+
+
+def _membar_indices(program: Program) -> Tuple[int, ...]:
+    return tuple(
+        index
+        for index in range(len(program))
+        if isinstance(program[index], MembarInstruction)
+    )
+
+
+def check_unpaired_locks(
+    programs: Sequence[Tuple[str, Program, LintContext]],
+    report: Reporter,
+    programs_out: Optional[Dict[int, str]] = None,
+) -> None:
+    """Run the ``smp.unpaired-lock`` rule over one experiment's programs.
+
+    ``report`` receives (rule, index, message, hint) per finding; because
+    findings span programs, ``programs_out`` (when given) maps each
+    reported index back to the program name it belongs to — the caller
+    keys findings on it.  Indices are only unique per program, so the
+    reporter is invoked once per (program, site) and the caller must
+    attribute findings immediately.
+    """
+    union: Set[int] = set()
+    for name, program, context in programs:
+        union |= _collect(program, context, set()).lock_addrs
+
+    events = []
+    for name, program, context in programs:
+        collector = _collect(program, context, union)
+        events.append((name, program, collector, _membar_indices(program)))
+
+    def acquires_of(collector, addr):
+        return sorted(i for a, i in collector.acquires if a == addr)
+
+    def releases_of(collector, addr):
+        return sorted(i for a, i in collector.releases if a == addr)
+
+    for addr in sorted(union):
+        acquirers = [e for e in events if acquires_of(e[2], addr)]
+        releasers = [e for e in events if releases_of(e[2], addr)]
+        for name, program, collector, membars in acquirers:
+            if releases_of(collector, addr):
+                continue  # acquires and releases locally: not a handoff
+            if not any(e[0] != name for e in releasers):
+                continue  # nobody else releases it: not this rule's business
+            for index in acquires_of(collector, addr):
+                if any(m > index for m in membars):
+                    continue
+                if programs_out is not None:
+                    programs_out[index] = name
+                report(
+                    "smp.unpaired-lock",
+                    index,
+                    f"lock 0x{addr:x} is handed off to another program's "
+                    "release but the acquire has no membar after it",
+                    "fence the acquire with a membar so accesses under the "
+                    "lock cannot be ordered before the handoff",
+                )
+        for name, program, collector, membars in releasers:
+            if acquires_of(collector, addr):
+                continue
+            if not any(e[0] != name for e in acquirers):
+                continue
+            for index in releases_of(collector, addr):
+                if any(m < index for m in membars):
+                    continue
+                if programs_out is not None:
+                    programs_out[index] = name
+                report(
+                    "smp.unpaired-lock",
+                    index,
+                    f"lock 0x{addr:x} acquired by another program is "
+                    "released here with no membar before the release",
+                    "fence the release with a membar so the protected "
+                    "accesses are visible before the lock is dropped",
+                )
+
+
+def lint_group(targets: Sequence) -> List[Finding]:
+    """Run the cross-program rules over one named group of lint targets.
+
+    ``targets`` is a sequence of ``LintTarget``-shaped objects (name,
+    source, context).  Only group rules run here — CI runs the
+    single-program linter over the same targets separately.
+    """
+    from repro.analysis.linter import RULES
+
+    programs = [
+        (t.name, assemble(t.source, name=t.name), t.context) for t in targets
+    ]
+    by_name = {name: program for name, program, _ in programs}
+
+    findings: List[Finding] = []
+    attribution: Dict[int, str] = {}
+
+    def report(rule: str, index: int, message: str, hint: str) -> None:
+        if rule not in RULES:
+            raise ValueError(f"unregistered lint rule {rule!r}")
+        program_name = attribution.get(index, "")
+        program = by_name[program_name] if program_name in by_name else None
+        findings.append(
+            Finding(
+                rule=rule,
+                severity=RULES[rule],
+                index=index,
+                instruction=(
+                    disassemble_instruction(program[index])
+                    if program is not None
+                    else ""
+                ),
+                message=message,
+                hint=hint,
+                program=program_name,
+            )
+        )
+
+    check_unpaired_locks(programs, report, programs_out=attribution)
+    return sort_findings(findings)

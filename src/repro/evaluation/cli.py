@@ -368,7 +368,9 @@ def _lint_main(argv: List[str]) -> int:
     from repro.analysis import (
         all_rules,
         findings_to_json,
+        iter_lint_groups,
         iter_lint_targets,
+        lint_group,
         lint_source,
     )
 
@@ -383,11 +385,19 @@ def _lint_main(argv: List[str]) -> int:
         if not args.targets
         or any(pattern in target.name for pattern in args.targets)
     ]
+    groups = [
+        group
+        for group in iter_lint_groups()
+        if not args.targets
+        or any(pattern in group.name for pattern in args.targets)
+    ]
     if args.list:
         for target in targets:
             print(target.name)
+        for group in groups:
+            print(f"{group.name} (group)")
         return 0
-    if not targets:
+    if not targets and not groups:
         print("error: no lint targets match", file=sys.stderr)
         return 2
     findings = []
@@ -395,16 +405,192 @@ def _lint_main(argv: List[str]) -> int:
         findings.extend(
             lint_source(target.source, context=target.context, name=target.name)
         )
+    for group in groups:
+        findings.extend(lint_group(group.targets))
     if args.format == "json":
         print(findings_to_json(findings))
     else:
         for finding in findings:
             print(finding.render())
         print(
-            f"[{len(targets)} programs linted, {len(findings)} finding(s)]",
+            f"[{len(targets)} programs and {len(groups)} group(s) linted, "
+            f"{len(findings)} finding(s)]",
             file=sys.stderr,
         )
     return 1 if findings else 0
+
+
+def _mc_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="csb-figures mc",
+        description=(
+            "Bounded model checker for the CSB protocol: exhaustively "
+            "explore the cross-core interleavings of the litmus suite "
+            "against an abstract spec of cores + shared CSB.  Exits 1 on "
+            "any violation or replay divergence."
+        ),
+    )
+    parser.add_argument(
+        "tests",
+        nargs="*",
+        metavar="NAME",
+        help=(
+            "only check litmus tests whose name contains NAME "
+            "(default: the whole suite)"
+        ),
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list litmus test names and exit"
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit the csb-mc-1 JSON report"
+    )
+    parser.add_argument(
+        "--max-states",
+        type=int,
+        default=50_000,
+        help="state budget per test (default 50000)",
+    )
+    parser.add_argument(
+        "--max-depth",
+        type=int,
+        default=80,
+        help="interleaving depth budget (default 80)",
+    )
+    parser.add_argument(
+        "--spec-mutation",
+        metavar="MUTATION",
+        default=None,
+        help=(
+            "check against a deliberately broken spec variant "
+            "(CI uses this to prove the checker catches seeded bugs)"
+        ),
+    )
+    parser.add_argument(
+        "--replay",
+        action="store_true",
+        help=(
+            "also replay every enumerated schedule of each deterministic "
+            "test through the detailed simulator, comparing state "
+            "op-for-op against the spec"
+        ),
+    )
+    parser.add_argument(
+        "--max-schedules",
+        type=int,
+        default=25,
+        help="replay at most this many schedules per test (default 25)",
+    )
+    parser.add_argument(
+        "--promote",
+        metavar="DIR",
+        default=None,
+        help=(
+            "write each violating test's counterexample as a regression-"
+            "workload JSON file under DIR"
+        ),
+    )
+    return parser
+
+
+def _mc_main(argv: List[str]) -> int:
+    import json as json_module
+
+    from repro.analysis.mc import (
+        MUTATIONS,
+        Budget,
+        litmus_tests,
+        promote_violation,
+        replay_test,
+        results_to_json,
+        write_counterexamples,
+    )
+    from repro.common.errors import ConfigError
+
+    args = _mc_parser().parse_args(argv)
+    tests = [
+        test
+        for test in litmus_tests()
+        if not args.tests
+        or any(pattern in test.name for pattern in args.tests)
+    ]
+    if args.list:
+        for test in tests:
+            print(test.name)
+        return 0
+    if not tests:
+        print("error: no litmus tests match", file=sys.stderr)
+        return 2
+    if args.spec_mutation is not None and args.spec_mutation not in MUTATIONS:
+        print(
+            f"error: unknown mutation {args.spec_mutation!r} "
+            f"(have: {', '.join(MUTATIONS)})",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        budget = Budget(max_states=args.max_states, max_depth=args.max_depth)
+    except ConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    results = [
+        test.run(budget, mutation=args.spec_mutation) for test in tests
+    ]
+    replays = []
+    if args.replay:
+        for test in tests:
+            if not test.replayable:
+                continue
+            replays.append(
+                replay_test(test, budget, max_schedules=args.max_schedules)
+            )
+
+    violating = [r for r in results if not r.ok]
+    diverging = [r for r in replays if not r.ok]
+    if args.promote:
+        by_name = {test.name: test for test in tests}
+        promoted = [
+            promote_violation(
+                by_name[result.test],
+                result.violations[0],
+                mutation=args.spec_mutation or "",
+            )
+            for result in violating
+        ]
+        for path in write_counterexamples(promoted, args.promote):
+            print(f"promoted: {path}", file=sys.stderr)
+
+    if args.json:
+        report = json_module.loads(results_to_json(results, budget))
+        if args.replay:
+            report["replays"] = [r.to_dict() for r in replays]
+        print(json_module.dumps(report, indent=2, sort_keys=True))
+    else:
+        for result in results:
+            status = "ok" if result.ok else "VIOLATED"
+            complete = "" if result.complete else " (budget truncated)"
+            print(
+                f"{result.test}: {status} [{result.states} states, "
+                f"{result.transitions} transitions]{complete}"
+            )
+            for violation in result.violations:
+                print(violation.render())
+        for replay in replays:
+            status = "ok" if replay.ok else "DIVERGED"
+            print(
+                f"{replay.test}: replay {status} [{replay.schedules} "
+                f"schedules, {replay.steps} ops]"
+            )
+            for divergence in replay.divergences:
+                print(f"  {divergence.render()}")
+        print(
+            f"[{len(results)} litmus tests checked, "
+            f"{sum(len(r.violations) for r in results)} violation(s), "
+            f"{len(replays)} replayed]",
+            file=sys.stderr,
+        )
+    return 1 if violating or diverging else 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -413,6 +599,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _profile_main(argv[1:])
     if argv and argv[0] == "lint":
         return _lint_main(argv[1:])
+    if argv and argv[0] == "mc":
+        return _mc_main(argv[1:])
     args = _parser().parse_args(argv)
     ids = experiment_ids()
     if args.list:

@@ -63,6 +63,30 @@ class CoreScheduler:
         # count never drifts — and the hot path never allocates a list.
         self._num_runnable = 0
         self._current_live = False
+        #: Schedule forcing (the model checker's replay driver): while
+        #: held, tick() is a no-op and contexts are installed/parked
+        #: explicitly via force_install()/force_park().  Never set during
+        #: normal simulation, so the scheduler's timing is untouched.
+        self.held = False
+
+    def force_install(self, context: ProcessContext) -> None:
+        """Install ``context`` directly, bypassing the run queue.
+
+        Used by the deterministic replay driver to execute one abstract
+        step at a time: the pipeline must be drained (the previous step
+        program has fully retired) and the queue is held so the timeslice
+        logic cannot interfere.
+        """
+        if not self.core.drained:
+            raise ConfigError("force_install with instructions in flight")
+        self.held = True
+        self.core.install_context(context)
+
+    def force_park(self) -> None:
+        """Remove the forced context once its step program has halted."""
+        if not self.core.drained:
+            raise ConfigError("force_park with instructions in flight")
+        self.core.context = None
 
     def add(self, context: ProcessContext) -> None:
         self._processes.append(context)
@@ -85,7 +109,7 @@ class CoreScheduler:
         return [p for p in self._processes if not p.halted]
 
     def tick(self, now: int) -> None:
-        if not self._processes:
+        if self.held or not self._processes:
             return
         # Hot path (once per simulated CPU cycle): one attribute load for
         # the core, and the common no-quantum case falls straight through.

@@ -20,10 +20,18 @@ from repro.workloads.messaging import (
     dma_send_kernel,
 )
 from repro.workloads.contention import contending_csb_kernel
+from repro.workloads.counterexamples import (
+    COUNTEREXAMPLES,
+    CounterexampleWorkload,
+    get_counterexample,
+)
 from repro.workloads.smp import smp_csb_kernel, smp_locked_kernel
 
 __all__ = [
+    "COUNTEREXAMPLES",
+    "CounterexampleWorkload",
     "TRANSFER_SIZES",
+    "get_counterexample",
     "contending_csb_kernel",
     "csb_access_kernel",
     "csb_send_kernel",

@@ -1,0 +1,106 @@
+"""The ``csb-figures mc`` subcommand: filters, JSON contract, exit codes."""
+
+import json
+
+from repro.evaluation.cli import main
+
+
+class TestMcSelection:
+    def test_list_prints_litmus_names(self, capsys):
+        assert main(["mc", "--list"]) == 0
+        out = capsys.readouterr().out.splitlines()
+        assert "combining-order" in out
+        assert "flush-flush-conflict" in out
+        assert len(out) >= 12
+
+    def test_name_filter_restricts_the_run(self, capsys):
+        assert main(["mc", "window-split-local"]) == 0
+        out = capsys.readouterr().out
+        assert "window-split-local: ok" in out
+        assert "combining-order" not in out
+
+    def test_unknown_filter_is_a_usage_error(self, capsys):
+        assert main(["mc", "no-such-test"]) == 2
+
+    def test_unknown_mutation_is_a_usage_error(self, capsys):
+        assert main(["mc", "--spec-mutation", "bogus"]) == 2
+
+    def test_bad_budget_is_a_usage_error(self, capsys):
+        assert main(["mc", "--max-states", "0"]) == 2
+
+
+class TestMcChecking:
+    def test_clean_suite_exits_zero(self, capsys):
+        assert main(["mc", "window-split", "stale-line-flush"]) == 0
+
+    def test_seeded_bug_exits_nonzero_with_violation(self, capsys):
+        code = main(
+            ["mc", "window-split-local", "--spec-mutation",
+             "skip-expected-check"]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "VIOLATED" in out
+
+    def test_json_report_contract(self, capsys):
+        code = main(
+            ["mc", "window-split-local", "--json", "--spec-mutation",
+             "skip-expected-check"]
+        )
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == "csb-mc-1"
+        assert payload["total_violations"] >= 1
+        [result] = payload["results"]
+        assert result["mutation"] == "skip-expected-check"
+        assert result["ok"] is False
+        violation = result["violations"][0]
+        assert set(violation) >= {
+            "kind", "test", "message", "depth", "schedule", "trace", "state",
+        }
+
+    def test_json_is_byte_stable(self, capsys):
+        assert main(["mc", "combining-order", "--json"]) == 0
+        first = capsys.readouterr().out
+        assert main(["mc", "combining-order", "--json"]) == 0
+        assert capsys.readouterr().out == first
+
+    def test_replay_flag_cross_validates(self, capsys):
+        code = main(["mc", "flush-empty", "--replay"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "replay ok" in out
+
+    def test_replay_appears_in_json(self, capsys):
+        assert main(["mc", "flush-empty", "--replay", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["replays"][0]["ok"] is True
+
+
+class TestMcPromotion:
+    def test_promote_writes_counterexample_json(self, tmp_path, capsys):
+        code = main(
+            ["mc", "window-split-local", "--spec-mutation",
+             "skip-expected-check", "--promote", str(tmp_path)]
+        )
+        assert code == 1
+        path = tmp_path / "cx-window-split-local.json"
+        assert path.exists()
+        payload = json.loads(path.read_text())
+        assert payload["litmus"] == "window-split-local"
+        assert payload["found_with"] == "skip-expected-check"
+        assert payload["schedule"]  # completed core id sequence
+
+    def test_promoted_file_round_trips_as_a_workload(self, tmp_path, capsys):
+        from repro.workloads.counterexamples import CounterexampleWorkload
+
+        main(
+            ["mc", "window-split-local", "--spec-mutation",
+             "skip-expected-check", "--promote", str(tmp_path)]
+        )
+        payload = json.loads(
+            (tmp_path / "cx-window-split-local.json").read_text()
+        )
+        workload = CounterexampleWorkload.from_dict(payload)
+        assert workload.replay().ok  # divergence-free on the correct spec
+        assert workload.check_still_violates()  # still trips under mutation

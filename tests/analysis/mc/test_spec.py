@@ -1,0 +1,262 @@
+"""The abstract CSB spec: single transitions, combining, flush, locks."""
+
+import pytest
+
+from repro.analysis.mc.spec import (
+    MUTATIONS,
+    AddReg,
+    BranchNZ,
+    BranchZ,
+    CombStore,
+    CondFlush,
+    DevLoad,
+    DevStore,
+    Goto,
+    Halt,
+    LockRelease,
+    LockSwap,
+    Membar,
+    SetReg,
+    SpecMachine,
+    SpecProgram,
+    is_local,
+    spec_program,
+)
+from repro.common.errors import ConfigError
+from repro.memory.layout import DRAM_BASE, IO_COMBINING_BASE, IO_UNCACHED_BASE
+
+LINE0 = IO_COMBINING_BASE
+LINE1 = IO_COMBINING_BASE + 64
+LOCK = DRAM_BASE + 0x9000
+DEV = IO_UNCACHED_BASE + 0x100
+
+
+def run_one(machine, state, core=0):
+    steps = machine.step(state, core)
+    assert len(steps) == 1
+    return steps[0][1]
+
+
+def machine_of(*programs, **kwargs):
+    return SpecMachine([spec_program(*p) for p in programs], **kwargs)
+
+
+class TestSpecProgram:
+    def test_requires_trailing_halt(self):
+        with pytest.raises(ConfigError):
+            SpecProgram((SetReg("l0", 1),), {})
+
+    def test_rejects_unknown_register(self):
+        with pytest.raises(ConfigError):
+            spec_program(SetReg("g1", 1), Halt())
+
+    def test_rejects_undefined_label(self):
+        with pytest.raises(ConfigError):
+            spec_program(Goto(".NOWHERE"), Halt())
+
+    def test_labels_resolve_to_indices(self):
+        program = spec_program(".TOP", SetReg("l0", 1), Goto(".TOP"), Halt())
+        assert program.labels[".TOP"] == 0
+
+    def test_is_local_classification(self):
+        assert is_local(SetReg("l0", 1))
+        assert is_local(AddReg("l0", 1))
+        assert is_local(Membar())
+        assert is_local(Halt())
+        assert is_local(BranchZ("l0", ".X"))
+        assert not is_local(CombStore(LINE0, 1))
+        assert not is_local(CondFlush(LINE0, 1, "l0"))
+        assert not is_local(LockSwap(LOCK, "l0"))
+        assert not is_local(DevStore(DEV, 1))
+        assert not is_local(DevLoad(DEV, "l0"))
+
+
+class TestCombining:
+    def test_stores_combine_and_count(self):
+        m = machine_of([
+            CombStore(LINE0, 0xA1),
+            CombStore(LINE0 + 8, 0xB1),
+            Halt(),
+        ])
+        s = m.initial_state()
+        s = run_one(m, s)
+        line, owner, words, counter = s.csb
+        assert (line, owner, counter) == (LINE0, 0, 1)
+        s = run_one(m, s)
+        line, owner, words, counter = s.csb
+        assert counter == 2
+        assert dict(words) == {0: 0xA1, 8: 0xB1}
+
+    def test_cross_line_store_clears_window(self):
+        m = machine_of([CombStore(LINE0, 1), CombStore(LINE1, 2), Halt()])
+        s = run_one(m, run_one(m, m.initial_state()))
+        line, owner, words, counter = s.csb
+        assert line == LINE1
+        assert counter == 1
+        assert dict(words) == {0: 2}
+
+    def test_other_core_store_steals_window(self):
+        m = machine_of(
+            [CombStore(LINE0, 1), Halt()],
+            [CombStore(LINE0 + 8, 2), Halt()],
+        )
+        s = run_one(m, m.initial_state(), core=0)
+        s = run_one(m, s, core=1)
+        line, owner, words, counter = s.csb
+        assert owner == 1
+        assert counter == 1
+        assert dict(words) == {8: 2}
+
+
+class TestConditionalFlush:
+    def test_matching_flush_writes_line_and_returns_expected(self):
+        m = machine_of([
+            CombStore(LINE0, 0xA1),
+            CombStore(LINE0 + 8, 0xB1),
+            CondFlush(LINE0, 2, "l6"),
+            Halt(),
+        ])
+        s = m.initial_state()
+        for _ in range(3):
+            s = run_one(m, s)
+        assert s.reg(0, "l6") == 2
+        assert s.word(LINE0) == 0xA1
+        assert s.word(LINE0 + 8) == 0xB1
+        assert s.word(LINE0 + 16) == 0  # untouched words flush as zero
+        assert s.csb == (None, None, (), 0)
+
+    def test_expected_mismatch_conflicts(self):
+        m = machine_of([
+            CombStore(LINE0, 0xA1),
+            CondFlush(LINE0, 2, "l6"),
+            Halt(),
+        ])
+        s = run_one(m, run_one(m, m.initial_state()))
+        assert s.reg(0, "l6") == 0
+        assert s.word(LINE0) == 0
+        assert s.csb == (None, None, (), 0)
+
+    def test_wrong_pid_conflicts(self):
+        m = machine_of(
+            [CombStore(LINE0, 1), Halt()],
+            [CondFlush(LINE0, 1, "l6"), Halt()],
+        )
+        s = run_one(m, m.initial_state(), core=0)
+        s = run_one(m, s, core=1)
+        assert s.reg(1, "l6") == 0
+
+    def test_wrong_line_conflicts(self):
+        m = machine_of([
+            CombStore(LINE0, 1),
+            CondFlush(LINE1, 1, "l6"),
+            Halt(),
+        ])
+        s = run_one(m, run_one(m, m.initial_state()))
+        assert s.reg(0, "l6") == 0
+
+    def test_empty_flush_conflicts(self):
+        m = machine_of([CondFlush(LINE0, 0, "l6"), Halt()])
+        s = run_one(m, m.initial_state())
+        assert s.reg(0, "l6") == 0
+
+
+class TestLocksAndDevices:
+    def test_lock_swap_and_release(self):
+        m = machine_of([
+            LockSwap(LOCK, "l0"),
+            LockRelease(LOCK),
+            Halt(),
+        ])
+        s = run_one(m, m.initial_state())
+        assert s.reg(0, "l0") == 0  # old value: lock was free
+        assert s.word(LOCK) == 1
+        s = run_one(m, s)
+        assert s.word(LOCK) == 0
+
+    def test_contended_swap_returns_one(self):
+        m = machine_of(
+            [LockSwap(LOCK, "l0"), Halt()],
+            [LockSwap(LOCK, "l0"), Halt()],
+        )
+        s = run_one(m, m.initial_state(), core=0)
+        s = run_one(m, s, core=1)
+        assert s.reg(0, "l0") == 0
+        assert s.reg(1, "l0") == 1
+
+    def test_dev_store_and_load(self):
+        m = machine_of([
+            DevStore(DEV, 0x55),
+            DevLoad(DEV, "l1"),
+            Halt(),
+        ])
+        s = run_one(m, run_one(m, m.initial_state()))
+        assert s.reg(0, "l1") == 0x55
+
+    def test_uncached_load_bypasses_open_window(self):
+        # A combining-space load reads backing memory, not the CSB window.
+        m = machine_of([
+            CombStore(LINE0, 0x77),
+            DevLoad(LINE0, "l1"),
+            Halt(),
+        ])
+        s = run_one(m, run_one(m, m.initial_state()))
+        assert s.reg(0, "l1") == 0
+
+
+class TestNacks:
+    def test_nack_branch_appears_within_budget(self):
+        m = machine_of(
+            [CombStore(LINE0, 1), CondFlush(LINE0, 1, "l6"), Halt()],
+            max_nacks=1,
+        )
+        s = run_one(m, m.initial_state())
+        steps = m.step(s, 0)
+        assert len(steps) == 2  # success and spurious-abort branches
+        outcomes = sorted(ns.reg(0, "l6") for _, ns in steps)
+        assert outcomes == [0, 1]
+        nacked = [ns for _, ns in steps if ns.reg(0, "l6") == 0]
+        assert nacked[0].nacks == 1
+
+    def test_nack_budget_exhausts(self):
+        m = machine_of(
+            [CombStore(LINE0, 1), CondFlush(LINE0, 1, "l6"), Halt()],
+            max_nacks=0,
+        )
+        s = run_one(m, m.initial_state())
+        assert len(m.step(s, 0)) == 1  # deterministic: no NACK branch
+
+
+class TestControlFlow:
+    def test_branch_and_goto(self):
+        m = machine_of([
+            SetReg("l0", 2),
+            ".LOOP",
+            AddReg("l0", -1),
+            BranchNZ("l0", ".LOOP"),
+            Halt(),
+        ])
+        s = m.initial_state()
+        while not s.all_halted:
+            s = run_one(m, s)
+        assert s.reg(0, "l0") == 0
+
+    def test_mutation_names_are_stable(self):
+        assert MUTATIONS == (
+            "skip-expected-check",
+            "skip-pid-check",
+            "skip-line-check",
+            "no-clear-on-conflict",
+            "lock-drop",
+            "lost-store",
+        )
+
+    def test_unknown_mutation_is_rejected(self):
+        with pytest.raises(ConfigError):
+            machine_of([Halt()], mutation="no-such-mutation")
+
+    def test_state_render_is_json_friendly(self):
+        m = machine_of([CombStore(LINE0, 1), Halt()])
+        view = run_one(m, m.initial_state()).render()
+        assert view["csb"]["owner"] == 0
+        assert view["csb"]["line"] == f"0x{LINE0:x}"
+        assert view["cores"][0]["pc"] == 1

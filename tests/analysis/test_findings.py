@@ -93,4 +93,58 @@ class TestRuleCatalog:
 
     def test_all_rules_is_sorted_and_complete(self):
         assert all_rules() == sorted(RULES)
-        assert len(all_rules()) == 15
+        assert len(all_rules()) == 16
+
+    def test_smp_group_rule_is_registered(self):
+        assert RULES["smp.unpaired-lock"] == SEVERITY_ERROR
+
+
+#: Byte-for-byte golden serialization of one finding.  If this test
+#: breaks, the JSON contract changed: bump docs/static_analysis.md and the
+#: consumers before touching the expectation.
+GOLDEN_JSON = """\
+[
+  {
+    "hint": "h",
+    "index": 3,
+    "instruction": "swap [%o1], %l4",
+    "message": "m",
+    "program": "p",
+    "rule": "csb.flush-empty",
+    "severity": "error"
+  }
+]"""
+
+
+class TestJsonStability:
+    def test_golden_serialization_is_byte_stable(self):
+        assert findings_to_json([make()]) == GOLDEN_JSON
+
+    def test_keys_are_sorted(self):
+        text = findings_to_json([make()])
+        keys = [line.split('"')[1] for line in text.splitlines() if '":' in line]
+        assert keys == sorted(keys)
+
+    def test_from_dict_round_trip(self):
+        finding = make()
+        clone = Finding.from_dict(finding.to_dict())
+        assert clone == finding
+        assert clone.program == finding.program
+
+    def test_from_dict_rejects_unknown_fields(self):
+        data = make().to_dict()
+        data["extra"] = 1
+        with pytest.raises(ValueError):
+            Finding.from_dict(data)
+
+    def test_severity_values_are_pinned(self):
+        # The wire values are part of the contract: exactly these strings.
+        assert make().to_dict()["severity"] == "error"
+        warn = Finding(
+            rule="cfg.unreachable",
+            severity=SEVERITY_WARNING,
+            index=0,
+            instruction="halt",
+            message="m",
+        )
+        assert warn.to_dict()["severity"] == "warning"

@@ -1,0 +1,106 @@
+"""The cross-program ``smp.unpaired-lock`` group rule."""
+
+from repro.analysis import LintTarget, lint_group, lint_groups
+from repro.memory.layout import DRAM_BASE, IO_UNCACHED_BASE
+
+LOCK = DRAM_BASE + 0x9000
+DEV = IO_UNCACHED_BASE + 0x100
+
+
+def acquirer(membar_after: bool) -> str:
+    fence = "membar\n" if membar_after else ""
+    return (
+        f".SPIN:\n"
+        f"set {LOCK}, %o0\n"
+        f"set 1, %l0\n"
+        f"swap [%o0], %l0\n"
+        f"brnz %l0, .SPIN\n"
+        f"{fence}"
+        f"set {DEV}, %o1\n"
+        f"set 7, %o2\n"
+        f"stx %o2, [%o1]\n"
+        f"halt\n"
+    )
+
+
+def releaser(membar_before: bool) -> str:
+    fence = "membar\n" if membar_before else ""
+    return f"{fence}set {LOCK}, %o0\nstx %g0, [%o0]\nhalt\n"
+
+
+def group(acq_fenced: bool, rel_fenced: bool):
+    return [
+        LintTarget("acq", acquirer(acq_fenced)),
+        LintTarget("rel", releaser(rel_fenced)),
+    ]
+
+
+class TestUnpairedLock:
+    def test_unfenced_handoff_flags_both_sides(self):
+        findings = lint_group(group(False, False))
+        assert [f.rule for f in findings] == ["smp.unpaired-lock"] * 2
+        assert {f.program for f in findings} == {"acq", "rel"}
+        assert all(f.severity == "error" for f in findings)
+
+    def test_unfenced_acquire_flags_only_the_acquirer(self):
+        findings = lint_group(group(False, True))
+        assert [f.program for f in findings] == ["acq"]
+        assert "no membar after" in findings[0].message
+
+    def test_unfenced_release_flags_only_the_releaser(self):
+        findings = lint_group(group(True, False))
+        assert [f.program for f in findings] == ["rel"]
+        assert "no membar before" in findings[0].message
+
+    def test_fenced_handoff_is_clean(self):
+        assert lint_group(group(True, True)) == []
+
+    def test_findings_carry_disassembly_and_location(self):
+        [finding] = lint_group(group(True, False))
+        assert "stx" in finding.instruction
+        assert finding.index >= 0
+
+
+class TestNotAHandoff:
+    def test_self_contained_lock_user_is_not_flagged(self):
+        # A program that acquires AND releases its own lock pairs locally;
+        # running two copies together is not a handoff.
+        source = (
+            f".SPIN:\n"
+            f"set {LOCK}, %o0\n"
+            f"set 1, %l0\n"
+            f"swap [%o0], %l0\n"
+            f"brnz %l0, .SPIN\n"
+            f"membar\n"
+            f"set {DEV}, %o1\n"
+            f"stx %l0, [%o1]\n"
+            f"membar\n"
+            f"stx %g0, [%o0]\n"
+            f"halt\n"
+        )
+        findings = lint_group(
+            [LintTarget("core0", source), LintTarget("core1", source)]
+        )
+        assert findings == []
+
+    def test_release_with_no_foreign_acquire_is_not_flagged(self):
+        # A lone release (no other program acquires the lock) is the
+        # single-program linter's lock.release-without-acquire, not a
+        # cross-program handoff.
+        findings = lint_group([LintTarget("rel", releaser(False))])
+        assert findings == []
+
+    def test_lockless_programs_are_clean(self):
+        source = f"set {DEV}, %o0\nset 1, %o1\nstx %o1, [%o0]\nhalt\n"
+        assert lint_group([LintTarget("a", source)]) == []
+
+
+class TestRegistryGroups:
+    def test_registry_groups_exist_and_are_clean(self):
+        groups = lint_groups()
+        names = [g.name for g in groups]
+        assert "smp-csb" in names
+        assert any(name.startswith("smp-locked") for name in names)
+        assert any(name.startswith("cx-") for name in names)
+        for g in groups:
+            assert lint_group(g.targets) == [], g.name
