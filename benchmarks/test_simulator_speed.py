@@ -149,6 +149,28 @@ def test_sampled_tier_throughput(benchmark):
     assert windows >= 2
 
 
+def test_trace_replay_throughput(benchmark):
+    """Streaming trace replay: transactions per host second through the
+    window compiler, the assembler, and the detailed simulator — the
+    whole trace-to-latency pipeline."""
+    from repro.common.config import SystemConfig
+    from repro.workloads.spec import TraceWorkload
+    from repro.workloads.traces import replay_trace
+
+    workload = TraceWorkload(
+        name="bench-replay",
+        source="synth:n=400,seed=11,gap=40,devices=2,sizes=8:3/64:1",
+        discipline="uncached",
+        window=128,
+    )
+
+    def run():
+        return replay_trace(workload, SystemConfig()).replayed
+
+    replayed = benchmark(run)
+    assert replayed == 400
+
+
 def test_sweep_throughput(benchmark):
     """End-to-end sweep cost through the SweepRunner job path: one
     Figure 3 scheme row (seven transfer sizes) resolved serially with no

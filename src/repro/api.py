@@ -36,7 +36,6 @@ Observability plugs in through ``observers``::
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 from typing import (
     TYPE_CHECKING,
@@ -120,8 +119,8 @@ class RunResult:
 
 
 def simulate(
-    config: "ConfigLike | Program | str" = None,
-    program: "Program | str | SystemConfig | Mapping | None" = None,
+    config: ConfigLike = None,
+    program: "Program | str | None" = None,
     *,
     programs: Sequence["Program | str"] = (),
     observers: Iterable[EventSink] = (),
@@ -139,23 +138,12 @@ def simulate(
     ``warm`` lists addresses pre-loaded into the caches — the hierarchy
     *and* the data cache when one is configured (e.g. a lock variable).
 
-    Deprecated (one release): ``simulate(program, config)`` — the
-    pre-MemoryConfig argument order — still works with a warning.
-
     When an *overrides mapping* requests sampling but the rest of the
     overrides make the run ineligible (SMP, preemptive quanta, faults,
     the data cache), the run falls back to detailed execution and the
     reason lands in :attr:`RunResult.sampling_fallback`.  A full
     SystemConfig never falls back — it validates at construction.
     """
-    if isinstance(config, (Program, str)):
-        warnings.warn(
-            "simulate(program, config) is deprecated; pass the "
-            "configuration first: simulate(config, program)",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        config, program = program, config
     fallback: Optional[str] = None
     try:
         resolved = resolve_config(config)
@@ -203,7 +191,7 @@ def experiments() -> List[str]:
 
 def run_experiment(
     experiment_id: str,
-    config: "ConfigLike | SweepRunner" = None,
+    config: ConfigLike = None,
     *,
     runner: "Optional[SweepRunner]" = None,
 ) -> "Table":
@@ -217,23 +205,11 @@ def run_experiment(
     None.  Overrides ride on the runner, so they reach sweep-style
     experiments; single-run studies that ignore the runner are
     unaffected.
-
-    Deprecated (one release): ``run_experiment(id, runner)`` — the
-    runner as second positional — still works with a warning.
     """
     from repro.common.serialize import config_to_dict
     from repro.evaluation.experiments import run_experiment as _run
-    from repro.evaluation.runner import SweepRunner as _SweepRunner
     from repro.evaluation.runner import default_runner
 
-    if isinstance(config, _SweepRunner):
-        warnings.warn(
-            "run_experiment(id, runner) is deprecated; pass the runner "
-            "by keyword: run_experiment(id, runner=...)",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        config, runner = None, config
     if config is not None:
         if isinstance(config, SystemConfig):
             overrides = config_to_dict(config)

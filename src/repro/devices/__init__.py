@@ -11,5 +11,13 @@ from repro.devices.base import Device
 from repro.devices.sink import BurstSink
 from repro.devices.nic import NetworkInterface, Packet
 from repro.devices.dma import DmaEngine
+from repro.devices.ring import DescriptorRing
 
-__all__ = ["BurstSink", "Device", "DmaEngine", "NetworkInterface", "Packet"]
+__all__ = [
+    "BurstSink",
+    "DescriptorRing",
+    "Device",
+    "DmaEngine",
+    "NetworkInterface",
+    "Packet",
+]

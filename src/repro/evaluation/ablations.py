@@ -35,6 +35,7 @@ from repro.evaluation.runner import (
     default_runner,
     execute_job,
 )
+from repro.workloads.spec import ProgramWorkload
 from repro.workloads.storebw import store_kernel_csb
 
 _SIZES = (16, 32, 64, 128, 256, 512, 1024)
@@ -43,11 +44,15 @@ _SIZES = (16, 32, 64, 128, 256, 512, 1024)
 def _csb_bandwidth_job(
     panel: PanelSpec, csb_config: CSBConfig, size: int
 ) -> SimJob:
-    return SimJob(
+    name = f"ablation-{panel.panel_id}-csb-{size}"
+    workload = ProgramWorkload(
+        name=name,
+        sources=((name, store_kernel_csb(size, panel.line_size)),),
+    )
+    return SimJob.from_workload(
+        workload,
         config=replace(config_for(panel, "csb"), csb=csb_config),
-        kernel=store_kernel_csb(size, panel.line_size),
         measurement="store_bandwidth",
-        name=f"ablation-{panel.panel_id}-csb-{size}",
     )
 
 
@@ -172,15 +177,17 @@ def buffer_depth_table(
     )
     panel = FIG3_PANELS["e"]
     jobs = [
-        SimJob(
+        SimJob.from_workload(
+            ProgramWorkload(
+                name=f"ablation-depth-{depth}",
+                sources=((f"ablation-depth-{depth}", source),),
+                span=("a", "b"),
+            ),
             config=replace(
                 config_for(panel, "none"),
                 uncached=UncachedBufferConfig(combine_block=8, depth=depth),
             ),
-            kernel=source,
             measurement="span",
-            args=("a", "b"),
-            name=f"ablation-depth-{depth}",
         )
         for depth in depths
     ]
@@ -210,16 +217,21 @@ def flush_latency_table(
         runner = default_runner()
     counts = (2, 8)
     jobs = [
-        SimJob(
+        SimJob.from_workload(
+            ProgramWorkload(
+                name=f"ablation-flushlatency-{latency}-{n}dw",
+                sources=(
+                    (f"ablation-flushlatency-{latency}-{n}dw",
+                     csb_access_kernel(n)),
+                ),
+                span=(MARK_START, MARK_DONE),
+            ),
             config=SystemConfig(
                 memory=MemoryHierarchyConfig.with_line_size(64),
                 bus=BusConfig(cpu_ratio=6, max_burst_bytes=64),
                 csb=CSBConfig(line_size=64, flush_latency=latency),
             ),
-            kernel=csb_access_kernel(n),
             measurement="span",
-            args=(MARK_START, MARK_DONE),
-            name=f"ablation-flushlatency-{latency}-{n}dw",
         )
         for latency in latencies
         for n in counts

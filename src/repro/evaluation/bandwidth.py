@@ -29,6 +29,7 @@ from repro.evaluation.runner import (
     execute_job,
 )
 from repro.evaluation.schemes import SCHEME_CSB, all_schemes, scheme_block
+from repro.workloads.spec import ProgramWorkload
 from repro.workloads.storebw import (
     TRANSFER_SIZES,
     store_kernel_csb,
@@ -59,17 +60,24 @@ def system_for(panel: PanelSpec, scheme: str) -> System:
     return System(config_for(panel, scheme))
 
 
-def bandwidth_job(panel: PanelSpec, scheme: str, transfer_bytes: int) -> SimJob:
-    """Describe one (panel, scheme, transfer-size) point as a SimJob."""
+def bandwidth_workload(
+    panel: PanelSpec, scheme: str, transfer_bytes: int
+) -> ProgramWorkload:
+    """The (panel, scheme, transfer-size) point as a workload spec."""
+    name = f"{panel.panel_id}-{scheme}-{transfer_bytes}"
     if scheme == SCHEME_CSB:
         source = store_kernel_csb(transfer_bytes, panel.line_size)
     else:
         source = store_kernel_uncached(transfer_bytes)
-    return SimJob(
+    return ProgramWorkload(name=name, sources=((name, source),))
+
+
+def bandwidth_job(panel: PanelSpec, scheme: str, transfer_bytes: int) -> SimJob:
+    """Describe one (panel, scheme, transfer-size) point as a SimJob."""
+    return SimJob.from_workload(
+        bandwidth_workload(panel, scheme, transfer_bytes),
         config=config_for(panel, scheme),
-        kernel=source,
         measurement="store_bandwidth",
-        name=f"{panel.panel_id}-{scheme}-{transfer_bytes}",
     )
 
 

@@ -10,6 +10,8 @@ Examples::
     csb-figures fig3c --trace-events trace.jsonl --metrics-out metrics.json
     csb-figures profile fig3c
     csb-figures lint --format json
+    csb-figures replay --trace synth:n=10000,seed=7,gap=40,devices=2
+    csb-figures replay --trace logs/io.trace --discipline lock --cores 2
 
 Sweeps fan out over ``--jobs`` worker processes and reuse a
 content-addressed result cache under ``--cache-dir`` (disable with
@@ -420,6 +422,156 @@ def _lint_main(argv: List[str]) -> int:
     return 1 if findings else 0
 
 
+def _replay_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="csb-figures replay",
+        description=(
+            "Stream an I/O trace through the simulator — window by "
+            "window, lowered to the chosen store discipline — and report "
+            "throughput, tail latency, and per-device descriptor-ring "
+            "statistics.  Traces are either files in the '#csb-trace v1' "
+            "format or synthetic specs generated on the fly."
+        ),
+    )
+    parser.add_argument(
+        "--trace",
+        required=True,
+        metavar="FILE|synth:SPEC",
+        help=(
+            "trace source: a '#csb-trace v1' file, or 'synth:' followed "
+            "by n=,seed=,gap=[,arrival=,burst=,devices=,skew=,sizes=] "
+            "(e.g. synth:n=10000,seed=7,gap=40,devices=4,skew=1.0)"
+        ),
+    )
+    parser.add_argument(
+        "--discipline",
+        choices=("csb", "lock", "uncached"),
+        default="csb",
+        help="store discipline the trace is lowered to (default csb)",
+    )
+    parser.add_argument(
+        "--window",
+        type=int,
+        default=256,
+        help="records compiled per replay window (default 256)",
+    )
+    parser.add_argument(
+        "--cores",
+        type=int,
+        default=1,
+        help="simulated cores sharing the replay (default 1)",
+    )
+    parser.add_argument(
+        "--devices",
+        type=int,
+        default=0,
+        help=(
+            "descriptor rings to attach (default: the synth spec's "
+            "device count, or 1 for file traces)"
+        ),
+    )
+    parser.add_argument(
+        "--max-cycles",
+        type=int,
+        default=2_000_000_000,
+        help="bus-cycle budget before the replay aborts (default 2e9)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the report as JSON instead of text",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="FILE",
+        help="also write the full MetricsSnapshot as JSON to FILE",
+    )
+    return parser
+
+
+def _replay_main(argv: List[str]) -> int:
+    from repro.common.config import SystemConfig
+    from repro.common.errors import ReproError
+    from repro.workloads.spec import TraceWorkload
+    from repro.workloads.traces import TraceReplay
+
+    args = _replay_parser().parse_args(argv)
+    try:
+        workload = TraceWorkload(
+            name="cli-replay",
+            source=args.trace,
+            discipline=args.discipline,
+            window=args.window,
+            devices=args.devices,
+        )
+        config = SystemConfig(num_cores=args.cores)
+        replay = TraceReplay(workload, config, max_cycles=args.max_cycles)
+        started = time.monotonic()
+        result = replay.run()
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    elapsed = time.monotonic() - started
+    cpu_cycles = result.cycles * config.bus.cpu_ratio
+    rate = result.replayed / elapsed if elapsed > 0 else 0.0
+    report = {
+        "trace": args.trace,
+        "discipline": args.discipline,
+        "cores": args.cores,
+        "window": args.window,
+        "transactions": result.replayed,
+        "windows": result.windows,
+        "bus_cycles": result.cycles,
+        "cpu_cycles": cpu_cycles,
+        "latency": result.latency,
+        "latency_mean": round(result.histogram.mean, 2),
+        "latency_max": result.histogram.max,
+        "rings": [
+            {
+                "device": index,
+                "enqueued": ring.enqueued,
+                "drops": ring.drops,
+                "high_water": ring.high_water,
+                "mean_occupancy": round(ring.mean_occupancy(), 2),
+            }
+            for index, ring in enumerate(result.rings)
+        ],
+        "wall_seconds": round(elapsed, 3),
+        "transactions_per_second": round(rate, 1),
+    }
+    if args.metrics_out and result.metrics is not None:
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            json.dump(result.metrics.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"[wrote {args.metrics_out}]", file=sys.stderr)
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return 0
+    print(
+        f"replayed {result.replayed} transactions in {result.windows} "
+        f"window(s) [{args.discipline}, {args.cores} core(s)]"
+    )
+    print(
+        f"  {result.cycles} bus cycles ({cpu_cycles} CPU cycles), "
+        f"{elapsed:.2f}s wall ({rate:.0f} txn/s)"
+    )
+    if result.latency:
+        tail = ", ".join(
+            f"{label}={value}" for label, value in result.latency.items()
+        )
+        print(
+            f"  latency [CPU cycles]: {tail}, "
+            f"mean={report['latency_mean']}, max={report['latency_max']}"
+        )
+    for entry in report["rings"]:
+        print(
+            f"  ring {entry['device']}: {entry['enqueued']} enqueued, "
+            f"{entry['drops']} dropped, high water {entry['high_water']}, "
+            f"mean occupancy {entry['mean_occupancy']}"
+        )
+    return 0
+
+
 def _mc_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="csb-figures mc",
@@ -601,6 +753,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _lint_main(argv[1:])
     if argv and argv[0] == "mc":
         return _mc_main(argv[1:])
+    if argv and argv[0] == "replay":
+        return _replay_main(argv[1:])
     args = _parser().parse_args(argv)
     ids = experiment_ids()
     if args.list:

@@ -83,6 +83,10 @@ def _extension_registry() -> Dict[str, TableFactory]:
         ratio_sensitivity_table,
         width_sensitivity_table,
     )
+    from repro.evaluation.trace_experiments import (
+        trace_imbalance_table,
+        trace_saturation_table,
+    )
 
     return {
         "pingpong": _ignores_runner(rtt_table),
@@ -119,6 +123,12 @@ def _extension_registry() -> Dict[str, TableFactory]:
         "smp-contention": _ignores_runner(smp_contention_table),
         "sync-mechanisms": _ignores_runner(sync_mechanism_table),
         "sensitivity-ratio": lambda runner=None: ratio_sensitivity_table(
+            runner=runner
+        ),
+        "trace-saturation": lambda runner=None: trace_saturation_table(
+            runner=runner
+        ),
+        "trace-imbalance": lambda runner=None: trace_imbalance_table(
             runner=runner
         ),
     }

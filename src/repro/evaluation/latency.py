@@ -27,6 +27,7 @@ from repro.evaluation.runner import (
     execute_job,
 )
 from repro.evaluation.schemes import SCHEME_CSB, all_schemes, scheme_block
+from repro.workloads.spec import ProgramWorkload
 from repro.workloads.lockbench import (
     DEFAULT_LOCK_ADDR,
     MARK_DONE,
@@ -61,17 +62,21 @@ def latency_job(
         raise ConfigError(
             f"{n_doublewords} doublewords do not fit a {line_size}-byte line"
         )
+    name = f"fig5-{scheme}-{n_doublewords}"
     if scheme == SCHEME_CSB:
         source = csb_access_kernel(n_doublewords)
     else:
         source = locked_access_kernel(n_doublewords)
-    return SimJob(
-        config=_fig5_config(scheme, line_size, cpu_ratio),
-        kernel=source,
-        measurement="span",
-        args=(MARK_START, MARK_DONE),
+    workload = ProgramWorkload(
+        name=name,
+        sources=((name, source),),
         warm=(DEFAULT_LOCK_ADDR,) if lock_hits_l1 else (),
-        name=f"fig5-{scheme}-{n_doublewords}",
+        span=(MARK_START, MARK_DONE),
+    )
+    return SimJob.from_workload(
+        workload,
+        config=_fig5_config(scheme, line_size, cpu_ratio),
+        measurement="span",
     )
 
 

@@ -34,6 +34,7 @@ from repro.evaluation.runner import (
     default_runner,
     execute_job,
 )
+from repro.workloads.spec import ProgramWorkload
 from repro.workloads.storebw import store_kernel_csb, store_kernel_uncached
 
 #: Schemes compared: generic baselines, faithful processor models, CSB.
@@ -87,11 +88,11 @@ def policy_job(scheme: str, size: int, interleaved: bool) -> SimJob:
             source = interleaved_store_kernel(size)
         else:
             source = store_kernel_uncached(size)
-    return SimJob(
+    name = f"policy-{scheme}-{size}-{order}"
+    return SimJob.from_workload(
+        ProgramWorkload(name=name, sources=((name, source),)),
         config=config,
-        kernel=source,
         measurement="store_bandwidth",
-        name=f"policy-{scheme}-{size}-{order}",
     )
 
 

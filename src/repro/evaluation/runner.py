@@ -45,6 +45,7 @@ from repro.common.serialize import apply_overrides, config_to_dict
 from repro.common.tables import Table
 from repro.isa.assembler import assemble
 from repro.sim.system import System
+from repro.workloads.spec import ProgramWorkload, TraceWorkload
 
 #: Simulator version tag baked into every cache key.  Bump whenever a
 #: change to the simulator could alter any measured number.
@@ -52,6 +53,20 @@ SIM_VERSION = "csb-sim-2"
 
 #: Measurement kinds a job may request.
 MEASUREMENTS = ("store_bandwidth", "span")
+
+#: Measurements a :class:`TraceJob` may request.  The ``latency_*``
+#: entries map to tail percentiles of the per-record latency histogram.
+TRACE_MEASUREMENTS = {
+    "latency_p50": 50.0,
+    "latency_p90": 90.0,
+    "latency_p95": 95.0,
+    "latency_p99": 99.0,
+    "latency_p999": 99.9,
+    "cycles": None,
+    "transactions": None,
+    "device_share": None,
+    "mean_occupancy": None,
+}
 
 #: A job result: bytes-per-cycle (float) or a cycle span (int).
 Result = Union[int, float]
@@ -99,16 +114,128 @@ class SimJob:
         if self.measurement == "span" and len(self.args) != 2:
             raise ConfigError("span measurement needs (start, end) labels")
 
+    @classmethod
+    def from_workload(
+        cls,
+        workload: ProgramWorkload,
+        config: SystemConfig,
+        measurement: str = "store_bandwidth",
+        name: str = "",
+    ) -> "SimJob":
+        """Build a job from a program-backed workload spec.
 
-def execute_job(job: SimJob, observers: Sequence = ()) -> Result:
-    """Build the system, run the kernel to completion, take the measurement.
+        The workload's ``span`` labels become the measurement args when
+        ``measurement="span"``; its ``warm`` list carries over directly.
+        Field-for-field identical to constructing the job by hand, so the
+        cache key — and every previously cached result — is unchanged.
+        """
+        return cls(
+            config=config,
+            kernel=workload.source,
+            measurement=measurement,
+            args=workload.span if measurement == "span" else (),
+            warm=workload.warm,
+            name=name or workload.name,
+        )
+
+    def to_workload(self) -> ProgramWorkload:
+        """The job's workload as a spec (for registry round-trips)."""
+        return ProgramWorkload(
+            name=self.name or "job",
+            sources=((self.name or "job", self.kernel),),
+            warm=self.warm,
+            span=self.args if self.measurement == "span" else (),
+        )
+
+
+@dataclass(frozen=True)
+class TraceJob:
+    """One trace-replay point: a trace-backed workload, fully described.
+
+    The counterpart of :class:`SimJob` for :class:`TraceWorkload` specs.
+    ``measurement`` selects what to read off the finished replay:
+
+    * ``"latency_p50" ... "latency_p999"`` — tail percentiles (CPU
+      cycles) of the per-record latency histogram; ``args`` unused.
+    * ``"cycles"`` / ``"transactions"`` — run length and records replayed.
+    * ``"device_share"`` — fraction of all enqueued descriptors that
+      landed on ring ``args[0]`` (the imbalance metric).
+    * ``"mean_occupancy"`` — time-averaged depth of ring ``args[0]``.
+    """
+
+    config: SystemConfig
+    workload: TraceWorkload
+    measurement: str = "latency_p99"
+    args: Tuple[str, ...] = ()
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.measurement not in TRACE_MEASUREMENTS:
+            raise ConfigError(
+                f"unknown trace measurement {self.measurement!r}; "
+                f"have {sorted(TRACE_MEASUREMENTS)}"
+            )
+        if self.measurement in ("device_share", "mean_occupancy"):
+            if len(self.args) != 1:
+                raise ConfigError(
+                    f"{self.measurement} needs one arg: the device index"
+                )
+            try:
+                int(self.args[0])
+            except ValueError:
+                raise ConfigError(
+                    f"{self.measurement} device index must be an integer, "
+                    f"got {self.args[0]!r}"
+                ) from None
+
+
+Job = Union[SimJob, "TraceJob"]
+
+
+def execute_job(job: Job, observers: Sequence = ()) -> Result:
+    """Build the system, run the workload to completion, measure.
 
     Pure: equal jobs always produce equal results.  This is the function a
     worker process runs, and also the serial fallback.  ``observers`` are
     event sinks attached before the run (tracing is passive, so an
     observed run returns the identical measurement).
     """
+    if isinstance(job, TraceJob):
+        return _measure_trace(_run_trace(job, observers), job)
     return _measure(run_system(job, observers), job)
+
+
+def _run_trace(job: TraceJob, observers: Sequence = ()):
+    from repro.workloads.traces.replay import TraceReplay
+
+    replay = TraceReplay(job.workload, job.config)
+    for sink in observers:
+        replay.system.attach_observer(sink)
+    return replay.run()
+
+
+def _measure_trace(outcome, job: TraceJob) -> Result:
+    percentile = TRACE_MEASUREMENTS[job.measurement]
+    if percentile is not None:
+        if not outcome.histogram.count:
+            return 0
+        return outcome.histogram.percentile(percentile)
+    if job.measurement == "cycles":
+        return outcome.cycles
+    if job.measurement == "transactions":
+        return outcome.replayed
+    device = int(job.args[0])
+    if device >= len(outcome.rings):
+        raise ConfigError(
+            f"measurement names device {device} but the replay attached "
+            f"{len(outcome.rings)} rings"
+        )
+    if job.measurement == "mean_occupancy":
+        return outcome.rings[device].mean_occupancy()
+    total = sum(ring.enqueued for ring in outcome.rings)
+    if not total:
+        return 0.0
+    return outcome.rings[device].enqueued / total
 
 
 def run_system(job: SimJob, observers: Sequence = ()) -> System:
@@ -152,8 +279,25 @@ def _digest(document: dict) -> str:
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
-def job_key(job: SimJob) -> str:
-    """Content hash of everything that determines the job's result."""
+def job_key(job: Job) -> str:
+    """Content hash of everything that determines the job's result.
+
+    Program jobs keep the historical key document exactly (cached results
+    survive the workload-spec refactor).  Trace jobs key on the workload's
+    own content-addressed :meth:`~repro.workloads.spec.TraceWorkload
+    .cache_key`, so a renamed trace file with identical bytes still hits.
+    """
+    if isinstance(job, TraceJob):
+        return _digest(
+            {
+                "version": SIM_VERSION,
+                "kind": "trace-replay",
+                "config": config_to_dict(job.config),
+                "workload": job.workload.cache_key(),
+                "measurement": job.measurement,
+                "args": list(job.args),
+            }
+        )
     return _digest(
         {
             "version": SIM_VERSION,
@@ -320,13 +464,24 @@ class SweepRunner:
         #: had to run detailed.
         self.sampling_fallbacks: List[Tuple[str, str]] = []
 
-    def _with_overrides(self, job: SimJob) -> SimJob:
+    def _with_overrides(self, job: Job) -> Job:
         if not self.overrides:
             return job
         return replace(job, config=apply_overrides(job.config, self.overrides))
 
-    def _with_sampling(self, job: SimJob) -> SimJob:
+    def _with_sampling(self, job: Job) -> Job:
         if self.sampling is None or not self.sampling.enabled:
+            return job
+        if isinstance(job, TraceJob):
+            # Replay must observe every window in the detailed tier — a
+            # fast-forwarded window has no bus transactions to attribute.
+            name = job.name or f"job {job_key(job)[:12]}"
+            reason = "trace replay always runs the detailed tier"
+            self.sampling_fallbacks.append((name, reason))
+            self.log(
+                f"note: {name} is ineligible for sampling and runs at "
+                f"the detailed tier ({reason})"
+            )
             return job
         try:
             return replace(
@@ -349,12 +504,12 @@ class SweepRunner:
         """True when every job must simulate fresh, serially, in-process."""
         return self.observer_factory is not None or self.collect_metrics
 
-    def run(self, jobs: Sequence[SimJob]) -> List[Result]:
+    def run(self, jobs: Sequence[Job]) -> List[Result]:
         """Resolve every job; results are returned in input order."""
         jobs = [self._with_sampling(self._with_overrides(job)) for job in jobs]
         total = len(jobs)
         results: List[Optional[Result]] = [None] * total
-        pending: List[Tuple[int, SimJob]] = []
+        pending: List[Tuple[int, Job]] = []
         done = 0
         for index, job in enumerate(jobs):
             cached = (
@@ -373,10 +528,15 @@ class SweepRunner:
             done = self._simulate(pending, results, done, total)
         return results  # type: ignore[return-value]
 
-    def _execute_observed(self, job: SimJob) -> Result:
+    def _execute_observed(self, job: Job) -> Result:
         observers = (
             self.observer_factory(job) if self.observer_factory else ()
         )
+        if isinstance(job, TraceJob):
+            outcome = _run_trace(job, observers)
+            if self.collect_metrics:
+                self.metrics[job.name or job_key(job)] = outcome.metrics
+            return _measure_trace(outcome, job)
         system = run_system(job, observers)
         if self.collect_metrics:
             from repro.observability.metrics import MetricsSnapshot
@@ -388,7 +548,7 @@ class SweepRunner:
 
     def _simulate(
         self,
-        pending: List[Tuple[int, SimJob]],
+        pending: List[Tuple[int, Job]],
         results: List[Optional[Result]],
         done: int,
         total: int,
@@ -426,7 +586,7 @@ class SweepRunner:
     def _resolve(
         self,
         index: int,
-        job: SimJob,
+        job: Job,
         value: Result,
         results: List[Optional[Result]],
         done: int,

@@ -27,6 +27,7 @@ from repro.evaluation.runner import (
     default_runner,
     execute_job,
 )
+from repro.workloads.spec import ProgramWorkload
 from repro.workloads.lockbench import (
     DEFAULT_LOCK_ADDR,
     MARK_DONE,
@@ -49,14 +50,14 @@ def _access_job(
         source = csb_access_kernel(n_doublewords)
     else:
         source = locked_access_kernel(n_doublewords)
-    return SimJob(
-        config=config,
-        kernel=source,
-        measurement="span",
-        args=(MARK_START, MARK_DONE),
+    name = f"sensitivity-{scheme}-{n_doublewords}dw-r{cpu_ratio}"
+    workload = ProgramWorkload(
+        name=name,
+        sources=((name, source),),
         warm=(DEFAULT_LOCK_ADDR,),
-        name=f"sensitivity-{scheme}-{n_doublewords}dw-r{cpu_ratio}",
+        span=(MARK_START, MARK_DONE),
     )
+    return SimJob.from_workload(workload, config=config, measurement="span")
 
 
 def _access_cycles(

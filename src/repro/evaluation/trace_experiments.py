@@ -1,0 +1,153 @@
+"""Trace-replay studies: bus saturation and device imbalance.
+
+Both studies stream synthetic I/O traces (seeded, so every cell is
+deterministic) through the replay engine and read tail latencies and
+descriptor-ring occupancy off the finished run:
+
+* **Bus saturation** — sweep the mean inter-arrival gap from comfortable
+  to saturating under the lock and CSB disciplines.  While the bus keeps
+  up with arrivals the percentiles sit near zero; once per-record service
+  exceeds the gap, backlog accumulates and the tails explode.  The CSB's
+  smaller bus footprint (one burst per line instead of a lock/store/
+  unlock transaction train) moves its saturation point to smaller gaps.
+* **Device imbalance** — one trace, four descriptor rings, Zipf-skewed
+  device choice (the LBICA-style load-imbalance shape).  Columns sweep
+  the skew exponent; rows report each ring's share of enqueued
+  descriptors, the hot ring's mean occupancy, and the p99 latency —
+  imbalance concentrates queueing on one ring long before aggregate
+  throughput saturates.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.common.config import SystemConfig
+from repro.common.tables import Table
+from repro.evaluation.runner import SweepRunner, TraceJob, default_runner
+from repro.workloads.spec import TraceWorkload
+
+#: Mean inter-arrival gaps (CPU cycles) the saturation study sweeps,
+#: comfortable to saturating.
+SATURATION_GAPS = (200, 50, 10)
+
+#: Zipf skew exponents the imbalance study sweeps.
+IMBALANCE_SKEWS = (0.0, 1.0, 2.0)
+
+#: Records per synthetic trace (windows of 64 keep arrival fidelity).
+_N_RECORDS = 192
+_WINDOW = 64
+
+
+def saturation_workload(discipline: str, gap: int) -> TraceWorkload:
+    """The saturation study's trace for one (discipline, gap) cell."""
+    return TraceWorkload(
+        name=f"saturation-{discipline}-gap{gap}",
+        source=(
+            f"synth:n={_N_RECORDS},seed=11,gap={gap},devices=1,"
+            "sizes=64:3/8:1"
+        ),
+        discipline=discipline,
+        window=_WINDOW,
+    )
+
+
+def saturation_job(discipline: str, gap: int, measurement: str) -> TraceJob:
+    return TraceJob(
+        config=SystemConfig(),
+        workload=saturation_workload(discipline, gap),
+        measurement=measurement,
+        name=f"trace-saturation-{discipline}-gap{gap}-{measurement}",
+    )
+
+
+def trace_saturation_table(
+    gaps: Iterable[int] = SATURATION_GAPS,
+    runner: Optional[SweepRunner] = None,
+) -> Table:
+    """Rows = (discipline, percentile), columns = arrival gaps."""
+    gaps = list(gaps)
+    if runner is None:
+        runner = default_runner()
+    rows = [
+        ("lock", "latency_p50"),
+        ("lock", "latency_p99"),
+        ("csb", "latency_p50"),
+        ("csb", "latency_p99"),
+    ]
+    jobs = [
+        saturation_job(discipline, gap, measurement)
+        for discipline, measurement in rows
+        for gap in gaps
+    ]
+    values = iter(runner.run(jobs))
+    table = Table(
+        ["discipline"] + [f"gap{g}" for g in gaps],
+        title=(
+            "Trace replay: tail latency vs arrival gap "
+            "[CPU cycles from arrival to last byte on the bus]"
+        ),
+    )
+    for discipline, measurement in rows:
+        label = f"{discipline}-{measurement[len('latency_'):]}"
+        table.add_row(label, *[next(values) for _ in gaps])
+    return table
+
+
+def imbalance_workload(skew: float) -> TraceWorkload:
+    """The imbalance study's four-ring trace at one skew exponent."""
+    return TraceWorkload(
+        name=f"imbalance-skew{skew:g}",
+        source=(
+            f"synth:n={_N_RECORDS},seed=13,gap=40,devices=4,skew={skew:g},"
+            "sizes=8:3/64:1"
+        ),
+        discipline="uncached",
+        window=_WINDOW,
+    )
+
+
+def imbalance_job(skew: float, measurement: str, *args: str) -> TraceJob:
+    return TraceJob(
+        config=SystemConfig(),
+        workload=imbalance_workload(skew),
+        measurement=measurement,
+        args=args,
+        name=f"trace-imbalance-skew{skew:g}-{measurement}{''.join(args)}",
+    )
+
+
+def trace_imbalance_table(
+    skews: Iterable[float] = IMBALANCE_SKEWS,
+    runner: Optional[SweepRunner] = None,
+) -> Table:
+    """Rows = per-ring shares + hot-ring occupancy + p99, columns = skew."""
+    skews = list(skews)
+    if runner is None:
+        runner = default_runner()
+    jobs = []
+    for skew in skews:
+        for device in range(4):
+            jobs.append(imbalance_job(skew, "device_share", str(device)))
+        jobs.append(imbalance_job(skew, "mean_occupancy", "0"))
+        jobs.append(imbalance_job(skew, "latency_p99"))
+    values = iter(runner.run(jobs))
+    columns = [f"skew{s:g}" for s in skews]
+    cells = {column: [] for column in columns}
+    for column in columns:
+        for _ in range(6):
+            cells[column].append(next(values))
+    table = Table(
+        ["metric"] + columns,
+        title=(
+            "Trace replay: device imbalance vs Zipf skew "
+            "(4 descriptor rings, uncached discipline)"
+        ),
+    )
+    labels = [f"ring{d}_share" for d in range(4)] + [
+        "ring0_mean_occupancy",
+        "latency_p99",
+    ]
+    for index, label in enumerate(labels):
+        table.add_row(label, *[cells[column][index] for column in columns])
+    return table

@@ -33,6 +33,10 @@ class MetricsSnapshot:
     store_window_bytes: int
     store_bandwidth: float
     per_core: Dict[int, Dict[str, int]] = field(default_factory=dict)
+    #: Per-transaction latency percentiles (``{"p50": ..., "p99.9": ...}``),
+    #: populated by trace replay; empty for program-backed runs, which have
+    #: no per-transaction arrival times to measure against.
+    latency: Dict[str, int] = field(default_factory=dict)
     #: Injected-fault counts per site (empty when fault injection is off).
     fault_injections: Dict[str, int] = field(default_factory=dict)
     #: Data-cache counters summed over all cores (empty when the
@@ -62,7 +66,7 @@ class MetricsSnapshot:
             cpu_cycles=system.cycle,
             counters=stats.as_dict(),
             marks=dict(stats.marks),
-            bus_transactions=len(stats.transactions),
+            bus_transactions=stats.transaction_count,
             bus_busy_cycles=stats.bus_busy_cycles(),
             bus_utilization=stats.bus_utilization(),
             bus_efficiency=stats.efficiency(),
@@ -117,6 +121,7 @@ class MetricsSnapshot:
                 str(core): dict(entry)
                 for core, entry in self.per_core.items()
             },
+            "latency": dict(self.latency),
             "fault_injections": dict(self.fault_injections),
             "cache": dict(self.cache),
             "extra": dict(self.extra),

@@ -145,6 +145,34 @@ class CoreScheduler:
             core.interrupt()
             self._draining = True
 
+    def retire_halted(self) -> int:
+        """Forget every halted process (streaming replay's queue purge).
+
+        A trace replay adds a fresh program per window; without retirement
+        the run queues — and ``all_halted`` scans — would grow with every
+        window.  Only fully finished contexts go: a halted context whose
+        core has not drained stays until it has.  Returns the number
+        retired.
+        """
+        keep: List[ProcessContext] = []
+        retired = 0
+        for process in self._processes:
+            if process.halted and (
+                self.core.context is not process or self.core.drained
+            ):
+                retired += 1
+                if self.core.context is process:
+                    self.core.context = None
+            else:
+                keep.append(process)
+        if retired:
+            self._processes = keep
+            # Restart round-robin from the front; the replay installs at
+            # most one program per core per window, so order is immaterial.
+            self._current_index = -1
+            self._current_live = False
+        return retired
+
     def reinstall(self, context: ProcessContext) -> None:
         """Re-install ``context`` after a fast-forward hand-off.
 
@@ -258,6 +286,14 @@ class Scheduler:
     def events(self, bus) -> None:
         for queue in self.queues:
             queue.events = bus
+
+    def retire_halted(self) -> int:
+        """Drop every fully finished process from all queues (see
+        :meth:`CoreScheduler.retire_halted`)."""
+        retired = sum(queue.retire_halted() for queue in self.queues)
+        if retired:
+            self._processes = [p for p in self._processes if not p.halted]
+        return retired
 
     def tick(self, now: int) -> None:
         for queue in self.queues:

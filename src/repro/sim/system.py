@@ -395,6 +395,41 @@ class System:
             ran += 1
         return ran
 
+    def run_streamed(self, feed, max_cycles: int = 5_000_000) -> StatsCollector:
+        """Run with a feed that injects work whenever the machine drains.
+
+        ``feed(system)`` is called whenever all processes have halted and
+        the I/O paths are quiescent — including before the first cycle
+        when the machine starts empty.  It returns True after installing more work
+        (via :meth:`add_process`) or False when the stream is exhausted —
+        at which point the run ends with the machine drained.  This is the
+        trace-replay loop: the feed compiles the next window of trace
+        records into programs, retiring the previous window's contexts and
+        condensing its transaction records first so memory stays bounded
+        no matter how long the stream is.
+
+        ``max_cycles`` bounds the *whole* run, like :meth:`run`.
+        """
+        stepper = self._stepper
+        if stepper is None:
+            stepper = self._stepper = self.make_stepper()
+        scheduler = self.scheduler
+        quiescent = self._quiescent
+        while True:
+            if scheduler.all_halted and quiescent():
+                if not feed(self):
+                    return self.stats
+                if scheduler.all_halted:
+                    raise DeadlockError(
+                        "stream feed returned True without adding work",
+                        cycle=self.cycle,
+                    )
+            if self.cycle >= max_cycles:
+                raise DeadlockError(
+                    f"exceeded max_cycles={max_cycles}", cycle=self.cycle
+                )
+            stepper()
+
     def _quiescent(self) -> bool:
         """Every uncached unit drained (shared-bus drain checked by each),
         and — when the D-cache occupies the bus — its engines drained too."""

@@ -1,10 +1,24 @@
-"""Microbenchmark kernel generators (paper §4.2).
+"""Workloads: what the simulated machine runs.
 
-Each generator emits SPARC-flavoured assembly text (assembled with
-:func:`repro.isa.assemble`), so the benchmark sources remain as readable as
-the paper's own listing.
+Two backends behind one spec layer (:mod:`repro.workloads.spec`):
+
+* program-backed — the microbenchmark kernel generators below (paper
+  §4.2), each emitting SPARC-flavoured assembly text assembled with
+  :func:`repro.isa.assemble`;
+* trace-backed — I/O-trace streams (:mod:`repro.workloads.traces`)
+  replayed through the store/lock/CSB idioms window by window.
+
+:mod:`repro.workloads.registry` enumerates every shipped workload as a
+serializable, cache-keyed spec.
 """
 
+from repro.workloads.spec import (
+    DISCIPLINES,
+    ProgramWorkload,
+    TraceWorkload,
+    bundled_trace_path,
+    workload_from_dict,
+)
 from repro.workloads.storebw import (
     store_kernel_csb,
     store_kernel_uncached,
@@ -30,8 +44,13 @@ from repro.workloads.smp import smp_csb_kernel, smp_locked_kernel
 __all__ = [
     "COUNTEREXAMPLES",
     "CounterexampleWorkload",
+    "DISCIPLINES",
+    "ProgramWorkload",
     "TRANSFER_SIZES",
+    "TraceWorkload",
+    "bundled_trace_path",
     "get_counterexample",
+    "workload_from_dict",
     "contending_csb_kernel",
     "csb_access_kernel",
     "csb_send_kernel",

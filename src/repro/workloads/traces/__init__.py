@@ -1,0 +1,40 @@
+"""Streaming trace-driven I/O replay.
+
+The front-end of the trace-backed workload path:
+
+* :mod:`~repro.workloads.traces.format` — the versioned ``#csb-trace v1``
+  record format, parsed and written as a stream (a million-record file is
+  never materialized in memory).
+* :mod:`~repro.workloads.traces.synth` — seeded synthesis of arbitrarily
+  long traces from arrival/size/device distributions (``synth:`` specs).
+* :mod:`~repro.workloads.traces.compile` — lowers a bounded window of
+  records into the store/lock/CSB assembly idioms the cores execute.
+* :mod:`~repro.workloads.traces.replay` — the replay engine: streams
+  windows through :meth:`~repro.sim.system.System.run_streamed`, matches
+  bus transactions back to trace records, and aggregates per-transaction
+  latency into tail percentiles.
+"""
+
+from repro.workloads.traces.format import (
+    TRACE_HEADER,
+    TraceRecord,
+    open_trace,
+    parse_trace,
+    write_trace,
+)
+from repro.workloads.traces.synth import SynthSpec, parse_synth_spec, synthesize
+from repro.workloads.traces.replay import ReplayResult, TraceReplay, replay_trace
+
+__all__ = [
+    "TRACE_HEADER",
+    "ReplayResult",
+    "SynthSpec",
+    "TraceRecord",
+    "TraceReplay",
+    "open_trace",
+    "parse_synth_spec",
+    "parse_trace",
+    "replay_trace",
+    "synthesize",
+    "write_trace",
+]

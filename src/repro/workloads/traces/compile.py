@@ -1,0 +1,249 @@
+"""Lower bounded trace windows into the store/lock/CSB assembly idioms.
+
+The replay engine never materializes a whole trace as one giant program:
+it takes a *window* of records (``TraceWorkload.window`` of them), assigns
+them round-robin over the cores, and compiles one small program per core.
+Each record becomes the same instruction idiom the paper's benchmarks use:
+
+* ``uncached`` — plain doubleword stores to the device's descriptor ring
+  in plain uncached space;
+* ``lock`` — the swap spin-lock acquire / membar / stores / membar /
+  release sequence around the same stores, one lock per device;
+* ``csb`` — line-sized combining-store groups through the device's
+  *combining-space* ring window, each committed with a conditional flush
+  and the retry + per-core exponential-backoff idiom (the shared CSB makes
+  cross-core conflicts real; distinct backoff bases are what break the
+  deterministic livelock, exactly as in :mod:`repro.workloads.smp`).
+
+Every core writes its own slice of each ring's register window, so the
+device sees all traffic while CSB lines never overlap between cores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.common.config import DOUBLEWORD
+from repro.common.errors import ConfigError
+from repro.memory.layout import DRAM_BASE, IO_COMBINING_BASE, IO_UNCACHED_BASE
+from repro.workloads.spec import DISCIPLINES
+from repro.workloads.traces.format import TraceRecord
+
+#: Descriptor-ring register windows: one region per device, in plain
+#: uncached space, with a same-offset alias window in combining space.
+RING_BASE = IO_UNCACHED_BASE + 0x20000
+RING_COMBINING_BASE = IO_COMBINING_BASE + 0x20000
+RING_STRIDE = 0x1000
+RING_BYTES = 0x1000
+
+#: Per-core slice of a ring window (uncached/lock stores wrap inside it).
+CORE_SLICE = 256
+
+#: Per-device replay locks (cached DRAM, one cache line apart; distinct
+#: from the lockbench's DEFAULT_LOCK_ADDR so workloads never collide).
+TRACE_LOCK_BASE = DRAM_BASE + 0xA000
+TRACE_LOCK_STRIDE = 64
+
+#: CSB retry backoff cap (spin iterations), as in the contention kernels.
+BACKOFF_CAP = 256
+
+#: Stagger spacing (spin iterations) between cores at window entry.
+STAGGER_STEP = 40
+
+
+def ring_region(device: int) -> Tuple[int, int]:
+    """(base, size) of device ``device``'s primary (uncached) ring window."""
+    return (RING_BASE + device * RING_STRIDE, RING_BYTES)
+
+
+def ring_combining_region(device: int) -> Tuple[int, int]:
+    """(base, size) of the combining-space alias of the same ring."""
+    return (RING_COMBINING_BASE + device * RING_STRIDE, RING_BYTES)
+
+
+def lock_address(device: int) -> int:
+    return TRACE_LOCK_BASE + device * TRACE_LOCK_STRIDE
+
+
+@dataclass(frozen=True)
+class CompiledWindow:
+    """One core's program for one trace window.
+
+    ``expectations`` lists, in program order, the (arrival CPU cycle,
+    payload bytes) of every record this program replays — what the replay
+    engine matches completed bus transactions against to attribute
+    per-transaction latency.
+    """
+
+    core_id: int
+    source: str
+    expectations: Tuple[Tuple[int, int], ...]
+
+
+def _check_geometry(discipline: str, num_cores: int, line_size: int) -> None:
+    if discipline not in DISCIPLINES:
+        raise ConfigError(f"unknown discipline {discipline!r}")
+    if num_cores < 1:
+        raise ConfigError("need at least one core")
+    if discipline == "csb":
+        if num_cores * line_size > RING_BYTES:
+            raise ConfigError(
+                f"{num_cores} cores x {line_size}B combining lines do not "
+                f"fit a {RING_BYTES}B ring window"
+            )
+    elif num_cores * CORE_SLICE > RING_BYTES:
+        raise ConfigError(
+            f"{num_cores} cores x {CORE_SLICE}B slices do not fit a "
+            f"{RING_BYTES}B ring window"
+        )
+
+
+def _emit_uncached_stores(
+    lines: List[str], size: int, slice_base: int
+) -> None:
+    """Plain doubleword stores, wrapping inside the core's ring slice."""
+    for i in range(size // DOUBLEWORD):
+        offset = slice_base + (i % (CORE_SLICE // DOUBLEWORD)) * DOUBLEWORD
+        lines.append(f"stx %l{i % 4}, [%o1+{offset}]")
+
+
+def _emit_csb_record(
+    lines: List[str],
+    record_index: int,
+    size: int,
+    slice_base: int,
+    line_size: int,
+    backoff_base: int,
+) -> None:
+    """Line-sized combining groups, each with flush + backoff retry.
+
+    Every group reuses the core's single combining line (a successful
+    flush clears the window, so the next group starts a fresh sequence at
+    the same address)."""
+    dwords_left = size // DOUBLEWORD
+    dwords_per_line = line_size // DOUBLEWORD
+    group = 0
+    while dwords_left:
+        in_group = min(dwords_per_line, dwords_left)
+        tag = f"{record_index}_{group}"
+        lines.append(f".RETRY{tag}:")
+        lines.append(f"set {in_group}, %l4")
+        for i in range(in_group):
+            lines.append(f"stx %l{i % 4}, [%o1+{slice_base + i * DOUBLEWORD}]")
+        lines += [
+            f"swap [%o1+{slice_base}], %l4    ! conditional flush",
+            f"cmp %l4, {in_group}",
+            f"be .OK{tag}",
+            # Failed flush: double the backoff (capped) and spin it down,
+            # then retry the whole group (stores + flush).
+            "add %l5, %l5, %l5",
+            f"cmp %l5, {BACKOFF_CAP}",
+            f"ble .SPIN_SETUP{tag}",
+            f"set {BACKOFF_CAP}, %l5",
+            f".SPIN_SETUP{tag}:",
+            "or %l5, 0, %l6",
+            f".SPIN{tag}:",
+            "sub %l6, 1, %l6",
+            f"brnz %l6, .SPIN{tag}",
+            f"ba .RETRY{tag}",
+            f".OK{tag}:",
+            f"set {backoff_base}, %l5",  # success resets the backoff
+        ]
+        dwords_left -= in_group
+        group += 1
+
+
+def compile_window(
+    records: Sequence[TraceRecord],
+    discipline: str,
+    num_cores: int,
+    line_size: int = 64,
+) -> List[CompiledWindow]:
+    """Compile one window of records into per-core programs.
+
+    Records are assigned round-robin over the cores in trace order, so
+    load stays balanced and each core's program replays its records in
+    arrival order.  Cores with no records this window get no program.
+    """
+    _check_geometry(discipline, num_cores, line_size)
+    per_core: Dict[int, List[TraceRecord]] = {}
+    for index, record in enumerate(records):
+        per_core.setdefault(index % num_cores, []).append(record)
+    windows = []
+    for core_id in sorted(per_core):
+        assigned = per_core[core_id]
+        source = _compile_core(assigned, discipline, core_id, line_size)
+        windows.append(
+            CompiledWindow(
+                core_id=core_id,
+                source=source,
+                expectations=tuple(
+                    (record.timestamp, record.size) for record in assigned
+                ),
+            )
+        )
+    return windows
+
+
+def _compile_core(
+    records: Sequence[TraceRecord],
+    discipline: str,
+    core_id: int,
+    line_size: int,
+) -> str:
+    lines: List[str] = [
+        "set 0x1111111111111111, %l0",
+        "set 0x2222222222222222, %l1",
+        "set 0x3333333333333333, %l2",
+        "set 0x4444444444444444, %l3",
+    ]
+    backoff_base = 2 * core_id + 1
+    if discipline == "csb":
+        lines.append(f"set {backoff_base}, %l5")
+        if core_id:
+            # De-phase the cores' first sequences on the shared CSB.
+            lines += [
+                f"set {core_id * STAGGER_STEP}, %l6",
+                ".STAGGER:",
+                "sub %l6, 1, %l6",
+                "brnz %l6, .STAGGER",
+            ]
+        slice_base = core_id * line_size
+    else:
+        slice_base = core_id * CORE_SLICE
+    current_device = None
+    for index, record in enumerate(records):
+        if record.device != current_device:
+            base = (
+                ring_combining_region(record.device)[0]
+                if discipline == "csb"
+                else ring_region(record.device)[0]
+            )
+            lines.append(f"set {base}, %o1")
+            if discipline == "lock":
+                lines.append(f"set {lock_address(record.device)}, %o0")
+            current_device = record.device
+        if discipline == "uncached":
+            _emit_uncached_stores(lines, record.size, slice_base)
+        elif discipline == "csb":
+            _emit_csb_record(
+                lines, index, record.size, slice_base, line_size, backoff_base
+            )
+        else:
+            lines += [
+                f".ACQ{index}:",
+                "set 1, %l6",            # initialize swap source
+                "swap [%o0], %l6",       # atomic test-and-set
+                f"brnz %l6, .ACQ{index}",
+                "membar",                # separate locking from device access
+            ]
+            _emit_uncached_stores(lines, record.size, slice_base)
+            lines += [
+                "membar",                # stores must leave the buffer
+                "stx %g0, [%o0]",        # release
+            ]
+    if discipline == "uncached":
+        lines.append("membar")
+    lines.append("halt")
+    return "\n".join(lines)

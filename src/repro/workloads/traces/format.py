@@ -1,0 +1,164 @@
+"""The ``#csb-trace v1`` I/O-trace file format, streamed.
+
+A trace file is line-oriented text:
+
+* the first line is exactly ``#csb-trace v1`` (the versioned schema tag);
+* every other line is either blank, a ``#`` comment, or one record of
+  four whitespace-separated fields::
+
+      <timestamp> <op> <device> <size>
+
+  - ``timestamp`` — arrival time in CPU cycles (integer, non-decreasing);
+  - ``op`` — the operation; v1 defines ``write`` (the field exists so
+    later versions can add reads without changing the record shape);
+  - ``device`` — target device index (small non-negative integer);
+  - ``size`` — payload bytes, a positive multiple of 8 (doublewords are
+    the store granularity) up to :data:`MAX_RECORD_BYTES`.
+
+Both :func:`parse_trace` and :func:`write_trace` work on iterators, so
+arbitrarily long traces flow through constant memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import IO, Iterable, Iterator
+
+from repro.common.config import DOUBLEWORD
+from repro.common.errors import ConfigError
+
+#: Exact first line of every v1 trace file.
+TRACE_HEADER = "#csb-trace v1"
+
+#: Operations v1 defines.
+TRACE_OPS = ("write",)
+
+#: Largest single record payload (one DMA-sized burst).
+MAX_RECORD_BYTES = 4096
+
+#: Most device indices a trace may name (keeps the ring file small).
+MAX_DEVICES = 64
+
+
+class TraceFormatError(ConfigError):
+    """A malformed trace file; carries the offending line number."""
+
+    def __init__(self, message: str, line: int) -> None:
+        super().__init__(f"trace line {line}: {message}")
+        self.line = line
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One I/O operation of a trace."""
+
+    timestamp: int
+    op: str
+    device: int
+    size: int
+
+    def render(self) -> str:
+        return f"{self.timestamp} {self.op} {self.device} {self.size}"
+
+
+def validate_record(record: TraceRecord, line: int = 0) -> None:
+    if record.timestamp < 0:
+        raise TraceFormatError(f"negative timestamp {record.timestamp}", line)
+    if record.op not in TRACE_OPS:
+        raise TraceFormatError(
+            f"unknown op {record.op!r} (v1 defines {TRACE_OPS})", line
+        )
+    if not 0 <= record.device < MAX_DEVICES:
+        raise TraceFormatError(
+            f"device {record.device} out of range [0, {MAX_DEVICES})", line
+        )
+    if record.size < DOUBLEWORD or record.size % DOUBLEWORD:
+        raise TraceFormatError(
+            f"size {record.size} is not a positive multiple of "
+            f"{DOUBLEWORD} bytes",
+            line,
+        )
+    if record.size > MAX_RECORD_BYTES:
+        raise TraceFormatError(
+            f"size {record.size} exceeds {MAX_RECORD_BYTES} bytes", line
+        )
+
+
+def parse_trace(lines: Iterable[str]) -> Iterator[TraceRecord]:
+    """Stream records out of trace-file lines (a generator: records are
+    validated and yielded one at a time, never collected)."""
+    iterator = iter(lines)
+    try:
+        header = next(iterator)
+    except StopIteration:
+        raise TraceFormatError("empty file (missing header)", 1) from None
+    if header.strip() != TRACE_HEADER:
+        raise TraceFormatError(
+            f"bad header {header.strip()!r} (expected {TRACE_HEADER!r})", 1
+        )
+    previous = -1
+    for number, line in enumerate(iterator, start=2):
+        text = line.strip()
+        if not text or text.startswith("#"):
+            continue
+        fields = text.split()
+        if len(fields) != 4:
+            raise TraceFormatError(
+                f"expected 4 fields (timestamp op device size), "
+                f"got {len(fields)}",
+                number,
+            )
+        try:
+            record = TraceRecord(
+                timestamp=int(fields[0]),
+                op=fields[1],
+                device=int(fields[2]),
+                size=int(fields[3]),
+            )
+        except ValueError:
+            raise TraceFormatError(
+                f"non-integer field in {text!r}", number
+            ) from None
+        validate_record(record, number)
+        if record.timestamp < previous:
+            raise TraceFormatError(
+                f"timestamp {record.timestamp} goes backwards "
+                f"(previous {previous})",
+                number,
+            )
+        previous = record.timestamp
+        yield record
+
+
+def open_trace(path: str) -> Iterator[TraceRecord]:
+    """Stream records out of the file at ``path`` (file handle closes when
+    the generator is exhausted or garbage-collected)."""
+
+    def generate() -> Iterator[TraceRecord]:
+        with open(path, "r", encoding="utf-8") as handle:
+            yield from parse_trace(handle)
+
+    return generate()
+
+
+def write_trace(target: "IO[str] | str", records: Iterable[TraceRecord]) -> int:
+    """Write a v1 trace (header + one line per record); returns the record
+    count.  ``target`` is a path or an open text stream; records are
+    validated and consumed one at a time."""
+    if isinstance(target, str):
+        with open(target, "w", encoding="utf-8") as handle:
+            return write_trace(handle, records)
+    target.write(TRACE_HEADER + "\n")
+    previous = -1
+    count = 0
+    for count, record in enumerate(records, start=1):
+        validate_record(record, count + 1)
+        if record.timestamp < previous:
+            raise TraceFormatError(
+                f"timestamp {record.timestamp} goes backwards "
+                f"(previous {previous})",
+                count + 1,
+            )
+        previous = record.timestamp
+        target.write(record.render() + "\n")
+    return count

@@ -1,0 +1,244 @@
+"""The streaming replay engine: trace in, tail latencies out.
+
+:class:`TraceReplay` drives a :class:`~repro.sim.system.System` from a
+trace stream without ever holding more than one *window* of records in
+memory.  The loop, per window:
+
+1. harvest the previous window — match its completed bus transactions
+   back to trace records and feed per-transaction latency into a
+   bounded :class:`~repro.common.stats.LatencyHistogram`;
+2. condense the transaction records into aggregates and retire the
+   halted window contexts (the two bounded-memory levers);
+3. pull the next ``window`` records off the stream, fast-forward the
+   clock over idle gaps, compile them into per-core programs, and
+   install those.
+
+:meth:`System.run_streamed` calls the feed exactly when the machine has
+drained, so windows never overlap and attribution is unambiguous: every
+``uncached_store``/``csb_flush`` transaction a core initiates between two
+feed calls belongs to that core's current window, in order.
+
+Latency of a record is the CPU cycle its last payload byte crossed the
+bus minus its trace arrival timestamp, floored at zero (the replay is
+closed-loop: a record whose turn comes up before its timestamp counts as
+serviced at arrival).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from itertools import islice
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.common.config import SystemConfig
+from repro.common.errors import ConfigError, SimulationError
+from repro.common.stats import LatencyHistogram, StatsCollector
+from repro.devices.base import DeviceAlias
+from repro.devices.ring import DescriptorRing
+from repro.isa.assembler import assemble
+from repro.memory.layout import PageAttr, Region
+from repro.observability.metrics import MetricsSnapshot
+from repro.sim.system import System
+from repro.workloads.spec import TraceWorkload
+from repro.workloads.traces.compile import (
+    CompiledWindow,
+    compile_window,
+    ring_combining_region,
+    ring_region,
+)
+from repro.workloads.traces.format import TraceRecord, open_trace
+from repro.workloads.traces.synth import parse_synth_spec, synthesize
+
+#: Transaction kinds that carry trace payload (everything else on the bus
+#: — refills, write-backs, DMA — is infrastructure, not replayed I/O).
+PAYLOAD_KINDS = ("uncached_store", "csb_flush")
+
+
+@dataclass
+class ReplayResult:
+    """What a completed replay produced."""
+
+    #: Records replayed to completion.
+    replayed: int
+    #: CPU cycles the run took.
+    cycles: int
+    #: Trace windows streamed.
+    windows: int
+    #: Per-record latency (CPU cycles), bounded memory.
+    histogram: LatencyHistogram
+    #: The run's full stats (transactions condensed).
+    stats: StatsCollector
+    #: The descriptor rings, index == device id.
+    rings: List[DescriptorRing] = field(default_factory=list)
+    #: Full metrics snapshot with :attr:`latency` folded in.
+    metrics: Optional["MetricsSnapshot"] = None
+
+    @property
+    def latency(self) -> Dict[str, int]:
+        """Tail percentiles, ``{"p50": ..., ..., "p99.9": ...}``."""
+        return self.histogram.percentiles()
+
+
+class TraceReplay:
+    """Streams one trace workload through a simulated system."""
+
+    def __init__(
+        self,
+        workload: TraceWorkload,
+        config: Optional[SystemConfig] = None,
+        max_cycles: int = 2_000_000_000,
+    ) -> None:
+        self.workload = workload
+        self.config = config or SystemConfig()
+        if self.config.sampling.enabled:
+            raise ConfigError(
+                "trace replay is incompatible with sampled execution "
+                "(every window must run in the detailed tier)"
+            )
+        self.max_cycles = max_cycles
+        self.histogram = LatencyHistogram()
+        self.system = System(self.config)
+        self.rings: List[DescriptorRing] = []
+        self._records = self._open_stream()
+        self._attach_rings()
+        self._pending: List[CompiledWindow] = []
+        self._window_index = 0
+        self._replayed = 0
+
+    # -- construction ---------------------------------------------------------
+
+    def _open_stream(self) -> Iterator[TraceRecord]:
+        workload = self.workload
+        if workload.is_synthetic:
+            spec = parse_synth_spec(workload.source)
+            self._num_devices = workload.devices or spec.devices
+            return synthesize(spec)
+        self._num_devices = workload.devices or 1
+        return open_trace(workload.path())
+
+    def _attach_rings(self) -> None:
+        for device in range(self._num_devices):
+            base, size = ring_region(device)
+            ring = DescriptorRing(
+                Region(base, size, PageAttr.UNCACHED, f"ring{device}"),
+                name=f"ring{device}",
+            )
+            self.system.attach_device(ring)
+            alias_base, alias_size = ring_combining_region(device)
+            self.system.attach_device(
+                DeviceAlias(
+                    Region(
+                        alias_base,
+                        alias_size,
+                        PageAttr.UNCACHED_COMBINING,
+                        f"ring{device}-csb",
+                    ),
+                    ring,
+                )
+            )
+            self.rings.append(ring)
+
+    # -- the streaming loop ---------------------------------------------------
+
+    def run(self) -> ReplayResult:
+        self.system.run_streamed(self._feed, max_cycles=self.max_cycles)
+        self._harvest()  # the last window drained without a further feed
+        self.system.stats.condense_transactions()
+        snapshot = replace(
+            MetricsSnapshot.from_system(self.system),
+            latency=self.histogram.percentiles(),
+        )
+        return ReplayResult(
+            replayed=self._replayed,
+            cycles=self.system.cycle,
+            windows=self._window_index,
+            histogram=self.histogram,
+            stats=self.system.stats,
+            rings=self.rings,
+            metrics=snapshot,
+        )
+
+    def _feed(self, system: System) -> bool:
+        self._harvest()
+        system.stats.condense_transactions()
+        system.scheduler.retire_halted()
+        batch = list(islice(self._records, self.workload.window))
+        if not batch:
+            return False
+        for record in batch:
+            if record.device >= self._num_devices:
+                raise ConfigError(
+                    f"trace record targets device {record.device} but only "
+                    f"{self._num_devices} rings are attached (set the "
+                    f"workload's `devices`)"
+                )
+        # Fast-forward idle gaps: the machine is drained, so if the next
+        # arrival is still in the future nothing would happen until then.
+        if system.cycle < batch[0].timestamp:
+            system.cycle = batch[0].timestamp
+        line_size = self.config.csb.line_size
+        windows = compile_window(
+            batch,
+            self.workload.discipline,
+            self.config.num_cores,
+            line_size=line_size,
+        )
+        for window in windows:
+            system.add_process(
+                assemble(window.source),
+                core_id=window.core_id,
+                name=f"w{self._window_index}c{window.core_id}",
+            )
+        self._pending = windows
+        self._window_index += 1
+        self._replayed += len(batch)
+        return True
+
+    def _harvest(self) -> None:
+        """Attribute the drained window's bus transactions to its records.
+
+        Per core, payload transactions complete in issue order and their
+        ``useful_bytes`` sum to exactly the window's payload (combining
+        may merge bytes of adjacent records into one transaction, but
+        never drops or duplicates any).  Walking the transactions while
+        accumulating useful bytes therefore finds, for each record, the
+        transaction that carried its final byte — that transaction's end
+        is the record's completion time.
+        """
+        if not self._pending:
+            return
+        ratio = self.config.bus.cpu_ratio
+        per_core: Dict[int, List] = {}
+        for record in self.system.stats.transactions:
+            if record.kind in PAYLOAD_KINDS and record.core_id >= 0:
+                per_core.setdefault(record.core_id, []).append(record)
+        for window in self._pending:
+            expectations = iter(window.expectations)
+            current: Optional[Tuple[int, int]] = next(expectations, None)
+            boundary = current[1] if current else 0
+            cumulative = 0
+            for txn in per_core.get(window.core_id, ()):
+                cumulative += txn.useful_bytes
+                while current is not None and cumulative >= boundary:
+                    completion = txn.end_cycle * ratio
+                    self.histogram.add(max(0, completion - current[0]))
+                    current = next(expectations, None)
+                    if current is not None:
+                        boundary += current[1]
+            if current is not None:
+                raise SimulationError(
+                    f"replay window {self._window_index - 1}, core "
+                    f"{window.core_id}: bus transactions carried "
+                    f"{cumulative} payload bytes but the window expected "
+                    f"{boundary} or more"
+                )
+        self._pending = []
+
+
+def replay_trace(
+    workload: TraceWorkload,
+    config: Optional[SystemConfig] = None,
+    max_cycles: int = 2_000_000_000,
+) -> ReplayResult:
+    """Replay ``workload`` to completion and return its results."""
+    return TraceReplay(workload, config, max_cycles).run()

@@ -1,0 +1,182 @@
+"""Latency helpers: histogram, reservoir, and transaction condensation."""
+
+import random
+
+import pytest
+
+from repro.common.stats import (
+    LatencyHistogram,
+    ReservoirSample,
+    StatsCollector,
+    TAIL_PERCENTILES,
+    TransactionRecord,
+    percentile_label,
+)
+
+
+class TestPercentileLabel:
+    def test_integral_percentiles_drop_the_decimal(self):
+        assert percentile_label(50.0) == "p50"
+        assert percentile_label(99.0) == "p99"
+
+    def test_tenths_are_kept(self):
+        assert percentile_label(99.9) == "p99.9"
+
+    def test_tail_set_is_stable(self):
+        assert [percentile_label(p) for p in TAIL_PERCENTILES] == [
+            "p50",
+            "p90",
+            "p95",
+            "p99",
+            "p99.9",
+        ]
+
+
+class TestLatencyHistogram:
+    def test_small_values_are_exact(self):
+        histogram = LatencyHistogram()
+        histogram.extend([5, 1, 3, 2, 4])
+        assert histogram.percentile(50) == 3
+        assert histogram.percentile(100) == 5
+        assert histogram.mean == 3.0
+        assert histogram.max == 5
+
+    def test_matches_nearest_rank_on_sorted_data(self):
+        values = list(range(1, 101))
+        histogram = LatencyHistogram()
+        histogram.extend(values)
+        # Nearest rank: p-th percentile of 1..100 is exactly p.
+        for p in (1, 25, 50, 90, 99, 100):
+            assert histogram.percentile(p) == p
+
+    def test_large_values_quantize_with_bounded_error(self):
+        histogram = LatencyHistogram(precision_bits=10)
+        value = 1_234_567
+        histogram.add(value)
+        got = histogram.percentile(50)
+        assert got <= value
+        assert (value - got) / value < 2 ** (1 - 10)
+
+    def test_bucket_count_stays_bounded(self):
+        histogram = LatencyHistogram(precision_bits=4)
+        rng = random.Random(7)
+        for _ in range(20_000):
+            histogram.add(rng.randrange(1, 1_000_000_000))
+        # 4 significant bits -> at most 16 buckets per power of two.
+        assert len(histogram.buckets) < 16 * 31
+        assert histogram.count == 20_000
+
+    def test_percentiles_dict_shape(self):
+        histogram = LatencyHistogram()
+        assert histogram.percentiles() == {}
+        histogram.add(10)
+        assert histogram.percentiles() == {
+            "p50": 10,
+            "p90": 10,
+            "p95": 10,
+            "p99": 10,
+            "p99.9": 10,
+        }
+
+    def test_rejects_negative_and_empty(self):
+        histogram = LatencyHistogram()
+        with pytest.raises(ValueError):
+            histogram.add(-1)
+        with pytest.raises(ValueError):
+            histogram.percentile(50)
+        histogram.add(1)
+        with pytest.raises(ValueError):
+            histogram.percentile(0)
+        with pytest.raises(ValueError):
+            histogram.percentile(101)
+
+
+class TestReservoirSample:
+    def test_exact_below_capacity(self):
+        reservoir = ReservoirSample(capacity=16)
+        for value in [9, 1, 5, 3]:
+            reservoir.add(value)
+        assert sorted(reservoir.values) == [1, 3, 5, 9]
+        assert reservoir.percentile(50) == 3
+        assert reservoir.percentile(100) == 9
+
+    def test_seeded_and_deterministic(self):
+        def fill(seed):
+            reservoir = ReservoirSample(capacity=8, seed=seed)
+            for value in range(1000):
+                reservoir.add(value)
+            return reservoir.values
+
+        assert fill(3) == fill(3)
+        assert fill(3) != fill(4)
+
+    def test_capacity_bound_holds(self):
+        reservoir = ReservoirSample(capacity=8, seed=0)
+        for value in range(10_000):
+            reservoir.add(value)
+        assert len(reservoir.values) == 8
+        assert reservoir.count == 10_000
+
+    def test_empty_percentile_raises(self):
+        with pytest.raises(ValueError):
+            ReservoirSample().percentile(50)
+
+
+def _record(start, end, size, kind="uncached_store", core=0, useful=None):
+    return TransactionRecord(
+        start_cycle=start,
+        end_cycle=end,
+        address=0x3000_0000,
+        size=size,
+        useful_bytes=size if useful is None else useful,
+        kind=kind,
+        burst=size > 8,
+        core_id=core,
+    )
+
+
+def _populate(stats):
+    stats.record_transaction(_record(10, 12, 8, core=0))
+    stats.record_transaction(_record(20, 28, 64, kind="csb_flush", core=1))
+    stats.record_transaction(_record(40, 44, 32, kind="refill", core=-1))
+
+
+class TestCondenseTransactions:
+    def test_analysis_is_identical_after_condensing(self):
+        live = StatsCollector()
+        condensed = StatsCollector()
+        _populate(live)
+        _populate(condensed)
+        assert condensed.condense_transactions() == 3
+        assert condensed.transactions == []
+        for method in (
+            "size_histogram",
+            "bytes_by_kind",
+            "transactions_by_core",
+            "bus_busy_cycles",
+            "bus_utilization",
+            "efficiency",
+        ):
+            assert getattr(condensed, method)() == getattr(live, method)()
+
+    def test_condense_merges_with_later_records(self):
+        stats = StatsCollector()
+        _populate(stats)
+        stats.condense_transactions()
+        stats.record_transaction(_record(50, 52, 8, core=0))
+        assert stats.transaction_count == 4
+        assert stats.transactions_by_core()[0]["transactions"] == 2
+        assert stats.size_histogram()[8] == 2
+
+    def test_repeated_condense_is_idempotent(self):
+        stats = StatsCollector()
+        _populate(stats)
+        stats.condense_transactions()
+        assert stats.condense_transactions() == 0
+        assert stats.transaction_count == 3
+
+    def test_transaction_count_without_condensing(self):
+        stats = StatsCollector()
+        assert stats.transaction_count == 0
+        _populate(stats)
+        assert stats.transaction_count == 3

@@ -1,0 +1,218 @@
+"""Streaming trace replay end to end: disciplines, determinism,
+bounded memory, TraceJob plumbing, and the trace experiments."""
+
+import pytest
+
+from repro.common.config import SamplingConfig, SystemConfig
+from repro.common.errors import ConfigError
+from repro.evaluation.runner import (
+    ResultCache,
+    SweepRunner,
+    TraceJob,
+    execute_job,
+    job_key,
+)
+from repro.workloads.spec import TraceWorkload
+from repro.workloads.traces import TraceReplay, replay_trace
+
+STEADY = "synth:n=300,seed=11,gap=80,devices=2,sizes=8:3/64:1"
+
+
+def workload(discipline="csb", window=64, source=STEADY, devices=0):
+    return TraceWorkload(
+        name=f"test-{discipline}",
+        source=source,
+        discipline=discipline,
+        window=window,
+        devices=devices,
+    )
+
+
+class TestReplayEndToEnd:
+    @pytest.mark.parametrize("discipline", ["csb", "lock", "uncached"])
+    def test_replays_to_completion(self, discipline):
+        result = replay_trace(workload(discipline))
+        assert result.replayed == 300
+        assert result.windows == 5
+        assert result.histogram.count == 300
+        assert result.cycles > 0
+        assert sum(ring.enqueued for ring in result.rings) > 0
+        assert result.metrics is not None
+        assert set(result.metrics.latency) == {
+            "p50",
+            "p90",
+            "p95",
+            "p99",
+            "p99.9",
+        }
+        assert result.latency == result.metrics.latency
+
+    def test_bundled_trace_replays(self):
+        result = replay_trace(
+            TraceWorkload(
+                name="bundled",
+                source="bundled:sample",
+                discipline="uncached",
+                devices=2,
+            )
+        )
+        assert result.replayed == 240
+
+    def test_smp_replay_completes(self):
+        result = replay_trace(workload("csb"), SystemConfig(num_cores=2))
+        assert result.replayed == 300
+        assert result.histogram.count == 300
+
+    def test_identical_runs_are_byte_identical(self):
+        first = replay_trace(workload("csb"))
+        second = replay_trace(workload("csb"))
+        assert first.cycles == second.cycles
+        assert first.histogram.buckets == second.histogram.buckets
+        assert first.stats.as_dict() == second.stats.as_dict()
+        assert first.metrics.to_dict() == second.metrics.to_dict()
+
+    def test_memory_stays_bounded_while_streaming(self):
+        replay = TraceReplay(workload("uncached", window=32))
+        result = replay.run()
+        assert result.windows == 10
+        # Condensation folded the per-record transaction list away...
+        assert len(result.stats.transactions) == 0
+        # ...without losing the counts...
+        assert result.stats.transaction_count >= 300
+        # ...and the halted window contexts were retired as it went.
+        assert len(replay.system.scheduler.processes) <= 1
+
+    def test_idle_gaps_are_skipped(self):
+        sparse = "synth:n=20,seed=3,gap=50000,devices=1"
+        result = replay_trace(workload("uncached", window=4, source=sparse))
+        # 20 arrivals ~50k CPU cycles apart: simulating every idle cycle
+        # would take ~1M bus cycles; the skip lands us near the span.
+        assert result.cycles * 6 > 500_000
+        assert result.replayed == 20
+
+    def test_undeclared_device_raises(self):
+        with pytest.raises(ConfigError):
+            replay_trace(workload("uncached", devices=1))
+
+    def test_sampling_config_rejected(self):
+        config = SystemConfig(sampling=SamplingConfig(enabled=True))
+        with pytest.raises(ConfigError):
+            TraceReplay(workload(), config)
+
+
+class TestTraceJob:
+    def job(self, measurement="latency_p99", args=(), discipline="csb"):
+        return TraceJob(
+            config=SystemConfig(),
+            workload=workload(discipline),
+            measurement=measurement,
+            args=args,
+        )
+
+    def test_percentile_measurements(self):
+        p50 = execute_job(self.job("latency_p50"))
+        p99 = execute_job(self.job("latency_p99"))
+        assert 0 <= p50 <= p99
+
+    def test_counting_and_ring_measurements(self):
+        assert execute_job(self.job("transactions")) == 300
+        assert execute_job(self.job("cycles")) > 0
+        share0 = execute_job(self.job("device_share", args=("0",)))
+        share1 = execute_job(self.job("device_share", args=("1",)))
+        assert share0 + share1 == pytest.approx(1.0)
+        assert execute_job(self.job("mean_occupancy", args=("0",))) >= 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            self.job("latency_p42")
+        with pytest.raises(ConfigError):
+            self.job("device_share")  # missing device arg
+        with pytest.raises(ConfigError):
+            self.job("device_share", args=("zero",))
+        with pytest.raises(ConfigError):
+            execute_job(self.job("device_share", args=("9",)))
+
+    def test_job_key_is_stable_and_discriminating(self):
+        base = self.job()
+        assert job_key(base) == job_key(self.job())
+        assert job_key(base) != job_key(self.job("latency_p50"))
+        assert job_key(base) != job_key(self.job(discipline="lock"))
+        renamed = TraceJob(
+            config=SystemConfig(),
+            workload=workload("csb"),
+            measurement="latency_p99",
+            name="renamed",
+        )
+        assert job_key(base) == job_key(renamed)  # names are display-only
+
+class TestTraceJobThroughTheRunner:
+    def jobs(self):
+        return [
+            TraceJob(
+                config=SystemConfig(),
+                workload=workload(discipline),
+                measurement=measurement,
+            )
+            for discipline in ("csb", "uncached")
+            for measurement in ("latency_p99", "transactions")
+        ]
+
+    def test_parallel_and_cached_match_serial(self, tmp_path):
+        serial = SweepRunner(jobs=1, cache=None).run(self.jobs())
+        parallel = SweepRunner(jobs=2, cache=None).run(self.jobs())
+        cache = ResultCache(str(tmp_path / "cache"))
+        warm = SweepRunner(jobs=1, cache=cache)
+        assert warm.run(self.jobs()) == serial
+        cached = SweepRunner(jobs=1, cache=cache)
+        assert cached.run(self.jobs()) == serial
+        assert cached.cache_hits == len(self.jobs())
+        assert parallel == serial
+
+    def test_sampling_falls_back_to_detailed(self):
+        runner = SweepRunner(
+            jobs=1, cache=None, sampling=SamplingConfig(enabled=True)
+        )
+        jobs = self.jobs()[:1]
+        results = runner.run(jobs)
+        assert results == SweepRunner(jobs=1, cache=None).run(jobs)
+        assert runner.sampling_fallbacks
+
+    def test_observed_mode_collects_metrics(self):
+        runner = SweepRunner(jobs=1, cache=None, collect_metrics=True)
+        job = TraceJob(
+            config=SystemConfig(),
+            workload=workload("csb"),
+            measurement="latency_p50",
+            name="observed-trace",
+        )
+        runner.run([job])
+        snapshot = runner.metrics["observed-trace"]
+        assert snapshot.latency
+        assert snapshot.to_dict()["latency"] == snapshot.latency
+
+
+class TestTraceExperiments:
+    def test_registered_and_render(self):
+        from repro.evaluation.experiments import EXPERIMENTS
+
+        assert "trace-saturation" in EXPERIMENTS
+        assert "trace-imbalance" in EXPERIMENTS
+
+    def test_saturation_table_shows_the_knee(self):
+        from repro.evaluation.trace_experiments import trace_saturation_table
+
+        table = trace_saturation_table(gaps=[200, 10])
+        rows = {row[0]: row[1:] for row in table.rows}
+        # Every discipline's tail grows as the gap shrinks.
+        for label, values in rows.items():
+            assert values[-1] > values[0], label
+
+    def test_imbalance_table_concentrates_load(self):
+        from repro.evaluation.trace_experiments import trace_imbalance_table
+
+        table = trace_imbalance_table(skews=[0.0, 2.0])
+        rows = {row[0]: row[1:] for row in table.rows}
+        shares = [rows[f"ring{d}_share"] for d in range(4)]
+        for column in range(2):
+            assert sum(s[column] for s in shares) == pytest.approx(1.0)
+        assert rows["ring0_share"][1] > rows["ring0_share"][0]

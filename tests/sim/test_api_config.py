@@ -1,8 +1,9 @@
-"""The unified-config API surface: overrides mappings, shims, fallbacks.
+"""The unified-config API surface: overrides mappings and fallbacks.
 
 ``simulate``/``run_experiment`` take one configuration argument — a full
-SystemConfig or a partial overrides mapping — and the pre-MemoryConfig
-call shapes keep working for one release behind DeprecationWarnings.
+SystemConfig or a partial overrides mapping.  The pre-MemoryConfig call
+shapes (program first, runner as second positional) were shimmed for one
+release and are now rejected outright.
 """
 
 import warnings
@@ -77,28 +78,25 @@ class TestSimulateOverrides:
             simulate({"num_cores": 0}, KERNEL)
 
 
-class TestDeprecatedShims:
-    def test_program_first_is_shimmed_with_warning(self):
-        with pytest.deprecated_call():
-            result = simulate(KERNEL)
-        assert result.system.cycle > 0
+class TestRemovedShims:
+    def test_program_first_is_rejected(self):
+        with pytest.raises(ConfigError):
+            simulate(KERNEL)
 
-    def test_program_then_config_swaps(self):
-        with pytest.deprecated_call():
-            result = simulate(assemble(KERNEL), SystemConfig())
-        assert result.system.cycle > 0
+    def test_program_then_config_is_rejected(self):
+        with pytest.raises(ConfigError):
+            simulate(assemble(KERNEL), SystemConfig())
 
     def test_config_first_warns_nothing(self):
         with warnings.catch_warnings():
             warnings.simplefilter("error")
             simulate(SystemConfig(), KERNEL)
 
-    def test_run_experiment_positional_runner_is_shimmed(self):
+    def test_run_experiment_positional_runner_is_rejected(self):
         from repro.evaluation.runner import default_runner
 
-        with pytest.deprecated_call():
-            table = run_experiment("crossover", default_runner())
-        assert table.rows
+        with pytest.raises(ConfigError):
+            run_experiment("crossover", default_runner())
 
 
 class TestRunExperimentConfig:

@@ -1,0 +1,76 @@
+"""Registry-wide guarantees: every shipped workload spec round-trips
+serialization and yields a stable, collision-free cache key."""
+
+from repro.workloads.registry import (
+    all_workloads,
+    iter_program_workloads,
+    iter_trace_workloads,
+    workload_by_name,
+)
+from repro.workloads.spec import workload_from_dict
+
+import pytest
+
+from repro.common.errors import ConfigError
+
+
+class TestRegistryContents:
+    def test_both_backends_are_registered(self):
+        workloads = all_workloads()
+        kinds = {w.kind for w in workloads}
+        assert kinds == {"program", "trace"}
+        assert len(workloads) > 20
+
+    def test_names_are_unique(self):
+        names = [w.name for w in all_workloads()]
+        assert len(names) == len(set(names))
+
+    def test_every_discipline_is_covered(self):
+        disciplines = {w.discipline for w in iter_trace_workloads()}
+        assert disciplines == {"csb", "lock", "uncached"}
+
+    def test_lookup_by_name(self):
+        workload = workload_by_name("bundled-sample-csb")
+        assert workload.kind == "trace"
+        with pytest.raises(ConfigError):
+            workload_by_name("no-such-workload")
+
+
+class TestRegistryRoundTrip:
+    def test_every_workload_round_trips_serialization(self):
+        for workload in all_workloads():
+            document = workload.to_dict()
+            revived = workload_from_dict(document)
+            assert revived == workload, workload.name
+            assert revived.to_dict() == document, workload.name
+
+    def test_every_cache_key_is_stable_across_the_round_trip(self):
+        for workload in all_workloads():
+            revived = workload_from_dict(workload.to_dict())
+            assert revived.cache_key() == workload.cache_key(), workload.name
+
+    def test_cache_keys_never_collide(self):
+        # Distinct execution content must hash distinctly.  Program specs
+        # that differ only in display name intentionally share keys, so
+        # key on the serialized content minus the name.
+        by_key = {}
+        for workload in all_workloads():
+            document = workload.to_dict()
+            document.pop("name")
+            key = workload.cache_key()
+            if key in by_key:
+                assert by_key[key] == document
+            by_key[key] = document
+        assert len(by_key) > 20
+
+    def test_program_specs_expose_usable_sources(self):
+        from repro.isa.assembler import assemble
+
+        checked = 0
+        for workload in iter_program_workloads():
+            if len(workload.sources) == 1:
+                assemble(workload.source)
+                checked += 1
+            if checked >= 5:
+                break
+        assert checked == 5

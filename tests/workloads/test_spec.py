@@ -1,0 +1,139 @@
+"""Workload specs: validation, serialization, and cache-key semantics."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.workloads.spec import (
+    ProgramWorkload,
+    TraceWorkload,
+    bundled_trace_path,
+    workload_from_dict,
+)
+
+KERNEL = "set 1, %o1\nhalt"
+
+
+class TestProgramWorkload:
+    def test_single_source_property(self):
+        workload = ProgramWorkload(name="k", sources=(("k", KERNEL),))
+        assert workload.source == KERNEL
+        assert workload.kind == "program"
+
+    def test_smp_source_property_raises(self):
+        workload = ProgramWorkload(
+            name="smp", sources=(("a", KERNEL), ("b", KERNEL))
+        )
+        with pytest.raises(ConfigError):
+            workload.source
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            ProgramWorkload(name="", sources=(("k", KERNEL),))
+        with pytest.raises(ConfigError):
+            ProgramWorkload(name="k", sources=())
+        with pytest.raises(ConfigError):
+            ProgramWorkload(name="k", sources=(("only-name",),))
+        with pytest.raises(ConfigError):
+            ProgramWorkload(
+                name="k", sources=(("k", KERNEL),), span=("one",)
+            )
+
+    def test_round_trip(self):
+        workload = ProgramWorkload(
+            name="fig5",
+            sources=(("fig5", KERNEL),),
+            warm=(0x8000,),
+            span=("START", "DONE"),
+        )
+        assert workload_from_dict(workload.to_dict()) == workload
+
+    def test_cache_key_ignores_display_name(self):
+        a = ProgramWorkload(name="a", sources=(("p", KERNEL),))
+        b = ProgramWorkload(name="b", sources=(("p", KERNEL),))
+        assert a.cache_key() == b.cache_key()
+
+    def test_cache_key_tracks_content(self):
+        base = ProgramWorkload(name="k", sources=(("k", KERNEL),))
+        other = ProgramWorkload(name="k", sources=(("k", KERNEL + "\nhalt"),))
+        warmed = ProgramWorkload(
+            name="k", sources=(("k", KERNEL),), warm=(0x8000,)
+        )
+        assert base.cache_key() != other.cache_key()
+        assert base.cache_key() != warmed.cache_key()
+
+
+class TestTraceWorkload:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            TraceWorkload(name="t", source="")
+        with pytest.raises(ConfigError):
+            TraceWorkload(name="t", source="synth:n=1", discipline="mmio")
+        with pytest.raises(ConfigError):
+            TraceWorkload(name="t", source="synth:n=1", window=0)
+        with pytest.raises(ConfigError):
+            TraceWorkload(name="t", source="synth:n=1", devices=-1)
+
+    def test_source_kinds(self):
+        synth = TraceWorkload(name="s", source="synth:n=10")
+        bundled = TraceWorkload(name="b", source="bundled:sample")
+        file = TraceWorkload(name="f", source="/tmp/x.trace")
+        assert synth.is_synthetic and not synth.is_bundled
+        assert bundled.is_bundled and not bundled.is_synthetic
+        assert not file.is_synthetic and not file.is_bundled
+        with pytest.raises(ConfigError):
+            synth.path()
+        assert bundled.path() == bundled_trace_path("sample")
+        assert file.path() == "/tmp/x.trace"
+
+    def test_round_trip(self):
+        workload = TraceWorkload(
+            name="t",
+            source="synth:n=100,seed=3",
+            discipline="lock",
+            window=64,
+            devices=2,
+        )
+        assert workload_from_dict(workload.to_dict()) == workload
+
+    def test_cache_key_is_content_addressed(self, tmp_path):
+        # Byte-identical trace files at different paths share a key.
+        bundled = bundled_trace_path("sample")
+        with open(bundled, "r", encoding="utf-8") as handle:
+            content = handle.read()
+        copy = tmp_path / "copy.trace"
+        copy.write_text(content)
+        via_bundle = TraceWorkload(name="a", source="bundled:sample")
+        via_copy = TraceWorkload(name="b", source=str(copy))
+        assert via_bundle.cache_key() == via_copy.cache_key()
+
+    def test_cache_key_tracks_replay_parameters(self):
+        base = TraceWorkload(name="t", source="synth:n=10")
+        assert (
+            base.cache_key()
+            != TraceWorkload(
+                name="t", source="synth:n=10", discipline="lock"
+            ).cache_key()
+        )
+        assert (
+            base.cache_key()
+            != TraceWorkload(
+                name="t", source="synth:n=10", window=8
+            ).cache_key()
+        )
+        assert (
+            base.cache_key()
+            != TraceWorkload(name="t", source="synth:n=11").cache_key()
+        )
+
+
+class TestBundledTraces:
+    def test_bad_names_rejected(self):
+        for name in ("", "../etc/passwd", ".hidden", "a/b"):
+            with pytest.raises(ConfigError):
+                bundled_trace_path(name)
+        with pytest.raises(ConfigError):
+            bundled_trace_path("no-such-trace")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigError):
+            workload_from_dict({"kind": "quantum"})

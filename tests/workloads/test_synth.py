@@ -1,0 +1,123 @@
+"""Synthetic trace generation: grammar, determinism, distributions."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.workloads.traces.format import validate_record
+from repro.workloads.traces.synth import (
+    SynthSpec,
+    parse_synth_spec,
+    synthesize,
+)
+
+
+class TestGrammar:
+    def test_full_spec_parses(self):
+        spec = parse_synth_spec(
+            "synth:n=100,seed=7,arrival=bursty,gap=50,burst=4,"
+            "devices=3,skew=1.5,sizes=8:3/64:1"
+        )
+        assert spec == SynthSpec(
+            n=100,
+            seed=7,
+            arrival="bursty",
+            gap=50.0,
+            burst=4,
+            devices=3,
+            skew=1.5,
+            sizes=((8, 3.0), (64, 1.0)),
+        )
+
+    def test_defaults(self):
+        spec = parse_synth_spec("synth:n=10")
+        assert spec.seed == 1
+        assert spec.arrival == "poisson"
+        assert spec.sizes == ((8, 1.0),)
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "n=10",  # missing prefix
+            "synth:",  # empty body
+            "synth:seed=1",  # missing n
+            "synth:n=0",
+            "synth:n=10,arrival=warp",
+            "synth:n=10,gap=0",
+            "synth:n=10,burst=0",
+            "synth:n=10,devices=0",
+            "synth:n=10,devices=65",
+            "synth:n=10,skew=-1",
+            "synth:n=10,sizes=12:1",
+            "synth:n=10,sizes=8:0",
+            "synth:n=10,sizes=8",
+            "synth:n=10,bogus=1",
+            "synth:n=ten",
+            "synth:n",
+        ],
+    )
+    def test_bad_specs_rejected(self, text):
+        with pytest.raises(ConfigError):
+            parse_synth_spec(text)
+
+
+class TestSynthesize:
+    def test_identical_spec_identical_stream(self):
+        spec = "synth:n=200,seed=5,devices=3,skew=1.0,sizes=8:1/64:1"
+        a = list(synthesize(parse_synth_spec(spec)))
+        b = list(synthesize(parse_synth_spec(spec)))
+        assert a == b
+
+    def test_seed_changes_the_stream(self):
+        a = list(synthesize(parse_synth_spec("synth:n=50,seed=1")))
+        b = list(synthesize(parse_synth_spec("synth:n=50,seed=2")))
+        assert a != b
+
+    def test_every_record_is_valid_and_monotone(self):
+        spec = parse_synth_spec(
+            "synth:n=500,seed=9,arrival=bursty,burst=8,devices=4,"
+            "skew=2.0,sizes=8:1/64:1/4096:1"
+        )
+        previous = -1
+        count = 0
+        for record in synthesize(spec):
+            validate_record(record)
+            assert record.timestamp >= previous
+            previous = record.timestamp
+            count += 1
+        assert count == 500
+
+    def test_mean_gap_tracks_the_spec(self):
+        spec = parse_synth_spec("synth:n=4000,seed=3,gap=100")
+        records = list(synthesize(spec))
+        mean = records[-1].timestamp / len(records)
+        assert 90 < mean < 110
+
+    def test_skew_concentrates_low_devices(self):
+        def share_of_device0(skew):
+            spec = parse_synth_spec(
+                f"synth:n=4000,seed=3,devices=4,skew={skew}"
+            )
+            hits = sum(1 for r in synthesize(spec) if r.device == 0)
+            return hits / 4000
+
+        assert abs(share_of_device0(0.0) - 0.25) < 0.05
+        assert share_of_device0(2.0) > 0.6
+
+    def test_bursty_shares_arrival_instants(self):
+        spec = parse_synth_spec(
+            "synth:n=64,seed=2,arrival=bursty,burst=8,gap=1000"
+        )
+        records = list(synthesize(spec))
+        timestamps = [r.timestamp for r in records]
+        assert len(set(timestamps)) == 8  # one instant per burst
+
+    def test_size_mixture_weights_hold(self):
+        spec = parse_synth_spec("synth:n=4000,seed=4,sizes=8:3/64:1")
+        records = list(synthesize(spec))
+        small = sum(1 for r in records if r.size == 8)
+        assert abs(small / 4000 - 0.75) < 0.05
+
+    def test_generation_is_lazy(self):
+        spec = parse_synth_spec("synth:n=1000000000,seed=1")
+        stream = synthesize(spec)
+        assert next(stream).op == "write"  # no billion-record list

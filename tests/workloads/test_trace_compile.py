@@ -1,0 +1,121 @@
+"""The trace-window compiler: geometry, idioms, expectations."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.isa.assembler import assemble
+from repro.workloads.traces.compile import (
+    CORE_SLICE,
+    RING_BYTES,
+    compile_window,
+    lock_address,
+    ring_combining_region,
+    ring_region,
+)
+from repro.workloads.traces.format import TraceRecord
+
+
+def records(count=4, device=0, size=8):
+    return [
+        TraceRecord(timestamp=i * 10, op="write", device=device, size=size)
+        for i in range(count)
+    ]
+
+
+class TestGeometry:
+    def test_ring_regions_do_not_overlap(self):
+        spans = [ring_region(d) for d in range(4)]
+        spans += [ring_combining_region(d) for d in range(4)]
+        spans.sort()
+        for (base_a, size_a), (base_b, _) in zip(spans, spans[1:]):
+            assert base_a + size_a <= base_b
+
+    def test_lock_addresses_are_line_separated(self):
+        assert lock_address(1) - lock_address(0) == 64
+
+    def test_rejects_unknown_discipline_and_bad_cores(self):
+        with pytest.raises(ConfigError):
+            compile_window(records(), "mmio", 1)
+        with pytest.raises(ConfigError):
+            compile_window(records(), "csb", 0)
+
+    def test_rejects_too_many_cores_for_the_window(self):
+        with pytest.raises(ConfigError):
+            compile_window(records(), "uncached", RING_BYTES // CORE_SLICE + 1)
+        with pytest.raises(ConfigError):
+            compile_window(records(), "csb", RING_BYTES // 64 + 1)
+
+
+class TestCompilation:
+    @pytest.mark.parametrize("discipline", ["csb", "lock", "uncached"])
+    def test_every_discipline_assembles(self, discipline):
+        mixed = records(3, device=0, size=8) + records(3, device=1, size=64)
+        mixed.sort(key=lambda r: r.timestamp)
+        for window in compile_window(mixed, discipline, 2):
+            program = assemble(window.source)
+            assert list(program)
+
+    def test_round_robin_assignment(self):
+        windows = compile_window(records(5), "uncached", 2)
+        assert [w.core_id for w in windows] == [0, 1]
+        assert len(windows[0].expectations) == 3
+        assert len(windows[1].expectations) == 2
+
+    def test_expectations_carry_arrival_and_size(self):
+        window = compile_window(records(3, size=16), "uncached", 1)[0]
+        assert window.expectations == ((0, 16), (10, 16), (20, 16))
+
+    def test_idle_core_gets_no_program(self):
+        windows = compile_window(records(1), "uncached", 4)
+        assert [w.core_id for w in windows] == [0]
+
+    def test_uncached_stores_stay_in_the_core_slice(self):
+        window = compile_window(records(1, size=4096), "uncached", 2)[0]
+        for line in window.source.splitlines():
+            if line.startswith("stx %l"):
+                offset = int(line.split("+")[1].rstrip("]"))
+                assert 0 <= offset < CORE_SLICE
+
+    def test_core1_slices_are_disjoint_from_core0(self):
+        windows = compile_window(records(4, size=64), "uncached", 2)
+
+        def offsets(window):
+            return {
+                int(line.split("+")[1].rstrip("]"))
+                for line in window.source.splitlines()
+                if line.startswith("stx %l")
+            }
+
+        assert offsets(windows[0]).isdisjoint(offsets(windows[1]))
+
+    def test_lock_brackets_each_record(self):
+        window = compile_window(records(2), "lock", 1)[0]
+        text = window.source
+        assert text.count("swap [%o0]") == 2  # one acquire per record
+        assert text.count("stx %g0, [%o0]") == 2  # one release per record
+        assert text.count("membar") == 4  # two fences per record
+
+    def test_csb_groups_split_at_the_line_size(self):
+        window = compile_window(records(1, size=160), "csb", 1, line_size=64)[0]
+        # 160B = 64 + 64 + 32: three flush groups, each with its own retry.
+        assert window.source.count("! conditional flush") == 3
+        assert "set 8, %l4" in window.source  # full-line group count
+        assert "set 4, %l4" in window.source  # 32B tail group
+
+    def test_csb_cores_get_distinct_backoff_and_stagger(self):
+        windows = compile_window(records(4), "csb", 2)
+        assert "set 1, %l5" in windows[0].source
+        assert "set 3, %l5" in windows[1].source
+        assert ".STAGGER" not in windows[0].source
+        assert ".STAGGER" in windows[1].source
+
+    def test_device_switch_reloads_the_ring_base(self):
+        mixed = [
+            TraceRecord(0, "write", 0, 8),
+            TraceRecord(1, "write", 1, 8),
+            TraceRecord(2, "write", 1, 8),
+        ]
+        window = compile_window(mixed, "uncached", 1)[0]
+        base0, base1 = ring_region(0)[0], ring_region(1)[0]
+        assert window.source.count(f"set {base0}, %o1") == 1
+        assert window.source.count(f"set {base1}, %o1") == 1

@@ -1,0 +1,120 @@
+"""The #csb-trace v1 format: streaming parse, validation, write."""
+
+import io
+import itertools
+
+import pytest
+
+from repro.workloads.traces.format import (
+    MAX_DEVICES,
+    MAX_RECORD_BYTES,
+    TRACE_HEADER,
+    TraceFormatError,
+    TraceRecord,
+    open_trace,
+    parse_trace,
+    write_trace,
+)
+
+GOOD = [
+    TRACE_HEADER,
+    "# a comment",
+    "",
+    "0 write 0 8",
+    "5 write 1 64",
+    "5 write 0 16",
+]
+
+
+class TestParse:
+    def test_parses_records_in_order(self):
+        records = list(parse_trace(GOOD))
+        assert [r.timestamp for r in records] == [0, 5, 5]
+        assert [r.device for r in records] == [0, 1, 0]
+        assert [r.size for r in records] == [8, 64, 16]
+        assert all(r.op == "write" for r in records)
+
+    def test_is_a_lazy_generator(self):
+        def lines():
+            yield TRACE_HEADER
+            for ts in itertools.count():
+                yield f"{ts} write 0 8"
+
+        stream = parse_trace(lines())
+        first = next(stream)
+        assert first.timestamp == 0
+        assert next(stream).timestamp == 1  # infinite input, no collection
+
+    @pytest.mark.parametrize(
+        "lines,fragment",
+        [
+            ([], "missing header"),
+            (["#csb-trace v2"], "bad header"),
+            ([TRACE_HEADER, "1 write 0"], "4 fields"),
+            ([TRACE_HEADER, "x write 0 8"], "non-integer"),
+            ([TRACE_HEADER, "1 read 0 8"], "unknown op"),
+            ([TRACE_HEADER, "-1 write 0 8"], "negative timestamp"),
+            ([TRACE_HEADER, f"1 write {MAX_DEVICES} 8"], "out of range"),
+            ([TRACE_HEADER, "1 write 0 12"], "multiple of 8"),
+            ([TRACE_HEADER, "1 write 0 0"], "multiple of 8"),
+            (
+                [TRACE_HEADER, f"1 write 0 {MAX_RECORD_BYTES + 8}"],
+                "exceeds",
+            ),
+            (
+                [TRACE_HEADER, "9 write 0 8", "3 write 0 8"],
+                "goes backwards",
+            ),
+        ],
+    )
+    def test_malformed_input_raises_with_line_number(self, lines, fragment):
+        with pytest.raises(TraceFormatError) as excinfo:
+            list(parse_trace(lines))
+        assert fragment in str(excinfo.value)
+        assert excinfo.value.line >= 1
+
+    def test_error_carries_the_offending_line(self):
+        with pytest.raises(TraceFormatError) as excinfo:
+            list(parse_trace([TRACE_HEADER, "0 write 0 8", "bad line here"]))
+        assert excinfo.value.line == 3
+
+
+class TestWrite:
+    def test_round_trips_through_a_file(self, tmp_path):
+        records = [
+            TraceRecord(0, "write", 0, 8),
+            TraceRecord(7, "write", 1, 64),
+        ]
+        path = tmp_path / "t.trace"
+        assert write_trace(str(path), records) == 2
+        assert list(open_trace(str(path))) == records
+        text = path.read_text()
+        assert text.splitlines()[0] == TRACE_HEADER
+
+    def test_writes_to_open_stream(self):
+        buffer = io.StringIO()
+        write_trace(buffer, [TraceRecord(0, "write", 0, 8)])
+        assert buffer.getvalue() == f"{TRACE_HEADER}\n0 write 0 8\n"
+
+    def test_validates_while_writing(self):
+        with pytest.raises(TraceFormatError):
+            write_trace(io.StringIO(), [TraceRecord(0, "write", 0, 12)])
+        with pytest.raises(TraceFormatError):
+            write_trace(
+                io.StringIO(),
+                [TraceRecord(5, "write", 0, 8), TraceRecord(1, "write", 0, 8)],
+            )
+
+    def test_empty_trace_is_header_only(self):
+        buffer = io.StringIO()
+        assert write_trace(buffer, []) == 0
+        assert buffer.getvalue() == TRACE_HEADER + "\n"
+
+
+class TestBundledSample:
+    def test_sample_trace_parses_cleanly(self):
+        from repro.workloads.spec import bundled_trace_path
+
+        records = list(open_trace(bundled_trace_path("sample")))
+        assert len(records) == 240
+        assert {r.device for r in records} == {0, 1}
