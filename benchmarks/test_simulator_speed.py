@@ -50,21 +50,11 @@ def test_uncached_store_stream_throughput(benchmark):
 def test_smp_instruction_throughput(benchmark):
     """Four cores contending on the shared bus and CSB — the hot path the
     Cluster/System stepper hoists target."""
-    from repro.workloads.smp import smp_csb_kernel
-    from repro.memory.layout import IO_COMBINING_BASE
+    from tests.conftest import smp_dephased_sources
 
     programs = [
-        assemble(
-            smp_csb_kernel(
-                8,
-                IO_COMBINING_BASE,
-                stagger=core * 40,
-                backoff_base=2 * core + 1,
-                backoff_cap=64 * (core + 1),
-            ),
-            name=f"core{core}",
-        )
-        for core in range(4)
+        assemble(source, name=f"core{core}")
+        for core, source in enumerate(smp_dephased_sources(4, 8))
     ]
 
     def run():

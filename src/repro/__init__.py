@@ -26,7 +26,14 @@ Package layout:
 * :mod:`repro.api` — the stable facade re-exported here
 """
 
-from repro.api import RunResult, experiments, run_experiment, simulate
+from repro.api import (
+    RunResult,
+    experiments,
+    run_campaign,
+    run_experiment,
+    simulate,
+)
+from repro.evaluation.campaign import CampaignManifest, JobSpec
 from repro.common.config import (
     BusConfig,
     CacheConfig,
@@ -49,7 +56,9 @@ __all__ = [
     "BusConfig",
     "CSBConfig",
     "CacheConfig",
+    "CampaignManifest",
     "CoreConfig",
+    "JobSpec",
     "MemoryConfig",
     "MemoryHierarchyConfig",
     "Program",
@@ -61,6 +70,7 @@ __all__ = [
     "UncachedBufferConfig",
     "assemble",
     "experiments",
+    "run_campaign",
     "run_experiment",
     "simulate",
     "__version__",

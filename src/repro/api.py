@@ -189,6 +189,27 @@ def experiments() -> List[str]:
     return experiment_ids()
 
 
+def run_campaign(manifest, *, workers: int = 0, cache_dir: Optional[str] = None):
+    """Execute a :class:`~repro.evaluation.campaign.CampaignManifest` and
+    return its ``csb-campaign-1`` results document (a plain dict).
+
+    ``workers=0`` (the default) runs serially in-process; ``workers>=1``
+    shards the manifest's jobs across that many worker processes with
+    crash-requeue — the two paths produce byte-identical documents.
+    ``cache_dir`` names a shared result-cache directory (pooled runs
+    only; the serial path honours the runner's own cache).  See
+    docs/campaigns.md.
+    """
+    from repro.evaluation.campaign import run_campaign as _run_serial
+    from repro.evaluation.service import run_campaign_pooled
+
+    if workers < 0:
+        raise ConfigError("workers must be >= 0")
+    if workers == 0:
+        return _run_serial(manifest)
+    return run_campaign_pooled(manifest, workers=workers, cache_dir=cache_dir)
+
+
 def run_experiment(
     experiment_id: str,
     config: ConfigLike = None,

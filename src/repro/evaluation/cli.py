@@ -745,6 +745,210 @@ def _mc_main(argv: List[str]) -> int:
     return 1 if violating or diverging else 0
 
 
+def _campaign_parser() -> argparse.ArgumentParser:
+    from repro.evaluation.service import default_state_dir
+
+    parser = argparse.ArgumentParser(
+        prog="csb-figures campaign",
+        description=(
+            "Run, serve, and inspect campaign manifests: content-"
+            "addressed bundles of simulation jobs executed by a "
+            "crash-tolerant worker pool and published over a stdlib "
+            "HTTP/JSON API (see docs/campaigns.md)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(command: argparse.ArgumentParser) -> None:
+        command.add_argument(
+            "--workers",
+            type=int,
+            default=2,
+            metavar="N",
+            help="worker processes in the pool (default 2)",
+        )
+        command.add_argument(
+            "--cache-dir",
+            metavar="DIR",
+            default=default_cache_dir(),
+            help=(
+                "shared result cache directory "
+                "(default: $CSB_CACHE_DIR or ~/.cache/csb-figures)"
+            ),
+        )
+        command.add_argument(
+            "--no-cache",
+            action="store_true",
+            help="neither read nor write the result cache",
+        )
+        command.add_argument(
+            "--state-dir",
+            metavar="DIR",
+            default=default_state_dir(),
+            help=(
+                "campaign store directory "
+                "(default: $CSB_STATE_DIR or ~/.local/state/csb-campaigns)"
+            ),
+        )
+
+    run = sub.add_parser(
+        "run",
+        help="execute one manifest through the worker pool",
+        description=(
+            "Execute a campaign manifest (a JSON file, or '-' for stdin) "
+            "through the worker pool, store its csb-campaign-1 results "
+            "document under the state directory, and print it.  SIGTERM "
+            "drains gracefully: in-flight jobs finish, the rest are "
+            "reported 'drained'."
+        ),
+    )
+    run.add_argument(
+        "manifest", metavar="FILE", help="manifest JSON path, or '-'"
+    )
+    common(run)
+    run.add_argument(
+        "--max-requeues",
+        type=int,
+        default=None,
+        metavar="N",
+        help="crash-requeue budget per job (default 2)",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve the campaign HTTP/JSON API",
+        description=(
+            "Serve GET /campaigns, GET /campaigns/<key>, "
+            "GET /campaigns/<key>/results and POST /campaigns, executing "
+            "queued campaigns in the background.  SIGTERM/SIGINT drain "
+            "and shut down."
+        ),
+    )
+    common(serve)
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=8731, help="bind port (default 8731)"
+    )
+
+    status = sub.add_parser(
+        "status",
+        help="inspect stored campaigns",
+        description=(
+            "With no key: list every stored campaign.  With a key: print "
+            "that campaign's status document as JSON."
+        ),
+    )
+    status.add_argument(
+        "key", nargs="?", default=None, help="campaign key (64 hex chars)"
+    )
+    common(status)
+
+    sub.add_parser(
+        "example",
+        help="print an example campaign manifest",
+        description=(
+            "Print a small ready-to-run manifest (program-bandwidth and "
+            "trace-replay jobs) to feed 'campaign run' or POST /campaigns."
+        ),
+    )
+    return parser
+
+
+def _campaign_main(argv: List[str]) -> int:
+    import signal
+    import threading
+
+    from repro.common.errors import ConfigError, ReproError
+    from repro.evaluation.campaign import (
+        CampaignManifest,
+        example_manifest,
+        results_to_json,
+    )
+    from repro.evaluation.service import (
+        CampaignService,
+        CampaignStore,
+        serve,
+    )
+
+    args = _campaign_parser().parse_args(argv)
+    if args.command == "example":
+        print(example_manifest().to_json(), end="")
+        return 0
+    cache_dir = None if args.no_cache else args.cache_dir
+    log = lambda message: print(message, file=sys.stderr)  # noqa: E731
+    if args.command == "run":
+        try:
+            if args.manifest == "-":
+                text = sys.stdin.read()
+            else:
+                with open(args.manifest, "r", encoding="utf-8") as handle:
+                    text = handle.read()
+            manifest = CampaignManifest.from_json(text)
+        except (OSError, ConfigError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        store = CampaignStore(args.state_dir)
+        key = store.enqueue(manifest)
+        drain = threading.Event()
+        signal.signal(signal.SIGTERM, lambda s, f: drain.set())
+        service = CampaignService(
+            store,
+            workers=args.workers,
+            cache_dir=cache_dir,
+            log=log,
+            **(
+                {"max_requeues": args.max_requeues}
+                if args.max_requeues is not None
+                else {}
+            ),
+        )
+        service.drain = drain
+        try:
+            body = store.results_bytes(key)
+            if body is None:
+                service.run_one(key)
+                body = store.results_bytes(key)
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        status = store.status(key) or {}
+        if body is None:
+            print(
+                f"campaign {key}: {status.get('state', 'unknown')}",
+                file=sys.stderr,
+            )
+            return 1
+        sys.stdout.write(body.decode("utf-8"))
+        return 0
+    store = CampaignStore(args.state_dir)
+    if args.command == "serve":
+        service = CampaignService(
+            store, workers=args.workers, cache_dir=cache_dir, log=log
+        )
+        return serve(service, host=args.host, port=args.port)
+    # status
+    if args.key is None:
+        documents = [store.describe(key) for key in store.keys()]
+        print(
+            json.dumps(
+                {"campaigns": [d for d in documents if d is not None]},
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return 0
+    try:
+        description = store.describe(args.key)
+    except ConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if description is None:
+        print(f"error: no campaign {args.key}", file=sys.stderr)
+        return 2
+    print(json.dumps(description, indent=2, sort_keys=True))
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "profile":
@@ -755,6 +959,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _mc_main(argv[1:])
     if argv and argv[0] == "replay":
         return _replay_main(argv[1:])
+    if argv and argv[0] == "campaign":
+        return _campaign_main(argv[1:])
     args = _parser().parse_args(argv)
     ids = experiment_ids()
     if args.list:

@@ -35,9 +35,26 @@ import hashlib
 import json
 import os
 import sys
+import tempfile
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from contextlib import contextmanager
 from dataclasses import dataclass, replace
-from typing import Callable, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import (
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+try:  # advisory cache locking (POSIX only; the cache degrades gracefully)
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
 
 from repro.common.config import SamplingConfig, SystemConfig
 from repro.common.errors import ConfigError
@@ -332,33 +349,123 @@ def experiment_key(experiment_id: str, variant: str = "") -> str:
     return _digest(document)
 
 
+def entry_digest(document: dict) -> str:
+    """Integrity digest of a cache entry: SHA-256 of the canonical JSON of
+    everything except the ``sha256`` field itself."""
+    payload = {k: v for k, v in document.items() if k != "sha256"}
+    return _digest(payload)
+
+
 class ResultCache:
     """Content-addressed result store: one small JSON file per job key.
 
-    Entries are written atomically (temp file + rename) so a killed run
-    never leaves a readable-but-torn entry; anything unreadable or
-    malformed is silently treated as a miss and recomputed.
+    Durability and integrity (the shared-store contract the campaign
+    service relies on — see docs/campaigns.md):
+
+    * **Atomic writes** — entries land via an fsynced temp file +
+      ``os.replace``, so a worker killed mid-write can never leave a
+      truncated entry under a final name.
+    * **Integrity verification** — every entry carries a SHA-256 over its
+      canonical payload, checked on read.  A corrupt or torn entry is
+      *evicted* (deleted) and counted in :attr:`integrity_failures`, then
+      recomputed as an ordinary miss — it is never served.  Entries
+      written before the digest existed verify as legacy and still hit.
+    * **Byte-budget LRU eviction** — with ``max_bytes`` set, every store
+      evicts least-recently-used entries (file mtime; reads touch) until
+      the directory fits the budget.  Evictions are counted in
+      :attr:`evictions`; the entry just written always survives.
+    * **Advisory locking** — mutations take an ``flock`` on
+      ``<dir>/.lock`` so concurrent runners sharing a cache directory
+      never interleave eviction scans and writes.  Readers stay lock-free
+      (atomic replace makes every read a consistent snapshot).
+
+    A read-only or full cache directory must never fail a sweep: all
+    write-path OSErrors degrade to "no cache".
     """
 
-    def __init__(self, directory: str) -> None:
+    def __init__(self, directory: str, max_bytes: Optional[int] = None) -> None:
+        if max_bytes is not None and max_bytes < 1:
+            raise ConfigError("cache max_bytes must be >= 1 when set")
         self.directory = directory
+        self.max_bytes = max_bytes
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.evictions = 0
+        self.integrity_failures = 0
         os.makedirs(directory, exist_ok=True)
 
     def _path(self, key: str) -> str:
         return os.path.join(self.directory, f"{key}.json")
 
+    @contextmanager
+    def _lock(self) -> Iterator[None]:
+        """Advisory exclusive lock over cache mutations (best effort)."""
+        if fcntl is None:
+            yield
+            return
+        try:
+            handle = open(os.path.join(self.directory, ".lock"), "a")
+        except OSError:
+            yield
+            return
+        try:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+            yield
+        finally:
+            handle.close()  # closing releases the flock
+
+    def _load(self, key: str) -> Optional[dict]:
+        """Read and integrity-check one entry document.
+
+        Missing file: plain miss.  Unparseable file or digest mismatch:
+        integrity failure — the entry is deleted so it is recomputed
+        (and rewritten healthy) instead of failing forever.
+        """
+        path = self._path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                raw = handle.read()
+        except OSError:
+            self.misses += 1
+            return None
+        try:
+            document = json.loads(raw)
+            if not isinstance(document, dict):
+                raise ValueError("cache entry must be a JSON object")
+            recorded = document.get("sha256")
+            if recorded is not None and recorded != entry_digest(document):
+                raise ValueError("cache entry digest mismatch")
+        except ValueError:
+            self.integrity_failures += 1
+            self.misses += 1
+            self._evict(path)
+            return None
+        self._touch(path)
+        return document
+
+    def _touch(self, path: str) -> None:
+        try:
+            os.utime(path, None)
+        except OSError:
+            pass
+
+    def _evict(self, path: str) -> None:
+        try:
+            os.remove(path)
+        except OSError:
+            pass
+
     def get(self, key: str) -> Optional[Result]:
         """The cached result for ``key``, or None (counted as a miss)."""
+        document = self._load(key)
+        if document is None:
+            return None
         try:
-            with open(self._path(key), "r", encoding="utf-8") as handle:
-                document = json.load(handle)
             value = document["value"]
             if not isinstance(value, (int, float)) or isinstance(value, bool):
                 raise ValueError(f"bad cached value {value!r}")
-        except (OSError, ValueError, KeyError, TypeError):
+        except (ValueError, KeyError, TypeError):
             self.misses += 1
             return None
         self.hits += 1
@@ -369,11 +476,12 @@ class ResultCache:
 
     def get_table(self, key: str) -> Optional[Table]:
         """The cached table for ``key``, or None (counted as a miss)."""
+        document = self._load(key)
+        if document is None:
+            return None
         try:
-            with open(self._path(key), "r", encoding="utf-8") as handle:
-                document = json.load(handle)
             table = Table.from_dict(document["table"])
-        except (OSError, ValueError, KeyError, TypeError):
+        except (ValueError, KeyError, TypeError):
             self.misses += 1
             return None
         self.hits += 1
@@ -385,19 +493,76 @@ class ResultCache:
         )
 
     def _write(self, key: str, document: dict) -> None:
+        document = dict(document)
+        document["sha256"] = entry_digest(document)
         path = self._path(key)
-        temporary = f"{path}.tmp.{os.getpid()}"
         try:
-            with open(temporary, "w", encoding="utf-8") as handle:
-                json.dump(document, handle)
-            os.replace(temporary, path)
-            self.stores += 1
+            with self._lock():
+                fd, temporary = tempfile.mkstemp(
+                    dir=self.directory, suffix=".tmp"
+                )
+                try:
+                    with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                        json.dump(document, handle)
+                        handle.flush()
+                        os.fsync(handle.fileno())
+                    os.replace(temporary, path)
+                except OSError:
+                    try:
+                        os.remove(temporary)
+                    except OSError:
+                        pass
+                    return
+                self.stores += 1
+                self._evict_over_budget(keep=path)
         except OSError:
             # A read-only or full cache directory must never fail a sweep.
+            return
+
+    def _evict_over_budget(self, keep: str) -> None:
+        """Delete least-recently-used entries until the budget holds.
+
+        The entry at ``keep`` (the one just written) is never evicted —
+        a cache that immediately drops what it stores would silently
+        disable itself when one entry exceeds the budget.
+        """
+        if self.max_bytes is None:
+            return
+        entries = []
+        total = 0
+        for filename in os.listdir(self.directory):
+            if not filename.endswith(".json"):
+                continue
+            path = os.path.join(self.directory, filename)
             try:
-                os.remove(temporary)
+                status = os.stat(path)
             except OSError:
-                pass
+                continue
+            entries.append((status.st_mtime_ns, path, status.st_size))
+            total += status.st_size
+        entries.sort()
+        for _, path, size in entries:
+            if total <= self.max_bytes:
+                break
+            if path == keep:
+                continue
+            try:
+                os.remove(path)
+            except OSError:
+                continue
+            total -= size
+            self.evictions += 1
+
+    def stats(self) -> Dict[str, int]:
+        """Counter snapshot in the ``cache.*`` namespace (the names the
+        campaign status endpoint and docs/campaigns.md use)."""
+        return {
+            "cache.hits": self.hits,
+            "cache.misses": self.misses,
+            "cache.stores": self.stores,
+            "cache.evictions": self.evictions,
+            "cache.integrity_failures": self.integrity_failures,
+        }
 
 
 class SweepRunner:

@@ -5,10 +5,11 @@ deadlock, livelock)."""
 
 import pytest
 
-from repro.analysis import lint_source, lint_targets
+from repro.analysis import lint_source
+from tests.conftest import registry_targets
 
 
-TARGETS = lint_targets()
+TARGETS = list(registry_targets().values())
 
 
 def test_registry_is_nonempty_and_names_are_unique():

@@ -63,6 +63,62 @@ def run_asm(
     return system
 
 
+def registry_targets() -> dict:
+    """The shipped-kernel lint registry, walked once: ``name -> target``.
+
+    The single canonical walk behind every suite that sweeps "all
+    registered kernels" (disassembler round-trips, fast-forward
+    differentials, the lint gate, campaign manifests over the registry).
+    """
+    from repro.analysis.registry import lint_targets
+
+    return {target.name: target for target in lint_targets()}
+
+
+def registry_source_params() -> list:
+    """Every registered kernel's source as a ``pytest.param`` id'd by
+    its registry name, for ``@pytest.mark.parametrize``."""
+    return [
+        pytest.param(target.source, id=target.name)
+        for target in registry_targets().values()
+    ]
+
+
+def smp_dephased_sources(
+    num_cores: int,
+    iterations: int,
+    base: Optional[int] = None,
+    n_doublewords: int = 8,
+    **kwargs,
+) -> list:
+    """Per-core de-phased SMP CSB kernel sources for an N-core system.
+
+    Encodes the repo-wide contention idiom in one place: every core gets
+    a distinct entry stagger, backoff base, and backoff cap (identical
+    bases would lock the deterministic cores' retry periods in phase and
+    livelock — see :func:`repro.workloads.smp.smp_csb_kernel`), plus a
+    distinct payload signature so device logs can attribute lines.
+    """
+    from repro.memory.layout import IO_COMBINING_BASE
+    from repro.workloads.smp import DEFAULT_STAGGER_STEP, smp_csb_kernel
+
+    if base is None:
+        base = IO_COMBINING_BASE
+    return [
+        smp_csb_kernel(
+            iterations,
+            base,
+            n_doublewords=n_doublewords,
+            signature=(core + 1) << 16,
+            stagger=core * DEFAULT_STAGGER_STEP,
+            backoff_base=2 * core + 1,
+            backoff_cap=64 * (core + 1),
+            **kwargs,
+        )
+        for core in range(num_cores)
+    ]
+
+
 @pytest.fixture
 def stats() -> StatsCollector:
     return StatsCollector()

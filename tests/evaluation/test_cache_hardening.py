@@ -1,0 +1,182 @@
+"""ResultCache hardening: atomic writes, integrity checks, LRU eviction.
+
+The shared-store contract the campaign service relies on: a killed
+writer can never leave a truncated entry under a final name, a corrupt
+entry is detected, evicted, recomputed, and counted — never served — and
+a byte budget is enforced in least-recently-used order.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.evaluation.runner import ResultCache, entry_digest
+
+
+def entry_path(cache, key):
+    return os.path.join(cache.directory, f"{key}.json")
+
+
+def corrupt_value(cache, key, value=99.0):
+    """Edit an entry's payload without refreshing its digest."""
+    path = entry_path(cache, key)
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    document["value"] = value
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle)
+
+
+class TestIntegrity:
+    def test_corrupt_entry_detected_evicted_and_counted(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        cache.put("k", 1.25)
+        corrupt_value(cache, "k")
+        assert cache.get("k") is None  # never served
+        assert cache.integrity_failures == 1
+        assert not os.path.exists(entry_path(cache, "k"))  # evicted
+        # Recompute path: a fresh put makes the key healthy again.
+        cache.put("k", 1.25)
+        assert cache.get("k") == 1.25
+        assert cache.integrity_failures == 1
+
+    def test_truncated_entry_is_an_integrity_failure(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        cache.put("k", 2.0)
+        with open(entry_path(cache, "k"), "w", encoding="utf-8") as handle:
+            handle.write('{"version": "csb-sim')  # torn JSON
+        assert cache.get("k") is None
+        assert cache.integrity_failures == 1
+
+    def test_legacy_entry_without_digest_still_hits(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        with open(entry_path(cache, "old"), "w", encoding="utf-8") as handle:
+            json.dump({"version": "csb-sim-2", "name": "", "value": 3.5}, handle)
+        assert cache.get("old") == 3.5
+        assert cache.integrity_failures == 0
+
+    def test_missing_entry_is_a_plain_miss(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        assert cache.get("absent") is None
+        assert cache.misses == 1
+        assert cache.integrity_failures == 0
+
+    def test_entry_digest_ignores_the_digest_field(self):
+        document = {"version": "v", "name": "", "value": 1.0}
+        stamped = dict(document, sha256=entry_digest(document))
+        assert entry_digest(stamped) == entry_digest(document)
+
+
+class TestAtomicWrites:
+    def test_no_temp_debris_after_normal_writes(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        for i in range(5):
+            cache.put(f"k{i}", float(i))
+        assert not [f for f in os.listdir(tmp_path) if f.endswith(".tmp")]
+
+    def test_kill_mid_write_never_leaves_a_truncated_entry(self, tmp_path):
+        """SIGKILL a writer stuck inside the write path: the final name
+        either doesn't exist or holds a complete, verifiable entry."""
+        import repro
+
+        src_dir = os.path.dirname(os.path.dirname(repro.__file__))
+        script = f"""
+import os, sys
+sys.path.insert(0, {repr(src_dir)})
+import repro.evaluation.runner as runner
+
+real_replace = os.replace
+def slow_replace(src, dst):
+    print("REPLACING", flush=True)
+    import time
+    time.sleep(30)  # parked inside the critical window until SIGKILL
+    real_replace(src, dst)
+
+os.replace = slow_replace
+cache = runner.ResultCache({repr(str(tmp_path))})
+cache.put("victim", 1.0)
+"""
+        process = subprocess.Popen(
+            [sys.executable, "-c", script],
+            stdout=subprocess.PIPE,
+            cwd=os.getcwd(),
+            text=True,
+        )
+        assert process.stdout is not None
+        line = process.stdout.readline()  # writer is inside the window
+        assert "REPLACING" in line
+        os.kill(process.pid, signal.SIGKILL)
+        process.wait(timeout=10)
+        cache = ResultCache(str(tmp_path))
+        # The entry never made it to its final name — a miss, not a
+        # torn read the integrity machinery has to rescue.
+        assert cache.get("victim") is None
+        assert cache.integrity_failures == 0
+        # And a new writer is not blocked by the dead one's lock.
+        cache.put("victim", 2.0)
+        assert cache.get("victim") == 2.0
+
+
+class TestEviction:
+    def entry_size(self, tmp_path):
+        probe = ResultCache(str(tmp_path / "probe"))
+        probe.put("k", 1.0)
+        return os.path.getsize(entry_path(probe, "k"))
+
+    def test_budget_enforced_in_lru_order(self, tmp_path):
+        size = self.entry_size(tmp_path)
+        cache = ResultCache(str(tmp_path), max_bytes=3 * size + 3)
+        stamp = time.time() - 100
+        for i, key in enumerate(("a", "b", "c")):
+            cache.put(key, 1.0)
+            # Deterministic LRU order without sleeping between writes.
+            os.utime(entry_path(cache, key), (stamp + i, stamp + i))
+        # Touch "a": it becomes most-recently-used, so "b" is now oldest.
+        assert cache.get("a") == 1.0
+        cache.put("d", 1.0)
+        assert cache.evictions == 1
+        assert not os.path.exists(entry_path(cache, "b"))
+        for survivor in ("a", "c", "d"):
+            assert os.path.exists(entry_path(cache, survivor)), survivor
+
+    def test_oversized_single_entry_survives_its_own_write(self, tmp_path):
+        cache = ResultCache(str(tmp_path), max_bytes=1)
+        cache.put("big", 1.0)
+        assert cache.get("big") == 1.0  # keep=just-written always survives
+        cache.put("next", 2.0)
+        # The budget still applies to everything else.
+        assert not os.path.exists(entry_path(cache, "big"))
+        assert cache.evictions == 1
+
+    def test_unbudgeted_cache_never_evicts(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        for i in range(10):
+            cache.put(f"k{i}", float(i))
+        assert cache.evictions == 0
+
+    def test_bad_budget_rejected(self, tmp_path):
+        with pytest.raises(ConfigError):
+            ResultCache(str(tmp_path), max_bytes=0)
+
+
+class TestCounters:
+    def test_stats_snapshot_names(self, tmp_path):
+        cache = ResultCache(str(tmp_path), max_bytes=10_000)
+        cache.put("k", 1.0)
+        cache.get("k")
+        cache.get("absent")
+        corrupt_value(cache, "k")
+        cache.get("k")
+        assert cache.stats() == {
+            "cache.hits": 1,
+            "cache.misses": 2,
+            "cache.stores": 1,
+            "cache.evictions": 0,
+            "cache.integrity_failures": 1,
+        }

@@ -1,0 +1,81 @@
+"""Cross-process concurrency stress: one cache directory, many runners.
+
+The satellite contract: worker processes sharing a cache directory over
+the same manifest produce results byte-identical to a serial run, and
+the shared cache keeps duplicate simulations inside a bounded race
+allowance — asserted through the cache hit/miss counters, not timing.
+"""
+
+import threading
+
+from repro.evaluation.campaign import (
+    example_manifest,
+    results_to_json,
+    run_campaign,
+)
+from repro.evaluation.runner import ResultCache, job_key
+from repro.evaluation.service import WorkerPool, run_campaign_pooled
+from tests.evaluation.test_campaign import tiny_manifest
+
+
+class TestSharedCacheStress:
+    def test_pool_vs_serial_byte_identity_with_shared_cache(self, tmp_path):
+        manifest = example_manifest()
+        serial = results_to_json(run_campaign(manifest))
+        cache_dir = str(tmp_path / "cache")
+        for round_number in range(2):  # cold then warm
+            pooled = results_to_json(
+                run_campaign_pooled(manifest, workers=3, cache_dir=cache_dir)
+            )
+            assert pooled == serial, f"diverged on round {round_number}"
+
+    def test_duplicate_simulations_bounded_by_the_race_allowance(
+        self, tmp_path
+    ):
+        manifest = example_manifest()
+        jobs = manifest.expand()
+        distinct = len({job_key(job) for job in jobs})
+        cache_dir = str(tmp_path / "cache")
+        pool = WorkerPool(workers=3, cache_dir=cache_dir)
+        pool.run(jobs)
+        # Every worker checks the cache before simulating; two workers can
+        # race the same key at most once each, so waste is bounded by the
+        # pool width, never by the job count.
+        assert distinct <= pool.simulated <= distinct + pool.workers
+        rerun = WorkerPool(workers=3, cache_dir=cache_dir)
+        rerun.run(jobs)
+        assert rerun.simulated == 0  # warm cache: zero duplicates
+
+    def test_concurrent_pools_on_one_cache_dir_stay_byte_identical(
+        self, tmp_path
+    ):
+        manifest = example_manifest()
+        serial = results_to_json(run_campaign(manifest))
+        cache_dir = str(tmp_path / "cache")
+        documents = [None, None]
+
+        def run(slot):
+            documents[slot] = results_to_json(
+                run_campaign_pooled(manifest, workers=2, cache_dir=cache_dir)
+            )
+
+        threads = [
+            threading.Thread(target=run, args=(slot,)) for slot in (0, 1)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=600)
+        assert documents[0] == serial
+        assert documents[1] == serial
+
+    def test_counters_account_for_every_resolution(self, tmp_path):
+        # hits + simulated must cover every job: nothing silently skipped.
+        jobs = tiny_manifest().expand()
+        cache_dir = str(tmp_path / "cache")
+        first = WorkerPool(workers=2, cache_dir=cache_dir)
+        first.run(jobs)
+        reader = ResultCache(cache_dir)
+        hits = sum(1 for job in jobs if reader.get(job_key(job)) is not None)
+        assert hits == len(jobs)
+        assert first.simulated == len(jobs)

@@ -1,0 +1,170 @@
+"""WorkerPool: sharding, heartbeats, crash-requeue, graceful drain.
+
+Crash injection relies on the fork start method (Linux): the injected
+executor function rides into the child by memory inheritance, and a
+sentinel file on disk distinguishes "first attempt" from "retry".
+"""
+
+import os
+import threading
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.evaluation.campaign import example_manifest, results_to_json, run_campaign
+from repro.evaluation.runner import execute_job
+from repro.evaluation.service import WorkerPool, run_campaign_pooled
+from tests.evaluation.test_campaign import tiny_manifest
+
+
+class TestPooledExecution:
+    def test_pooled_results_byte_identical_to_serial(self, tmp_path):
+        manifest = example_manifest()
+        serial = results_to_json(run_campaign(manifest))
+        pooled = results_to_json(
+            run_campaign_pooled(
+                manifest, workers=2, cache_dir=str(tmp_path / "cache")
+            )
+        )
+        assert pooled == serial
+
+    def test_outcomes_in_input_order_with_worker_attribution(self):
+        pool = WorkerPool(workers=2, heartbeat_interval=0.1)
+        outcomes = pool.run(tiny_manifest().expand())
+        assert [o.index for o in outcomes] == [0, 1]
+        assert all(o.status == "done" and o.worker >= 0 for o in outcomes)
+
+    def test_shared_cache_eliminates_resimulation(self, tmp_path):
+        jobs = tiny_manifest().expand()
+        first = WorkerPool(workers=2, cache_dir=str(tmp_path))
+        first.run(jobs)
+        assert first.simulated == len(jobs)
+        second = WorkerPool(workers=2, cache_dir=str(tmp_path))
+        second.run(jobs)
+        assert second.simulated == 0
+
+    def test_empty_job_list(self):
+        assert WorkerPool(workers=2).run([]) == []
+
+    def test_deterministic_job_error_is_failed_not_requeued(self):
+        def explode(job):
+            raise ValueError("synthetic failure")
+
+        pool = WorkerPool(workers=1, executor=explode, heartbeat_interval=0.1)
+        outcomes = pool.run(tiny_manifest().expand()[:1])
+        assert outcomes[0].status == "failed"
+        assert "synthetic failure" in outcomes[0].error
+        assert outcomes[0].attempts == 1
+        assert pool.requeues == 0
+
+    def test_heartbeats_recorded_per_worker(self):
+        pool = WorkerPool(workers=2, heartbeat_interval=0.05)
+        pool.run(tiny_manifest().expand())
+        assert pool.heartbeats  # at least one worker reported liveness
+        assert all(stamp > 0 for stamp in pool.heartbeats.values())
+
+    def test_parameter_validation(self):
+        with pytest.raises(ConfigError):
+            WorkerPool(workers=0)
+        with pytest.raises(ConfigError):
+            WorkerPool(max_requeues=-1)
+
+
+class TestCrashRequeue:
+    def test_job_lost_to_a_crash_is_requeued_and_completes(self, tmp_path):
+        marker_dir = tmp_path / "markers"
+        marker_dir.mkdir()
+
+        def crash_once(job):
+            marker = marker_dir / job.name.replace("/", "_")
+            if not marker.exists():
+                marker.touch()
+                os._exit(1)  # simulate a worker dying mid-job
+            return execute_job(job)
+
+        jobs = tiny_manifest().expand()
+        pool = WorkerPool(workers=2, executor=crash_once, heartbeat_interval=0.1)
+        outcomes = pool.run(jobs)
+        assert [o.status for o in outcomes] == ["done", "done"]
+        assert all(o.attempts == 2 for o in outcomes)
+        assert pool.requeues == len(jobs)
+        # The recovered values are the real ones, not placeholders.
+        serial = run_campaign(tiny_manifest())["results"]
+        assert [o.value for o in outcomes] == [e["value"] for e in serial]
+
+    def test_permanent_crasher_fails_after_the_requeue_budget(self):
+        def always_crash(job):
+            os._exit(1)
+
+        pool = WorkerPool(
+            workers=1,
+            executor=always_crash,
+            max_requeues=2,
+            heartbeat_interval=0.1,
+        )
+        outcomes = pool.run(tiny_manifest().expand()[:1])
+        assert outcomes[0].status == "failed"
+        assert outcomes[0].attempts == 3  # 1 initial + 2 requeues
+        assert "died" in outcomes[0].error
+        assert pool.requeues == 2
+
+    def test_crash_does_not_lose_the_other_jobs(self):
+        # One permanent crasher among healthy jobs must not poison its
+        # neighbours.
+        def crash_only_first_index(job):
+            if job.name.endswith("none-16"):
+                os._exit(1)
+            return execute_job(job)
+
+        pool = WorkerPool(
+            workers=2,
+            executor=crash_only_first_index,
+            max_requeues=1,
+            heartbeat_interval=0.1,
+        )
+        outcomes = pool.run(tiny_manifest().expand())
+        statuses = {o.index: o.status for o in outcomes}
+        assert statuses[0] == "failed"
+        assert statuses[1] == "done"
+
+
+class TestDrain:
+    def test_pre_set_drain_reports_every_job_drained(self):
+        drain = threading.Event()
+        drain.set()
+        pool = WorkerPool(workers=2, drain=drain, heartbeat_interval=0.1)
+        outcomes = pool.run(example_manifest().expand())
+        assert {o.status for o in outcomes} == {"drained"}
+        assert all(o.value is None for o in outcomes)
+
+    def test_drain_mid_run_finishes_in_flight_work(self):
+        drain = threading.Event()
+        released = 0
+
+        pool = WorkerPool(
+            workers=1, drain=drain, heartbeat_interval=0.05
+        )
+        progress = []
+
+        def on_progress(snapshot):
+            progress.append(snapshot)
+            # After the first job settles, drain: the remaining jobs must
+            # come back drained, and the settled one must stay done.
+            drain.set()
+
+        pool.on_progress = on_progress
+        outcomes = pool.run(example_manifest().expand())
+        statuses = [o.status for o in outcomes]
+        assert "done" in statuses and "drained" in statuses
+        done = [o for o in outcomes if o.status == "done"]
+        assert all(isinstance(o.value, (int, float)) for o in done)
+
+    def test_progress_snapshots_count_up(self):
+        snapshots = []
+        pool = WorkerPool(
+            workers=2, heartbeat_interval=0.1, on_progress=snapshots.append
+        )
+        pool.run(tiny_manifest().expand())
+        assert snapshots[-1]["completed"] == 2
+        assert snapshots[-1]["total"] == 2
+        assert snapshots[-1]["failed"] == 0

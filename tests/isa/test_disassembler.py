@@ -21,6 +21,7 @@ from repro.workloads import (
     store_kernel_uncached,
 )
 from repro.workloads.blockstore import blockstore_marshalled_kernel
+from tests.conftest import registry_source_params
 
 
 class TestInstructionRendering:
@@ -91,16 +92,7 @@ def test_round_trip(source):
     assert structurally_equal(original, rebuilt), text
 
 
-def _registry_targets():
-    from repro.analysis import lint_targets
-
-    return [
-        pytest.param(target.source, id=target.name)
-        for target in lint_targets()
-    ]
-
-
-@pytest.mark.parametrize("source", _registry_targets())
+@pytest.mark.parametrize("source", registry_source_params())
 def test_every_registered_kernel_round_trips(source):
     """Every shipped kernel, across its parameter sweep, survives
     ``assemble(disassemble(assemble(text)))`` with an identical

@@ -24,7 +24,6 @@ from __future__ import annotations
 
 import pytest
 
-from repro.analysis.registry import lint_targets
 from repro.common.config import SamplingConfig, SystemConfig
 from repro.common.errors import ConfigError, SimulationError
 from repro.common.serialize import config_from_dict, config_to_dict
@@ -35,7 +34,7 @@ from repro.sim.sampling import _drain, run_sampled
 from repro.sim.system import System
 from repro.workloads.random_programs import generate_program
 
-from tests.conftest import make_config
+from tests.conftest import make_config, registry_targets
 
 MAX_CYCLES = 2_000_000
 
@@ -43,7 +42,7 @@ MAX_CYCLES = 2_000_000
 #: bare (device-free) system; they get the bounded-prefix comparison.
 POLLING_PREFIXES = ("ping-", "pong-", "dma-send-")
 
-_TARGETS = {target.name: target for target in lint_targets()}
+_TARGETS = registry_targets()
 HALTING = sorted(
     name for name in _TARGETS if not name.startswith(POLLING_PREFIXES)
 )
